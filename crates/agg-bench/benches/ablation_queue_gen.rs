@@ -1,0 +1,38 @@
+//! Criterion bench behind ablation X1: atomic vs scan-based queue
+//! generation, host-side simulation cost (modeled kernel times come from
+//! `repro ablation-queue`).
+
+use agg_gpu_sim::prelude::*;
+use agg_kernels::GpuKernels;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let kernels = GpuKernels::build();
+    let n: u32 = 20_000;
+    let update: Vec<u32> = (0..n).map(|i| (i % 5 == 0) as u32).collect();
+    let mut g = c.benchmark_group("queue_gen/20k-nodes-20pct");
+    g.sample_size(10);
+    for (name, kernel) in [
+        ("atomic", &kernels.gen_queue),
+        ("scan", &kernels.gen_queue_scan),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut dev = Device::new(DeviceConfig::tesla_c2070());
+                let u = dev.alloc_from_slice("update", &update);
+                let q = dev.alloc("queue", n as usize);
+                let len = dev.alloc("len", 1);
+                dev.launch(
+                    kernel,
+                    Grid::linear(n as u64, 192),
+                    &LaunchArgs::new().bufs([u, q, len]).scalars([n]),
+                )
+                .expect("gen")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench behind the adaptive-vs-static comparison (Section
+//! VII.C): the adaptive runtime against representative static variants.
+
+use agg_bench::runner::{gpu_run, gpu_static_run};
+use agg_bench::workloads::load;
+use agg_core::{Algo, RunOptions};
+use agg_graph::{Dataset, Scale};
+use agg_kernels::Variant;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let w = load(Dataset::Amazon, Scale::Tiny, 42);
+    let mut g = c.benchmark_group("adaptive_vs_static/amazon-tiny");
+    g.sample_size(10);
+    g.bench_function("adaptive", |b| {
+        b.iter(|| gpu_run(&w, Algo::Bfs, &RunOptions::default()).expect("adaptive"))
+    });
+    for name in ["U_T_BM", "U_B_QU"] {
+        let v = Variant::parse(name).unwrap();
+        g.bench_function(name, |b| {
+            b.iter(|| gpu_static_run(&w, Algo::Bfs, v).expect("static"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

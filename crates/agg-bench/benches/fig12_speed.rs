@@ -1,0 +1,24 @@
+//! Criterion bench behind Figure 12: adaptive traversal across all six
+//! dataset analogs (the per-dataset best processing speed comes from
+//! `repro fig12`).
+
+use agg_bench::runner::gpu_run;
+use agg_bench::workloads::load;
+use agg_core::{Algo, RunOptions};
+use agg_graph::{Dataset, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_adaptive_bfs");
+    g.sample_size(10);
+    for d in Dataset::ALL {
+        let w = load(d, Scale::Tiny, 42);
+        g.bench_function(d.name(), |b| {
+            b.iter(|| gpu_run(&w, Algo::Bfs, &RunOptions::default()).expect("adaptive bfs"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

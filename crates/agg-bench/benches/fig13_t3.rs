@@ -1,0 +1,32 @@
+//! Criterion bench behind Figure 13: adaptive SSSP under different T3
+//! settings (the full 1-13% sweep with modeled times is `repro fig13`).
+
+use agg_bench::runner::gpu_run;
+use agg_bench::workloads::load;
+use agg_core::{AdaptiveConfig, Algo, RunOptions, Strategy};
+use agg_graph::{Dataset, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let w = load(Dataset::Google, Scale::Tiny, 42);
+    let mut g = c.benchmark_group("fig13_t3/google-tiny");
+    g.sample_size(10);
+    for pct in [1u32, 6, 13] {
+        let tuning = AdaptiveConfig {
+            t3_fraction: pct as f64 / 100.0,
+            ..Default::default()
+        };
+        let opts = RunOptions {
+            strategy: Strategy::Adaptive,
+            tuning,
+            ..Default::default()
+        };
+        g.bench_function(format!("t3={pct}%"), |b| {
+            b.iter(|| gpu_run(&w, Algo::Sssp, &opts).expect("adaptive sssp"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

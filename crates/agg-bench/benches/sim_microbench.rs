@@ -1,0 +1,83 @@
+//! Simulator microbenchmarks: interpreter throughput on characteristic
+//! kernel shapes (streaming, divergent, atomic-heavy) and generator
+//! throughput. These bound how large a `--scale paper` run can be.
+
+use agg_gpu_sim::ir::expr::Expr;
+use agg_gpu_sim::prelude::*;
+use agg_graph::{Dataset, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn streaming_kernel() -> Kernel {
+    let mut k = KernelBuilder::new("stream");
+    let (a, b) = (k.buf_param(), k.buf_param());
+    let n = k.scalar_param();
+    let tid = k.global_thread_id();
+    k.if_(tid.clone().lt(n), |k| {
+        let x = k.load(a, tid.clone());
+        k.store(b, tid.clone(), x.mul(3u32).add(1u32));
+    });
+    k.build().unwrap()
+}
+
+fn divergent_kernel() -> Kernel {
+    let mut k = KernelBuilder::new("divergent");
+    let out = k.buf_param();
+    let n = k.scalar_param();
+    let tid = k.global_thread_id();
+    k.if_(tid.clone().lt(n), |k| {
+        let i = k.let_(0u32);
+        k.while_(Expr::Reg(i).lt(tid.clone().rem(32u32)), |k| {
+            k.assign(i, Expr::Reg(i).add(1u32));
+        });
+        k.store(out, tid.clone(), i);
+    });
+    k.build().unwrap()
+}
+
+fn atomic_kernel() -> Kernel {
+    let mut k = KernelBuilder::new("atomic");
+    let out = k.buf_param();
+    let n = k.scalar_param();
+    let tid = k.global_thread_id();
+    k.if_(tid.clone().lt(n), |k| {
+        k.atomic_add(out, tid.clone().rem(64u32), 1u32);
+    });
+    k.build().unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let n: u32 = 16_384;
+    let mut g = c.benchmark_group("sim_interpreter/16k-threads");
+    g.sample_size(10);
+    for (name, kernel, words) in [
+        ("streaming", streaming_kernel(), n as usize),
+        ("divergent", divergent_kernel(), n as usize),
+        ("atomic", atomic_kernel(), 64),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut dev = Device::new(DeviceConfig::tesla_c2070());
+                let a = dev.alloc("a", n as usize);
+                let out = dev.alloc("out", words);
+                let args = if kernel.num_bufs == 2 {
+                    LaunchArgs::new().bufs([a, out]).scalars([n])
+                } else {
+                    LaunchArgs::new().bufs([out]).scalars([n])
+                };
+                dev.launch(&kernel, Grid::linear(n as u64, 192), &args)
+                    .expect("launch")
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("graph_generation");
+    g.sample_size(10);
+    for d in [Dataset::CoRoad, Dataset::Google, Dataset::Sns] {
+        g.bench_function(d.name(), |b| b.iter(|| d.generate(Scale::Tiny, 42)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

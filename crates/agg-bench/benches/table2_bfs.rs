@@ -1,0 +1,28 @@
+//! Criterion bench behind Table 2: BFS across all 8 static variants.
+//! Criterion measures host-side simulation wall time; the *modeled* GPU
+//! speedups of the paper's table come from `repro table2`.
+
+use agg_bench::workloads::load;
+use agg_bench::{cpu_baseline_ns, gpu_static_run};
+use agg_core::Algo;
+use agg_graph::{Dataset, Scale};
+use agg_kernels::Variant;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let w = load(Dataset::P2p, Scale::Tiny, 42);
+    let mut g = c.benchmark_group("table2_bfs/p2p-tiny");
+    g.sample_size(10);
+    for v in Variant::ALL {
+        g.bench_function(v.name(), |b| {
+            b.iter(|| gpu_static_run(&w, Algo::Bfs, v).expect("bfs run"))
+        });
+    }
+    g.bench_function("cpu_baseline", |b| {
+        b.iter(|| cpu_baseline_ns(&w, Algo::Bfs))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+#![warn(missing_docs)]
+
+//! Benchmark harness library: workload registry, run helpers, and table
+//! formatting shared by the `repro` binary (which regenerates every table
+//! and figure of the paper) and the criterion benches.
+
+pub mod runner;
+pub mod tables;
+pub mod workloads;
+
+pub use runner::{cpu_baseline_ns, gpu_static_run, speedup_table, SpeedupTable};
+pub use tables::{format_table, write_csv};
+pub use workloads::{load, load_all, Workload, DEFAULT_SEED, MAX_WEIGHT};

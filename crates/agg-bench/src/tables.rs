@@ -1,0 +1,91 @@
+//! Plain-text table formatting and CSV output for the repro harness.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Formats a table with a header row and aligned columns. `highlight`
+/// receives the row index and returns the column to mark with `*` (the
+/// paper marks the best variant per dataset with a grey cell).
+pub fn format_table(
+    header: &[String],
+    rows: &[Vec<String>],
+    highlight: impl Fn(usize) -> Option<usize>,
+) -> String {
+    let ncols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.len() + 1); // room for the marker
+        }
+    }
+    let mut out = String::new();
+    for (i, h) in header.iter().enumerate() {
+        let _ = write!(out, "{:>w$}  ", h, w = widths[i]);
+    }
+    out.push('\n');
+    for (i, w) in widths.iter().enumerate() {
+        let _ = write!(out, "{}  ", "-".repeat(*w));
+        let _ = i;
+    }
+    out.push('\n');
+    for (r, row) in rows.iter().enumerate() {
+        let marked = highlight(r);
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            let cell = if marked == Some(i) {
+                format!("{cell}*")
+            } else {
+                cell.clone()
+            };
+            let _ = write!(out, "{:>w$}  ", cell, w = widths[i]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes rows as CSV under `dir/name.csv`, creating `dir` if needed.
+pub fn write_csv(
+    dir: &Path,
+    name: &str,
+    header: &[String],
+    rows: &[Vec<String>],
+) -> std::io::Result<std::path::PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    let mut f = fs::File::create(&path)?;
+    writeln!(f, "{}", header.join(","))?;
+    for row in rows {
+        writeln!(f, "{}", row.join(","))?;
+    }
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_aligned_table_with_highlight() {
+        let header = vec!["ds".to_string(), "a".to_string(), "b".to_string()];
+        let rows = vec![
+            vec!["x".to_string(), "1.00".to_string(), "2.00".to_string()],
+            vec!["y".to_string(), "3.00".to_string(), "4.00".to_string()],
+        ];
+        let s = format_table(&header, &rows, |r| if r == 0 { Some(2) } else { None });
+        assert!(s.contains("2.00*"));
+        assert!(!s.contains("4.00*"));
+        assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let dir = std::env::temp_dir().join("agg_bench_test_csv");
+        let header = vec!["a".to_string(), "b".to_string()];
+        let rows = vec![vec!["1".to_string(), "2".to_string()]];
+        let path = write_csv(&dir, "t", &header, &rows).unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        assert_eq!(text, "a,b\n1,2\n");
+    }
+}

@@ -1,0 +1,221 @@
+//! The user-facing Graph API (the top layer of the paper's Figure 10):
+//! "an abstract graph data type \[with\] primitives to define and
+//! instantiate graphs, as well as functions to run the SSSP and BFS
+//! algorithms on them".
+
+use crate::engine::{run, Algo, CoreError, RunOptions, RunReport};
+use agg_gpu_sim::{Device, DeviceConfig, ExecMode};
+use agg_graph::{CsrGraph, NodeId};
+use agg_kernels::{AlgoState, DeviceGraph, GpuKernels};
+
+/// A graph resident on the (simulated) GPU, ready for repeated traversals.
+///
+/// ```
+/// use agg_core::GpuGraph;
+/// use agg_graph::{Dataset, Scale};
+///
+/// let g = Dataset::Amazon.generate_weighted(Scale::Tiny, 42, 64);
+/// let mut gg = GpuGraph::new(&g).unwrap();
+/// let bfs = gg.bfs(0).unwrap();
+/// let sssp = gg.sssp(0).unwrap();
+/// assert_eq!(bfs.values.len(), g.node_count());
+/// assert!(sssp.total_ns > 0.0);
+/// ```
+pub struct GpuGraph {
+    dev: Device,
+    kernels: GpuKernels,
+    dg: DeviceGraph,
+    state: AlgoState,
+}
+
+impl GpuGraph {
+    /// Uploads `g` to a default device (simulated Tesla C2070).
+    pub fn new(g: &CsrGraph) -> Result<GpuGraph, CoreError> {
+        GpuGraph::with_device(g, DeviceConfig::tesla_c2070())
+    }
+
+    /// Uploads `g` to a device with the given configuration.
+    pub fn with_device(g: &CsrGraph, cfg: DeviceConfig) -> Result<GpuGraph, CoreError> {
+        GpuGraph::build(g, Device::new(cfg))
+    }
+
+    /// Uploads `g` to a device that interprets blocks on the rayon pool
+    /// (identical results, faster simulation on multicore hosts).
+    pub fn with_parallel_host(g: &CsrGraph, cfg: DeviceConfig) -> Result<GpuGraph, CoreError> {
+        GpuGraph::build(g, Device::new(cfg).with_mode(ExecMode::Parallel))
+    }
+
+    fn build(g: &CsrGraph, mut dev: Device) -> Result<GpuGraph, CoreError> {
+        let kernels = GpuKernels::build();
+        let dg = DeviceGraph::upload(&mut dev, g);
+        let state = AlgoState::new(&mut dev, dg.n, 0)?;
+        Ok(GpuGraph {
+            dev,
+            kernels,
+            dg,
+            state,
+        })
+    }
+
+    /// Uploads the reverse graph, enabling
+    /// [`crate::Strategy::DirectionOptimized`] BFS (extension). Charges
+    /// the extra transfer once.
+    pub fn enable_bottom_up(&mut self, g: &CsrGraph) {
+        self.dg.upload_reverse(&mut self.dev, g);
+    }
+
+    /// BFS from `src` with the adaptive runtime and default tuning.
+    pub fn bfs(&mut self, src: NodeId) -> Result<RunReport, CoreError> {
+        self.bfs_with(src, &RunOptions::default())
+    }
+
+    /// BFS from `src` with explicit options (static variants, tracing,
+    /// tuning overrides).
+    pub fn bfs_with(&mut self, src: NodeId, options: &RunOptions) -> Result<RunReport, CoreError> {
+        run(
+            &mut self.dev,
+            &self.kernels,
+            &self.dg,
+            &self.state,
+            Algo::Bfs,
+            src,
+            options,
+        )
+    }
+
+    /// SSSP from `src` with the adaptive runtime and default tuning. The
+    /// graph must be weighted.
+    pub fn sssp(&mut self, src: NodeId) -> Result<RunReport, CoreError> {
+        self.sssp_with(src, &RunOptions::default())
+    }
+
+    /// SSSP from `src` with explicit options.
+    pub fn sssp_with(&mut self, src: NodeId, options: &RunOptions) -> Result<RunReport, CoreError> {
+        run(
+            &mut self.dev,
+            &self.kernels,
+            &self.dg,
+            &self.state,
+            Algo::Sssp,
+            src,
+            options,
+        )
+    }
+
+    /// Connected components by min-label propagation (extension). The
+    /// graph should be symmetric for component semantics; on directed
+    /// graphs the result is the min-reachable-label fixpoint.
+    pub fn connected_components(&mut self) -> Result<RunReport, CoreError> {
+        self.connected_components_with(&RunOptions::default())
+    }
+
+    /// Connected components with explicit options.
+    pub fn connected_components_with(
+        &mut self,
+        options: &RunOptions,
+    ) -> Result<RunReport, CoreError> {
+        run(
+            &mut self.dev,
+            &self.kernels,
+            &self.dg,
+            &self.state,
+            Algo::Cc,
+            0,
+            options,
+        )
+    }
+
+    /// PageRank-delta with default parameters (d = 0.85, ε = 1e-4)
+    /// (extension). Ranks come back as f32 via
+    /// [`RunReport::values_as_f32`].
+    pub fn pagerank(&mut self) -> Result<RunReport, CoreError> {
+        self.pagerank_with(&RunOptions::default())
+    }
+
+    /// PageRank-delta with explicit options (damping/ε live in
+    /// `options.pagerank`).
+    pub fn pagerank_with(&mut self, options: &RunOptions) -> Result<RunReport, CoreError> {
+        run(
+            &mut self.dev,
+            &self.kernels,
+            &self.dg,
+            &self.state,
+            Algo::PageRank,
+            0,
+            options,
+        )
+    }
+
+    /// Node count of the uploaded graph.
+    pub fn node_count(&self) -> usize {
+        self.dg.n as usize
+    }
+
+    /// Edge count of the uploaded graph.
+    pub fn edge_count(&self) -> usize {
+        self.dg.m as usize
+    }
+
+    /// Average outdegree (the inspector's whole-graph statistic).
+    pub fn avg_outdegree(&self) -> f64 {
+        self.dg.avg_outdegree
+    }
+
+    /// Accumulated modeled device time across all runs, ns.
+    pub fn device_elapsed_ns(&self) -> f64 {
+        self.dev.elapsed_ns()
+    }
+
+    /// The underlying device (for advanced configuration inspection).
+    pub fn device(&self) -> &Device {
+        &self.dev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agg_graph::{traversal, Dataset, Scale};
+    use agg_kernels::Variant;
+
+    #[test]
+    fn bfs_and_sssp_through_the_public_api() {
+        let g = Dataset::Google.generate_weighted(Scale::Tiny, 31, 64);
+        let mut gg = GpuGraph::new(&g).unwrap();
+        assert_eq!(gg.node_count(), g.node_count());
+        assert_eq!(gg.edge_count(), g.edge_count());
+        let bfs = gg.bfs(0).unwrap();
+        assert_eq!(bfs.values, traversal::bfs_levels(&g, 0));
+        let sssp = gg.sssp(0).unwrap();
+        assert_eq!(sssp.values, traversal::dijkstra(&g, 0));
+    }
+
+    #[test]
+    fn repeated_runs_from_different_sources_reuse_state() {
+        let g = Dataset::P2p.generate(Scale::Tiny, 32);
+        let mut gg = GpuGraph::new(&g).unwrap();
+        for src in [0u32, 7, 100] {
+            let r = gg.bfs(src).unwrap();
+            assert_eq!(r.values, traversal::bfs_levels(&g, src), "src {src}");
+        }
+        assert!(gg.device_elapsed_ns() > 0.0);
+    }
+
+    #[test]
+    fn static_options_flow_through() {
+        let g = Dataset::Amazon.generate(Scale::Tiny, 33);
+        let mut gg = GpuGraph::new(&g).unwrap();
+        let v = Variant::parse("U_B_QU").unwrap();
+        let r = gg.bfs_with(0, &RunOptions::static_variant(v)).unwrap();
+        assert_eq!(r.values, traversal::bfs_levels(&g, 0));
+        assert_eq!(r.switches, 0);
+    }
+
+    #[test]
+    fn parallel_host_mode_gives_identical_results() {
+        let g = Dataset::Amazon.generate_weighted(Scale::Tiny, 34, 32);
+        let mut seq = GpuGraph::new(&g).unwrap();
+        let mut par = GpuGraph::with_parallel_host(&g, DeviceConfig::tesla_c2070()).unwrap();
+        assert_eq!(seq.sssp(0).unwrap().values, par.sssp(0).unwrap().values);
+    }
+}

@@ -1,0 +1,1521 @@
+//! The iteration engine: the paper's Figure 8 driver with per-iteration
+//! variant selection, working-set monitoring, and full time accounting.
+//!
+//! Per-iteration pipeline:
+//!
+//! 1. `prep` kernel — reset queue length / findmin cell / flag / census;
+//! 2. `workset_gen` kernel — update vector → the representation chosen
+//!    for this iteration (bitmap or queue);
+//! 3. termination check — a 4-byte D2H read of the queue length or the
+//!    nonempty flag (this PCIe round-trip is real per-iteration cost);
+//! 4. inspector census (bitmap mode, when sampling) — `count` kernel +
+//!    4-byte read;
+//! 5. `findmin` kernel (ordered SSSP only);
+//! 6. the computation kernel of the selected variant.
+//!
+//! Strategies: [`Strategy::Static`] (the paper's Tables 2/3),
+//! [`Strategy::Adaptive`] (the paper's contribution),
+//! [`Strategy::VirtualWarp`] (Hong et al. \[12\], extension), and
+//! [`Strategy::Hybrid`] (CPU/GPU alternation in the spirit of Hong et
+//! al. \[13\], extension): iterations whose working set is below a
+//! threshold run on the host, paying state transfers at each processor
+//! switch.
+
+use crate::config::{AdaptiveConfig, DegreeMode};
+use crate::decision::decide;
+use agg_cpu::CpuCostModel;
+use agg_gpu_sim::mem::transfer::transfer_ns;
+use agg_gpu_sim::prelude::*;
+use agg_graph::{NodeId, INF};
+use agg_kernels::{AlgoOrder, AlgoState, DeviceGraph, GpuKernels, Mapping, Variant, WorkSet};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Algo {
+    /// Breadth-first search (levels).
+    Bfs,
+    /// Single-source shortest paths (distances).
+    Sssp,
+    /// Connected components via min-label propagation (extension; the
+    /// source argument is ignored and the graph should be symmetric for
+    /// component semantics).
+    Cc,
+    /// PageRank-delta (extension): push-style PageRank over f32 ranks.
+    /// The source argument is ignored; results are f32 bit patterns
+    /// (see [`RunReport::values_as_f32`]).
+    PageRank,
+}
+
+/// Implementation-selection strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// One fixed variant for the whole traversal (the paper's Tables 2/3).
+    Static(Variant),
+    /// Per-iteration selection by the decision maker (Section VI).
+    Adaptive,
+    /// Virtual warp-centric mapping (extension; Hong et al., cited in
+    /// Section II): each working-set element is handled by a sub-warp of
+    /// `width` threads. Unordered BFS/SSSP only.
+    VirtualWarp {
+        /// Sub-warp width (power of two, 2..=32).
+        width: u32,
+        /// Working-set representation.
+        workset: WorkSet,
+    },
+    /// Direction-optimizing BFS (extension, after Beamer et al.):
+    /// iterations whose working set exceeds `bottom_up_fraction × n` run
+    /// the *bottom-up* step (unvisited nodes scan in-edges for a frontier
+    /// parent, atomic-free, early-exit); smaller ones run the adaptive
+    /// top-down variants. Requires the reverse graph
+    /// (`DeviceGraph::upload_reverse` / `GpuGraph::enable_bottom_up`).
+    /// BFS only.
+    DirectionOptimized {
+        /// Working-set fraction of `n` above which the bottom-up step is
+        /// used (Beamer's heuristic; ~0.05-0.1 works well).
+        bottom_up_fraction: f64,
+    },
+    /// CPU/GPU alternation (extension, after Hong et al. \[13\]):
+    /// iterations with fewer than `gpu_threshold` working-set elements run
+    /// on the host CPU; larger ones run on the GPU with the adaptive
+    /// decision maker. Each processor switch transfers the value array and
+    /// update vector. Unordered BFS/SSSP only.
+    Hybrid {
+        /// Working-set size at which execution moves to the GPU.
+        gpu_threshold: u32,
+    },
+}
+
+/// Working-set census policy for bitmap iterations (queue iterations know
+/// their size for free from the length counter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CensusMode {
+    /// Never run the census kernel; termination uses the nonempty flag.
+    Off,
+    /// Run it every `sampling_period` iterations (the paper's Section
+    /// VI.E overhead/accuracy trade-off).
+    Sampled,
+    /// Run it every iteration (used to regenerate Figure 2).
+    Every,
+}
+
+/// PageRank-delta parameters (extension).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PageRankConfig {
+    /// Damping factor `d` (teleport probability `1 - d`).
+    pub damping: f32,
+    /// Residual threshold below which a node stops propagating.
+    pub epsilon: f32,
+}
+
+impl Default for PageRankConfig {
+    fn default() -> Self {
+        PageRankConfig {
+            damping: 0.85,
+            epsilon: 1e-4,
+        }
+    }
+}
+
+/// Options for a traversal run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunOptions {
+    /// Selection strategy.
+    pub strategy: Strategy,
+    /// Thresholds + kernel-configuration tuning.
+    pub tuning: AdaptiveConfig,
+    /// Census policy.
+    pub census: CensusMode,
+    /// Record a per-iteration trace in the report.
+    pub record_trace: bool,
+    /// Iteration safety cap; 0 = automatic (`4n + 64`).
+    pub max_iterations: u64,
+    /// Charge the CSR H2D transfer to this run (the paper's reported
+    /// times include CPU-GPU transfers).
+    pub include_graph_transfer: bool,
+    /// PageRank parameters (ignored by other algorithms).
+    pub pagerank: PageRankConfig,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            strategy: Strategy::Adaptive,
+            tuning: AdaptiveConfig::default(),
+            census: CensusMode::Sampled,
+            record_trace: false,
+            max_iterations: 0,
+            include_graph_transfer: true,
+            pagerank: PageRankConfig::default(),
+        }
+    }
+}
+
+impl RunOptions {
+    /// A static-variant run with default tuning.
+    pub fn static_variant(v: Variant) -> RunOptions {
+        RunOptions {
+            strategy: Strategy::Static(v),
+            census: CensusMode::Off,
+            ..Default::default()
+        }
+    }
+}
+
+/// One iteration's trace entry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IterationRecord {
+    /// 1-based iteration number.
+    pub iteration: u32,
+    /// The variant that executed the computation (for host iterations of
+    /// a hybrid run, the variant the GPU *would* have used).
+    pub variant: Variant,
+    /// Working-set size, when known (queue mode, censused bitmap mode, or
+    /// any host iteration).
+    pub ws_size: Option<u32>,
+    /// Sub-warp width when the iteration ran a virtual-warp kernel.
+    pub vwarp_width: Option<u32>,
+    /// True when a hybrid run executed this iteration on the host CPU.
+    pub on_host: bool,
+    /// Modeled time of this iteration (all launches + reads + host work),
+    /// ns.
+    pub iter_ns: f64,
+}
+
+/// The result of a traversal run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Final per-node values (levels, distances, or labels).
+    pub values: Vec<u32>,
+    /// Traversal iterations executed (excluding the terminating check).
+    pub iterations: u32,
+    /// Number of times the runtime changed variant (or processor, for
+    /// hybrid runs).
+    pub switches: u32,
+    /// Kernel launches performed.
+    pub launches: u64,
+    /// Total modeled time: state init + iterations + final D2H (+ graph
+    /// H2D when configured) + host work, ns.
+    pub total_ns: f64,
+    /// Modeled host-CPU time within the total (hybrid runs), ns.
+    pub host_ns: f64,
+    /// Kernel statistics summed over every launch of this run (memory
+    /// traffic, divergence, atomics) — the raw material of the locality
+    /// and divergence experiments.
+    pub gpu_stats: agg_gpu_sim::KernelStats,
+    /// Per-iteration trace (empty unless requested).
+    pub trace: Vec<IterationRecord>,
+}
+
+impl RunReport {
+    /// Total modeled time in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.total_ns / 1e6
+    }
+
+    /// Reinterprets the value array as f32 (PageRank ranks).
+    pub fn values_as_f32(&self) -> Vec<f32> {
+        self.values.iter().map(|&b| f32::from_bits(b)).collect()
+    }
+}
+
+/// Engine errors.
+#[derive(Debug)]
+pub enum CoreError {
+    /// A simulator error (OOB, bad launch, ...).
+    Sim(SimError),
+    /// The traversal did not converge within the iteration cap.
+    NoConvergence {
+        /// The cap that was hit.
+        iterations: u64,
+    },
+    /// SSSP was requested on a graph without edge weights.
+    UnweightedGraph,
+    /// The algorithm/strategy combination does not exist (e.g. ordered
+    /// connected components, virtual-warp CC, or a non-power-of-two
+    /// sub-warp width).
+    Unsupported {
+        /// Explanation of the unsupported combination.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Sim(e) => write!(f, "simulator error: {e}"),
+            CoreError::NoConvergence { iterations } => {
+                write!(
+                    f,
+                    "traversal did not converge within {iterations} iterations"
+                )
+            }
+            CoreError::UnweightedGraph => {
+                write!(
+                    f,
+                    "SSSP requires a weighted graph (use generate_weighted / with_weights)"
+                )
+            }
+            CoreError::Unsupported { detail } => write!(f, "unsupported combination: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for CoreError {
+    fn from(e: SimError) -> Self {
+        CoreError::Sim(e)
+    }
+}
+
+// ------------------------------------------------------------------------
+// Shared per-iteration machinery
+// ------------------------------------------------------------------------
+
+/// Everything one traversal needs, bundled so iteration helpers stay
+/// readable.
+struct Ctx<'a> {
+    dev: &'a mut Device,
+    kernels: &'a GpuKernels,
+    dg: &'a DeviceGraph,
+    state: &'a AlgoState,
+    algo: Algo,
+    tuning: AdaptiveConfig,
+    census: CensusMode,
+    pagerank: PageRankConfig,
+    thread_threads: u32,
+    block_threads: u32,
+}
+
+impl<'a> Ctx<'a> {
+    /// Steps 1-4: prep, workset generation into `ws_kind`, termination
+    /// check, optional census. Returns `None` when the working set is
+    /// empty (traversal done), else `(limit, known ws size)`.
+    fn gen_and_check(
+        &mut self,
+        ws_kind: WorkSet,
+        iteration: u32,
+    ) -> Result<Option<(u32, Option<u32>)>, CoreError> {
+        let n = self.dg.n;
+        self.dev.launch(
+            &self.kernels.prep,
+            Grid::new(1, 32),
+            &self.state.prep_args(),
+        )?;
+        match ws_kind {
+            WorkSet::Bitmap => {
+                self.dev.launch(
+                    &self.kernels.gen_bitmap,
+                    Grid::linear(n as u64, self.thread_threads),
+                    &self.state.gen_bitmap_args(n),
+                )?;
+                if self.dev.read_word(self.state.flag, 0)? == 0 {
+                    return Ok(None);
+                }
+                let due = match self.census {
+                    CensusMode::Off => false,
+                    CensusMode::Every => true,
+                    CensusMode::Sampled => {
+                        iteration.is_multiple_of(self.tuning.sampling_period.max(1))
+                    }
+                };
+                let ws = if due {
+                    self.dev.launch(
+                        &self.kernels.count_bitmap,
+                        Grid::linear(n as u64, self.thread_threads),
+                        &self.state.count_args(n),
+                    )?;
+                    Some(self.dev.read_word(self.state.count, 0)?)
+                } else {
+                    None
+                };
+                Ok(Some((n, ws)))
+            }
+            WorkSet::Queue => {
+                let gen = if self.tuning.scan_queue_gen {
+                    &self.kernels.gen_queue_scan
+                } else {
+                    &self.kernels.gen_queue
+                };
+                self.dev.launch(
+                    gen,
+                    Grid::linear(n as u64, self.thread_threads),
+                    &self.state.gen_queue_args(n),
+                )?;
+                let len = self.dev.read_word(self.state.queue_len, 0)?;
+                if len == 0 {
+                    return Ok(None);
+                }
+                Ok(Some((len, Some(len))))
+            }
+        }
+    }
+
+    /// Inspector extension: degree census over the current working set;
+    /// returns the summed outdegree of active nodes.
+    fn degree_census(&mut self, ws_kind: WorkSet, limit: u32) -> Result<u32, CoreError> {
+        let kernel = match ws_kind {
+            WorkSet::Bitmap => &self.kernels.degree_census_bitmap,
+            WorkSet::Queue => &self.kernels.degree_census_queue,
+        };
+        self.dev.launch(
+            kernel,
+            Grid::linear(limit as u64, self.thread_threads),
+            &self.state.degree_census_args(self.dg, ws_kind, limit),
+        )?;
+        Ok(self.dev.read_word(self.state.deg_sum, 0)?)
+    }
+
+    /// Step 5: findmin for ordered SSSP.
+    fn findmin(&mut self, ws_kind: WorkSet, limit: u32) -> Result<(), CoreError> {
+        let fk = match ws_kind {
+            WorkSet::Bitmap => &self.kernels.findmin_bitmap,
+            WorkSet::Queue => &self.kernels.findmin_queue,
+        };
+        self.dev.launch(
+            fk,
+            Grid::linear(limit as u64, self.thread_threads),
+            &self.state.findmin_args(ws_kind, limit),
+        )?;
+        Ok(())
+    }
+
+    /// Step 6: the computation kernel for a standard (non-virtual-warp)
+    /// variant.
+    fn compute(&mut self, variant: Variant, limit: u32) -> Result<(), CoreError> {
+        let grid = match variant.mapping {
+            Mapping::Thread => Grid::linear(limit as u64, self.thread_threads),
+            Mapping::Block => Grid::new(limit, self.block_threads),
+        };
+        match self.algo {
+            Algo::Bfs => {
+                self.dev.launch(
+                    self.kernels.bfs_kernel(variant),
+                    grid,
+                    &self.state.bfs_args(self.dg, variant, limit),
+                )?;
+            }
+            Algo::Sssp => {
+                self.dev.launch(
+                    self.kernels.sssp_kernel(variant),
+                    grid,
+                    &self.state.sssp_args(self.dg, variant, limit),
+                )?;
+            }
+            Algo::Cc => {
+                self.dev.launch(
+                    self.kernels.cc_kernel(variant),
+                    grid,
+                    &self.state.cc_args(self.dg, variant, limit),
+                )?;
+            }
+            Algo::PageRank => {
+                self.dev.launch(
+                    self.kernels.pagerank_kernel(variant),
+                    grid,
+                    &self.state.pagerank_args(
+                        self.dg,
+                        variant,
+                        limit,
+                        self.pagerank.damping,
+                        self.pagerank.epsilon,
+                    ),
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Step 6, virtual-warp flavor.
+    fn compute_vwarp(&mut self, ws_kind: WorkSet, limit: u32, width: u32) -> Result<(), CoreError> {
+        let grid = Grid::linear(limit as u64 * width as u64, self.thread_threads);
+        let (kernel, args) = match self.algo {
+            Algo::Bfs => (
+                self.kernels.vwarp_kernel(true, ws_kind),
+                self.state.bfs_vwarp_args(self.dg, ws_kind, limit, width),
+            ),
+            Algo::Sssp => (
+                self.kernels.vwarp_kernel(false, ws_kind),
+                self.state.sssp_vwarp_args(self.dg, ws_kind, limit, width),
+            ),
+            Algo::Cc | Algo::PageRank => unreachable!("rejected during validation"),
+        };
+        self.dev.launch(kernel, grid, &args)?;
+        Ok(())
+    }
+}
+
+fn validate(algo: Algo, options: &RunOptions, weighted: bool) -> Result<(), CoreError> {
+    if algo == Algo::Sssp && !weighted {
+        return Err(CoreError::UnweightedGraph);
+    }
+    match (algo, options.strategy) {
+        (Algo::Cc | Algo::PageRank, Strategy::Static(v)) if v.order == AlgoOrder::Ordered => {
+            Err(CoreError::Unsupported {
+                detail: format!("{algo:?} has no ordered formulation"),
+            })
+        }
+        (Algo::Cc | Algo::PageRank, Strategy::VirtualWarp { .. }) => Err(CoreError::Unsupported {
+            detail: "virtual-warp kernels exist for BFS/SSSP only".into(),
+        }),
+        (Algo::Cc | Algo::PageRank, Strategy::Hybrid { .. }) => Err(CoreError::Unsupported {
+            detail: "hybrid execution exists for BFS/SSSP only".into(),
+        }),
+        (a, Strategy::DirectionOptimized { .. }) if a != Algo::Bfs => Err(CoreError::Unsupported {
+            detail: "direction-optimized traversal exists for BFS only".into(),
+        }),
+        (_, Strategy::VirtualWarp { width, .. })
+            if !(2..=32).contains(&width) || !width.is_power_of_two() =>
+        {
+            Err(CoreError::Unsupported {
+                detail: format!("virtual-warp width {width} must be a power of two in 2..=32"),
+            })
+        }
+        _ => Ok(()),
+    }
+}
+
+fn empty_report() -> RunReport {
+    RunReport {
+        values: Vec::new(),
+        iterations: 0,
+        switches: 0,
+        launches: 0,
+        total_ns: 0.0,
+        host_ns: 0.0,
+        gpu_stats: agg_gpu_sim::KernelStats::default(),
+        trace: Vec::new(),
+    }
+}
+
+/// Per-run kernel statistics = cumulative-after minus cumulative-before.
+fn subtract_kernel_stats(
+    after: agg_gpu_sim::KernelStats,
+    before: agg_gpu_sim::KernelStats,
+) -> agg_gpu_sim::KernelStats {
+    use agg_gpu_sim::timing::CostStats;
+    let (a, b) = (after.totals, before.totals);
+    agg_gpu_sim::KernelStats {
+        issue_cycles: after.issue_cycles - before.issue_cycles,
+        stall_cycles: after.stall_cycles - before.stall_cycles,
+        totals: CostStats {
+            instructions: a.instructions - b.instructions,
+            active_lane_instructions: a.active_lane_instructions - b.active_lane_instructions,
+            loads: a.loads - b.loads,
+            stores: a.stores - b.stores,
+            mem_transactions: a.mem_transactions - b.mem_transactions,
+            mem_bytes: a.mem_bytes - b.mem_bytes,
+            atomics: a.atomics - b.atomics,
+            atomic_conflicts: a.atomic_conflicts - b.atomic_conflicts,
+            divergent_branches: a.divergent_branches - b.divergent_branches,
+            shared_accesses: a.shared_accesses - b.shared_accesses,
+            shared_replays: a.shared_replays - b.shared_replays,
+            syncs: a.syncs - b.syncs,
+            barriers: a.barriers - b.barriers,
+        },
+    }
+}
+
+/// Runs one traversal. `state` is reset for `src` internally; the graph
+/// must already be uploaded as `dg`.
+pub fn run(
+    dev: &mut Device,
+    kernels: &GpuKernels,
+    dg: &DeviceGraph,
+    state: &AlgoState,
+    algo: Algo,
+    src: NodeId,
+    options: &RunOptions,
+) -> Result<RunReport, CoreError> {
+    validate(algo, options, dg.weights.is_some())?;
+    if dg.n == 0 {
+        return Ok(empty_report());
+    }
+    if let Strategy::Hybrid { gpu_threshold } = options.strategy {
+        return run_hybrid(dev, kernels, dg, state, algo, src, options, gpu_threshold);
+    }
+    if matches!(options.strategy, Strategy::DirectionOptimized { .. }) && dg.rrow.is_none() {
+        return Err(CoreError::Unsupported {
+            detail: "direction-optimized BFS needs the reverse graph; call \
+                     GpuGraph::enable_bottom_up (or DeviceGraph::upload_reverse) first"
+                .into(),
+        });
+    }
+    let n = dg.n;
+    let tuning = options.tuning;
+    let cap = if options.max_iterations == 0 {
+        4 * n as u64 + 64
+    } else {
+        options.max_iterations
+    };
+    let start_ns = dev.elapsed_ns();
+    let start_launches = dev.launch_count();
+    let start_stats = dev.cumulative_stats();
+    match algo {
+        Algo::Cc => state.reset_cc(dev, n)?,
+        Algo::PageRank => state.reset_pagerank(dev, options.pagerank.damping)?,
+        _ => state.reset(dev, src)?,
+    }
+
+    let block_threads =
+        tuning.block_mapping_threads(dg.avg_outdegree, dev.config().max_threads_per_block);
+    let thread_threads = tuning.thread_block_threads;
+    let mut ctx = Ctx {
+        dev,
+        kernels,
+        dg,
+        state,
+        algo,
+        tuning,
+        census: options.census,
+        pagerank: options.pagerank,
+        thread_threads,
+        block_threads,
+    };
+
+    let mut est_ws: u32 = if matches!(algo, Algo::Cc | Algo::PageRank) {
+        n
+    } else {
+        1
+    };
+    let mut est_avg_deg: f64 = dg.avg_outdegree;
+    let mut prev_variant: Option<Variant> = None;
+    let mut switches = 0u32;
+    let mut iterations = 0u32;
+    let mut trace = Vec::new();
+
+    loop {
+        if iterations as u64 >= cap {
+            return Err(CoreError::NoConvergence { iterations: cap });
+        }
+        let iter_start = ctx.dev.elapsed_ns();
+        let mut vwarp: Option<u32> = None;
+        let mut bottom_up = false;
+        let variant = match options.strategy {
+            Strategy::Static(v) => v,
+            Strategy::Adaptive => decide(&tuning, est_ws, n, est_avg_deg),
+            Strategy::VirtualWarp { width, workset } => {
+                vwarp = Some(width);
+                Variant::new(AlgoOrder::Unordered, Mapping::Thread, workset)
+            }
+            Strategy::DirectionOptimized { bottom_up_fraction } => {
+                if (est_ws as f64) > bottom_up_fraction * n as f64 {
+                    // bottom-up step: frontier must be a bitmap
+                    bottom_up = true;
+                    Variant::new(AlgoOrder::Unordered, Mapping::Thread, WorkSet::Bitmap)
+                } else {
+                    decide(&tuning, est_ws, n, est_avg_deg)
+                }
+            }
+            Strategy::Hybrid { .. } => unreachable!("dispatched above"),
+        };
+        if let Some(p) = prev_variant {
+            if p != variant {
+                switches += 1;
+            }
+        }
+
+        let Some((limit, ws_known)) = ctx.gen_and_check(variant.workset, iterations + 1)? else {
+            break;
+        };
+        iterations += 1;
+        if let Some(w) = ws_known {
+            est_ws = w;
+            // Working-set degree inspector (extension ablation): piggyback
+            // on the same sampling cadence as the node census.
+            if matches!(options.strategy, Strategy::Adaptive)
+                && tuning.degree_mode == DegreeMode::WorkingSet
+                && w > 0
+                && iterations.is_multiple_of(tuning.sampling_period.max(1))
+            {
+                let deg_sum = ctx.degree_census(variant.workset, limit)?;
+                est_avg_deg = deg_sum as f64 / w as f64;
+            }
+        }
+
+        if algo == Algo::Sssp && variant.order == AlgoOrder::Ordered {
+            ctx.findmin(variant.workset, limit)?;
+        }
+
+        if bottom_up {
+            // `iterations` is 1-based and BFS is level-synchronous, so the
+            // frontier being consumed sits at level `iterations - 1` and
+            // newly claimed nodes get level `iterations`.
+            ctx.dev.launch(
+                &ctx.kernels.bfs_bottom_up,
+                Grid::linear(n as u64, ctx.thread_threads),
+                &ctx.state.bfs_bottom_up_args(ctx.dg, n, iterations),
+            )?;
+        } else {
+            match vwarp {
+                Some(width) => ctx.compute_vwarp(variant.workset, limit, width)?,
+                None => ctx.compute(variant, limit)?,
+            }
+        }
+
+        if options.record_trace {
+            trace.push(IterationRecord {
+                iteration: iterations,
+                variant,
+                ws_size: ws_known,
+                vwarp_width: vwarp,
+                on_host: false,
+                iter_ns: ctx.dev.elapsed_ns() - iter_start,
+            });
+        }
+        prev_variant = Some(variant);
+    }
+
+    let values = dev.read(state.value); // final D2H, charged
+    let mut total_ns = dev.elapsed_ns() - start_ns;
+    if options.include_graph_transfer {
+        total_ns += transfer_ns(dev.config(), dg.bytes);
+    }
+    let gpu_stats = subtract_kernel_stats(dev.cumulative_stats(), start_stats);
+    Ok(RunReport {
+        values,
+        iterations,
+        switches,
+        launches: dev.launch_count() - start_launches,
+        total_ns,
+        host_ns: 0.0,
+        gpu_stats,
+        trace,
+    })
+}
+
+/// Hybrid CPU/GPU execution (extension): iterations whose working set is
+/// below `gpu_threshold` run on the host; at each processor switch the
+/// value array and update vector cross PCIe (charged). The GPU side uses
+/// the adaptive decision maker.
+#[allow(clippy::too_many_arguments)]
+fn run_hybrid(
+    dev: &mut Device,
+    kernels: &GpuKernels,
+    dg: &DeviceGraph,
+    state: &AlgoState,
+    algo: Algo,
+    src: NodeId,
+    options: &RunOptions,
+    gpu_threshold: u32,
+) -> Result<RunReport, CoreError> {
+    let n = dg.n as usize;
+    let tuning = options.tuning;
+    let cap = if options.max_iterations == 0 {
+        4 * n as u64 + 64
+    } else {
+        options.max_iterations
+    };
+    let cpu_model = CpuCostModel::default();
+    // The host owns the CSR (it uploaded it), so reading it back for the
+    // host-side iterations is free.
+    let row = dev.debug_read(dg.row)?;
+    let col = dev.debug_read(dg.col)?;
+    let weights = dg.weights.map(|w| dev.debug_read(w)).transpose()?;
+
+    let start_ns = dev.elapsed_ns();
+    let start_launches = dev.launch_count();
+    let start_stats = dev.cumulative_stats();
+    state.reset(dev, src)?;
+
+    let mut host_values = vec![INF; n];
+    let mut host_update = vec![0u32; n];
+    host_values[src as usize] = 0;
+    host_update[src as usize] = 1;
+
+    let mut on_device = false;
+    let mut est_ws: u32 = 1;
+    let mut iterations = 0u32;
+    let mut switches = 0u32;
+    let mut host_ns = 0.0f64;
+    let mut trace = Vec::new();
+
+    let block_threads =
+        tuning.block_mapping_threads(dg.avg_outdegree, dev.config().max_threads_per_block);
+    let thread_threads = tuning.thread_block_threads;
+
+    loop {
+        if iterations as u64 >= cap {
+            return Err(CoreError::NoConvergence { iterations: cap });
+        }
+        let iter_start = dev.elapsed_ns() + host_ns;
+        let want_device = est_ws >= gpu_threshold.max(1);
+        if want_device != on_device {
+            switches += 1;
+            if want_device {
+                // host -> device: upload values and update vector.
+                dev.write(state.value, &host_values)?;
+                dev.write(state.update, &host_update)?;
+            } else {
+                // device -> host: download values and update vector.
+                host_values = dev.read(state.value);
+                host_update = dev.read(state.update);
+            }
+            on_device = want_device;
+        }
+
+        let (variant, ws_known, done) = if on_device {
+            let variant = decide(&tuning, est_ws, dg.n, dg.avg_outdegree);
+            let mut ctx = Ctx {
+                dev,
+                kernels,
+                dg,
+                state,
+                algo,
+                tuning,
+                census: options.census,
+                pagerank: options.pagerank,
+                thread_threads,
+                block_threads,
+            };
+            match ctx.gen_and_check(variant.workset, iterations + 1)? {
+                None => (variant, None, true),
+                Some((limit, ws_known)) => {
+                    ctx.compute(variant, limit)?;
+                    if let Some(w) = ws_known {
+                        est_ws = w;
+                    }
+                    (variant, ws_known, false)
+                }
+            }
+        } else {
+            // One frontier iteration on the host, instrumented like the
+            // agg-cpu baselines.
+            let frontier: Vec<u32> = (0..n as u32)
+                .filter(|&v| host_update[v as usize] != 0)
+                .collect();
+            if frontier.is_empty() {
+                (decide(&tuning, 0, dg.n, dg.avg_outdegree), Some(0), true)
+            } else {
+                let mut c = agg_cpu::CpuCounters::default();
+                for &v in &frontier {
+                    host_update[v as usize] = 0;
+                }
+                for &u in &frontier {
+                    c.nodes += 1;
+                    c.queue_ops += 1;
+                    let du = host_values[u as usize];
+                    let (lo, hi) = (row[u as usize] as usize, row[u as usize + 1] as usize);
+                    for (e, &dst) in col[lo..hi].iter().enumerate().map(|(i, d)| (lo + i, d)) {
+                        c.edges += 1;
+                        let m = dst as usize;
+                        let cand = match algo {
+                            Algo::Bfs => du.saturating_add(1),
+                            Algo::Sssp => {
+                                du.saturating_add(weights.as_ref().expect("validated weighted")[e])
+                            }
+                            Algo::Cc | Algo::PageRank => {
+                                unreachable!("rejected during validation")
+                            }
+                        };
+                        if cand < host_values[m] {
+                            host_values[m] = cand;
+                            host_update[m] = 1;
+                        }
+                    }
+                }
+                host_ns += cpu_model.modeled_ns(&c);
+                let ws = host_update.iter().filter(|&&u| u != 0).count() as u32;
+                est_ws = ws;
+                (
+                    decide(&tuning, est_ws, dg.n, dg.avg_outdegree),
+                    Some(ws),
+                    false,
+                )
+            }
+        };
+
+        if done {
+            break;
+        }
+        iterations += 1;
+        if options.record_trace {
+            trace.push(IterationRecord {
+                iteration: iterations,
+                variant,
+                ws_size: ws_known,
+                vwarp_width: None,
+                on_host: !on_device,
+                iter_ns: (dev.elapsed_ns() + host_ns) - iter_start,
+            });
+        }
+    }
+
+    // Final result lives wherever the last iteration ran.
+    let values = if on_device {
+        dev.read(state.value)
+    } else {
+        host_values
+    };
+    let mut total_ns = dev.elapsed_ns() - start_ns + host_ns;
+    if options.include_graph_transfer {
+        total_ns += transfer_ns(dev.config(), dg.bytes);
+    }
+    let gpu_stats = subtract_kernel_stats(dev.cumulative_stats(), start_stats);
+    Ok(RunReport {
+        values,
+        iterations,
+        switches,
+        launches: dev.launch_count() - start_launches,
+        total_ns,
+        host_ns,
+        gpu_stats,
+        trace,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agg_graph::{traversal, Dataset, GraphBuilder, Scale};
+
+    fn setup(g: &agg_graph::CsrGraph) -> (Device, GpuKernels, DeviceGraph, AlgoState) {
+        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let kernels = GpuKernels::build();
+        let dg = DeviceGraph::upload(&mut dev, g);
+        let st = AlgoState::new(&mut dev, dg.n, 0).unwrap();
+        (dev, kernels, dg, st)
+    }
+
+    #[test]
+    fn adaptive_bfs_matches_reference_on_all_tiny_datasets() {
+        for d in Dataset::ALL {
+            let g = d.generate(Scale::Tiny, 21);
+            let (mut dev, k, dg, st) = setup(&g);
+            let r = run(&mut dev, &k, &dg, &st, Algo::Bfs, 0, &RunOptions::default()).unwrap();
+            assert_eq!(r.values, traversal::bfs_levels(&g, 0), "{}", d.name());
+            assert!(r.total_ns > 0.0);
+            assert!(r.launches >= 2 * r.iterations as u64);
+        }
+    }
+
+    #[test]
+    fn adaptive_sssp_matches_reference() {
+        for d in [Dataset::P2p, Dataset::Amazon] {
+            let g = d.generate_weighted(Scale::Tiny, 22, 64);
+            let (mut dev, k, dg, st) = setup(&g);
+            let r = run(
+                &mut dev,
+                &k,
+                &dg,
+                &st,
+                Algo::Sssp,
+                0,
+                &RunOptions::default(),
+            )
+            .unwrap();
+            assert_eq!(r.values, traversal::dijkstra(&g, 0), "{}", d.name());
+        }
+    }
+
+    #[test]
+    fn static_and_adaptive_agree_on_results() {
+        let g = Dataset::Google.generate(Scale::Tiny, 23);
+        let (mut dev, k, dg, st) = setup(&g);
+        let adaptive = run(&mut dev, &k, &dg, &st, Algo::Bfs, 0, &RunOptions::default()).unwrap();
+        for v in Variant::ALL {
+            let r = run(
+                &mut dev,
+                &k,
+                &dg,
+                &st,
+                Algo::Bfs,
+                0,
+                &RunOptions::static_variant(v),
+            )
+            .unwrap();
+            assert_eq!(r.values, adaptive.values, "{}", v.name());
+            assert_eq!(r.switches, 0, "static runs never switch");
+        }
+    }
+
+    #[test]
+    fn trace_records_every_iteration_with_queue_sizes() {
+        let g = Dataset::Amazon.generate(Scale::Tiny, 24);
+        let (mut dev, k, dg, st) = setup(&g);
+        let opts = RunOptions {
+            record_trace: true,
+            census: CensusMode::Every,
+            ..RunOptions::static_variant(Variant::parse("U_T_BM").unwrap())
+        };
+        let r = run(&mut dev, &k, &dg, &st, Algo::Bfs, 0, &opts).unwrap();
+        assert_eq!(r.trace.len(), r.iterations as usize);
+        assert!(r.trace.iter().all(|t| t.ws_size.is_some()));
+        assert_eq!(r.trace[0].ws_size, Some(1));
+        assert!(r.trace.iter().all(|t| t.iter_ns > 0.0));
+    }
+
+    #[test]
+    fn adaptive_starts_with_b_qu_on_small_working_sets() {
+        let g = Dataset::Google.generate(Scale::Tiny, 25);
+        let (mut dev, k, dg, st) = setup(&g);
+        let opts = RunOptions {
+            record_trace: true,
+            ..Default::default()
+        };
+        let r = run(&mut dev, &k, &dg, &st, Algo::Bfs, 0, &opts).unwrap();
+        assert_eq!(r.trace[0].variant.name(), "U_B_QU");
+    }
+
+    #[test]
+    fn adaptive_switches_on_datasets_with_growing_working_sets() {
+        let g = Dataset::Amazon.generate(Scale::Tiny, 26); // 2000 nodes, avg 8.5
+        let mut dev = Device::new(DeviceConfig::tiny_test_device());
+        let kernels = GpuKernels::build();
+        let dg = DeviceGraph::upload(&mut dev, &g);
+        let st = AlgoState::new(&mut dev, dg.n, 0).unwrap();
+        let mut tuning = AdaptiveConfig::for_device(dev.config());
+        tuning.t2_ws_size = 192 * 2;
+        tuning.sampling_period = 1;
+        let opts = RunOptions {
+            strategy: Strategy::Adaptive,
+            tuning,
+            census: CensusMode::Sampled,
+            record_trace: true,
+            ..Default::default()
+        };
+        let r = run(&mut dev, &kernels, &dg, &st, Algo::Bfs, 0, &opts).unwrap();
+        assert_eq!(r.values, traversal::bfs_levels(&g, 0));
+        assert!(
+            r.switches >= 1,
+            "expected at least one switch, trace: {:?}",
+            r.trace
+        );
+    }
+
+    #[test]
+    fn connected_components_matches_oracle_on_symmetric_graphs() {
+        for d in [Dataset::CoRoad, Dataset::P2p] {
+            let g = d.generate(Scale::Tiny, 61);
+            let expected = traversal::min_labels(&g);
+            let (mut dev, k, dg, st) = setup(&g);
+            let r = run(&mut dev, &k, &dg, &st, Algo::Cc, 0, &RunOptions::default()).unwrap();
+            assert_eq!(r.values, expected, "{} adaptive CC", d.name());
+            for v in Variant::UNORDERED {
+                let r = run(
+                    &mut dev,
+                    &k,
+                    &dg,
+                    &st,
+                    Algo::Cc,
+                    0,
+                    &RunOptions::static_variant(v),
+                )
+                .unwrap();
+                assert_eq!(r.values, expected, "{} CC {}", d.name(), v.name());
+            }
+        }
+    }
+
+    #[test]
+    fn cc_rejects_ordered_vwarp_and_hybrid_strategies() {
+        let g = Dataset::P2p.generate(Scale::Tiny, 62);
+        let (mut dev, k, dg, st) = setup(&g);
+        for opts in [
+            RunOptions::static_variant(Variant::ALL[0]),
+            RunOptions {
+                strategy: Strategy::VirtualWarp {
+                    width: 8,
+                    workset: WorkSet::Queue,
+                },
+                ..Default::default()
+            },
+            RunOptions {
+                strategy: Strategy::Hybrid { gpu_threshold: 100 },
+                ..Default::default()
+            },
+        ] {
+            assert!(matches!(
+                run(&mut dev, &k, &dg, &st, Algo::Cc, 0, &opts),
+                Err(CoreError::Unsupported { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn virtual_warp_matches_reference_for_every_width_and_workset() {
+        let g = Dataset::CiteSeer.generate_weighted(Scale::Tiny, 63, 64);
+        let expected_bfs = traversal::bfs_levels(&g, 0);
+        let expected_sssp = traversal::dijkstra(&g, 0);
+        let (mut dev, k, dg, st) = setup(&g);
+        for width in [2u32, 4, 8, 16, 32] {
+            for ws in [WorkSet::Bitmap, WorkSet::Queue] {
+                let opts = RunOptions {
+                    strategy: Strategy::VirtualWarp { width, workset: ws },
+                    record_trace: true,
+                    ..Default::default()
+                };
+                let b = run(&mut dev, &k, &dg, &st, Algo::Bfs, 0, &opts).unwrap();
+                assert_eq!(b.values, expected_bfs, "vw{width} {ws:?} BFS");
+                assert!(b.trace.iter().all(|t| t.vwarp_width == Some(width)));
+                let s = run(&mut dev, &k, &dg, &st, Algo::Sssp, 0, &opts).unwrap();
+                assert_eq!(s.values, expected_sssp, "vw{width} {ws:?} SSSP");
+            }
+        }
+    }
+
+    #[test]
+    fn virtual_warp_rejects_bad_widths() {
+        let g = Dataset::P2p.generate(Scale::Tiny, 64);
+        let (mut dev, k, dg, st) = setup(&g);
+        for width in [0u32, 1, 3, 48, 64] {
+            let opts = RunOptions {
+                strategy: Strategy::VirtualWarp {
+                    width,
+                    workset: WorkSet::Queue,
+                },
+                ..Default::default()
+            };
+            assert!(
+                matches!(
+                    run(&mut dev, &k, &dg, &st, Algo::Bfs, 0, &opts),
+                    Err(CoreError::Unsupported { .. })
+                ),
+                "width {width} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn virtual_warp_beats_thread_mapping_on_skewed_degrees() {
+        let g = Dataset::CiteSeer.generate(Scale::Tiny, 65);
+        let (mut dev, k, dg, st) = setup(&g);
+        let thread = run(
+            &mut dev,
+            &k,
+            &dg,
+            &st,
+            Algo::Bfs,
+            0,
+            &RunOptions::static_variant(Variant::parse("U_T_QU").unwrap()),
+        )
+        .unwrap();
+        let vw = run(
+            &mut dev,
+            &k,
+            &dg,
+            &st,
+            Algo::Bfs,
+            0,
+            &RunOptions {
+                strategy: Strategy::VirtualWarp {
+                    width: 8,
+                    workset: WorkSet::Queue,
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            vw.total_ns < thread.total_ns,
+            "virtual warp {:.0} ns should beat thread mapping {:.0} ns",
+            vw.total_ns,
+            thread.total_ns
+        );
+    }
+
+    #[test]
+    fn hybrid_matches_reference_and_uses_both_processors() {
+        for d in [Dataset::CoRoad, Dataset::Amazon] {
+            let g = d.generate_weighted(Scale::Tiny, 66, 64);
+            let (mut dev, k, dg, st) = setup(&g);
+            let opts = RunOptions {
+                strategy: Strategy::Hybrid { gpu_threshold: 64 },
+                record_trace: true,
+                ..Default::default()
+            };
+            let bfs = run(&mut dev, &k, &dg, &st, Algo::Bfs, 0, &opts).unwrap();
+            assert_eq!(
+                bfs.values,
+                traversal::bfs_levels(&g, 0),
+                "{} hybrid BFS",
+                d.name()
+            );
+            let sssp = run(&mut dev, &k, &dg, &st, Algo::Sssp, 0, &opts).unwrap();
+            assert_eq!(
+                sssp.values,
+                traversal::dijkstra(&g, 0),
+                "{} hybrid SSSP",
+                d.name()
+            );
+            // Early iterations (tiny frontier) run on the host.
+            assert!(
+                sssp.trace[0].on_host,
+                "{}: first iteration should be host-side",
+                d.name()
+            );
+            assert!(sssp.host_ns > 0.0);
+        }
+    }
+
+    #[test]
+    fn hybrid_with_huge_threshold_never_launches_compute_kernels() {
+        let g = Dataset::P2p.generate(Scale::Tiny, 67);
+        let (mut dev, k, dg, st) = setup(&g);
+        let opts = RunOptions {
+            strategy: Strategy::Hybrid {
+                gpu_threshold: u32::MAX,
+            },
+            record_trace: true,
+            ..Default::default()
+        };
+        let r = run(&mut dev, &k, &dg, &st, Algo::Bfs, 0, &opts).unwrap();
+        assert_eq!(r.values, traversal::bfs_levels(&g, 0));
+        assert!(r.trace.iter().all(|t| t.on_host));
+        assert_eq!(r.launches, 0, "all-host run must not launch kernels");
+        assert_eq!(r.switches, 0);
+    }
+
+    #[test]
+    fn hybrid_with_threshold_one_is_all_gpu() {
+        let g = Dataset::Amazon.generate(Scale::Tiny, 68);
+        let (mut dev, k, dg, st) = setup(&g);
+        let opts = RunOptions {
+            strategy: Strategy::Hybrid { gpu_threshold: 1 },
+            record_trace: true,
+            ..Default::default()
+        };
+        let r = run(&mut dev, &k, &dg, &st, Algo::Bfs, 0, &opts).unwrap();
+        assert_eq!(r.values, traversal::bfs_levels(&g, 0));
+        assert!(r.trace.iter().all(|t| !t.on_host));
+        assert_eq!(r.host_ns, 0.0);
+        assert_eq!(r.switches, 1, "one host->device switch at the start");
+    }
+
+    #[test]
+    fn pagerank_matches_cpu_delta_and_power_iteration() {
+        for d in [Dataset::P2p, Dataset::Google] {
+            let g = d.generate(Scale::Tiny, 71);
+            let (mut dev, k, dg, st) = setup(&g);
+            let cfg = PageRankConfig {
+                damping: 0.85,
+                epsilon: 1e-5,
+            };
+            let opts = RunOptions {
+                pagerank: cfg,
+                ..Default::default()
+            };
+            // adaptive + all four unordered statics
+            let mut runs = vec![run(&mut dev, &k, &dg, &st, Algo::PageRank, 0, &opts).unwrap()];
+            for v in Variant::UNORDERED {
+                let o = RunOptions {
+                    pagerank: cfg,
+                    ..RunOptions::static_variant(v)
+                };
+                runs.push(run(&mut dev, &k, &dg, &st, Algo::PageRank, 0, &o).unwrap());
+            }
+            let cpu = agg_cpu::pagerank_delta(&g, 0.85, 1e-5, &CpuCostModel::default());
+            let power = agg_cpu::pagerank_power(&g, 0.85, 1e-7, 500);
+            for (i, r) in runs.iter().enumerate() {
+                let ranks = r.values_as_f32();
+                let vs_cpu = ranks
+                    .iter()
+                    .zip(&cpu.ranks)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0f32, f32::max);
+                let vs_power = ranks
+                    .iter()
+                    .zip(&power)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0f32, f32::max);
+                assert!(
+                    vs_cpu < 5e-3,
+                    "{} run {i}: max diff vs cpu-delta {vs_cpu}",
+                    d.name()
+                );
+                assert!(
+                    vs_power < 5e-3,
+                    "{} run {i}: max diff vs power {vs_power}",
+                    d.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pagerank_rejects_ordered_vwarp_and_hybrid() {
+        let g = Dataset::P2p.generate(Scale::Tiny, 72);
+        let (mut dev, k, dg, st) = setup(&g);
+        for opts in [
+            RunOptions::static_variant(Variant::ALL[0]),
+            RunOptions {
+                strategy: Strategy::VirtualWarp {
+                    width: 4,
+                    workset: WorkSet::Queue,
+                },
+                ..Default::default()
+            },
+            RunOptions {
+                strategy: Strategy::Hybrid { gpu_threshold: 10 },
+                ..Default::default()
+            },
+        ] {
+            assert!(matches!(
+                run(&mut dev, &k, &dg, &st, Algo::PageRank, 0, &opts),
+                Err(CoreError::Unsupported { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn pagerank_epsilon_trades_accuracy_for_iterations() {
+        let g = Dataset::Amazon.generate(Scale::Tiny, 73);
+        let (mut dev, k, dg, st) = setup(&g);
+        let loose = RunOptions {
+            pagerank: PageRankConfig {
+                damping: 0.85,
+                epsilon: 1e-2,
+            },
+            ..Default::default()
+        };
+        let tight = RunOptions {
+            pagerank: PageRankConfig {
+                damping: 0.85,
+                epsilon: 1e-6,
+            },
+            ..Default::default()
+        };
+        let rl = run(&mut dev, &k, &dg, &st, Algo::PageRank, 0, &loose).unwrap();
+        let rt = run(&mut dev, &k, &dg, &st, Algo::PageRank, 0, &tight).unwrap();
+        assert!(
+            rt.iterations > rl.iterations,
+            "{} vs {}",
+            rt.iterations,
+            rl.iterations
+        );
+        let power = agg_cpu::pagerank_power(&g, 0.85, 1e-8, 500);
+        let err = |r: &RunReport| {
+            r.values_as_f32()
+                .iter()
+                .zip(&power)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f32, f32::max)
+        };
+        assert!(err(&rt) < err(&rl), "tight epsilon must be more accurate");
+    }
+
+    #[test]
+    fn working_set_degree_mode_matches_whole_graph_results() {
+        let g = Dataset::CiteSeer.generate_weighted(Scale::Tiny, 74, 64);
+        let (mut dev, k, dg, st) = setup(&g);
+        let whole = run(
+            &mut dev,
+            &k,
+            &dg,
+            &st,
+            Algo::Sssp,
+            0,
+            &RunOptions::default(),
+        )
+        .unwrap();
+        let tuning = AdaptiveConfig {
+            degree_mode: DegreeMode::WorkingSet,
+            sampling_period: 1,
+            ..Default::default()
+        };
+        let opts = RunOptions {
+            tuning,
+            ..Default::default()
+        };
+        let ws_mode = run(&mut dev, &k, &dg, &st, Algo::Sssp, 0, &opts).unwrap();
+        assert_eq!(whole.values, ws_mode.values);
+        // The working-set inspector launches extra census kernels.
+        assert!(ws_mode.launches > whole.launches);
+    }
+
+    #[test]
+    fn direction_optimized_bfs_matches_reference_and_runs_bottom_up() {
+        for d in [Dataset::Amazon, Dataset::Sns, Dataset::CoRoad] {
+            let g = d.generate(Scale::Tiny, 75);
+            let mut dev = Device::new(DeviceConfig::tesla_c2070());
+            let kernels = GpuKernels::build();
+            let mut dg = DeviceGraph::upload(&mut dev, &g);
+            dg.upload_reverse(&mut dev, &g);
+            let st = AlgoState::new(&mut dev, dg.n, 0).unwrap();
+            let opts = RunOptions {
+                strategy: Strategy::DirectionOptimized {
+                    bottom_up_fraction: 0.05,
+                },
+                record_trace: true,
+                ..Default::default()
+            };
+            let r = run(&mut dev, &kernels, &dg, &st, Algo::Bfs, 0, &opts).unwrap();
+            assert_eq!(r.values, traversal::bfs_levels(&g, 0), "{}", d.name());
+            if d == Dataset::Amazon {
+                // explosive frontier: at least one bottom-up iteration
+                // (recorded as U_T_BM with the bitmap frontier)
+                assert!(r.iterations >= 3);
+            }
+        }
+    }
+
+    #[test]
+    fn direction_optimized_requires_reverse_graph_and_bfs() {
+        let g = Dataset::P2p.generate_weighted(Scale::Tiny, 76, 64);
+        let (mut dev, k, dg, st) = setup(&g); // no reverse uploaded
+        let opts = RunOptions {
+            strategy: Strategy::DirectionOptimized {
+                bottom_up_fraction: 0.1,
+            },
+            ..Default::default()
+        };
+        assert!(matches!(
+            run(&mut dev, &k, &dg, &st, Algo::Bfs, 0, &opts),
+            Err(CoreError::Unsupported { .. })
+        ));
+        // SSSP is rejected even with the reverse graph present.
+        let mut dg2 = DeviceGraph::upload(&mut dev, &g);
+        dg2.upload_reverse(&mut dev, &g);
+        assert!(matches!(
+            run(&mut dev, &k, &dg2, &st, Algo::Sssp, 0, &opts),
+            Err(CoreError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn bottom_up_saves_edge_work_on_explosive_frontiers() {
+        let g = Dataset::Sns.generate(Scale::Tiny, 77);
+        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let kernels = GpuKernels::build();
+        let mut dg = DeviceGraph::upload(&mut dev, &g);
+        dg.upload_reverse(&mut dev, &g);
+        let st = AlgoState::new(&mut dev, dg.n, 0).unwrap();
+        // influencer source: frontier explodes after one hop
+        let src = (0..g.node_count() as u32)
+            .max_by_key(|&v| g.out_degree(v))
+            .unwrap();
+        let top_down = run(
+            &mut dev,
+            &kernels,
+            &dg,
+            &st,
+            Algo::Bfs,
+            src,
+            &RunOptions::default(),
+        )
+        .unwrap();
+        let opts = RunOptions {
+            strategy: Strategy::DirectionOptimized {
+                bottom_up_fraction: 0.05,
+            },
+            ..Default::default()
+        };
+        let dir_opt = run(&mut dev, &kernels, &dg, &st, Algo::Bfs, src, &opts).unwrap();
+        assert_eq!(top_down.values, dir_opt.values);
+        assert!(
+            dir_opt.gpu_stats.totals.atomics < top_down.gpu_stats.totals.atomics,
+            "bottom-up iterations are atomic-free: {} vs {}",
+            dir_opt.gpu_stats.totals.atomics,
+            top_down.gpu_stats.totals.atomics
+        );
+    }
+
+    #[test]
+    fn sssp_on_unweighted_graph_is_rejected() {
+        let g = Dataset::P2p.generate(Scale::Tiny, 27);
+        let (mut dev, k, dg, st) = setup(&g);
+        let r = run(
+            &mut dev,
+            &k,
+            &dg,
+            &st,
+            Algo::Sssp,
+            0,
+            &RunOptions::default(),
+        );
+        assert!(matches!(r, Err(CoreError::UnweightedGraph)));
+    }
+
+    #[test]
+    fn empty_graph_returns_empty_report() {
+        let g = agg_graph::CsrGraph::empty(0);
+        let (mut dev, k, dg, st) = setup(&g);
+        let r = run(&mut dev, &k, &dg, &st, Algo::Bfs, 0, &RunOptions::default()).unwrap();
+        assert!(r.values.is_empty());
+        assert_eq!(r.iterations, 0);
+    }
+
+    #[test]
+    fn iteration_cap_triggers_no_convergence() {
+        let g = GraphBuilder::from_edges(10, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let (mut dev, k, dg, st) = setup(&g);
+        let opts = RunOptions {
+            max_iterations: 2,
+            ..Default::default()
+        };
+        let r = run(&mut dev, &k, &dg, &st, Algo::Bfs, 0, &opts);
+        assert!(matches!(r, Err(CoreError::NoConvergence { iterations: 2 })));
+        // The hybrid path honors the cap too.
+        let opts = RunOptions {
+            strategy: Strategy::Hybrid {
+                gpu_threshold: u32::MAX,
+            },
+            max_iterations: 2,
+            ..Default::default()
+        };
+        let r = run(&mut dev, &k, &dg, &st, Algo::Bfs, 0, &opts);
+        assert!(matches!(r, Err(CoreError::NoConvergence { iterations: 2 })));
+    }
+
+    #[test]
+    fn graph_transfer_inclusion_is_configurable() {
+        let g = Dataset::P2p.generate(Scale::Tiny, 28);
+        let (mut dev, k, dg, st) = setup(&g);
+        let with = run(&mut dev, &k, &dg, &st, Algo::Bfs, 0, &RunOptions::default()).unwrap();
+        let without = run(
+            &mut dev,
+            &k,
+            &dg,
+            &st,
+            Algo::Bfs,
+            0,
+            &RunOptions {
+                include_graph_transfer: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(with.total_ns > without.total_ns);
+    }
+
+    #[test]
+    fn hybrid_beats_pure_gpu_on_the_road_network() {
+        // The whole point of hybrid execution: high-diameter graphs spend
+        // hundreds of iterations with tiny frontiers where kernel-launch
+        // overhead dominates; running those on the host wins.
+        let g = Dataset::CoRoad.generate(Scale::Tiny, 69);
+        let (mut dev, k, dg, st) = setup(&g);
+        let gpu = run(&mut dev, &k, &dg, &st, Algo::Bfs, 0, &RunOptions::default()).unwrap();
+        let hybrid = run(
+            &mut dev,
+            &k,
+            &dg,
+            &st,
+            Algo::Bfs,
+            0,
+            &RunOptions {
+                strategy: Strategy::Hybrid {
+                    gpu_threshold: 2688,
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(gpu.values, hybrid.values);
+        assert!(
+            hybrid.total_ns < gpu.total_ns,
+            "hybrid {:.0} ns should beat pure GPU {:.0} ns on the road grid",
+            hybrid.total_ns,
+            gpu.total_ns
+        );
+    }
+}

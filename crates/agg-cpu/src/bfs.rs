@@ -1,0 +1,79 @@
+//! Instrumented serial BFS (the CPU baseline of the paper's Table 2).
+
+use crate::cost::{CpuCostModel, CpuCounters, CpuRun};
+use agg_graph::{CsrGraph, NodeId, INF};
+use std::collections::VecDeque;
+
+/// Queue-based BFS from `src`, counting the work it does and converting it
+/// to modeled time under `model`.
+pub fn bfs(g: &CsrGraph, src: NodeId, model: &CpuCostModel) -> CpuRun {
+    let n = g.node_count();
+    let mut level = vec![INF; n];
+    let mut c = CpuCounters::default();
+    if n > 0 {
+        level[src as usize] = 0;
+        let mut q = VecDeque::new();
+        q.push_back(src);
+        c.queue_ops += 1;
+        while let Some(u) = q.pop_front() {
+            c.queue_ops += 1;
+            c.nodes += 1;
+            let next = level[u as usize] + 1;
+            for v in g.neighbors(u) {
+                c.edges += 1;
+                if level[v as usize] == INF {
+                    level[v as usize] = next;
+                    q.push_back(v);
+                    c.queue_ops += 1;
+                }
+            }
+        }
+    }
+    let time_ns = model.modeled_ns(&c);
+    CpuRun {
+        result: level,
+        counters: c,
+        time_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agg_graph::traversal;
+    use agg_graph::{Dataset, Scale};
+
+    #[test]
+    fn matches_reference_levels() {
+        let g = Dataset::Amazon.generate(Scale::Tiny, 3);
+        let run = bfs(&g, 0, &CpuCostModel::default());
+        assert_eq!(run.result, traversal::bfs_levels(&g, 0));
+    }
+
+    #[test]
+    fn counters_reflect_reachable_subgraph() {
+        let g = Dataset::P2p.generate(Scale::Tiny, 4);
+        let run = bfs(&g, 0, &CpuCostModel::default());
+        let reached = run.result.iter().filter(|&&l| l != INF).count() as u64;
+        assert_eq!(run.counters.nodes, reached);
+        assert!(run.counters.edges <= g.edge_count() as u64);
+        assert!(run.time_ns > 0.0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::empty(0);
+        let run = bfs(&g, 0, &CpuCostModel::default());
+        assert!(run.result.is_empty());
+        assert_eq!(run.counters.nodes, 0);
+        assert_eq!(run.time_ns, 0.0);
+    }
+
+    #[test]
+    fn isolated_source() {
+        let g = CsrGraph::empty(5);
+        let run = bfs(&g, 2, &CpuCostModel::default());
+        assert_eq!(run.result[2], 0);
+        assert_eq!(run.result.iter().filter(|&&l| l == INF).count(), 4);
+    }
+}

@@ -1,0 +1,83 @@
+//! Instrumented serial connected-components baseline (worklist min-label
+//! propagation — the CPU analog of the unordered GPU CC extension).
+
+use crate::cost::{CpuCostModel, CpuCounters, CpuRun};
+use agg_graph::CsrGraph;
+
+/// Worklist min-label propagation: starts with every node labeled by its
+/// own id and active; relaxes out-edges until fixpoint. On symmetric
+/// graphs the labels are connected components.
+pub fn connected_components(g: &CsrGraph, model: &CpuCostModel) -> CpuRun {
+    let n = g.node_count();
+    let mut label: Vec<u32> = (0..n as u32).collect();
+    let mut c = CpuCounters::default();
+    let mut frontier: Vec<u32> = (0..n as u32).collect();
+    let mut in_next = vec![false; n];
+    while !frontier.is_empty() {
+        c.iterations += 1;
+        let mut next = Vec::new();
+        for &u in &frontier {
+            c.nodes += 1;
+            c.queue_ops += 1;
+            let lu = label[u as usize];
+            for v in g.neighbors(u) {
+                c.edges += 1;
+                if lu < label[v as usize] {
+                    label[v as usize] = lu;
+                    if !in_next[v as usize] {
+                        in_next[v as usize] = true;
+                        next.push(v);
+                        c.queue_ops += 1;
+                    }
+                }
+            }
+        }
+        for &v in &next {
+            in_next[v as usize] = false;
+        }
+        frontier = next;
+    }
+    let time_ns = model.modeled_ns(&c);
+    CpuRun {
+        result: label,
+        counters: c,
+        time_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agg_graph::{traversal, Dataset, GraphBuilder, Scale};
+
+    #[test]
+    fn matches_naive_oracle_on_datasets() {
+        for d in [Dataset::CoRoad, Dataset::P2p, Dataset::Google] {
+            let g = d.generate(Scale::Tiny, 55);
+            let run = connected_components(&g, &CpuCostModel::default());
+            assert_eq!(run.result, traversal::min_labels(&g), "{}", d.name());
+            assert!(run.time_ns > 0.0);
+        }
+    }
+
+    #[test]
+    fn counts_components_on_a_forest() {
+        let mut b = GraphBuilder::new(7);
+        b.add_undirected_edge(0, 1).unwrap();
+        b.add_undirected_edge(2, 3).unwrap();
+        b.add_undirected_edge(3, 4).unwrap();
+        let g = b.build().unwrap();
+        let run = connected_components(&g, &CpuCostModel::default());
+        let mut roots: Vec<u32> = run.result.clone();
+        roots.sort_unstable();
+        roots.dedup();
+        assert_eq!(roots, vec![0, 2, 5, 6]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::empty(0);
+        let run = connected_components(&g, &CpuCostModel::default());
+        assert!(run.result.is_empty());
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! Serial CPU baselines for the paper's speedup tables.
+//!
+//! The paper reports every GPU number as a speedup over a serial CPU
+//! implementation compiled with `gcc -O3` on a ~2010 Intel Core i7. The
+//! simulated GPU's times are *modeled*, so comparing them against measured
+//! wall-clock on whatever machine runs this crate would entangle the
+//! reproduction with host hardware. Instead these baselines are
+//! *instrumented* — they count the work they do — and an analytic
+//! [`CpuCostModel`] converts the counts to modeled nanoseconds, calibrated
+//! to the throughput class of the paper's CPU (see [`cost`]).
+//!
+//! The algorithms are the ones the paper names: queue-based BFS, Dijkstra
+//! with a binary heap (the "serial CPU baseline Dijkstra's algorithm" of
+//! Table 3), and frontier Bellman-Ford as the serial analog of unordered
+//! SSSP.
+
+pub mod bfs;
+pub mod cc;
+pub mod cost;
+pub mod dijkstra;
+pub mod pagerank;
+
+pub use bfs::bfs;
+pub use cc::connected_components;
+pub use cost::{CpuCostModel, CpuCounters, CpuRun};
+pub use dijkstra::{bellman_ford, dijkstra};
+pub use pagerank::{pagerank_delta, pagerank_power, PageRankRun};

@@ -1,0 +1,282 @@
+//! The device facade: allocation, transfers, kernel launches, and the
+//! simulation clock.
+//!
+//! Every operation that would cost time on real hardware advances the
+//! device's modeled clock: kernel launches (per the timing model),
+//! host<->device copies (PCIe model), and device-side fills. Host-side
+//! *inspection* that the algorithm under study would not perform can use
+//! the `debug_*` accessors, which are free.
+
+use crate::config::DeviceConfig;
+use crate::error::SimError;
+use crate::exec::grid::{run_grid, Grid, LaunchArgs};
+use crate::ir::builder::Kernel;
+use crate::mem::global::{DevicePtr, GlobalMemory};
+use crate::mem::transfer::transfer_ns;
+use crate::timing::report::{KernelStats, LaunchReport};
+
+/// How blocks of a launch are executed on the *host*.
+///
+/// Functional results are identical for kernels whose cross-block
+/// communication goes through atomics (all kernels in this workspace);
+/// `Parallel` uses the rayon pool and only changes wall-clock time of the
+/// simulation itself, never the modeled GPU time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Interpret blocks one at a time (deterministic scheduling).
+    #[default]
+    Sequential,
+    /// Interpret blocks on the rayon thread pool.
+    Parallel,
+}
+
+/// A simulated GPU: memory + interpreter + clock.
+pub struct Device {
+    cfg: DeviceConfig,
+    mem: GlobalMemory,
+    mode: ExecMode,
+    kernel_ns: f64,
+    transfer_ns_total: f64,
+    launches: u64,
+    cumulative: KernelStats,
+}
+
+impl Device {
+    /// Creates a device. Panics on an internally inconsistent config (this
+    /// is a programming error, not an input error).
+    pub fn new(cfg: DeviceConfig) -> Device {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid DeviceConfig: {e}");
+        }
+        Device {
+            cfg,
+            mem: GlobalMemory::new(),
+            mode: ExecMode::Sequential,
+            kernel_ns: 0.0,
+            transfer_ns_total: 0.0,
+            launches: 0,
+            cumulative: KernelStats::default(),
+        }
+    }
+
+    /// Sets the host-side execution mode.
+    pub fn with_mode(mut self, mode: ExecMode) -> Device {
+        self.mode = mode;
+        self
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.cfg
+    }
+
+    /// Allocates `len` zeroed words (no modeled cost, like `cudaMalloc`
+    /// rounding errors we ignore).
+    pub fn alloc(&mut self, label: impl Into<String>, len: usize) -> DevicePtr {
+        self.mem.alloc(label, len)
+    }
+
+    /// Allocates and uploads a host slice, charging a H2D transfer.
+    pub fn alloc_from_slice(&mut self, label: impl Into<String>, src: &[u32]) -> DevicePtr {
+        self.transfer_ns_total += transfer_ns(&self.cfg, src.len() * 4);
+        self.mem.alloc_from_slice(label, src)
+    }
+
+    /// Allocates `len` words set to `fill`, charging a device-side memset
+    /// (bandwidth-bound, no PCIe).
+    pub fn alloc_filled(&mut self, label: impl Into<String>, len: usize, fill: u32) -> DevicePtr {
+        self.kernel_ns += self.memset_cost(len);
+        self.mem.alloc_filled(label, len, fill)
+    }
+
+    /// Downloads a buffer, charging a D2H transfer.
+    pub fn read(&mut self, ptr: DevicePtr) -> Vec<u32> {
+        let words = self.mem.len(ptr).unwrap_or(0);
+        self.transfer_ns_total += transfer_ns(&self.cfg, words * 4);
+        self.mem.read(ptr).expect("read of unallocated buffer")
+    }
+
+    /// Downloads one word (4-byte D2H; latency-dominated — this is what
+    /// the adaptive runtime pays every time it samples the working set
+    /// size).
+    pub fn read_word(&mut self, ptr: DevicePtr, index: usize) -> Result<u32, SimError> {
+        self.transfer_ns_total += transfer_ns(&self.cfg, 4);
+        self.mem.read_word(ptr, index)
+    }
+
+    /// Uploads a host slice over an existing buffer, charging H2D.
+    pub fn write(&mut self, ptr: DevicePtr, src: &[u32]) -> Result<(), SimError> {
+        self.transfer_ns_total += transfer_ns(&self.cfg, src.len() * 4);
+        self.mem.write(ptr, src)
+    }
+
+    /// Uploads one word.
+    pub fn write_word(&mut self, ptr: DevicePtr, index: usize, value: u32) -> Result<(), SimError> {
+        self.transfer_ns_total += transfer_ns(&self.cfg, 4);
+        self.mem.write_word(ptr, index, value)
+    }
+
+    /// Device-side memset, charging bandwidth time.
+    pub fn fill(&mut self, ptr: DevicePtr, value: u32) -> Result<(), SimError> {
+        let words = self.mem.len(ptr)?;
+        self.kernel_ns += self.memset_cost(words);
+        self.mem.fill(ptr, value)
+    }
+
+    fn memset_cost(&self, words: usize) -> f64 {
+        self.cfg.launch_overhead_us * 1_000.0 + (words * 4) as f64 / self.cfg.mem_bandwidth_gbps
+    }
+
+    /// Launches a kernel, advancing the clock by the modeled launch time.
+    pub fn launch(
+        &mut self,
+        kernel: &Kernel,
+        grid: Grid,
+        args: &LaunchArgs,
+    ) -> Result<LaunchReport, SimError> {
+        let report = run_grid(
+            &self.cfg,
+            kernel,
+            grid,
+            args,
+            &self.mem,
+            matches!(self.mode, ExecMode::Parallel),
+        )?;
+        self.kernel_ns += report.time_ns;
+        self.launches += 1;
+        self.cumulative += report.stats;
+        Ok(report)
+    }
+
+    /// Kernel statistics summed over every launch since the last
+    /// [`Device::reset_clock`] — lets callers attribute memory traffic,
+    /// divergence, and atomics to whole multi-launch algorithms.
+    pub fn cumulative_stats(&self) -> KernelStats {
+        self.cumulative
+    }
+
+    /// Total modeled time: kernels + transfers, in nanoseconds.
+    pub fn elapsed_ns(&self) -> f64 {
+        self.kernel_ns + self.transfer_ns_total
+    }
+
+    /// Modeled kernel time only.
+    pub fn kernel_ns(&self) -> f64 {
+        self.kernel_ns
+    }
+
+    /// Modeled transfer time only.
+    pub fn transfer_time_ns(&self) -> f64 {
+        self.transfer_ns_total
+    }
+
+    /// Number of kernel launches so far.
+    pub fn launch_count(&self) -> u64 {
+        self.launches
+    }
+
+    /// Resets the clock and launch counter (memory is retained).
+    pub fn reset_clock(&mut self) {
+        self.kernel_ns = 0.0;
+        self.transfer_ns_total = 0.0;
+        self.launches = 0;
+        self.cumulative = KernelStats::default();
+    }
+
+    /// Free-of-charge buffer download for tests and debugging.
+    pub fn debug_read(&self, ptr: DevicePtr) -> Result<Vec<u32>, SimError> {
+        self.mem.read(ptr)
+    }
+
+    /// Free-of-charge single-word read for tests and debugging.
+    pub fn debug_read_word(&self, ptr: DevicePtr, index: usize) -> Result<u32, SimError> {
+        self.mem.read_word(ptr, index)
+    }
+
+    /// Free-of-charge fill, for host-side re-initialization in tests.
+    pub fn debug_fill(&self, ptr: DevicePtr, value: u32) -> Result<(), SimError> {
+        self.mem.fill(ptr, value)
+    }
+
+    /// Number of live allocations.
+    pub fn allocation_count(&self) -> usize {
+        self.mem.allocation_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::builder::KernelBuilder;
+
+    #[test]
+    fn clock_advances_on_every_charged_operation() {
+        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        assert_eq!(dev.elapsed_ns(), 0.0);
+        let p = dev.alloc_from_slice("x", &[0; 1024]);
+        let after_upload = dev.elapsed_ns();
+        assert!(after_upload > 0.0);
+        let _ = dev.read(p);
+        assert!(dev.elapsed_ns() > after_upload);
+        assert!(dev.transfer_time_ns() > 0.0);
+        assert_eq!(dev.kernel_ns(), 0.0);
+    }
+
+    #[test]
+    fn launch_charges_kernel_time_and_counts() {
+        let mut k = KernelBuilder::new("nop");
+        let b = k.buf_param();
+        let tid = k.global_thread_id();
+        k.store(b, tid.clone().rem(4u32), tid.clone());
+        let kernel = k.build().unwrap();
+        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let p = dev.alloc("b", 4);
+        let r = dev
+            .launch(&kernel, Grid::new(1, 32), &LaunchArgs::new().bufs([p]))
+            .unwrap();
+        assert!(r.time_ns >= 7_000.0); // at least launch overhead
+        assert_eq!(dev.launch_count(), 1);
+        assert!((dev.kernel_ns() - r.time_ns).abs() < 1e-9);
+    }
+
+    #[test]
+    fn debug_accessors_are_free() {
+        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let p = dev.alloc("x", 8);
+        dev.reset_clock();
+        let _ = dev.debug_read(p).unwrap();
+        let _ = dev.debug_read_word(p, 0).unwrap();
+        dev.debug_fill(p, 3).unwrap();
+        assert_eq!(dev.elapsed_ns(), 0.0);
+        assert_eq!(dev.debug_read_word(p, 2).unwrap(), 3);
+    }
+
+    #[test]
+    fn fill_and_alloc_filled_charge_memset() {
+        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let p = dev.alloc_filled("x", 1000, 7);
+        assert!(dev.kernel_ns() > 0.0);
+        assert_eq!(dev.debug_read_word(p, 999).unwrap(), 7);
+        let before = dev.kernel_ns();
+        dev.fill(p, 9).unwrap();
+        assert!(dev.kernel_ns() > before);
+    }
+
+    #[test]
+    fn reset_clock_clears_accounting_but_not_memory() {
+        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let p = dev.alloc_from_slice("x", &[5, 6]);
+        dev.reset_clock();
+        assert_eq!(dev.elapsed_ns(), 0.0);
+        assert_eq!(dev.launch_count(), 0);
+        assert_eq!(dev.debug_read(p).unwrap(), vec![5, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid DeviceConfig")]
+    fn bad_config_panics() {
+        let mut cfg = DeviceConfig::tesla_c2070();
+        cfg.num_sms = 0;
+        let _ = Device::new(cfg);
+    }
+}

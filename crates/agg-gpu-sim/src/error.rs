@@ -1,0 +1,96 @@
+//! Simulator error types. Functional errors (out-of-bounds accesses,
+//! division by zero) trap deterministically instead of exhibiting CUDA's
+//! undefined behaviour — the simulator doubles as a kernel sanitizer.
+
+use std::fmt;
+
+/// Errors raised while building kernels or executing launches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A global memory access fell outside its buffer.
+    OutOfBounds {
+        /// Kernel that performed the access.
+        kernel: String,
+        /// Buffer label.
+        buffer: String,
+        /// Word index accessed.
+        index: u64,
+        /// Buffer length in words.
+        len: usize,
+    },
+    /// A shared memory access fell outside the block's shared allocation.
+    SharedOutOfBounds {
+        /// Kernel that performed the access.
+        kernel: String,
+        /// Word index accessed.
+        index: u64,
+        /// Shared words allocated per block.
+        len: usize,
+    },
+    /// Integer division or remainder by zero.
+    DivisionByZero {
+        /// Kernel in which it happened.
+        kernel: String,
+    },
+    /// Launch configuration violates device limits.
+    BadLaunch {
+        /// Explanation of the violated limit.
+        detail: String,
+    },
+    /// Kernel was launched with the wrong number of buffer/scalar args.
+    ArgumentMismatch {
+        /// Explanation of the mismatch.
+        detail: String,
+    },
+    /// Kernel failed IR validation (e.g. nested barrier intrinsic).
+    InvalidKernel {
+        /// Explanation of the violated rule.
+        detail: String,
+    },
+    /// A buffer handle referenced memory not allocated on this device.
+    BadPointer {
+        /// Explanation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OutOfBounds { kernel, buffer, index, len } => write!(
+                f,
+                "kernel '{kernel}': out-of-bounds access to buffer '{buffer}' at word {index} (len {len})"
+            ),
+            SimError::SharedOutOfBounds { kernel, index, len } => write!(
+                f,
+                "kernel '{kernel}': out-of-bounds shared memory access at word {index} (allocated {len})"
+            ),
+            SimError::DivisionByZero { kernel } => {
+                write!(f, "kernel '{kernel}': integer division by zero")
+            }
+            SimError::BadLaunch { detail } => write!(f, "bad launch configuration: {detail}"),
+            SimError::ArgumentMismatch { detail } => write!(f, "argument mismatch: {detail}"),
+            SimError::InvalidKernel { detail } => write!(f, "invalid kernel: {detail}"),
+            SimError::BadPointer { detail } => write!(f, "bad device pointer: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::OutOfBounds {
+            kernel: "bfs".into(),
+            buffer: "levels".into(),
+            index: 99,
+            len: 10,
+        };
+        let s = e.to_string();
+        assert!(s.contains("bfs") && s.contains("levels") && s.contains("99") && s.contains("10"));
+    }
+}

@@ -1,0 +1,317 @@
+//! Grid-level launch machinery: launch configuration, argument binding,
+//! validation against device limits, and (optionally parallel) block
+//! execution.
+
+use crate::config::DeviceConfig;
+use crate::error::SimError;
+use crate::exec::interp::{run_block, GridCtx, Scratch};
+use crate::ir::builder::Kernel;
+use crate::mem::global::{DevicePtr, GlobalMemory};
+use crate::timing::cost::BlockCost;
+use crate::timing::report::{finalize_launch, LaunchReport};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Launch geometry (linearized: the simulator flattens CUDA's 3-D grids).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Grid {
+    /// Number of thread blocks.
+    pub blocks: u32,
+    /// Threads per block.
+    pub threads_per_block: u32,
+}
+
+impl Grid {
+    /// Explicit geometry.
+    pub fn new(blocks: u32, threads_per_block: u32) -> Grid {
+        Grid {
+            blocks,
+            threads_per_block,
+        }
+    }
+
+    /// Enough `threads_per_block`-sized blocks to cover `total_threads`
+    /// (the usual `<<<ceil(n/tpb), tpb>>>` idiom).
+    pub fn linear(total_threads: u64, threads_per_block: u32) -> Grid {
+        let tpb = threads_per_block.max(1);
+        let blocks = total_threads.div_ceil(tpb as u64);
+        Grid {
+            blocks: blocks.min(u32::MAX as u64) as u32,
+            threads_per_block: tpb,
+        }
+    }
+
+    /// Total threads launched.
+    pub fn total_threads(&self) -> u64 {
+        self.blocks as u64 * self.threads_per_block as u64
+    }
+}
+
+/// Buffer and scalar arguments for a launch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LaunchArgs {
+    /// Device buffers, bound to the kernel's buffer slots in order.
+    pub bufs: Vec<DevicePtr>,
+    /// Uniform scalars, bound to the kernel's scalar slots in order.
+    pub scalars: Vec<u32>,
+}
+
+impl LaunchArgs {
+    /// Empty argument list.
+    pub fn new() -> LaunchArgs {
+        LaunchArgs::default()
+    }
+
+    /// Sets the buffer arguments.
+    pub fn bufs(mut self, bufs: impl IntoIterator<Item = DevicePtr>) -> LaunchArgs {
+        self.bufs = bufs.into_iter().collect();
+        self
+    }
+
+    /// Sets the scalar arguments.
+    pub fn scalars(mut self, scalars: impl IntoIterator<Item = u32>) -> LaunchArgs {
+        self.scalars = scalars.into_iter().collect();
+        self
+    }
+}
+
+/// Validates a launch against kernel arity and device limits.
+pub(crate) fn validate_launch(
+    cfg: &DeviceConfig,
+    kernel: &Kernel,
+    grid: Grid,
+    args: &LaunchArgs,
+) -> Result<(), SimError> {
+    if grid.threads_per_block == 0 {
+        return Err(SimError::BadLaunch {
+            detail: "threads_per_block must be positive".into(),
+        });
+    }
+    if grid.threads_per_block > cfg.max_threads_per_block {
+        return Err(SimError::BadLaunch {
+            detail: format!(
+                "threads_per_block {} exceeds device limit {}",
+                grid.threads_per_block, cfg.max_threads_per_block
+            ),
+        });
+    }
+    let shared_bytes = kernel.shared_words * 4;
+    if shared_bytes > cfg.shared_mem_per_sm {
+        return Err(SimError::BadLaunch {
+            detail: format!(
+                "kernel uses {} B shared memory, device has {} B per SM",
+                shared_bytes, cfg.shared_mem_per_sm
+            ),
+        });
+    }
+    if args.bufs.len() != kernel.num_bufs as usize {
+        return Err(SimError::ArgumentMismatch {
+            detail: format!(
+                "kernel '{}' expects {} buffers, got {}",
+                kernel.name,
+                kernel.num_bufs,
+                args.bufs.len()
+            ),
+        });
+    }
+    if args.scalars.len() != kernel.num_scalars as usize {
+        return Err(SimError::ArgumentMismatch {
+            detail: format!(
+                "kernel '{}' expects {} scalars, got {}",
+                kernel.name,
+                kernel.num_scalars,
+                args.scalars.len()
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Runs every block of the launch and folds the costs into a report.
+/// `parallel` distributes blocks over the rayon pool (results are
+/// identical for the data-race-free kernels this workspace writes: cross-
+/// block communication goes through atomics).
+pub(crate) fn run_grid(
+    cfg: &DeviceConfig,
+    kernel: &Kernel,
+    grid: Grid,
+    args: &LaunchArgs,
+    mem: &GlobalMemory,
+    parallel: bool,
+) -> Result<LaunchReport, SimError> {
+    validate_launch(cfg, kernel, grid, args)?;
+    let bufs = args
+        .bufs
+        .iter()
+        .map(|&p| mem.buffer(p))
+        .collect::<Result<Vec<_>, _>>()?;
+    let g = GridCtx {
+        cfg,
+        kernel,
+        bufs,
+        scalars: &args.scalars,
+        grid_dim: grid.blocks,
+        block_dim: grid.threads_per_block,
+    };
+    let costs: Vec<BlockCost> = if parallel && grid.blocks > 1 {
+        (0..grid.blocks)
+            .into_par_iter()
+            .map_init(Scratch::default, |scratch, b| run_block(&g, b, scratch))
+            .collect::<Result<Vec<_>, _>>()?
+    } else {
+        let mut scratch = Scratch::default();
+        let mut out = Vec::with_capacity(grid.blocks as usize);
+        for b in 0..grid.blocks {
+            out.push(run_block(&g, b, &mut scratch)?);
+        }
+        out
+    };
+    Ok(finalize_launch(
+        cfg,
+        &kernel.name,
+        grid.blocks,
+        grid.threads_per_block,
+        kernel.shared_words * 4,
+        &costs,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::builder::KernelBuilder;
+
+    fn incr_kernel() -> Kernel {
+        let mut k = KernelBuilder::new("incr");
+        let buf = k.buf_param();
+        let n = k.scalar_param();
+        let tid = k.global_thread_id();
+        k.if_(tid.clone().lt(n), |k| {
+            let v = k.load(buf, tid.clone());
+            k.store(buf, tid.clone(), v.add(1u32));
+        });
+        k.build().unwrap()
+    }
+
+    #[test]
+    fn grid_linear_covers_threads() {
+        let g = Grid::linear(100, 32);
+        assert_eq!(g.blocks, 4);
+        assert_eq!(g.total_threads(), 128);
+        assert_eq!(Grid::linear(0, 32).blocks, 0);
+        assert_eq!(Grid::linear(1, 192).blocks, 1);
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let cfg = DeviceConfig::tesla_c2070();
+        let kernel = incr_kernel();
+        for parallel in [false, true] {
+            let mut mem = GlobalMemory::new();
+            let p = mem.alloc("x", 1000);
+            let args = LaunchArgs::new().bufs([p]).scalars([1000]);
+            let r = run_grid(
+                &cfg,
+                &kernel,
+                Grid::linear(1000, 192),
+                &args,
+                &mem,
+                parallel,
+            )
+            .unwrap();
+            assert_eq!(mem.read(p).unwrap(), vec![1; 1000]);
+            assert!(r.time_ns > 0.0);
+        }
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let cfg = DeviceConfig::tesla_c2070();
+        let kernel = incr_kernel();
+        let mut mem = GlobalMemory::new();
+        let p = mem.alloc("x", 10);
+
+        let bad_tpb = run_grid(
+            &cfg,
+            &kernel,
+            Grid::new(1, 2048),
+            &LaunchArgs::new().bufs([p]).scalars([10]),
+            &mem,
+            false,
+        );
+        assert!(matches!(bad_tpb, Err(SimError::BadLaunch { .. })));
+
+        let zero_tpb = run_grid(
+            &cfg,
+            &kernel,
+            Grid::new(1, 0),
+            &LaunchArgs::new().bufs([p]).scalars([10]),
+            &mem,
+            false,
+        );
+        assert!(matches!(zero_tpb, Err(SimError::BadLaunch { .. })));
+
+        let missing_buf = run_grid(
+            &cfg,
+            &kernel,
+            Grid::new(1, 32),
+            &LaunchArgs::new().scalars([10]),
+            &mem,
+            false,
+        );
+        assert!(matches!(
+            missing_buf,
+            Err(SimError::ArgumentMismatch { .. })
+        ));
+
+        let missing_scalar = run_grid(
+            &cfg,
+            &kernel,
+            Grid::new(1, 32),
+            &LaunchArgs::new().bufs([p]),
+            &mem,
+            false,
+        );
+        assert!(matches!(
+            missing_scalar,
+            Err(SimError::ArgumentMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_shared_memory_rejected() {
+        let cfg = DeviceConfig::tesla_c2070();
+        let mut k = KernelBuilder::new("big-shared");
+        k.shared_alloc(20_000); // 80 KB > 48 KB
+        let kernel = k.build().unwrap();
+        let mem = GlobalMemory::new();
+        let r = run_grid(
+            &cfg,
+            &kernel,
+            Grid::new(1, 32),
+            &LaunchArgs::new(),
+            &mem,
+            false,
+        );
+        assert!(matches!(r, Err(SimError::BadLaunch { .. })));
+    }
+
+    #[test]
+    fn zero_block_launch_is_legal_noop() {
+        let cfg = DeviceConfig::tesla_c2070();
+        let kernel = incr_kernel();
+        let mut mem = GlobalMemory::new();
+        let p = mem.alloc("x", 4);
+        let r = run_grid(
+            &cfg,
+            &kernel,
+            Grid::new(0, 32),
+            &LaunchArgs::new().bufs([p]).scalars([4]),
+            &mem,
+            false,
+        )
+        .unwrap();
+        assert_eq!(mem.read(p).unwrap(), vec![0; 4]);
+        assert_eq!(r.grid_blocks, 0);
+    }
+}

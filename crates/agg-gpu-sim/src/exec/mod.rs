@@ -1,0 +1,7 @@
+//! Kernel execution: the warp-synchronous interpreter and the grid
+//! scheduler.
+
+pub mod grid;
+pub mod interp;
+
+pub use grid::{Grid, LaunchArgs};

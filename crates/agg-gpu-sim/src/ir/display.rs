@@ -1,0 +1,275 @@
+//! Pseudo-CUDA rendering of kernels.
+//!
+//! [`Kernel::to_pseudo_code`] prints a kernel as readable C-like source —
+//! the reproduction's analog of publishing kernel listings. The renderer
+//! is also used by `repro dump-kernels` to emit the whole suite as a
+//! reviewable artifact.
+
+use super::builder::Kernel;
+use super::expr::{Binop, Expr, Special, Unop};
+use super::stmt::{AtomicOp, BarrierOp, Stmt};
+use std::fmt::Write;
+
+/// Renders an expression as C-like source.
+pub fn expr_to_string(e: &Expr) -> String {
+    match e {
+        Expr::Imm(v) => {
+            if *v == u32::MAX {
+                "INF".to_string()
+            } else {
+                v.to_string()
+            }
+        }
+        Expr::Reg(r) => format!("r{}", r.0),
+        Expr::Param(p) => format!("param{p}"),
+        Expr::Special(s) => match s {
+            Special::ThreadIdx => "threadIdx".into(),
+            Special::BlockIdx => "blockIdx".into(),
+            Special::BlockDim => "blockDim".into(),
+            Special::GridDim => "gridDim".into(),
+            Special::LaneId => "laneId".into(),
+            Special::GlobalThreadId => "tid".into(),
+        },
+        Expr::Unop(op, a) => {
+            let a = expr_to_string(a);
+            match op {
+                Unop::Not => format!("~{a}"),
+                Unop::LNot => format!("!{a}"),
+                Unop::U2F => format!("(float){a}"),
+                Unop::F2U => format!("(uint){a}"),
+            }
+        }
+        Expr::Binop(op, a, b) => {
+            let (a, b) = (expr_to_string(a), expr_to_string(b));
+            let sym = match op {
+                Binop::Add => "+",
+                Binop::SatAdd => "+sat",
+                Binop::Sub => "-",
+                Binop::Mul => "*",
+                Binop::Div => "/",
+                Binop::Rem => "%",
+                Binop::Min => return format!("min({a}, {b})"),
+                Binop::Max => return format!("max({a}, {b})"),
+                Binop::And => "&",
+                Binop::Or => "|",
+                Binop::Xor => "^",
+                Binop::Shl => "<<",
+                Binop::Shr => ">>",
+                Binop::Eq => "==",
+                Binop::Ne => "!=",
+                Binop::Lt => "<",
+                Binop::Le => "<=",
+                Binop::Gt => ">",
+                Binop::Ge => ">=",
+                Binop::FAdd => "+f",
+                Binop::FSub => "-f",
+                Binop::FMul => "*f",
+                Binop::FDiv => "/f",
+                Binop::FLt => "<f",
+                Binop::FGe => ">=f",
+            };
+            format!("({a} {sym} {b})")
+        }
+        Expr::Select(c, a, b) => format!(
+            "({} ? {} : {})",
+            expr_to_string(c),
+            expr_to_string(a),
+            expr_to_string(b)
+        ),
+    }
+}
+
+fn stmt_to_lines(s: &Stmt, indent: usize, out: &mut String) {
+    let pad = "    ".repeat(indent);
+    match s {
+        Stmt::Assign(r, e) => {
+            let _ = writeln!(out, "{pad}r{} = {};", r.0, expr_to_string(e));
+        }
+        Stmt::Load { dst, buf, index } => {
+            let _ = writeln!(
+                out,
+                "{pad}r{} = buf{}[{}];",
+                dst.0,
+                buf.0,
+                expr_to_string(index)
+            );
+        }
+        Stmt::Store { buf, index, value } => {
+            let _ = writeln!(
+                out,
+                "{pad}buf{}[{}] = {};",
+                buf.0,
+                expr_to_string(index),
+                expr_to_string(value)
+            );
+        }
+        Stmt::Atomic {
+            op,
+            buf,
+            index,
+            value,
+            compare,
+            old,
+        } => {
+            let name = match op {
+                AtomicOp::Add => "atomicAdd",
+                AtomicOp::Min => "atomicMin",
+                AtomicOp::Max => "atomicMax",
+                AtomicOp::Exch => "atomicExch",
+                AtomicOp::Cas => "atomicCAS",
+                AtomicOp::FAdd => "atomicAddF",
+            };
+            let dst = old.map(|r| format!("r{} = ", r.0)).unwrap_or_default();
+            let cmp = compare
+                .as_ref()
+                .map(|c| format!("{}, ", expr_to_string(c)))
+                .unwrap_or_default();
+            let _ = writeln!(
+                out,
+                "{pad}{dst}{name}(&buf{}[{}], {cmp}{});",
+                buf.0,
+                expr_to_string(index),
+                expr_to_string(value)
+            );
+        }
+        Stmt::SharedLoad { dst, index } => {
+            let _ = writeln!(out, "{pad}r{} = shared[{}];", dst.0, expr_to_string(index));
+        }
+        Stmt::SharedStore { index, value } => {
+            let _ = writeln!(
+                out,
+                "{pad}shared[{}] = {};",
+                expr_to_string(index),
+                expr_to_string(value)
+            );
+        }
+        Stmt::If { cond, then_, else_ } => {
+            let _ = writeln!(out, "{pad}if ({}) {{", expr_to_string(cond));
+            for t in then_ {
+                stmt_to_lines(t, indent + 1, out);
+            }
+            if else_.is_empty() {
+                let _ = writeln!(out, "{pad}}}");
+            } else {
+                let _ = writeln!(out, "{pad}}} else {{");
+                for e in else_ {
+                    stmt_to_lines(e, indent + 1, out);
+                }
+                let _ = writeln!(out, "{pad}}}");
+            }
+        }
+        Stmt::While { cond, body } => {
+            let _ = writeln!(out, "{pad}while ({}) {{", expr_to_string(cond));
+            for b in body {
+                stmt_to_lines(b, indent + 1, out);
+            }
+            let _ = writeln!(out, "{pad}}}");
+        }
+        Stmt::Return => {
+            let _ = writeln!(out, "{pad}return;");
+        }
+        Stmt::SyncThreads => {
+            let _ = writeln!(out, "{pad}__syncthreads();");
+        }
+        Stmt::Barrier { op, value, dst } => {
+            let name = match op {
+                BarrierOp::ReduceMin => "blockReduceMin",
+                BarrierOp::ReduceAdd => "blockReduceAdd",
+                BarrierOp::ScanExclAdd => "blockScanExclAdd",
+            };
+            let _ = writeln!(out, "{pad}r{} = {name}({});", dst.0, expr_to_string(value));
+        }
+    }
+}
+
+impl Kernel {
+    /// Renders the kernel as pseudo-CUDA source.
+    pub fn to_pseudo_code(&self) -> String {
+        let mut out = String::new();
+        let bufs: Vec<String> = (0..self.num_bufs)
+            .map(|b| format!("uint* buf{b}"))
+            .collect();
+        let scalars: Vec<String> = (0..self.num_scalars)
+            .map(|p| format!("uint param{p}"))
+            .collect();
+        let _ = writeln!(
+            out,
+            "__global__ void {}({}) {{",
+            self.name,
+            bufs.into_iter()
+                .chain(scalars)
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        if self.shared_words > 0 {
+            let _ = writeln!(out, "    __shared__ uint shared[{}];", self.shared_words);
+        }
+        for s in &self.body {
+            stmt_to_lines(s, 1, &mut out);
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::builder::KernelBuilder;
+    use crate::ir::expr::Reg;
+
+    #[test]
+    fn renders_expressions() {
+        let e = Expr::imm(2).add(Expr::Reg(Reg(3))).min(Expr::Param(0));
+        assert_eq!(expr_to_string(&e), "min((2 + r3), param0)");
+        assert_eq!(expr_to_string(&Expr::imm(u32::MAX)), "INF");
+        assert_eq!(
+            expr_to_string(&Expr::imm(1).select(2u32, 3u32)),
+            "(1 ? 2 : 3)"
+        );
+        assert_eq!(
+            expr_to_string(&Expr::Reg(Reg(0)).u2f().fmul(Expr::Reg(Reg(1)))),
+            "((float)r0 *f r1)"
+        );
+    }
+
+    #[test]
+    fn renders_a_full_kernel() {
+        let mut k = KernelBuilder::new("demo");
+        let buf = k.buf_param();
+        let n = k.scalar_param();
+        let tid = k.global_thread_id();
+        k.if_(tid.clone().ge(n), |k| k.ret());
+        let v = k.load(buf, tid.clone());
+        k.while_(v.clone().gt(0u32), |k| {
+            k.atomic_add(buf, 0u32, 1u32);
+            k.ret();
+        });
+        k.sync_threads();
+        let kernel = k.build().unwrap();
+        let src = kernel.to_pseudo_code();
+        assert!(
+            src.contains("__global__ void demo(uint* buf0, uint param0)"),
+            "{src}"
+        );
+        assert!(src.contains("if ((tid >= param0)) {"), "{src}");
+        assert!(src.contains("return;"), "{src}");
+        assert!(src.contains("= buf0[tid];"), "{src}");
+        assert!(src.contains("atomicAdd(&buf0[0], 1);"), "{src}");
+        assert!(src.contains("__syncthreads();"), "{src}");
+    }
+
+    #[test]
+    fn renders_shared_and_barriers() {
+        let mut k = KernelBuilder::new("sh");
+        k.shared_alloc(8);
+        let t = k.thread_idx();
+        k.shared_store(t.clone(), 1u32);
+        let m = k.block_reduce_min(t.clone());
+        let _ = k.let_(m);
+        let kernel = k.build().unwrap();
+        let src = kernel.to_pseudo_code();
+        assert!(src.contains("__shared__ uint shared[8];"), "{src}");
+        assert!(src.contains("blockReduceMin(threadIdx)"), "{src}");
+    }
+}

@@ -1,0 +1,22 @@
+//! Kernel intermediate representation.
+//!
+//! Kernels are structured programs over 32-bit virtual registers:
+//! expressions ([`expr::Expr`]) are pure per-lane computations; statements
+//! ([`stmt::Stmt`]) perform memory traffic, control flow, and block-wide
+//! intrinsics. [`builder::KernelBuilder`] offers an ergonomic host-side
+//! construction API and [`builder::Kernel::validate`] enforces the IR's
+//! structural rules (register/parameter arity, top-level-only barriers).
+//!
+//! Keeping control flow *structured* (if/while trees rather than jumps) is
+//! what makes SIMT reconvergence trivial for the interpreter: after a
+//! divergent `if`, the parent mask is restored — exactly the behaviour of
+//! the hardware's reconvergence stack at the immediate post-dominator.
+
+pub mod builder;
+pub mod display;
+pub mod expr;
+pub mod stmt;
+
+pub use builder::{Kernel, KernelBuilder};
+pub use expr::{BufSlot, Expr, Reg, Special};
+pub use stmt::{AtomicOp, BarrierOp, Stmt};

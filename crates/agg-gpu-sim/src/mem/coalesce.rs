@@ -1,0 +1,74 @@
+//! Global-memory coalescing model.
+//!
+//! A warp's memory instruction presents up to 32 byte addresses. The
+//! hardware services them with one transaction per distinct aligned
+//! segment (128 B on Fermi). Contiguous per-lane accesses therefore cost a
+//! single transaction; a gather across the edge array of a sparse graph
+//! costs up to one per lane — this asymmetry is the "irregular memory
+//! access" penalty the paper discusses in Section III.C.
+
+/// Counts the distinct `segment_bytes`-aligned segments covered by the
+/// given byte addresses. `segment_bytes` must be a power of two.
+pub fn transactions_for(addresses: &[u64], segment_bytes: u32) -> u32 {
+    debug_assert!(segment_bytes.is_power_of_two());
+    let shift = segment_bytes.trailing_zeros();
+    // Warp size is <= 32, so a stack copy + sort is cheap and allocation-free.
+    let mut segs = [0u64; 32];
+    let n = addresses.len().min(32);
+    for (dst, &a) in segs.iter_mut().zip(addresses.iter()) {
+        *dst = a >> shift;
+    }
+    let segs = &mut segs[..n];
+    segs.sort_unstable();
+    let mut count = 0u32;
+    let mut prev = None;
+    for &s in segs.iter() {
+        if Some(s) != prev {
+            count += 1;
+            prev = Some(s);
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_words_coalesce_to_one() {
+        let addrs: Vec<u64> = (0..32).map(|i| i * 4).collect();
+        assert_eq!(transactions_for(&addrs, 128), 1);
+    }
+
+    #[test]
+    fn contiguous_across_boundary_costs_two() {
+        let addrs: Vec<u64> = (16..48).map(|i| i * 4).collect(); // bytes 64..192
+        assert_eq!(transactions_for(&addrs, 128), 2);
+    }
+
+    #[test]
+    fn fully_scattered_costs_one_each() {
+        let addrs: Vec<u64> = (0..32).map(|i| i * 4096).collect();
+        assert_eq!(transactions_for(&addrs, 128), 32);
+    }
+
+    #[test]
+    fn broadcast_costs_one() {
+        let addrs = [640u64; 32];
+        assert_eq!(transactions_for(&addrs, 128), 1);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(transactions_for(&[], 128), 0);
+        assert_eq!(transactions_for(&[12345], 128), 1);
+    }
+
+    #[test]
+    fn smaller_segments_cost_more() {
+        let addrs: Vec<u64> = (0..32).map(|i| i * 4).collect();
+        assert_eq!(transactions_for(&addrs, 32), 4);
+        assert_eq!(transactions_for(&addrs, 64), 2);
+    }
+}

@@ -1,0 +1,12 @@
+//! Simulated device memory: global buffers, the coalescing model, the
+//! shared-memory bank-conflict model, and host<->device transfer costs.
+
+pub mod coalesce;
+pub mod global;
+pub mod shared;
+pub mod transfer;
+
+pub use coalesce::transactions_for;
+pub use global::{DevicePtr, GlobalMemory};
+pub use shared::bank_conflict_replays;
+pub use transfer::transfer_ns;

@@ -1,0 +1,67 @@
+//! Shared-memory bank-conflict model.
+//!
+//! Fermi shared memory has 32 banks, word-interleaved. A warp access
+//! replays once per additional distinct word that maps to the same bank;
+//! reading the *same* word from many lanes broadcasts at no cost.
+
+/// Number of replays (beyond the first access) for a warp access pattern
+/// given as word indices. `banks` is normally 32.
+pub fn bank_conflict_replays(word_indices: &[u64], banks: u32) -> u32 {
+    debug_assert!(banks.is_power_of_two() && banks > 0);
+    let mask = (banks - 1) as u64;
+    // distinct words per bank; same word broadcast is free.
+    let mut per_bank = [0u32; 32];
+    let mut seen = [0u64; 32];
+    let mut seen_n = 0usize;
+    for &w in word_indices.iter().take(32) {
+        if seen[..seen_n].contains(&w) {
+            continue; // broadcast
+        }
+        if seen_n < 32 {
+            seen[seen_n] = w;
+            seen_n += 1;
+        }
+        let bank = (w & mask) as usize % 32;
+        per_bank[bank] += 1;
+    }
+    per_bank
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(0)
+        .saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stride_one_has_no_conflicts() {
+        let idx: Vec<u64> = (0..32).collect();
+        assert_eq!(bank_conflict_replays(&idx, 32), 0);
+    }
+
+    #[test]
+    fn stride_32_serializes_fully() {
+        let idx: Vec<u64> = (0..32).map(|i| i * 32).collect();
+        assert_eq!(bank_conflict_replays(&idx, 32), 31);
+    }
+
+    #[test]
+    fn stride_two_halves_throughput() {
+        let idx: Vec<u64> = (0..32).map(|i| i * 2).collect();
+        assert_eq!(bank_conflict_replays(&idx, 32), 1);
+    }
+
+    #[test]
+    fn broadcast_is_free() {
+        let idx = [7u64; 32];
+        assert_eq!(bank_conflict_replays(&idx, 32), 0);
+    }
+
+    #[test]
+    fn empty_access() {
+        assert_eq!(bank_conflict_replays(&[], 32), 0);
+    }
+}

@@ -1,0 +1,38 @@
+//! Host<->device transfer cost model (PCIe).
+
+use crate::config::DeviceConfig;
+
+/// Modeled nanoseconds to move `bytes` across PCIe in either direction:
+/// fixed latency plus bandwidth time.
+pub fn transfer_ns(cfg: &DeviceConfig, bytes: usize) -> f64 {
+    cfg.pcie_latency_us * 1_000.0 + bytes as f64 / cfg.pcie_gbps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_dominates_small_copies() {
+        let cfg = DeviceConfig::tesla_c2070();
+        let t4 = transfer_ns(&cfg, 4);
+        assert!(
+            (t4 - 10_000.0).abs() < 10.0,
+            "4-byte copy ~= latency, got {t4}"
+        );
+    }
+
+    #[test]
+    fn bandwidth_dominates_large_copies() {
+        let cfg = DeviceConfig::tesla_c2070();
+        // 6 GB/s = 6 bytes/ns; 600 MB -> 100 ms
+        let t = transfer_ns(&cfg, 600_000_000);
+        assert!((t - 1.0e8 - 10_000.0).abs() < 1.0e5, "got {t}");
+    }
+
+    #[test]
+    fn monotone_in_bytes() {
+        let cfg = DeviceConfig::tesla_c2070();
+        assert!(transfer_ns(&cfg, 1000) < transfer_ns(&cfg, 2000));
+    }
+}

@@ -1,0 +1,9 @@
+//! Timing model: per-warp cost counters, SM occupancy, and launch reports.
+
+pub mod cost;
+pub mod occupancy;
+pub mod report;
+
+pub use cost::{BlockCost, CostStats};
+pub use occupancy::Occupancy;
+pub use report::{KernelStats, LaunchReport};

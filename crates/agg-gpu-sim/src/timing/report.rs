@@ -1,0 +1,173 @@
+//! Launch reports: the timing and statistics returned by every kernel
+//! launch, and the model that turns per-block costs into kernel time.
+
+use crate::config::DeviceConfig;
+use crate::timing::cost::{BlockCost, CostStats};
+use crate::timing::occupancy::Occupancy;
+use serde::{Deserialize, Serialize};
+
+/// Aggregated kernel statistics (all blocks).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelStats {
+    /// Summed event counters.
+    pub totals: CostStats,
+    /// Summed issue cycles across blocks.
+    pub issue_cycles: u64,
+    /// Summed raw stall cycles across blocks (pre-hiding).
+    pub stall_cycles: u64,
+}
+
+impl std::ops::AddAssign for KernelStats {
+    fn add_assign(&mut self, o: KernelStats) {
+        self.totals += o.totals;
+        self.issue_cycles += o.issue_cycles;
+        self.stall_cycles += o.stall_cycles;
+    }
+}
+
+/// The result of one kernel launch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LaunchReport {
+    /// Kernel name.
+    pub kernel: String,
+    /// Number of blocks launched.
+    pub grid_blocks: u32,
+    /// Threads per block.
+    pub block_threads: u32,
+    /// Modeled wall time of the launch in nanoseconds (including launch
+    /// overhead).
+    pub time_ns: f64,
+    /// Compute-path time (issue + exposed stalls), ns.
+    pub compute_ns: f64,
+    /// Bandwidth-path time (bytes / BW), ns.
+    pub mem_ns: f64,
+    /// Fixed launch overhead, ns.
+    pub overhead_ns: f64,
+    /// Residency used for latency hiding.
+    pub occupancy: Occupancy,
+    /// Aggregated statistics.
+    pub stats: KernelStats,
+}
+
+/// Combines per-block costs into a launch report.
+///
+/// Model (DESIGN.md §5):
+/// * Blocks are assigned to SMs round-robin; each SM's serial issue
+///   pipeline processes its blocks' `issue_cycles` back to back.
+/// * Raw stall cycles are divided by the number of resident warps (latency
+///   hiding): small launches expose DRAM latency, saturated launches hide
+///   it.
+/// * The kernel's compute time is the busiest SM's total; memory time is
+///   total bytes over device bandwidth; the kernel overlaps the two, so
+///   wall time is their max plus fixed launch overhead.
+pub fn finalize_launch(
+    cfg: &DeviceConfig,
+    kernel: &str,
+    grid_blocks: u32,
+    block_threads: u32,
+    shared_bytes: u32,
+    block_costs: &[BlockCost],
+) -> LaunchReport {
+    let occ = Occupancy::compute(cfg, block_threads, shared_bytes);
+    let mut stats = KernelStats::default();
+    let mut sm_cycles = vec![0f64; cfg.num_sms as usize];
+    let hiding = occ.warps_per_sm.max(1) as f64;
+    for (i, bc) in block_costs.iter().enumerate() {
+        stats.totals += bc.stats;
+        stats.issue_cycles += bc.issue_cycles;
+        stats.stall_cycles += bc.stall_cycles;
+        let exposed = bc.issue_cycles as f64 + bc.stall_cycles as f64 / hiding;
+        let slot = i % cfg.num_sms as usize;
+        sm_cycles[slot] += exposed;
+    }
+    let busiest = sm_cycles.iter().copied().fold(0.0f64, f64::max);
+    let compute_ns = cfg.cycles_to_ns(busiest);
+    let mem_ns = stats.totals.mem_bytes as f64 / cfg.mem_bandwidth_gbps;
+    let overhead_ns = cfg.launch_overhead_us * 1_000.0;
+    LaunchReport {
+        kernel: kernel.to_string(),
+        grid_blocks,
+        block_threads,
+        time_ns: overhead_ns + compute_ns.max(mem_ns),
+        compute_ns,
+        mem_ns,
+        overhead_ns,
+        occupancy: occ,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(issue: u64, stall: u64, bytes: u64) -> BlockCost {
+        BlockCost {
+            issue_cycles: issue,
+            stall_cycles: stall,
+            stats: CostStats {
+                mem_bytes: bytes,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn empty_launch_costs_only_overhead() {
+        let cfg = DeviceConfig::tesla_c2070();
+        let r = finalize_launch(&cfg, "k", 0, 32, 0, &[]);
+        assert!((r.time_ns - 7_000.0).abs() < 1e-9);
+        assert_eq!(r.compute_ns, 0.0);
+    }
+
+    #[test]
+    fn single_block_uses_one_sm() {
+        let cfg = DeviceConfig::tesla_c2070();
+        let one = finalize_launch(&cfg, "k", 1, 32, 0, &[block(1150, 0, 0)]);
+        // 1150 cycles at 1.15 GHz = 1000 ns + 7000 overhead
+        assert!((one.time_ns - 8_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn blocks_spread_over_sms() {
+        let cfg = DeviceConfig::tesla_c2070();
+        let blocks: Vec<_> = (0..14).map(|_| block(1150, 0, 0)).collect();
+        let spread = finalize_launch(&cfg, "k", 14, 32, 0, &blocks);
+        // 14 blocks over 14 SMs: same busiest-SM time as one block.
+        assert!((spread.compute_ns - 1000.0).abs() < 1.0);
+        let blocks: Vec<_> = (0..28).map(|_| block(1150, 0, 0)).collect();
+        let double = finalize_launch(&cfg, "k", 28, 32, 0, &blocks);
+        assert!((double.compute_ns - 2000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn latency_hiding_scales_with_occupancy() {
+        let cfg = DeviceConfig::tesla_c2070();
+        // 32-thread blocks: 8 warps resident. 192-thread blocks: 48 warps.
+        let small = finalize_launch(&cfg, "k", 1, 32, 0, &[block(0, 48_000, 0)]);
+        let big = finalize_launch(&cfg, "k", 1, 192, 0, &[block(0, 48_000, 0)]);
+        assert!(
+            small.compute_ns > big.compute_ns * 5.0,
+            "{} vs {}",
+            small.compute_ns,
+            big.compute_ns
+        );
+    }
+
+    #[test]
+    fn bandwidth_bound_kernels_report_mem_time() {
+        let cfg = DeviceConfig::tesla_c2070();
+        // 144 GB/s = 144 bytes/ns; 14.4 MB -> 100 us
+        let r = finalize_launch(&cfg, "k", 1, 192, 0, &[block(10, 0, 14_400_000)]);
+        assert!((r.mem_ns - 100_000.0).abs() < 1.0);
+        assert!(r.time_ns >= r.mem_ns);
+    }
+
+    #[test]
+    fn stats_aggregate_across_blocks() {
+        let cfg = DeviceConfig::tesla_c2070();
+        let r = finalize_launch(&cfg, "k", 2, 32, 0, &[block(5, 0, 10), block(7, 0, 20)]);
+        assert_eq!(r.stats.issue_cycles, 12);
+        assert_eq!(r.stats.totals.mem_bytes, 30);
+    }
+}

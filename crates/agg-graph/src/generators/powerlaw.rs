@@ -1,0 +1,267 @@
+//! Power-law (heavy-tailed) generator for citation / p2p / web / social
+//! network analogs.
+//!
+//! The paper (Figure 1, right + Table 1): CiteSeer-like graphs have ~90% of
+//! nodes with fewer than 2 out-edges while the tail stretches to degree
+//! ~1,000, producing both a high average outdegree and extreme variance —
+//! the topology that causes warp divergence under thread-based mapping.
+//!
+//! Outdegrees are drawn from a truncated discrete power law
+//! `P(d) ∝ d^-alpha` on `d ∈ [min_degree, max_degree]`, then rescaled so the
+//! expected total edge count matches `target_avg_degree × nodes` (within
+//! sampling noise). Destinations are drawn from a Zipf popularity
+//! distribution, giving the skewed in-degree real web/social graphs show.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::error::GraphError;
+use rand::Rng;
+
+/// Parameters for [`powerlaw`].
+#[derive(Debug, Clone, Copy)]
+pub struct PowerLawConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Power-law exponent for the outdegree distribution (≥ ~1.5 gives the
+    /// "most nodes tiny, few nodes huge" shape).
+    pub alpha: f64,
+    /// Minimum outdegree assigned to any node.
+    pub min_degree: usize,
+    /// Maximum outdegree (the tail cap; ~1000 for CiteSeer-size graphs).
+    pub max_degree: usize,
+    /// Desired average outdegree; the sampled degree sequence is scaled to
+    /// hit this mean.
+    pub target_avg_degree: f64,
+    /// Skew of the destination popularity (0.0 = uniform destinations).
+    pub dest_zipf: f64,
+}
+
+impl Default for PowerLawConfig {
+    fn default() -> Self {
+        PowerLawConfig {
+            nodes: 1000,
+            alpha: 2.0,
+            min_degree: 1,
+            max_degree: 100,
+            target_avg_degree: 8.0,
+            dest_zipf: 0.6,
+        }
+    }
+}
+
+/// Cumulative-table sampler over `0..n` with probability `∝ (i+1)^-s`.
+/// `s = 0` degenerates to the uniform distribution.
+pub(crate) struct ZipfSampler {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    pub(crate) fn new(n: usize, s: f64) -> ZipfSampler {
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += ((i + 1) as f64).powf(-s);
+            cumulative.push(acc);
+        }
+        ZipfSampler { cumulative }
+    }
+
+    pub(crate) fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().unwrap_or(&1.0);
+        let x = rng.gen::<f64>() * total;
+        self.cumulative
+            .partition_point(|&c| c < x)
+            .min(self.cumulative.len().saturating_sub(1))
+    }
+}
+
+/// Generates a directed heavy-tailed graph as described in the module docs.
+pub fn powerlaw<R: Rng>(rng: &mut R, cfg: &PowerLawConfig) -> Result<CsrGraph, GraphError> {
+    let n = cfg.nodes;
+    if n == 0 {
+        return GraphBuilder::new(0).build();
+    }
+    let dmin = cfg.min_degree;
+    let dmax = cfg.max_degree.max(dmin + 1).min(n.saturating_sub(1).max(1));
+
+    // Sample a raw degree sequence from the truncated power law.
+    let degree_sampler = {
+        // P(d) ∝ d^-alpha over dmin..=dmax (d = 0 handled by offsetting).
+        let lo = dmin.max(1);
+        let mut cumulative = Vec::with_capacity(dmax - lo + 1);
+        let mut acc = 0.0;
+        for d in lo..=dmax {
+            acc += (d as f64).powf(-cfg.alpha);
+            cumulative.push(acc);
+        }
+        move |rng: &mut R| -> usize {
+            let total = *cumulative.last().unwrap();
+            let x = rng.gen::<f64>() * total;
+            lo + cumulative
+                .partition_point(|&c| c < x)
+                .min(cumulative.len() - 1)
+        }
+    };
+    let mut degrees: Vec<usize> = (0..n).map(|_| degree_sampler(rng)).collect();
+
+    // Adjust the sequence mean toward the target *without* flattening the
+    // head of the distribution: real heavy-tailed graphs put most nodes at
+    // degree 0-2 and carry the mean in the tail (Figure 1, right). So when
+    // the raw mean is too low we inflate only the heaviest nodes, and when
+    // it is too high we deflate multiplicatively (which keeps small degrees
+    // small).
+    let raw_sum: i64 = degrees.iter().map(|&d| d as i64).sum();
+    let target_sum = (cfg.target_avg_degree * n as f64).round() as i64;
+    if raw_sum > 0 && target_sum > 0 {
+        if target_sum > raw_sum {
+            let mut deficit = (target_sum - raw_sum) as usize;
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_unstable_by_key(|&i| std::cmp::Reverse(degrees[i]));
+            // Round-robin over the heaviest ~5% until the deficit is spent.
+            let tail = (n / 20).max(1).min(n);
+            while deficit > 0 {
+                let mut progressed = false;
+                for &i in order.iter().take(tail) {
+                    if deficit == 0 {
+                        break;
+                    }
+                    if degrees[i] < dmax {
+                        let add = ((dmax - degrees[i]).min(deficit)).min(1 + degrees[i] / 2);
+                        degrees[i] += add;
+                        deficit -= add;
+                        progressed = true;
+                    }
+                }
+                if !progressed {
+                    break; // tail saturated at dmax: accept a lower mean
+                }
+            }
+        } else {
+            let scale = target_sum as f64 / raw_sum as f64;
+            for d in degrees.iter_mut() {
+                *d = (((*d as f64) * scale).round() as usize).clamp(dmin, dmax);
+            }
+        }
+    }
+
+    // Destination popularity: node `perm[i]` has the i-th highest weight, so
+    // popularity is decoupled from node id.
+    let dest = ZipfSampler::new(n, cfg.dest_zipf);
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    // Fisher-Yates with the caller's RNG keeps the whole generator seedable.
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+
+    let mut b = GraphBuilder::new(n).dedup();
+    for (v, &d) in degrees.iter().enumerate() {
+        let v = v as u32;
+        let mut placed = 0usize;
+        let mut attempts = 0usize;
+        while placed < d && attempts < d * 8 + 16 {
+            attempts += 1;
+            let t = perm[dest.sample(rng)];
+            if t != v {
+                b.add_edge(v, t)?;
+                placed += 1;
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{degree_fraction, DegreeStats};
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_sampler_is_skewed_and_in_range() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let z = ZipfSampler::new(100, 1.0);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(
+            counts[0] > counts[50] * 5,
+            "head {} tail {}",
+            counts[0],
+            counts[50]
+        );
+        assert!(counts.iter().sum::<usize>() == 20_000);
+    }
+
+    #[test]
+    fn zipf_zero_is_roughly_uniform() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(22);
+        let z = ZipfSampler::new(10, 0.0);
+        let mut counts = vec![0usize; 10];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (700..1300).contains(&c),
+                "bucket count {c} far from uniform"
+            );
+        }
+    }
+
+    #[test]
+    fn citeseer_like_shape() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let cfg = PowerLawConfig {
+            nodes: 5000,
+            alpha: 1.9,
+            min_degree: 0,
+            max_degree: 800,
+            target_avg_degree: 30.0,
+            dest_zipf: 0.7,
+        };
+        let g = powerlaw(&mut rng, &cfg).unwrap();
+        let s = DegreeStats::compute(&g);
+        assert!(s.avg > 10.0, "avg degree {} too low", s.avg);
+        assert!(s.max > 100, "tail did not stretch: max {}", s.max);
+        // Heavy-tailed: the majority of nodes sit at very small degrees.
+        assert!(degree_fraction(&g, 0..=2) > 0.4);
+        assert!(
+            s.variance > s.avg * 4.0,
+            "variance {} too small for power law",
+            s.variance
+        );
+    }
+
+    #[test]
+    fn respects_degree_caps() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(24);
+        let cfg = PowerLawConfig {
+            nodes: 500,
+            alpha: 1.5,
+            min_degree: 2,
+            max_degree: 20,
+            target_avg_degree: 5.0,
+            dest_zipf: 0.0,
+        };
+        let g = powerlaw(&mut rng, &cfg).unwrap();
+        let s = DegreeStats::compute(&g);
+        // dedup may trim a few duplicates below min_degree, but the cap holds.
+        assert!(s.max <= 20);
+    }
+
+    #[test]
+    fn zero_nodes_ok() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(25);
+        let g = powerlaw(
+            &mut rng,
+            &PowerLawConfig {
+                nodes: 0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(g.node_count(), 0);
+    }
+}

@@ -1,0 +1,159 @@
+//! R-MAT (recursive matrix) generator — the Graph500-style social-network
+//! model, used here as the SNS/LiveJournal analog.
+//!
+//! Each edge picks its (row, column) cell of the adjacency matrix by
+//! recursively descending `scale` levels, choosing one of four quadrants
+//! with probabilities `(a, b, c, d)`. Skewed quadrant probabilities
+//! (a ≫ d) concentrate edges on low-numbered nodes, yielding power-law
+//! in/out degrees and the community-like structure of social graphs.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::error::GraphError;
+use rand::Rng;
+
+/// Parameters for [`rmat`].
+#[derive(Debug, Clone, Copy)]
+pub struct RmatConfig {
+    /// `log2(node count)`.
+    pub scale: u32,
+    /// Total directed edges to generate (before optional dedup).
+    pub edges: usize,
+    /// Quadrant probability a (top-left). Graph500 uses 0.57.
+    pub a: f64,
+    /// Quadrant probability b (top-right). Graph500 uses 0.19.
+    pub b: f64,
+    /// Quadrant probability c (bottom-left). Graph500 uses 0.19.
+    pub c: f64,
+    /// Remove duplicate edges and self-loops.
+    pub dedup: bool,
+}
+
+impl Default for RmatConfig {
+    fn default() -> Self {
+        RmatConfig {
+            scale: 10,
+            edges: 8192,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            dedup: false,
+        }
+    }
+}
+
+/// Generates an R-MAT graph with `2^scale` nodes.
+pub fn rmat<R: Rng>(rng: &mut R, cfg: &RmatConfig) -> Result<CsrGraph, GraphError> {
+    let n = 1usize << cfg.scale;
+    let mut b = GraphBuilder::new(n);
+    if cfg.dedup {
+        b = b.dedup();
+    }
+    let d = (1.0 - cfg.a - cfg.b - cfg.c).max(0.0);
+    let _ = d;
+    for _ in 0..cfg.edges {
+        let (mut row, mut col) = (0usize, 0usize);
+        for bit in (0..cfg.scale).rev() {
+            let x: f64 = rng.gen();
+            // Slight per-level noise is the standard trick to avoid
+            // artificial staircase structure in generated degrees.
+            let jitter = 0.95 + 0.1 * rng.gen::<f64>();
+            let (a, bq, c) = (cfg.a * jitter, cfg.b, cfg.c);
+            let total = a + bq + c + (1.0 - cfg.a - cfg.b - cfg.c).max(0.0);
+            let x = x * total;
+            if x < a {
+                // top-left: nothing to add
+            } else if x < a + bq {
+                col |= 1 << bit;
+            } else if x < a + bq + c {
+                row |= 1 << bit;
+            } else {
+                row |= 1 << bit;
+                col |= 1 << bit;
+            }
+        }
+        let (src, dst) = (row as u32, col as u32);
+        if cfg.dedup && src == dst {
+            continue; // drop self-loops when cleaning
+        }
+        b.add_edge(src, dst)?;
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::DegreeStats;
+    use rand::SeedableRng;
+
+    #[test]
+    fn node_and_edge_counts() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let cfg = RmatConfig {
+            scale: 8,
+            edges: 2000,
+            dedup: false,
+            ..Default::default()
+        };
+        let g = rmat(&mut rng, &cfg).unwrap();
+        assert_eq!(g.node_count(), 256);
+        assert_eq!(g.edge_count(), 2000);
+    }
+
+    #[test]
+    fn skewed_quadrants_produce_heavy_tail() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(32);
+        let cfg = RmatConfig {
+            scale: 11,
+            edges: 40_000,
+            ..Default::default()
+        };
+        let g = rmat(&mut rng, &cfg).unwrap();
+        let s = DegreeStats::compute(&g);
+        assert!(s.max as f64 > s.avg * 8.0, "max {} vs avg {}", s.max, s.avg);
+        assert!(s.variance > s.avg * 3.0);
+    }
+
+    #[test]
+    fn dedup_removes_self_loops_and_duplicates() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(33);
+        let cfg = RmatConfig {
+            scale: 4,
+            edges: 3000,
+            dedup: true,
+            ..Default::default()
+        };
+        let g = rmat(&mut rng, &cfg).unwrap();
+        for (u, v, _) in g.edges() {
+            assert_ne!(u, v);
+        }
+        let mut e: Vec<_> = g.edges().map(|(u, v, _)| (u, v)).collect();
+        let before = e.len();
+        e.sort_unstable();
+        e.dedup();
+        assert_eq!(e.len(), before);
+    }
+
+    #[test]
+    fn uniform_quadrants_look_like_erdos_renyi() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(34);
+        let cfg = RmatConfig {
+            scale: 9,
+            edges: 20_000,
+            a: 0.25,
+            b: 0.25,
+            c: 0.25,
+            dedup: false,
+        };
+        let g = rmat(&mut rng, &cfg).unwrap();
+        let s = DegreeStats::compute(&g);
+        // Near-uniform: no extreme hubs.
+        assert!(
+            (s.max as f64) < s.avg * 4.0,
+            "max {} vs avg {}",
+            s.max,
+            s.avg
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! Watts–Strogatz small-world generator: a ring lattice with random
+//! rewiring. Used as the p2p-network analog (moderate degree, short
+//! diameter, mild irregularity) and for diameter-sensitivity experiments.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::error::GraphError;
+use rand::Rng;
+
+/// Parameters for [`watts_strogatz`].
+#[derive(Debug, Clone, Copy)]
+pub struct WattsStrogatzConfig {
+    /// Number of nodes on the ring.
+    pub nodes: usize,
+    /// Each node connects to its `k` nearest clockwise neighbors
+    /// (so the undirected degree before rewiring is `2k`).
+    pub k: usize,
+    /// Probability each lattice edge is rewired to a uniform random target.
+    pub rewire_prob: f64,
+}
+
+impl Default for WattsStrogatzConfig {
+    fn default() -> Self {
+        WattsStrogatzConfig {
+            nodes: 1000,
+            k: 3,
+            rewire_prob: 0.1,
+        }
+    }
+}
+
+/// Generates an undirected (symmetric CSR) small-world graph.
+pub fn watts_strogatz<R: Rng>(
+    rng: &mut R,
+    cfg: &WattsStrogatzConfig,
+) -> Result<CsrGraph, GraphError> {
+    let n = cfg.nodes;
+    let mut b = GraphBuilder::new(n).dedup();
+    if n >= 2 {
+        let k = cfg.k.max(1).min(n - 1);
+        for v in 0..n {
+            for j in 1..=k {
+                let lattice = ((v + j) % n) as u32;
+                let target = if rng.gen_bool(cfg.rewire_prob.clamp(0.0, 1.0)) {
+                    let mut t = rng.gen_range(0..n as u32);
+                    if t == v as u32 {
+                        t = (t + 1) % n as u32;
+                    }
+                    t
+                } else {
+                    lattice
+                };
+                b.add_undirected_edge(v as u32, target)?;
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{approx_diameter, DegreeStats};
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_rewire_is_a_ring_lattice() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(51);
+        let cfg = WattsStrogatzConfig {
+            nodes: 20,
+            k: 2,
+            rewire_prob: 0.0,
+        };
+        let g = watts_strogatz(&mut rng, &cfg).unwrap();
+        let s = DegreeStats::compute(&g);
+        assert_eq!(s.min, 4);
+        assert_eq!(s.max, 4);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn rewiring_shrinks_diameter() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(52);
+        let ring = watts_strogatz(
+            &mut rng,
+            &WattsStrogatzConfig {
+                nodes: 400,
+                k: 2,
+                rewire_prob: 0.0,
+            },
+        )
+        .unwrap();
+        let sw = watts_strogatz(
+            &mut rng,
+            &WattsStrogatzConfig {
+                nodes: 400,
+                k: 2,
+                rewire_prob: 0.3,
+            },
+        )
+        .unwrap();
+        let d_ring = approx_diameter(&ring, 0);
+        let d_sw = approx_diameter(&sw, 0);
+        assert!(d_sw * 3 < d_ring, "ring {d_ring}, small-world {d_sw}");
+    }
+
+    #[test]
+    fn stays_symmetric_under_rewiring() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(53);
+        let g = watts_strogatz(
+            &mut rng,
+            &WattsStrogatzConfig {
+                nodes: 60,
+                k: 3,
+                rewire_prob: 0.5,
+            },
+        )
+        .unwrap();
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(54);
+        for n in [0usize, 1] {
+            let g = watts_strogatz(
+                &mut rng,
+                &WattsStrogatzConfig {
+                    nodes: n,
+                    k: 2,
+                    rewire_prob: 0.1,
+                },
+            )
+            .unwrap();
+            assert_eq!(g.node_count(), n);
+            assert_eq!(g.edge_count(), 0);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! Graph substrate for the adaptive GPU graph runtime.
+//!
+//! This crate provides everything the runtime needs to *obtain* and *inspect*
+//! graphs:
+//!
+//! * [`CsrGraph`] — compressed sparse row storage (the paper's Figure 7),
+//!   the representation shared verbatim between the host and the simulated
+//!   device.
+//! * [`GraphBuilder`] — edge-list accumulation with deduplication and
+//!   validation.
+//! * [`generators`] — synthetic topology generators used as stand-ins for
+//!   the paper's six real-world datasets (road grid, regular co-purchase,
+//!   power-law citation/web/social networks, R-MAT, Erdős–Rényi,
+//!   Watts–Strogatz).
+//! * [`io`] — parsers and writers for the 9th DIMACS challenge `.gr` format
+//!   and SNAP-style edge lists, so the real datasets can be dropped in.
+//! * [`stats`] — the topology statistics the paper's Table 1 and Figure 1
+//!   report and that the adaptive runtime's *graph inspector* consumes.
+//! * [`datasets`] — a registry binding the six paper datasets to generator
+//!   configurations at several scales.
+//! * [`traversal`] — plain serial reference implementations of BFS and SSSP
+//!   used as test oracles throughout the workspace.
+
+pub mod builder;
+pub mod csr;
+pub mod datasets;
+pub mod error;
+pub mod generators;
+pub mod io;
+pub mod relabel;
+pub mod stats;
+pub mod traversal;
+
+pub use builder::GraphBuilder;
+pub use csr::{CsrGraph, NodeId, INF};
+pub use datasets::{Dataset, Scale};
+pub use error::GraphError;
+pub use stats::{DegreeStats, GraphStats};

@@ -1,0 +1,187 @@
+//! Node relabeling for memory locality (extension).
+//!
+//! The paper notes (Section III.C) that a GPU "requires regular memory
+//! access patterns" and that graph traversals gather neighbors at
+//! "unpredictable and irregular" addresses. One classical mitigation is
+//! to renumber the nodes in BFS visitation order: nodes that appear in
+//! the same frontier receive nearby ids, so a warp processing a frontier
+//! touches nearby rows of the value/update arrays and nearby slices of
+//! the edge vector — fewer memory transactions after coalescing. The
+//! `repro ablation-relabel` experiment quantifies the effect with the
+//! simulator's transaction counters.
+
+use crate::csr::{CsrGraph, NodeId};
+use crate::error::GraphError;
+use std::collections::VecDeque;
+
+/// A node renumbering: `perm[old_id] = new_id`, with inverse mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relabeling {
+    /// `perm[old] = new`.
+    pub perm: Vec<u32>,
+    /// `inv[new] = old`.
+    pub inv: Vec<u32>,
+}
+
+impl Relabeling {
+    /// Translates a per-node result vector computed on the relabeled
+    /// graph back to the original node order.
+    pub fn unpermute_values(&self, values: &[u32]) -> Vec<u32> {
+        (0..self.perm.len())
+            .map(|old| values[self.perm[old] as usize])
+            .collect()
+    }
+}
+
+/// Computes the BFS-order relabeling from `src`: visited nodes get ids in
+/// visitation order; unreached nodes keep their relative order after all
+/// reached ones.
+pub fn bfs_order(g: &CsrGraph, src: NodeId) -> Relabeling {
+    let n = g.node_count();
+    let mut perm = vec![u32::MAX; n];
+    let mut next_id = 0u32;
+    if n > 0 {
+        let mut q = VecDeque::new();
+        let src = (src as usize).min(n - 1) as u32;
+        perm[src as usize] = next_id;
+        next_id += 1;
+        q.push_back(src);
+        while let Some(u) = q.pop_front() {
+            for v in g.neighbors(u) {
+                if perm[v as usize] == u32::MAX {
+                    perm[v as usize] = next_id;
+                    next_id += 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        for p in perm.iter_mut() {
+            if *p == u32::MAX {
+                *p = next_id;
+                next_id += 1;
+            }
+        }
+    }
+    let mut inv = vec![0u32; n];
+    for (old, &new) in perm.iter().enumerate() {
+        inv[new as usize] = old as u32;
+    }
+    Relabeling { perm, inv }
+}
+
+/// Applies a relabeling, producing the renumbered graph. Out-edges of each
+/// node keep their original order (translated); weights follow edges.
+pub fn apply(g: &CsrGraph, r: &Relabeling) -> Result<CsrGraph, GraphError> {
+    let n = g.node_count();
+    if r.perm.len() != n || r.inv.len() != n {
+        return Err(GraphError::MalformedOffsets {
+            detail: format!("relabeling covers {} nodes, graph has {n}", r.perm.len()),
+        });
+    }
+    let mut offsets = vec![0u32; n + 1];
+    for new in 0..n {
+        let old = r.inv[new] as usize;
+        offsets[new + 1] = offsets[new] + (g.out_degree(old as u32) as u32);
+    }
+    let m = g.edge_count();
+    let mut cols = vec![0u32; m];
+    let mut weights = g.weight_slice().map(|_| vec![0u32; m]);
+    for (new, &old) in r.inv.iter().enumerate() {
+        let base = offsets[new] as usize;
+        for (slot, (dst, w)) in (base..).zip(g.weighted_neighbors(old)) {
+            cols[slot] = r.perm[dst as usize];
+            if let Some(ws) = weights.as_mut() {
+                ws[slot] = w;
+            }
+        }
+    }
+    CsrGraph::from_raw(offsets, cols, weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::datasets::{Dataset, Scale};
+    use crate::traversal;
+
+    #[test]
+    fn bfs_order_assigns_frontier_contiguous_ids() {
+        // 0 -> {5, 3}, 5 -> {1}, 3 -> {1}; node ids in BFS order:
+        // 0->0, 5->1, 3->2, 1->3, unreached 2,4 -> 4,5
+        let g = GraphBuilder::from_edges(6, &[(0, 5), (0, 3), (5, 1), (3, 1)]).unwrap();
+        let r = bfs_order(&g, 0);
+        assert_eq!(r.perm, vec![0, 3, 4, 2, 5, 1]);
+        for (old, &new) in r.perm.iter().enumerate() {
+            assert_eq!(r.inv[new as usize], old as u32);
+        }
+    }
+
+    #[test]
+    fn apply_preserves_structure_up_to_renaming() {
+        let g = Dataset::Google.generate_weighted(Scale::Tiny, 77, 50);
+        let r = bfs_order(&g, 0);
+        let h = apply(&g, &r).unwrap();
+        assert_eq!(g.node_count(), h.node_count());
+        assert_eq!(g.edge_count(), h.edge_count());
+        // Degrees transfer through the permutation.
+        for old in 0..g.node_count() as u32 {
+            assert_eq!(g.out_degree(old), h.out_degree(r.perm[old as usize]));
+        }
+        // Edge multisets agree after translation.
+        let mut a: Vec<_> = g
+            .edges()
+            .map(|(u, v, w)| (r.perm[u as usize], r.perm[v as usize], w))
+            .collect();
+        let mut b: Vec<_> = h.edges().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn traversal_results_commute_with_relabeling() {
+        let g = Dataset::P2p.generate_weighted(Scale::Tiny, 78, 50);
+        let r = bfs_order(&g, 0);
+        let h = apply(&g, &r).unwrap();
+        let direct = traversal::dijkstra(&g, 0);
+        let relabeled = traversal::dijkstra(&h, r.perm[0]);
+        assert_eq!(r.unpermute_values(&relabeled), direct);
+    }
+
+    #[test]
+    fn relabeled_source_gets_id_zero_and_frontiers_are_contiguous() {
+        let g = Dataset::Amazon.generate(Scale::Tiny, 79);
+        let r = bfs_order(&g, 7);
+        assert_eq!(r.perm[7], 0);
+        let h = apply(&g, &r).unwrap();
+        // In the relabeled graph, BFS levels are monotone in node id for
+        // reached nodes (frontier-contiguity property).
+        let levels = traversal::bfs_levels(&h, 0);
+        let reached: Vec<u32> = (0..h.node_count())
+            .map(|v| levels[v])
+            .take_while(|&l| l != crate::INF)
+            .collect();
+        for w in reached.windows(2) {
+            assert!(w[0] <= w[1], "levels must be sorted in relabeled id order");
+        }
+    }
+
+    #[test]
+    fn mismatched_relabeling_is_rejected() {
+        let g = CsrGraph::empty(3);
+        let r = Relabeling {
+            perm: vec![0, 1],
+            inv: vec![0, 1],
+        };
+        assert!(apply(&g, &r).is_err());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::empty(0);
+        let r = bfs_order(&g, 0);
+        assert!(r.perm.is_empty());
+        assert_eq!(apply(&g, &r).unwrap().node_count(), 0);
+    }
+}

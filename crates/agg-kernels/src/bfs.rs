@@ -1,0 +1,151 @@
+//! BFS computation kernels — all 8 variants of the paper's Figure 9.
+//!
+//! Buffer slots: `[row, col, value, ws, update]`; scalar 0 is the guard
+//! limit (`n` for bitmap variants, queue length for queue variants).
+//!
+//! * **Ordered** BFS adds a node to the update vector only the first time
+//!   it is seen (`level == INF`), with plain stores — benign races, since
+//!   every writer in an iteration writes the same level.
+//! * **Unordered** BFS relaxes with `atomicMin`, allowing re-improvement
+//!   (the paper's instruction 8').
+//! * **Thread** mapping: one node per thread, serial neighbor walk.
+//! * **Block** mapping: one node per block, neighbors strided by
+//!   `blockDim` across the block's threads.
+
+use crate::variant::{AlgoOrder, Mapping, Variant, WorkSet};
+use agg_gpu_sim::ir::expr::Expr;
+use agg_gpu_sim::{Kernel, KernelBuilder};
+use agg_graph::INF;
+
+/// Builds the BFS computation kernel for `v`.
+pub fn build(v: Variant) -> Kernel {
+    let mut k = KernelBuilder::new(format!("bfs_{}", v.name()));
+    let row = k.buf_param();
+    let col = k.buf_param();
+    let value = k.buf_param();
+    let ws = k.buf_param();
+    let update = k.buf_param();
+    let limit = k.scalar_param();
+
+    let id = match v.mapping {
+        Mapping::Thread => k.let_(k.global_thread_id()),
+        Mapping::Block => k.let_(k.block_idx()),
+    };
+
+    // Guard: lane/block beyond the working set exits immediately.
+    k.if_(Expr::Reg(id).ge(limit), |k| k.ret());
+
+    // Resolve the node id and (bitmap) membership.
+    let node = match v.workset {
+        WorkSet::Bitmap => {
+            let active = k.load(ws, id);
+            k.if_(active.lnot(), |k| k.ret());
+            Expr::Reg(id)
+        }
+        WorkSet::Queue => k.load(ws, id),
+    };
+    let node = k.let_(node);
+
+    let lvl = k.load(value, node);
+    let next = k.let_(lvl.add(1u32));
+    let start = k.load(row, node);
+    let end = k.load(row, Expr::Reg(node).add(1u32));
+
+    let relax = |k: &mut KernelBuilder, e: Expr| {
+        let m = k.load(col, e);
+        let m = k.let_(m);
+        match v.order {
+            AlgoOrder::Ordered => {
+                // Add each node once: the first time it is reached.
+                let old = k.load(value, m);
+                k.if_(old.eq(INF), |k| {
+                    k.store(value, m, next);
+                    k.store(update, m, 1u32);
+                });
+            }
+            AlgoOrder::Unordered => {
+                let old = k.atomic_min(value, m, next);
+                k.if_(Expr::Reg(next).lt(old), |k| {
+                    k.store(update, m, 1u32);
+                });
+            }
+        }
+    };
+
+    match v.mapping {
+        Mapping::Thread => {
+            let e = k.let_(start);
+            k.while_(Expr::Reg(e).lt(end.clone()), |k| {
+                relax(k, Expr::Reg(e));
+                k.assign(e, Expr::Reg(e).add(1u32));
+            });
+        }
+        Mapping::Block => {
+            let e = k.let_(start.add(k.thread_idx()));
+            k.while_(Expr::Reg(e).lt(end.clone()), |k| {
+                relax(k, Expr::Reg(e));
+                k.assign(e, Expr::Reg(e).add(k.block_dim()));
+            });
+        }
+    }
+
+    k.build()
+        .expect("BFS kernel construction is statically valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testdrive::{drive, Algo};
+    use agg_graph::traversal;
+    use agg_graph::{Dataset, GraphBuilder, Scale};
+
+    #[test]
+    fn all_variants_match_reference_on_every_tiny_dataset() {
+        for d in Dataset::ALL {
+            let g = d.generate(Scale::Tiny, 11);
+            let expected = traversal::bfs_levels(&g, 0);
+            for v in Variant::ALL {
+                let got = drive(Algo::Bfs, &g, 0, v).unwrap();
+                assert_eq!(got, expected, "{} BFS {} diverged", d.name(), v.name());
+            }
+        }
+    }
+
+    #[test]
+    fn handles_isolated_source() {
+        let g = GraphBuilder::from_edges(4, &[(1, 2)]).unwrap();
+        for v in Variant::ALL {
+            let got = drive(Algo::Bfs, &g, 0, v).unwrap();
+            assert_eq!(got, traversal::bfs_levels(&g, 0), "{}", v.name());
+        }
+    }
+
+    #[test]
+    fn handles_self_loops_and_cycles() {
+        let g = GraphBuilder::from_edges(3, &[(0, 0), (0, 1), (1, 2), (2, 0)]).unwrap();
+        for v in Variant::ALL {
+            assert_eq!(
+                drive(Algo::Bfs, &g, 0, v).unwrap(),
+                vec![0, 1, 2],
+                "{}",
+                v.name()
+            );
+        }
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let g = agg_graph::CsrGraph::empty(1);
+        for v in Variant::ALL {
+            assert_eq!(drive(Algo::Bfs, &g, 0, v).unwrap(), vec![0], "{}", v.name());
+        }
+    }
+
+    #[test]
+    fn kernel_names_encode_variant() {
+        for v in Variant::ALL {
+            assert_eq!(build(v).name, format!("bfs_{}", v.name()));
+        }
+    }
+}

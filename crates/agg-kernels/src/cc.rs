@@ -1,0 +1,118 @@
+//! Connected-components computation kernels (extension).
+//!
+//! The paper argues its framework "can be extended to many other graph
+//! algorithms which can be expressed as a sequence of iterative steps"
+//! (Section I). Min-label propagation is the canonical example: every
+//! node starts with its own id as label; each iteration working-set nodes
+//! push their label to neighbors with `atomicMin`; improved neighbors
+//! enter the update vector. On a symmetric (undirected) graph the
+//! fixpoint labels are the connected components.
+//!
+//! Labels propagate along edge direction, so directed graphs compute the
+//! "minimum label reachable from" fixpoint — callers wanting weakly
+//! connected components should symmetrize first (`CsrGraph::reverse` +
+//! merge, or generate undirected graphs).
+//!
+//! Only unordered variants exist: there is no useful priority order for
+//! label propagation, which is also why the adaptive runtime (unordered-
+//! only, Section VI.A) supports CC out of the box.
+//!
+//! Buffer slots: `[row, col, label, ws, update]`; scalar 0 = guard limit.
+
+use crate::variant::{AlgoOrder, Mapping, Variant, WorkSet};
+use agg_gpu_sim::ir::expr::Expr;
+use agg_gpu_sim::{Kernel, KernelBuilder};
+
+/// Builds the CC computation kernel for `v`. Panics on ordered variants
+/// (no ordered CC exists; the engine rejects them before reaching here).
+pub fn build(v: Variant) -> Kernel {
+    assert!(
+        matches!(v.order, AlgoOrder::Unordered),
+        "connected components has no ordered formulation"
+    );
+    let mut k = KernelBuilder::new(format!("cc_{}", v.name()));
+    let row = k.buf_param();
+    let col = k.buf_param();
+    let label = k.buf_param();
+    let ws = k.buf_param();
+    let update = k.buf_param();
+    let limit = k.scalar_param();
+
+    let id = match v.mapping {
+        Mapping::Thread => k.let_(k.global_thread_id()),
+        Mapping::Block => k.let_(k.block_idx()),
+    };
+    k.if_(Expr::Reg(id).ge(limit), |k| k.ret());
+
+    let node = match v.workset {
+        WorkSet::Bitmap => {
+            let active = k.load(ws, id);
+            k.if_(active.lnot(), |k| k.ret());
+            Expr::Reg(id)
+        }
+        WorkSet::Queue => k.load(ws, id),
+    };
+    let node = k.let_(node);
+
+    let lab = k.load(label, node);
+    let start = k.load(row, node);
+    let end = k.load(row, Expr::Reg(node).add(1u32));
+
+    let relax = |k: &mut KernelBuilder, e: Expr| {
+        let m = k.load(col, e);
+        let old = k.atomic_min(label, m.clone(), lab.clone());
+        k.if_(lab.clone().lt(old), |k| {
+            k.store(update, m.clone(), 1u32);
+        });
+    };
+
+    match v.mapping {
+        Mapping::Thread => {
+            let e = k.let_(start);
+            k.while_(Expr::Reg(e).lt(end.clone()), |k| {
+                relax(k, Expr::Reg(e));
+                k.assign(e, Expr::Reg(e).add(1u32));
+            });
+        }
+        Mapping::Block => {
+            let e = k.let_(start.add(k.thread_idx()));
+            k.while_(Expr::Reg(e).lt(end.clone()), |k| {
+                relax(k, Expr::Reg(e));
+                k.assign(e, Expr::Reg(e).add(k.block_dim()));
+            });
+        }
+    }
+
+    k.build()
+        .expect("CC kernel construction is statically valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agg_graph::GraphBuilder;
+
+    #[test]
+    fn builds_for_all_unordered_variants() {
+        for v in Variant::UNORDERED {
+            let k = build(v);
+            assert_eq!(k.num_bufs, 5);
+            assert!(k.name.contains("cc_U"));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no ordered formulation")]
+    fn rejects_ordered_variants() {
+        let _ = build(Variant::ALL[0]); // O_T_BM
+    }
+
+    #[test]
+    fn kernel_is_structurally_valid() {
+        let g = GraphBuilder::from_edges(2, &[(0, 1)]).unwrap();
+        let _ = g; // kernels are graph-independent; validation happens at build
+        for v in Variant::UNORDERED {
+            build(v).validate().unwrap();
+        }
+    }
+}

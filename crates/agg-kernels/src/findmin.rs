@@ -1,0 +1,125 @@
+//! The findmin kernel of ordered SSSP: a block-wide parallel reduction
+//! over the working set's tentative distances, combined across blocks with
+//! `atomicMin` — "faster than maintaining a heap on CPU" (Section V.B).
+
+use crate::variant::WorkSet;
+use agg_gpu_sim::ir::expr::Expr;
+use agg_gpu_sim::{Kernel, KernelBuilder};
+
+/// Builds the findmin kernel for the given working-set representation.
+/// Slot order `[ws, value, min_out]`; scalar 0 is the guard limit (`n`
+/// for bitmap, queue length for queue).
+pub fn build(ws_kind: WorkSet) -> Kernel {
+    let name = match ws_kind {
+        WorkSet::Bitmap => "findmin_bitmap",
+        WorkSet::Queue => "findmin_queue",
+    };
+    let mut k = KernelBuilder::new(name);
+    let ws = k.buf_param();
+    let value = k.buf_param();
+    let min_out = k.buf_param();
+    let limit = k.scalar_param();
+
+    let tid = k.let_(k.global_thread_id());
+    let cand = k.reg();
+    k.assign(cand, u32::MAX);
+    match ws_kind {
+        WorkSet::Bitmap => {
+            k.if_(Expr::Reg(tid).lt(limit.clone()), |k| {
+                let active = k.load(ws, tid);
+                k.if_(active, |k| {
+                    let v = k.load(value, tid);
+                    k.assign(cand, v);
+                });
+            });
+        }
+        WorkSet::Queue => {
+            k.if_(Expr::Reg(tid).lt(limit.clone()), |k| {
+                let node = k.load(ws, tid);
+                let v = k.load(value, node);
+                k.assign(cand, v);
+            });
+        }
+    }
+    let m = k.block_reduce_min(cand);
+    k.if_(k.thread_idx().eq(0u32), |k| {
+        k.atomic_min(min_out, 0u32, m.clone());
+    });
+    k.build().expect("statically valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agg_gpu_sim::prelude::*;
+
+    #[test]
+    fn bitmap_findmin_over_active_nodes_only() {
+        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let bits = [0u32, 1, 0, 1, 1];
+        let vals = [1u32, 50, 2, 40, 60];
+        let ws = dev.alloc_from_slice("ws", &bits);
+        let v = dev.alloc_from_slice("v", &vals);
+        let out = dev.alloc_filled("out", 1, u32::MAX);
+        dev.launch(
+            &build(WorkSet::Bitmap),
+            Grid::linear(5, 192),
+            &LaunchArgs::new().bufs([ws, v, out]).scalars([5]),
+        )
+        .unwrap();
+        assert_eq!(dev.debug_read_word(out, 0).unwrap(), 40); // not 1 or 2: inactive
+    }
+
+    #[test]
+    fn queue_findmin_dereferences_node_ids() {
+        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let queue = [4u32, 1];
+        let vals = [9u32, 25, 9, 9, 13];
+        let ws = dev.alloc_from_slice("q", &queue);
+        let v = dev.alloc_from_slice("v", &vals);
+        let out = dev.alloc_filled("out", 1, u32::MAX);
+        dev.launch(
+            &build(WorkSet::Queue),
+            Grid::linear(2, 192),
+            &LaunchArgs::new().bufs([ws, v, out]).scalars([2]),
+        )
+        .unwrap();
+        assert_eq!(dev.debug_read_word(out, 0).unwrap(), 13);
+    }
+
+    #[test]
+    fn combines_across_many_blocks() {
+        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let n = 1000u32;
+        let bits = vec![1u32; n as usize];
+        let vals: Vec<u32> = (0..n).map(|i| 10_000 - i * 7).collect();
+        let ws = dev.alloc_from_slice("ws", &bits);
+        let v = dev.alloc_from_slice("v", &vals);
+        let out = dev.alloc_filled("out", 1, u32::MAX);
+        dev.launch(
+            &build(WorkSet::Bitmap),
+            Grid::linear(n as u64, 192),
+            &LaunchArgs::new().bufs([ws, v, out]).scalars([n]),
+        )
+        .unwrap();
+        assert_eq!(
+            dev.debug_read_word(out, 0).unwrap(),
+            *vals.iter().min().unwrap()
+        );
+    }
+
+    #[test]
+    fn empty_working_set_leaves_max() {
+        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let ws = dev.alloc("ws", 4);
+        let v = dev.alloc_filled("v", 4, 5);
+        let out = dev.alloc_filled("out", 1, u32::MAX);
+        dev.launch(
+            &build(WorkSet::Bitmap),
+            Grid::linear(4, 192),
+            &LaunchArgs::new().bufs([ws, v, out]).scalars([4]),
+        )
+        .unwrap();
+        assert_eq!(dev.debug_read_word(out, 0).unwrap(), u32::MAX);
+    }
+}

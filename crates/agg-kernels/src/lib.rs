@@ -1,0 +1,203 @@
+#![warn(missing_docs)]
+
+//! GPU kernels for the paper's exploration space (Section IV/V).
+//!
+//! Every combination of
+//! *ordering* (ordered / unordered) × *mapping* (thread / block) ×
+//! *working set* (bitmap / queue) is implemented for both BFS and SSSP as
+//! a kernel in the `agg-gpu-sim` IR, mirroring the pseudocode of the
+//! paper's Figure 9. Supporting kernels implement the per-iteration
+//! pipeline of Figure 8:
+//!
+//! 1. `prep` — resets the queue length, findmin cell, and nonempty flag;
+//! 2. (ordered SSSP only) `findmin` — parallel reduction over the working
+//!    set's distances;
+//! 3. `CUDA_computation` — one of the 16 variants;
+//! 4. `CUDA_workset_gen` — turns the update vector into the next
+//!    iteration's bitmap or queue (atomic index allocation, with a
+//!    scan-based alternative as an ablation);
+//! 5. `count` — optional working-set census used by the adaptive
+//!    runtime's sampling inspector.
+//!
+//! The iteration driver itself lives in `agg-core`; this crate only owns
+//! kernel construction ([`GpuKernels`]), device-resident state
+//! ([`state::AlgoState`], [`state::DeviceGraph`]), and argument binding.
+
+pub mod bfs;
+pub mod bottomup;
+pub mod cc;
+pub mod findmin;
+pub mod pagerank;
+pub mod sssp;
+pub mod state;
+#[cfg(test)]
+pub(crate) mod testdrive;
+pub mod variant;
+pub mod vwarp;
+pub mod workset;
+
+pub use state::{AlgoState, DeviceGraph};
+pub use variant::{AlgoOrder, Mapping, Variant, WorkSet};
+
+use agg_gpu_sim::Kernel;
+
+/// All kernels, built once and reused across iterations and runs.
+pub struct GpuKernels {
+    /// BFS computation kernels, indexed by [`Variant::index`].
+    pub bfs: Vec<Kernel>,
+    /// SSSP computation kernels, indexed by [`Variant::index`].
+    pub sssp: Vec<Kernel>,
+    /// Update-vector → bitmap working set.
+    pub gen_bitmap: Kernel,
+    /// Update-vector → queue working set (atomic index allocation).
+    pub gen_queue: Kernel,
+    /// Update-vector → queue working set (block-scan index allocation,
+    /// Merrill-style ablation).
+    pub gen_queue_scan: Kernel,
+    /// Per-iteration scalar resets.
+    pub prep: Kernel,
+    /// Working-set census over the update vector / bitmap.
+    pub count_bitmap: Kernel,
+    /// Degree census over a bitmap working set (inspector ablation).
+    pub degree_census_bitmap: Kernel,
+    /// Degree census over a queue working set (inspector ablation).
+    pub degree_census_queue: Kernel,
+    /// findmin over a bitmap working set (ordered SSSP).
+    pub findmin_bitmap: Kernel,
+    /// findmin over a queue working set (ordered SSSP).
+    pub findmin_queue: Kernel,
+    /// Connected-components kernels, indexed by
+    /// `Variant::index() - 4` over [`Variant::UNORDERED`] (extension).
+    pub cc: Vec<Kernel>,
+    /// Virtual-warp BFS, bitmap working set (extension).
+    pub bfs_vw_bitmap: Kernel,
+    /// Virtual-warp BFS, queue working set (extension).
+    pub bfs_vw_queue: Kernel,
+    /// Virtual-warp SSSP, bitmap working set (extension).
+    pub sssp_vw_bitmap: Kernel,
+    /// Virtual-warp SSSP, queue working set (extension).
+    pub sssp_vw_queue: Kernel,
+    /// PageRank-delta kernels, indexed by `Variant::index() - 4` over
+    /// [`Variant::UNORDERED`] (extension).
+    pub pagerank: Vec<Kernel>,
+    /// Bottom-up BFS step (direction-optimizing extension).
+    pub bfs_bottom_up: Kernel,
+}
+
+impl GpuKernels {
+    /// Builds every kernel in the suite.
+    pub fn build() -> GpuKernels {
+        GpuKernels {
+            bfs: Variant::ALL.iter().map(|v| bfs::build(*v)).collect(),
+            sssp: Variant::ALL.iter().map(|v| sssp::build(*v)).collect(),
+            gen_bitmap: workset::gen_bitmap(),
+            gen_queue: workset::gen_queue(),
+            gen_queue_scan: workset::gen_queue_scan(),
+            prep: workset::prep(),
+            count_bitmap: workset::count_bitmap(),
+            degree_census_bitmap: workset::degree_census(false),
+            degree_census_queue: workset::degree_census(true),
+            findmin_bitmap: findmin::build(WorkSet::Bitmap),
+            findmin_queue: findmin::build(WorkSet::Queue),
+            cc: Variant::UNORDERED.iter().map(|v| cc::build(*v)).collect(),
+            bfs_vw_bitmap: vwarp::bfs_vwarp(WorkSet::Bitmap),
+            bfs_vw_queue: vwarp::bfs_vwarp(WorkSet::Queue),
+            sssp_vw_bitmap: vwarp::sssp_vwarp(WorkSet::Bitmap),
+            sssp_vw_queue: vwarp::sssp_vwarp(WorkSet::Queue),
+            pagerank: Variant::UNORDERED
+                .iter()
+                .map(|v| pagerank::build(*v))
+                .collect(),
+            bfs_bottom_up: bottomup::build(),
+        }
+    }
+
+    /// The BFS computation kernel for `v`.
+    pub fn bfs_kernel(&self, v: Variant) -> &Kernel {
+        &self.bfs[v.index()]
+    }
+
+    /// The SSSP computation kernel for `v`.
+    pub fn sssp_kernel(&self, v: Variant) -> &Kernel {
+        &self.sssp[v.index()]
+    }
+
+    /// The CC computation kernel for unordered variant `v`.
+    pub fn cc_kernel(&self, v: Variant) -> &Kernel {
+        assert!(
+            matches!(v.order, AlgoOrder::Unordered),
+            "connected components has no ordered formulation"
+        );
+        &self.cc[v.index() - 4]
+    }
+
+    /// The PageRank-delta kernel for unordered variant `v`.
+    pub fn pagerank_kernel(&self, v: Variant) -> &Kernel {
+        assert!(
+            matches!(v.order, AlgoOrder::Unordered),
+            "PageRank-delta has no ordered formulation"
+        );
+        &self.pagerank[v.index() - 4]
+    }
+
+    /// The virtual-warp kernel for (`bfs`, working set).
+    pub fn vwarp_kernel(&self, bfs: bool, ws: WorkSet) -> &Kernel {
+        match (bfs, ws) {
+            (true, WorkSet::Bitmap) => &self.bfs_vw_bitmap,
+            (true, WorkSet::Queue) => &self.bfs_vw_queue,
+            (false, WorkSet::Bitmap) => &self.sssp_vw_bitmap,
+            (false, WorkSet::Queue) => &self.sssp_vw_queue,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kernel_renders_to_pseudo_code() {
+        let k = GpuKernels::build();
+        let mut all: Vec<&Kernel> = Vec::new();
+        all.extend(k.bfs.iter());
+        all.extend(k.sssp.iter());
+        all.extend(k.cc.iter());
+        all.extend(k.pagerank.iter());
+        all.extend([
+            &k.gen_bitmap,
+            &k.gen_queue,
+            &k.gen_queue_scan,
+            &k.prep,
+            &k.count_bitmap,
+            &k.degree_census_bitmap,
+            &k.degree_census_queue,
+            &k.findmin_bitmap,
+            &k.findmin_queue,
+            &k.bfs_vw_bitmap,
+            &k.bfs_vw_queue,
+            &k.sssp_vw_bitmap,
+            &k.sssp_vw_queue,
+            &k.bfs_bottom_up,
+        ]);
+        assert_eq!(all.len(), 8 + 8 + 4 + 4 + 14);
+        for kernel in all {
+            let src = kernel.to_pseudo_code();
+            assert!(src.contains(&kernel.name), "{} missing from listing", kernel.name);
+            assert!(src.starts_with("__global__ void"), "{}", kernel.name);
+            assert!(src.trim_end().ends_with('}'), "{}", kernel.name);
+            kernel.validate().expect("every built kernel validates");
+        }
+    }
+
+    #[test]
+    fn builds_all_kernels() {
+        let k = GpuKernels::build();
+        assert_eq!(k.bfs.len(), 8);
+        assert_eq!(k.sssp.len(), 8);
+        for v in Variant::ALL {
+            assert!(k.bfs_kernel(v).name.contains("bfs"));
+            assert!(k.sssp_kernel(v).name.contains("sssp"));
+            assert!(k.bfs_kernel(v).name.contains(v.name()));
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! PageRank-delta computation kernels (extension).
+//!
+//! The paper's introduction motivates web ranking as a target workload;
+//! delta-PageRank ("push-style" PageRank) fits the framework's iterative
+//! working-set pattern exactly: each active node *claims* its accumulated
+//! residual, folds it into its rank, and pushes `residual × d / outdeg`
+//! to each neighbor with a float atomic add. A neighbor enters the update
+//! vector when its residual crosses the convergence threshold `ε` from
+//! below, and the traversal ends when no residual exceeds ε.
+//!
+//! Invariant maintained across iterations: a node outside both the
+//! working set and the update vector has residual < ε — crossing ε is the
+//! only way in, claiming (which zeroes the residual) the only way out.
+//! Dangling nodes drop their pushed mass (the common simplification;
+//! documented in the oracle too).
+//!
+//! Buffers: `[row, col, rank, residual, ws, update]`; scalars:
+//! `[limit, damping_bits, epsilon_bits]` (f32 bit patterns). Unordered
+//! only — there is no priority order to respect.
+
+use crate::variant::{AlgoOrder, Mapping, Variant, WorkSet};
+use agg_gpu_sim::ir::expr::Expr;
+use agg_gpu_sim::{Kernel, KernelBuilder};
+
+/// Builds the PageRank-delta kernel for `v` (unordered variants only).
+pub fn build(v: Variant) -> Kernel {
+    assert!(
+        matches!(v.order, AlgoOrder::Unordered),
+        "PageRank-delta has no ordered formulation"
+    );
+    let mut k = KernelBuilder::new(format!("pagerank_{}", v.name()));
+    let row = k.buf_param();
+    let col = k.buf_param();
+    let rank = k.buf_param();
+    let residual = k.buf_param();
+    let ws = k.buf_param();
+    let update = k.buf_param();
+    let limit = k.scalar_param();
+    let damping = k.scalar_param();
+    let eps = k.scalar_param();
+    // Block mapping needs the claimed residual broadcast from thread 0.
+    let r_slot = matches!(v.mapping, Mapping::Block).then(|| k.shared_alloc(1));
+
+    let id = match v.mapping {
+        Mapping::Thread => k.let_(k.global_thread_id()),
+        Mapping::Block => k.let_(k.block_idx()),
+    };
+    k.if_(Expr::Reg(id).ge(limit), |k| k.ret());
+
+    let node = match v.workset {
+        WorkSet::Bitmap => {
+            let active = k.load(ws, id);
+            k.if_(active.lnot(), |k| k.ret());
+            Expr::Reg(id)
+        }
+        WorkSet::Queue => k.load(ws, id),
+    };
+    let node = k.let_(node);
+
+    // Claim the residual and fold it into the rank — once per element.
+    let r = k.reg();
+    match v.mapping {
+        Mapping::Thread => {
+            let claimed = k.atomic_exch(residual, node, 0u32);
+            k.assign(r, claimed);
+            let old_rank = k.load(rank, node);
+            k.store(rank, node, old_rank.fadd(Expr::Reg(r)));
+        }
+        Mapping::Block => {
+            let slot = r_slot.expect("allocated for block mapping");
+            k.if_(k.thread_idx().eq(0u32), |k| {
+                let claimed = k.atomic_exch(residual, node, 0u32);
+                let old_rank = k.load(rank, node);
+                k.store(rank, node, old_rank.fadd(claimed.clone()));
+                k.shared_store(slot, claimed);
+            });
+            k.sync_threads();
+            let broadcast = k.shared_load(slot);
+            k.assign(r, broadcast);
+        }
+    }
+
+    let start = k.load(row, node);
+    let end = k.load(row, Expr::Reg(node).add(1u32));
+    let deg = k.let_(end.clone().sub(start.clone()));
+
+    k.if_(Expr::Reg(deg).gt(0u32), |k| {
+        let push = k.let_(
+            Expr::Reg(r)
+                .fmul(damping.clone())
+                .fdiv(Expr::Reg(deg).u2f()),
+        );
+        let relax = |k: &mut KernelBuilder, e: Expr| {
+            let m = k.load(col, e);
+            let old = k.atomic_fadd(residual, m.clone(), Expr::Reg(push));
+            let new = old.clone().fadd(Expr::Reg(push));
+            let crossed = old.flt(eps.clone()).and(new.fge(eps.clone()));
+            k.if_(crossed, |k| {
+                k.store(update, m.clone(), 1u32);
+            });
+        };
+        match v.mapping {
+            Mapping::Thread => {
+                let e = k.let_(start.clone());
+                k.while_(Expr::Reg(e).lt(end.clone()), |k| {
+                    relax(k, Expr::Reg(e));
+                    k.assign(e, Expr::Reg(e).add(1u32));
+                });
+            }
+            Mapping::Block => {
+                let e = k.let_(start.clone().add(k.thread_idx()));
+                k.while_(Expr::Reg(e).lt(end.clone()), |k| {
+                    relax(k, Expr::Reg(e));
+                    k.assign(e, Expr::Reg(e).add(k.block_dim()));
+                });
+            }
+        }
+    });
+
+    k.build()
+        .expect("PageRank kernel construction is statically valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_for_all_unordered_variants() {
+        for v in Variant::UNORDERED {
+            let k = build(v);
+            assert_eq!(k.num_bufs, 6);
+            assert_eq!(k.num_scalars, 3);
+            if matches!(v.mapping, Mapping::Block) {
+                assert_eq!(k.shared_words, 1, "{}", v.name());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no ordered formulation")]
+    fn rejects_ordered_variants() {
+        let _ = build(Variant::ALL[0]);
+    }
+}

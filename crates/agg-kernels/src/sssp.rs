@@ -1,0 +1,179 @@
+//! SSSP computation kernels — all 8 variants (the paper's Figure 5
+//! algorithms mapped onto Figure 9's kernel skeleton).
+//!
+//! Buffer slots: `[row, col, weights, value, ws, update]`, plus slot 6 =
+//! the findmin cell for ordered variants. Scalar 0 is the guard limit.
+//!
+//! * **Unordered** (Bellman-Ford): relax every working-set node's
+//!   out-edges with `atomicMin`; improved neighbors enter the update
+//!   vector.
+//! * **Ordered** (Dijkstra-like): only nodes whose tentative distance
+//!   equals the findmin result are settled this iteration; the rest
+//!   re-enter the update vector and wait. The findmin reduction itself is
+//!   [`crate::findmin`].
+
+use crate::variant::{AlgoOrder, Mapping, Variant, WorkSet};
+use agg_gpu_sim::ir::expr::Expr;
+use agg_gpu_sim::{Kernel, KernelBuilder};
+
+/// Builds the SSSP computation kernel for `v`.
+pub fn build(v: Variant) -> Kernel {
+    let mut k = KernelBuilder::new(format!("sssp_{}", v.name()));
+    let row = k.buf_param();
+    let col = k.buf_param();
+    let weights = k.buf_param();
+    let value = k.buf_param();
+    let ws = k.buf_param();
+    let update = k.buf_param();
+    let min_out = matches!(v.order, AlgoOrder::Ordered).then(|| k.buf_param());
+    let limit = k.scalar_param();
+
+    let id = match v.mapping {
+        Mapping::Thread => k.let_(k.global_thread_id()),
+        Mapping::Block => k.let_(k.block_idx()),
+    };
+    k.if_(Expr::Reg(id).ge(limit), |k| k.ret());
+
+    let node = match v.workset {
+        WorkSet::Bitmap => {
+            let active = k.load(ws, id);
+            k.if_(active.lnot(), |k| k.ret());
+            Expr::Reg(id)
+        }
+        WorkSet::Queue => k.load(ws, id),
+    };
+    let node = k.let_(node);
+
+    let d = k.load(value, node);
+
+    if let Some(min_buf) = min_out {
+        // Ordered: settle only the minimum-distance nodes; everything else
+        // stays in the working set for a later iteration.
+        let cur_min = k.load(min_buf, 0u32);
+        k.if_(d.clone().ne(cur_min), |k| {
+            match v.mapping {
+                Mapping::Thread => k.store(update, node, 1u32),
+                // One writer per block is enough (benign either way).
+                Mapping::Block => k.if_(k.thread_idx().eq(0u32), |k| {
+                    k.store(update, node, 1u32);
+                }),
+            }
+            k.ret();
+        });
+    }
+
+    let start = k.load(row, node);
+    let end = k.load(row, Expr::Reg(node).add(1u32));
+
+    let relax = |k: &mut KernelBuilder, e: Expr| {
+        let m = k.load(col, e.clone());
+        let w = k.load(weights, e);
+        let nd = k.let_(d.clone().sat_add(w));
+        let old = k.atomic_min(value, m.clone(), nd);
+        k.if_(Expr::Reg(nd).lt(old), |k| {
+            k.store(update, m.clone(), 1u32);
+        });
+    };
+
+    match v.mapping {
+        Mapping::Thread => {
+            let e = k.let_(start);
+            k.while_(Expr::Reg(e).lt(end.clone()), |k| {
+                relax(k, Expr::Reg(e));
+                k.assign(e, Expr::Reg(e).add(1u32));
+            });
+        }
+        Mapping::Block => {
+            let e = k.let_(start.add(k.thread_idx()));
+            k.while_(Expr::Reg(e).lt(end.clone()), |k| {
+                relax(k, Expr::Reg(e));
+                k.assign(e, Expr::Reg(e).add(k.block_dim()));
+            });
+        }
+    }
+
+    k.build()
+        .expect("SSSP kernel construction is statically valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testdrive::{drive, Algo};
+    use agg_graph::traversal;
+    use agg_graph::{Dataset, GraphBuilder, Scale};
+
+    #[test]
+    fn all_variants_match_dijkstra_on_tiny_datasets() {
+        for d in [
+            Dataset::CoRoad,
+            Dataset::P2p,
+            Dataset::Amazon,
+            Dataset::Google,
+        ] {
+            let g = d.generate_weighted(Scale::Tiny, 13, 64);
+            let expected = traversal::dijkstra(&g, 0);
+            for v in Variant::ALL {
+                let got = drive(Algo::Sssp, &g, 0, v).unwrap();
+                assert_eq!(got, expected, "{} SSSP {} diverged", d.name(), v.name());
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_diamond_takes_cheap_path() {
+        let g = GraphBuilder::from_weighted_edges(
+            4,
+            &[(0, 1, 1), (0, 2, 9), (1, 3, 1), (2, 3, 1), (1, 2, 1)],
+        )
+        .unwrap();
+        for v in Variant::ALL {
+            assert_eq!(
+                drive(Algo::Sssp, &g, 0, v).unwrap(),
+                vec![0, 1, 2, 2],
+                "{}",
+                v.name()
+            );
+        }
+    }
+
+    #[test]
+    fn unreachable_nodes_stay_at_inf() {
+        let g = GraphBuilder::from_weighted_edges(4, &[(0, 1, 3)]).unwrap();
+        let expected = traversal::dijkstra(&g, 0);
+        for v in Variant::ALL {
+            assert_eq!(
+                drive(Algo::Sssp, &g, 0, v).unwrap(),
+                expected,
+                "{}",
+                v.name()
+            );
+        }
+    }
+
+    #[test]
+    fn zero_weight_edges_are_legal() {
+        let g = GraphBuilder::from_weighted_edges(3, &[(0, 1, 0), (1, 2, 0)]).unwrap();
+        for v in Variant::ALL {
+            assert_eq!(
+                drive(Algo::Sssp, &g, 0, v).unwrap(),
+                vec![0, 0, 0],
+                "{}",
+                v.name()
+            );
+        }
+    }
+
+    #[test]
+    fn kernel_arity_depends_on_ordering() {
+        for v in Variant::ALL {
+            let k = build(v);
+            let expected_bufs = if matches!(v.order, AlgoOrder::Ordered) {
+                7
+            } else {
+                6
+            };
+            assert_eq!(k.num_bufs, expected_bufs, "{}", v.name());
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Test-only minimal iteration driver, used by kernel unit tests to
+//! exercise every variant end to end. The production driver with the
+//! adaptive runtime lives in `agg-core`; this one is intentionally dumb
+//! (fixed variant, fixed block sizes, generous iteration cap).
+
+use crate::state::{AlgoState, DeviceGraph};
+use crate::variant::{AlgoOrder, Mapping, Variant, WorkSet};
+use crate::GpuKernels;
+use agg_gpu_sim::prelude::*;
+use agg_graph::{CsrGraph, NodeId};
+
+/// Which algorithm to drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// Breadth-first search.
+    Bfs,
+    /// Single-source shortest paths.
+    Sssp,
+}
+
+/// Runs `algo` with static variant `v` on `g` from `src` and returns the
+/// value array.
+pub fn drive(algo: Algo, g: &CsrGraph, src: NodeId, v: Variant) -> Result<Vec<u32>, SimError> {
+    let kernels = GpuKernels::build();
+    let mut dev = Device::new(DeviceConfig::tesla_c2070());
+    let dg = DeviceGraph::upload(&mut dev, g);
+    let n = dg.n;
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let st = AlgoState::new(&mut dev, n, src)?;
+    let block_threads = 32u32;
+    let iter_cap = 40 * n as u64 + 100;
+    let mut iters = 0u64;
+    loop {
+        iters += 1;
+        assert!(
+            iters <= iter_cap,
+            "traversal did not converge within {iter_cap} iterations"
+        );
+        // 1. reset scalars
+        dev.launch(&kernels.prep, Grid::new(1, 32), &st.prep_args())?;
+        // 2. update vector -> working set
+        match v.workset {
+            WorkSet::Bitmap => {
+                dev.launch(
+                    &kernels.gen_bitmap,
+                    Grid::linear(n as u64, 192),
+                    &st.gen_bitmap_args(n),
+                )?;
+            }
+            WorkSet::Queue => {
+                dev.launch(
+                    &kernels.gen_queue,
+                    Grid::linear(n as u64, 192),
+                    &st.gen_queue_args(n),
+                )?;
+            }
+        }
+        // 3. termination check (4-byte D2H, as on real hardware)
+        let limit = match v.workset {
+            WorkSet::Bitmap => {
+                if dev.read_word(st.flag, 0)? == 0 {
+                    break;
+                }
+                n
+            }
+            WorkSet::Queue => {
+                let len = dev.read_word(st.queue_len, 0)?;
+                if len == 0 {
+                    break;
+                }
+                len
+            }
+        };
+        // 4. ordered SSSP: findmin over the working set
+        if algo == Algo::Sssp && v.order == AlgoOrder::Ordered {
+            let fk = match v.workset {
+                WorkSet::Bitmap => &kernels.findmin_bitmap,
+                WorkSet::Queue => &kernels.findmin_queue,
+            };
+            dev.launch(
+                fk,
+                Grid::linear(limit as u64, 192),
+                &st.findmin_args(v.workset, limit),
+            )?;
+        }
+        // 5. computation
+        let grid = match v.mapping {
+            Mapping::Thread => Grid::linear(limit as u64, 192),
+            Mapping::Block => Grid::new(limit, block_threads),
+        };
+        match algo {
+            Algo::Bfs => {
+                dev.launch(kernels.bfs_kernel(v), grid, &st.bfs_args(&dg, v, limit))?;
+            }
+            Algo::Sssp => {
+                dev.launch(kernels.sssp_kernel(v), grid, &st.sssp_args(&dg, v, limit))?;
+            }
+        }
+    }
+    Ok(dev.read(st.value))
+}

@@ -1,0 +1,132 @@
+//! Virtual warp-centric mapping (extension).
+//!
+//! Hong et al.'s virtual-warp model — which the paper cites as an idea
+//! that "can be integrated with our work" (Section II) — is the middle
+//! ground between the paper's two mapping granularities: each working-set
+//! element is assigned to a *sub-warp* of `width` threads (2..32, a power
+//! of two). The sub-warp's lanes stride over the element's neighbors, so
+//! low-degree nodes no longer idle a whole block (block mapping's
+//! weakness) while high-degree nodes no longer serialize a whole
+//! neighborhood on one lane (thread mapping's weakness).
+//!
+//! `width` is a runtime scalar (slot 1), so one kernel per algorithm ×
+//! working set covers every width. Launch geometry: `limit × width`
+//! threads. Unordered only.
+//!
+//! Buffer slots: BFS `[row, col, value, ws, update]`, SSSP
+//! `[row, col, weights, value, ws, update]`; scalars `[limit, width]`.
+
+use crate::variant::WorkSet;
+use agg_gpu_sim::ir::expr::Expr;
+use agg_gpu_sim::{Kernel, KernelBuilder};
+
+/// Builds the virtual-warp BFS kernel for the given working-set kind.
+pub fn bfs_vwarp(ws_kind: WorkSet) -> Kernel {
+    build(Algo::Bfs, ws_kind)
+}
+
+/// Builds the virtual-warp SSSP kernel for the given working-set kind.
+pub fn sssp_vwarp(ws_kind: WorkSet) -> Kernel {
+    build(Algo::Sssp, ws_kind)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Algo {
+    Bfs,
+    Sssp,
+}
+
+fn build(algo: Algo, ws_kind: WorkSet) -> Kernel {
+    let name = format!(
+        "{}_VW_{}",
+        if algo == Algo::Bfs { "bfs" } else { "sssp" },
+        match ws_kind {
+            WorkSet::Bitmap => "BM",
+            WorkSet::Queue => "QU",
+        }
+    );
+    let mut k = KernelBuilder::new(name);
+    let row = k.buf_param();
+    let col = k.buf_param();
+    let weights = (algo == Algo::Sssp).then(|| k.buf_param());
+    let value = k.buf_param();
+    let ws = k.buf_param();
+    let update = k.buf_param();
+    let limit = k.scalar_param();
+    let width = k.scalar_param();
+
+    let tid = k.let_(k.global_thread_id());
+    // Sub-warp decomposition: element index and lane within the sub-warp.
+    let elem = k.let_(Expr::Reg(tid).div(width.clone()));
+    let sublane = k.let_(Expr::Reg(tid).rem(width.clone()));
+
+    k.if_(Expr::Reg(elem).ge(limit), |k| k.ret());
+
+    let node = match ws_kind {
+        WorkSet::Bitmap => {
+            let active = k.load(ws, elem);
+            k.if_(active.lnot(), |k| k.ret());
+            Expr::Reg(elem)
+        }
+        WorkSet::Queue => k.load(ws, elem),
+    };
+    let node = k.let_(node);
+
+    let val = k.load(value, node);
+    let start = k.load(row, node);
+    let end = k.load(row, Expr::Reg(node).add(1u32));
+
+    // Lanes of the sub-warp stride the adjacency list by `width`.
+    let e = k.let_(start.add(Expr::Reg(sublane)));
+    match algo {
+        Algo::Bfs => {
+            let next = k.let_(val.add(1u32));
+            k.while_(Expr::Reg(e).lt(end.clone()), |k| {
+                let m = k.load(col, Expr::Reg(e));
+                let old = k.atomic_min(value, m.clone(), next);
+                k.if_(Expr::Reg(next).lt(old), |k| {
+                    k.store(update, m.clone(), 1u32);
+                });
+                k.assign(e, Expr::Reg(e).add(width.clone()));
+            });
+        }
+        Algo::Sssp => {
+            let wbuf = weights.expect("SSSP carries weights");
+            k.while_(Expr::Reg(e).lt(end.clone()), |k| {
+                let m = k.load(col, Expr::Reg(e));
+                let w = k.load(wbuf, Expr::Reg(e));
+                let nd = k.let_(val.clone().sat_add(w));
+                let old = k.atomic_min(value, m.clone(), nd);
+                k.if_(Expr::Reg(nd).lt(old), |k| {
+                    k.store(update, m.clone(), 1u32);
+                });
+                k.assign(e, Expr::Reg(e).add(width.clone()));
+            });
+        }
+    }
+    k.build()
+        .expect("virtual-warp kernel construction is statically valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernels_build_with_expected_arity() {
+        for ws in [WorkSet::Bitmap, WorkSet::Queue] {
+            let b = bfs_vwarp(ws);
+            assert_eq!(b.num_bufs, 5);
+            assert_eq!(b.num_scalars, 2);
+            let s = sssp_vwarp(ws);
+            assert_eq!(s.num_bufs, 6);
+            assert_eq!(s.num_scalars, 2);
+        }
+    }
+
+    #[test]
+    fn names_encode_shape() {
+        assert_eq!(bfs_vwarp(WorkSet::Bitmap).name, "bfs_VW_BM");
+        assert_eq!(sssp_vwarp(WorkSet::Queue).name, "sssp_VW_QU");
+    }
+}

@@ -1,0 +1,346 @@
+//! Working-set generation and per-iteration support kernels
+//! (`CUDA_workset_gen` of the paper's Figure 8/9, plus bookkeeping).
+
+use agg_gpu_sim::ir::expr::Expr;
+use agg_gpu_sim::{Kernel, KernelBuilder};
+
+/// Update vector → bitmap. Slot order `[update, bitmap, flag]`, scalar
+/// `n`. Also raises the nonempty `flag` (benign racing stores of 1) and
+/// clears consumed update entries — no atomics needed, the property that
+/// makes bitmaps cheap to build (Section V.C).
+pub fn gen_bitmap() -> Kernel {
+    let mut k = KernelBuilder::new("workset_gen_bitmap");
+    let update = k.buf_param();
+    let bitmap = k.buf_param();
+    let flag = k.buf_param();
+    let n = k.scalar_param();
+    let tid = k.let_(k.global_thread_id());
+    k.if_(Expr::Reg(tid).ge(n), |k| k.ret());
+    let u = k.load(update, tid);
+    k.store(bitmap, tid, u.clone());
+    k.if_(u, |k| {
+        k.store(flag, 0u32, 1u32);
+        k.store(update, tid, 0u32);
+    });
+    k.build().expect("statically valid")
+}
+
+/// Update vector → queue with *atomic index allocation* (the baseline
+/// implementation of \[33\]: one `atomicAdd` per inserted node, giving
+/// sequential index handout but parallel insertion). Slot order
+/// `[update, queue, queue_len]`, scalar `n`.
+pub fn gen_queue() -> Kernel {
+    let mut k = KernelBuilder::new("workset_gen_queue");
+    let update = k.buf_param();
+    let queue = k.buf_param();
+    let queue_len = k.buf_param();
+    let n = k.scalar_param();
+    let tid = k.let_(k.global_thread_id());
+    k.if_(Expr::Reg(tid).ge(n), |k| k.ret());
+    let u = k.load(update, tid);
+    k.if_(u, |k| {
+        let idx = k.atomic_add(queue_len, 0u32, 1u32);
+        k.store(queue, idx, tid);
+        k.store(update, tid, 0u32);
+    });
+    k.build().expect("statically valid")
+}
+
+/// Update vector → queue with *block-level prefix-scan index allocation*
+/// (the Merrill et al. optimization the paper cites as orthogonal \[9\]):
+/// one atomic per **block** instead of one per node. Same slot
+/// convention as [`gen_queue`]. Used by the queue-generation ablation
+/// (experiment X1).
+pub fn gen_queue_scan() -> Kernel {
+    let mut k = KernelBuilder::new("workset_gen_queue_scan");
+    let update = k.buf_param();
+    let queue = k.buf_param();
+    let queue_len = k.buf_param();
+    let n = k.scalar_param();
+    let base_slot = k.shared_alloc(1);
+
+    let tid = k.let_(k.global_thread_id());
+    // No early return: every lane participates in the block-wide scan
+    // (out-of-range lanes contribute 0).
+    let c = k.reg();
+    k.assign(c, 0u32);
+    k.if_(Expr::Reg(tid).lt(n.clone()), |k| {
+        let u = k.load(update, tid);
+        k.assign(c, u.ne(0u32));
+    });
+    let offset = k.block_scan_excl_add(c);
+    let total = k.block_reduce_add(c);
+    k.if_(k.thread_idx().eq(0u32), |k| {
+        let base = k.atomic_add(queue_len, 0u32, total.clone());
+        k.shared_store(base_slot, base);
+    });
+    k.sync_threads();
+    let base = k.shared_load(base_slot);
+    k.if_(Expr::Reg(c), |k| {
+        k.store(queue, base.add(offset.clone()), tid);
+        k.store(update, tid, 0u32);
+    });
+    k.build().expect("statically valid")
+}
+
+/// Per-iteration scalar resets, one tiny block:
+/// `queue_len = 0; min_out = MAX; flag = 0; count = 0; deg_sum = 0`.
+/// Slot order `[queue_len, min_out, flag, count, deg_sum]`.
+pub fn prep() -> Kernel {
+    let mut k = KernelBuilder::new("prep");
+    let queue_len = k.buf_param();
+    let min_out = k.buf_param();
+    let flag = k.buf_param();
+    let count = k.buf_param();
+    let deg_sum = k.buf_param();
+    let t = k.let_(k.thread_idx());
+    k.if_(Expr::Reg(t).eq(0u32), |k| k.store(queue_len, 0u32, 0u32));
+    k.if_(Expr::Reg(t).eq(1u32), |k| k.store(min_out, 0u32, u32::MAX));
+    k.if_(Expr::Reg(t).eq(2u32), |k| k.store(flag, 0u32, 0u32));
+    k.if_(Expr::Reg(t).eq(3u32), |k| k.store(count, 0u32, 0u32));
+    k.if_(Expr::Reg(t).eq(4u32), |k| k.store(deg_sum, 0u32, 0u32));
+    k.build().expect("statically valid")
+}
+
+/// Census of a bitmap working set: `count += popcount(bitmap)` via a
+/// block-wide reduction plus one atomic per block. This is the "separate
+/// kernel" the graph inspector runs when it samples (Section VI.E).
+/// Slot order `[bitmap, count]`, scalar `n`.
+pub fn count_bitmap() -> Kernel {
+    let mut k = KernelBuilder::new("count_bitmap");
+    let bitmap = k.buf_param();
+    let count = k.buf_param();
+    let n = k.scalar_param();
+    let tid = k.let_(k.global_thread_id());
+    let c = k.reg();
+    k.assign(c, 0u32);
+    k.if_(Expr::Reg(tid).lt(n.clone()), |k| {
+        let b = k.load(bitmap, tid);
+        k.assign(c, b.ne(0u32));
+    });
+    let total = k.block_reduce_add(c);
+    k.if_(k.thread_idx().eq(0u32), |k| {
+        k.atomic_add(count, 0u32, total.clone());
+    });
+    k.build().expect("statically valid")
+}
+
+/// Degree census of a working set: `count += Σ outdeg(v)` over active
+/// nodes, via block-wide reduction + one atomic per block. Together with
+/// the node census this gives the *working-set* average outdegree — the
+/// more precise (and more expensive) inspector input the paper discusses
+/// trading away in Section VI.E. Slot order `[ws, row, count]`, scalars
+/// `[limit]`; works for both representations via `is_queue`.
+pub fn degree_census(is_queue: bool) -> Kernel {
+    let name = if is_queue {
+        "degree_census_queue"
+    } else {
+        "degree_census_bitmap"
+    };
+    let mut k = KernelBuilder::new(name);
+    let ws = k.buf_param();
+    let row = k.buf_param();
+    let count = k.buf_param();
+    let limit = k.scalar_param();
+    let tid = k.let_(k.global_thread_id());
+    let c = k.reg();
+    k.assign(c, 0u32);
+    k.if_(Expr::Reg(tid).lt(limit.clone()), |k| {
+        if is_queue {
+            let node = k.load(ws, tid);
+            let node = k.let_(node);
+            let lo = k.load(row, node);
+            let hi = k.load(row, Expr::Reg(node).add(1u32));
+            k.assign(c, hi.sub(lo));
+        } else {
+            let active = k.load(ws, tid);
+            k.if_(active, |k| {
+                let lo = k.load(row, tid);
+                let hi = k.load(row, Expr::Reg(tid).add(1u32));
+                k.assign(c, hi.sub(lo));
+            });
+        }
+    });
+    let total = k.block_reduce_add(c);
+    k.if_(k.thread_idx().eq(0u32), |k| {
+        k.atomic_add(count, 0u32, total.clone());
+    });
+    k.build().expect("statically valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agg_gpu_sim::prelude::*;
+
+    fn run(kernel: &Kernel, dev: &mut Device, grid: Grid, args: &LaunchArgs) -> LaunchReport {
+        dev.launch(kernel, grid, args).unwrap()
+    }
+
+    fn setup(update: &[u32]) -> (Device, DevicePtr, DevicePtr, DevicePtr, DevicePtr) {
+        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let u = dev.alloc_from_slice("update", update);
+        let ws = dev.alloc("ws", update.len().max(1));
+        let len = dev.alloc("len", 1);
+        let flag = dev.alloc("flag", 1);
+        (dev, u, ws, len, flag)
+    }
+
+    #[test]
+    fn bitmap_gen_copies_flags_and_clears_update() {
+        let (mut dev, u, ws, _len, flag) = setup(&[1, 0, 1, 1, 0]);
+        let k = gen_bitmap();
+        run(
+            &k,
+            &mut dev,
+            Grid::linear(5, 192),
+            &LaunchArgs::new().bufs([u, ws, flag]).scalars([5]),
+        );
+        assert_eq!(dev.debug_read(ws).unwrap(), vec![1, 0, 1, 1, 0]);
+        assert_eq!(dev.debug_read(u).unwrap(), vec![0; 5]);
+        assert_eq!(dev.debug_read_word(flag, 0).unwrap(), 1);
+    }
+
+    #[test]
+    fn bitmap_gen_flag_stays_zero_when_empty() {
+        let (mut dev, u, ws, _len, flag) = setup(&[0, 0, 0]);
+        let k = gen_bitmap();
+        run(
+            &k,
+            &mut dev,
+            Grid::linear(3, 192),
+            &LaunchArgs::new().bufs([u, ws, flag]).scalars([3]),
+        );
+        assert_eq!(dev.debug_read_word(flag, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn queue_gen_compacts_set_nodes() {
+        let update = [0u32, 1, 0, 1, 1, 0, 1];
+        let (mut dev, u, ws, len, _flag) = setup(&update);
+        let k = gen_queue();
+        run(
+            &k,
+            &mut dev,
+            Grid::linear(7, 192),
+            &LaunchArgs::new().bufs([u, ws, len]).scalars([7]),
+        );
+        let l = dev.debug_read_word(len, 0).unwrap() as usize;
+        assert_eq!(l, 4);
+        let mut q = dev.debug_read(ws).unwrap()[..l].to_vec();
+        q.sort_unstable();
+        assert_eq!(q, vec![1, 3, 4, 6]);
+        assert_eq!(dev.debug_read(u).unwrap(), vec![0; 7]);
+    }
+
+    #[test]
+    fn scan_based_queue_gen_matches_atomic_version() {
+        // 300 nodes across several blocks, deterministic pattern.
+        let update: Vec<u32> = (0..300).map(|i| ((i % 3) == 0) as u32).collect();
+        let expected: Vec<u32> = (0..300).filter(|i| i % 3 == 0).collect();
+
+        for kernel in [gen_queue(), gen_queue_scan()] {
+            let (mut dev, u, ws, len, _flag) = setup(&update);
+            run(
+                &kernel,
+                &mut dev,
+                Grid::linear(300, 192),
+                &LaunchArgs::new().bufs([u, ws, len]).scalars([300]),
+            );
+            let l = dev.debug_read_word(len, 0).unwrap() as usize;
+            assert_eq!(l, expected.len(), "{}", kernel.name);
+            let mut q = dev.debug_read(ws).unwrap()[..l].to_vec();
+            q.sort_unstable();
+            assert_eq!(q, expected, "{}", kernel.name);
+        }
+    }
+
+    #[test]
+    fn scan_version_uses_fewer_atomics() {
+        let update: Vec<u32> = vec![1; 384]; // 2 blocks of 192
+        let (mut dev, u, ws, len, _flag) = setup(&update);
+        let r_atomic = run(
+            &gen_queue(),
+            &mut dev,
+            Grid::linear(384, 192),
+            &LaunchArgs::new().bufs([u, ws, len]).scalars([384]),
+        );
+        // refill update for second run
+        dev.write(u, &update).unwrap();
+        dev.write_word(len, 0, 0).unwrap();
+        let r_scan = run(
+            &gen_queue_scan(),
+            &mut dev,
+            Grid::linear(384, 192),
+            &LaunchArgs::new().bufs([u, ws, len]).scalars([384]),
+        );
+        assert_eq!(r_atomic.stats.totals.atomics, 384);
+        assert_eq!(r_scan.stats.totals.atomics, 2); // one per block
+        assert!(r_scan.stats.totals.atomic_conflicts < r_atomic.stats.totals.atomic_conflicts);
+    }
+
+    #[test]
+    fn prep_resets_all_cells() {
+        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let len = dev.alloc_filled("len", 1, 42);
+        let min_out = dev.alloc_filled("min", 1, 3);
+        let flag = dev.alloc_filled("flag", 1, 1);
+        let count = dev.alloc_filled("count", 1, 9);
+        let deg = dev.alloc_filled("deg", 1, 5);
+        run(
+            &prep(),
+            &mut dev,
+            Grid::new(1, 32),
+            &LaunchArgs::new().bufs([len, min_out, flag, count, deg]),
+        );
+        assert_eq!(dev.debug_read_word(len, 0).unwrap(), 0);
+        assert_eq!(dev.debug_read_word(min_out, 0).unwrap(), u32::MAX);
+        assert_eq!(dev.debug_read_word(flag, 0).unwrap(), 0);
+        assert_eq!(dev.debug_read_word(count, 0).unwrap(), 0);
+        assert_eq!(dev.debug_read_word(deg, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn degree_census_sums_active_outdegrees() {
+        // row offsets for 4 nodes with degrees 2, 0, 3, 1
+        let row = [0u32, 2, 2, 5, 6];
+        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let rowp = dev.alloc_from_slice("row", &row);
+        // bitmap: nodes 0 and 2 active -> degree sum 5
+        let bm = dev.alloc_from_slice("bm", &[1, 0, 1, 0]);
+        let count = dev.alloc("count", 1);
+        dev.launch(
+            &degree_census(false),
+            Grid::linear(4, 192),
+            &LaunchArgs::new().bufs([bm, rowp, count]).scalars([4]),
+        )
+        .unwrap();
+        assert_eq!(dev.debug_read_word(count, 0).unwrap(), 5);
+        // queue: nodes [3, 2] -> degree sum 4
+        let q = dev.alloc_from_slice("q", &[3, 2]);
+        let count2 = dev.alloc("count2", 1);
+        dev.launch(
+            &degree_census(true),
+            Grid::linear(2, 192),
+            &LaunchArgs::new().bufs([q, rowp, count2]).scalars([2]),
+        )
+        .unwrap();
+        assert_eq!(dev.debug_read_word(count2, 0).unwrap(), 4);
+    }
+
+    #[test]
+    fn count_bitmap_censuses_working_set() {
+        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let bits: Vec<u32> = (0..500).map(|i| (i % 7 == 0) as u32).collect();
+        let expected = bits.iter().sum::<u32>();
+        let bm = dev.alloc_from_slice("bm", &bits);
+        let count = dev.alloc("count", 1);
+        run(
+            &count_bitmap(),
+            &mut dev,
+            Grid::linear(500, 192),
+            &LaunchArgs::new().bufs([bm, count]).scalars([500]),
+        );
+        assert_eq!(dev.debug_read_word(count, 0).unwrap(), expected);
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! Facade crate for the adaptive GPU graph runtime workspace — a Rust
+//! reproduction of *"Deploying Graph Algorithms on GPUs: an Adaptive
+//! Solution"* (Li & Becchi, IPDPSW 2013).
+//!
+//! Re-exports the public API of every member crate so downstream users can
+//! depend on a single crate:
+//!
+//! ```
+//! use agg::prelude::*;
+//!
+//! let graph = Dataset::Amazon.generate_weighted(Scale::Tiny, 42, 64);
+//! let mut gg = GpuGraph::new(&graph).unwrap();
+//! let report = gg.bfs(0).unwrap();
+//! assert_eq!(report.values.len(), graph.node_count());
+//! ```
+
+pub use agg_core as core;
+pub use agg_cpu as cpu;
+pub use agg_gpu_sim as gpu_sim;
+pub use agg_graph as graph;
+pub use agg_kernels as kernels;
+
+/// One-stop imports for examples and applications.
+pub mod prelude {
+    pub use agg_core::{
+        AdaptiveConfig, Algo, CensusMode, GpuGraph, PageRankConfig, RunOptions, RunReport, Strategy,
+    };
+    pub use agg_cpu::{bfs as cpu_bfs, dijkstra as cpu_dijkstra, CpuCostModel};
+    pub use agg_gpu_sim::{Device, DeviceConfig};
+    pub use agg_graph::{CsrGraph, Dataset, GraphBuilder, GraphStats, Scale, INF};
+    pub use agg_kernels::{AlgoOrder, Mapping, Variant, WorkSet};
+}

@@ -1,0 +1,230 @@
+//! Property-based tests over the whole stack: random graphs through every
+//! kernel variant, format round trips, working-set invariants, and the
+//! decision function's totality.
+
+use agg::prelude::{
+    AlgoOrder, CsrGraph, GpuGraph, GraphBuilder, RunOptions, Variant, WorkSet, INF,
+};
+use agg_core::AdaptiveConfig;
+use agg_graph::io::{read_dimacs, read_edge_list, write_dimacs, write_edge_list};
+use agg_graph::traversal;
+use proptest::prelude::*;
+use std::io::Cursor;
+
+/// Strategy: a random weighted digraph as (node count, edge triples).
+fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = CsrGraph> {
+    (2usize..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32, 1u32..100), 0..max_m)
+            .prop_map(move |edges| GraphBuilder::from_weighted_edges(n, &edges).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
+
+    #[test]
+    fn bfs_every_variant_matches_the_oracle(g in arb_graph(40, 150), seed in 0u32..1000) {
+        let src = seed % g.node_count() as u32;
+        let expected = traversal::bfs_levels(&g, src);
+        prop_assert!(traversal::is_bfs_levels(&g, src, &expected));
+        let mut gg = GpuGraph::new(&g).unwrap();
+        for v in Variant::ALL {
+            let r = gg.bfs_with(src, &RunOptions::static_variant(v)).unwrap();
+            prop_assert_eq!(&r.values, &expected, "variant {}", v.name());
+        }
+    }
+
+    #[test]
+    fn sssp_adaptive_and_two_statics_match_dijkstra(g in arb_graph(35, 120), seed in 0u32..1000) {
+        let src = seed % g.node_count() as u32;
+        let expected = traversal::dijkstra(&g, src);
+        prop_assert!(traversal::is_sssp_fixpoint(&g, src, &expected));
+        let mut gg = GpuGraph::new(&g).unwrap();
+        let adaptive = gg.sssp(src).unwrap();
+        prop_assert_eq!(&adaptive.values, &expected);
+        for name in ["O_B_QU", "U_T_BM"] {
+            let v = Variant::parse(name).unwrap();
+            let r = gg.sssp_with(src, &RunOptions::static_variant(v)).unwrap();
+            prop_assert_eq!(&r.values, &expected, "variant {}", name);
+        }
+    }
+
+    #[test]
+    fn dimacs_round_trip_preserves_graphs(g in arb_graph(30, 100)) {
+        let mut buf = Vec::new();
+        write_dimacs(&mut buf, &g).unwrap();
+        let g2 = read_dimacs(Cursor::new(buf)).unwrap();
+        let a: Vec<_> = g.edges().collect();
+        let b: Vec<_> = g2.edges().collect();
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(g.node_count(), g2.node_count());
+    }
+
+    #[test]
+    fn edge_list_round_trip_preserves_graphs(g in arb_graph(30, 100)) {
+        let mut buf = Vec::new();
+        write_edge_list(&mut buf, &g).unwrap();
+        let g2 = read_edge_list(Cursor::new(buf)).unwrap();
+        let a: Vec<_> = g.edges().collect();
+        let b: Vec<_> = g2.edges().collect();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reverse_is_an_involution(g in arb_graph(30, 100)) {
+        let rr = g.reverse().reverse();
+        let mut a: Vec<_> = g.edges().collect();
+        let mut b: Vec<_> = rr.edges().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn decision_is_total_and_unordered(
+        ws in 0u32..5_000_000,
+        n in 1u32..5_000_000,
+        deg in 0.0f64..500.0,
+        t3 in 0.01f64..0.2,
+    ) {
+        let cfg = AdaptiveConfig { t3_fraction: t3, ..AdaptiveConfig::default() };
+        let v = agg_core::decide(&cfg, ws, n, deg);
+        prop_assert_eq!(v.order, AlgoOrder::Unordered);
+        prop_assert!(Variant::UNORDERED.contains(&v));
+        // Small working sets must always use the queue (bitmaps waste
+        // whole launches when sparse).
+        if ws < cfg.t2_ws_size.min(cfg.t3_ws_size(n)) {
+            prop_assert_eq!(v.workset, WorkSet::Queue);
+        }
+    }
+
+    #[test]
+    fn bfs_levels_satisfy_edge_triangle_inequality(g in arb_graph(40, 150)) {
+        let levels = traversal::bfs_levels(&g, 0);
+        for (u, v, _) in g.edges() {
+            let (lu, lv) = (levels[u as usize], levels[v as usize]);
+            if lu != INF {
+                prop_assert!(lv != INF && lv <= lu + 1, "edge ({u},{v}): {lu} -> {lv}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_report_times_are_positive_and_finite(g in arb_graph(25, 80)) {
+        let mut gg = GpuGraph::new(&g).unwrap();
+        let r = gg.bfs(0).unwrap();
+        prop_assert!(r.total_ns.is_finite() && r.total_ns > 0.0);
+        prop_assert!(r.launches > 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    #[test]
+    fn queue_generation_emits_exactly_the_set_bits(bits in proptest::collection::vec(any::<bool>(), 1..400)) {
+        use agg_gpu_sim::prelude::*;
+        use agg_kernels::GpuKernels;
+        let kernels = GpuKernels::build();
+        let n = bits.len() as u32;
+        let update: Vec<u32> = bits.iter().map(|&b| b as u32).collect();
+        let expected: Vec<u32> =
+            (0..n).filter(|&i| bits[i as usize]).collect();
+        for kernel in [&kernels.gen_queue, &kernels.gen_queue_scan] {
+            let mut dev = Device::new(DeviceConfig::tesla_c2070());
+            let u = dev.alloc_from_slice("u", &update);
+            let q = dev.alloc("q", n as usize);
+            let len = dev.alloc("len", 1);
+            dev.launch(
+                kernel,
+                Grid::linear(n as u64, 192),
+                &LaunchArgs::new().bufs([u, q, len]).scalars([n]),
+            )
+            .unwrap();
+            let l = dev.debug_read_word(len, 0).unwrap() as usize;
+            prop_assert_eq!(l, expected.len(), "{}", &kernel.name);
+            let mut got = dev.debug_read(q).unwrap()[..l].to_vec();
+            got.sort_unstable();
+            prop_assert_eq!(&got, &expected, "{}", &kernel.name);
+            // update vector fully consumed
+            prop_assert!(dev.debug_read(u).unwrap().iter().all(|&x| x == 0));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, .. ProptestConfig::default() })]
+
+    #[test]
+    fn cc_matches_the_naive_oracle_on_random_graphs(g in arb_graph(35, 120)) {
+        let expected = traversal::min_labels(&g);
+        let mut gg = GpuGraph::new(&g).unwrap();
+        let adaptive = gg.connected_components().unwrap();
+        prop_assert_eq!(&adaptive.values, &expected);
+        for v in Variant::UNORDERED {
+            let r = gg.connected_components_with(&RunOptions::static_variant(v)).unwrap();
+            prop_assert_eq!(&r.values, &expected, "variant {}", v.name());
+        }
+    }
+
+    #[test]
+    fn virtual_warp_matches_bfs_oracle(g in arb_graph(35, 120), width_pow in 1u32..6) {
+        let width = 1 << width_pow; // 2..32
+        let expected = traversal::bfs_levels(&g, 0);
+        let mut gg = GpuGraph::new(&g).unwrap();
+        for ws in [WorkSet::Bitmap, WorkSet::Queue] {
+            let opts = RunOptions {
+                strategy: agg::prelude::Strategy::VirtualWarp { width, workset: ws },
+                ..Default::default()
+            };
+            let r = gg.bfs_with(0, &opts).unwrap();
+            prop_assert_eq!(&r.values, &expected, "vw{} {:?}", width, ws);
+        }
+    }
+
+    #[test]
+    fn hybrid_matches_bfs_oracle_at_any_threshold(
+        g in arb_graph(35, 120),
+        threshold in 0u32..200,
+    ) {
+        let expected = traversal::bfs_levels(&g, 0);
+        let mut gg = GpuGraph::new(&g).unwrap();
+        let opts = RunOptions {
+            strategy: agg::prelude::Strategy::Hybrid { gpu_threshold: threshold },
+            ..Default::default()
+        };
+        let r = gg.bfs_with(0, &opts).unwrap();
+        prop_assert_eq!(&r.values, &expected);
+    }
+
+    #[test]
+    fn pagerank_mass_conservation_and_oracle_proximity(g in arb_graph(30, 100)) {
+        let mut gg = GpuGraph::new(&g).unwrap();
+        let r = gg.pagerank().unwrap();
+        let ranks = r.values_as_f32();
+        let n = g.node_count() as f32;
+        let total: f32 = ranks.iter().sum();
+        // teleport mass alone is (1-d)*n; dangling leakage keeps total <= n
+        prop_assert!(total >= 0.15 * n * 0.99 && total <= n * 1.01, "total {}", total);
+        prop_assert!(ranks.iter().all(|&x| x.is_finite() && x >= 0.0));
+        let power = agg::cpu::pagerank_power(&g, 0.85, 1e-7, 500);
+        let diff = ranks.iter().zip(&power).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
+        prop_assert!(diff < 2e-2, "max diff {}", diff);
+    }
+
+    #[test]
+    fn relabeling_commutes_with_every_algorithm(g in arb_graph(30, 100)) {
+        let relab = agg::graph::relabel::bfs_order(&g, 0);
+        let h = agg::graph::relabel::apply(&g, &relab).unwrap();
+        // BFS commutes
+        let a = traversal::bfs_levels(&g, 0);
+        let b = traversal::bfs_levels(&h, relab.perm[0]);
+        prop_assert_eq!(relab.unpermute_values(&b), a);
+        // degree multiset preserved
+        let mut da: Vec<usize> = (0..g.node_count() as u32).map(|v| g.out_degree(v)).collect();
+        let mut db: Vec<usize> = (0..h.node_count() as u32).map(|v| h.out_degree(v)).collect();
+        da.sort_unstable();
+        db.sort_unstable();
+        prop_assert_eq!(da, db);
+    }
+}
