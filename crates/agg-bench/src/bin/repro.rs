@@ -27,7 +27,15 @@
 //!   dump-kernels     write every kernel as pseudo-CUDA under --out
 //!   paper-spot       paper-size spot checks (adaptive BFS/SSSP vs CPU)
 //!   ablation-bottomup direction-optimizing BFS vs pure top-down (extension)
-//!   all              everything above
+//!   telemetry        per-iteration trace + per-kernel profile capture
+//!   all              everything above (except telemetry)
+//!
+//! telemetry flags (usable with any command; `telemetry` runs only these):
+//!   --trace-json PATH  write full run telemetry (per-iteration trace with
+//!                      variant/region/exact + estimated ws size/timings,
+//!                      always-on metrics, per-kernel profile) as JSON
+//!   --profile          print the per-kernel profile table (compute vs
+//!                      memory time, coalescing, occupancy)
 //! ```
 //!
 //! Results are printed and written as CSV under `--out` (default
@@ -39,6 +47,7 @@ use agg_bench::tables::{format_table, write_csv};
 use agg_bench::workloads::{load, load_all, DEFAULT_SEED};
 use agg_core::{decision, AdaptiveConfig, Algo, CensusMode, GpuGraph, RunOptions, Strategy};
 use agg_gpu_sim::prelude::*;
+use agg_gpu_sim::Json;
 use agg_graph::{stats, Dataset, GraphStats, Scale};
 use agg_kernels::{GpuKernels, Variant};
 use std::path::PathBuf;
@@ -49,6 +58,13 @@ struct Cli {
     scale: Scale,
     seed: u64,
     out: PathBuf,
+    trace_json: Option<PathBuf>,
+    profile: bool,
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
 }
 
 fn parse_cli() -> Cli {
@@ -57,21 +73,32 @@ fn parse_cli() -> Cli {
     let mut scale = Scale::Small;
     let mut seed = DEFAULT_SEED;
     let mut out = PathBuf::from("results");
+    let mut trace_json = None;
+    let mut profile = false;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--scale" => {
-                let v = args.next().expect("--scale needs a value");
-                scale = Scale::parse(&v).unwrap_or_else(|| panic!("unknown scale '{v}'"));
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| die("--scale needs a value (tiny|small|paper)"));
+                scale = Scale::parse(&v).unwrap_or_else(|| die(&format!("unknown scale '{v}'")));
             }
             "--seed" => {
-                seed = args
-                    .next()
-                    .expect("--seed needs a value")
+                let v = args.next().unwrap_or_else(|| die("--seed needs a value"));
+                seed = v
                     .parse()
-                    .expect("seed: u64");
+                    .unwrap_or_else(|_| die(&format!("--seed needs a u64, got '{v}'")));
             }
-            "--out" => out = PathBuf::from(args.next().expect("--out needs a value")),
-            other => panic!("unknown flag '{other}'"),
+            "--out" => {
+                out = PathBuf::from(args.next().unwrap_or_else(|| die("--out needs a directory")))
+            }
+            "--trace-json" => {
+                trace_json = Some(PathBuf::from(
+                    args.next().unwrap_or_else(|| die("--trace-json needs a path")),
+                ));
+            }
+            "--profile" => profile = true,
+            other => die(&format!("unknown flag '{other}'")),
         }
     }
     Cli {
@@ -79,6 +106,8 @@ fn parse_cli() -> Cli {
         scale,
         seed,
         out,
+        trace_json,
+        profile,
     }
 }
 
@@ -112,6 +141,7 @@ fn main() {
         "dump-kernels" => dump_kernels(&cli),
         "paper-spot" => paper_spot(&cli),
         "ablation-bottomup" => ablation_bottomup(&cli),
+        "telemetry" => {} // the flag handling below does all the work
         "all" => {
             table1(&cli);
             fig1(&cli);
@@ -141,7 +171,92 @@ fn main() {
             std::process::exit(2);
         }
     }
+    // Telemetry capture piggybacks on any command (and is all the bare
+    // `telemetry` command does).
+    if cli.trace_json.is_some() || cli.profile || cli.command == "telemetry" {
+        telemetry(&cli);
+    }
     eprintln!("\n[repro] finished in {:.1}s", t0.elapsed().as_secs_f64());
+}
+
+// ---------------------------------------------------------------- Telemetry
+
+/// Runs the adaptive runtime with full instrumentation (per-iteration
+/// trace with an exact census, always-on metrics, per-kernel profiles)
+/// and serializes/prints the result per `--trace-json` / `--profile`.
+fn telemetry(cli: &Cli) {
+    banner("Telemetry: per-iteration trace + per-kernel launch profiles (adaptive)");
+    let workloads = load_all(cli.scale, cli.seed);
+    let opts = RunOptions {
+        strategy: Strategy::Adaptive,
+        // An exact census every iteration: the trace then carries both the
+        // exact ws size and the (possibly stale) estimate the decision
+        // maker consumed, so sampling error is measurable offline.
+        census: CensusMode::Every,
+        record_trace: true,
+        ..Default::default()
+    };
+    let mut runs = Vec::new();
+    let mut profile_rows = Vec::new();
+    for w in &workloads {
+        for algo in [Algo::Bfs, Algo::Sssp] {
+            let r = gpu_run(w, algo, &opts).expect("telemetry run");
+            println!(
+                "{} {:?}: {} iterations, {} switches, {} census launches, \
+                 inspector {:.1}% of iteration time",
+                w.dataset.name(),
+                algo,
+                r.iterations,
+                r.switches,
+                r.metrics.census_launches,
+                100.0 * r.metrics.inspector_ns_total / r.metrics.iter_ns_total.max(1.0),
+            );
+            if cli.profile {
+                for p in r.profile.kernels() {
+                    profile_rows.push(vec![
+                        w.dataset.name().to_string(),
+                        format!("{algo:?}"),
+                        p.kernel.clone(),
+                        p.launches.to_string(),
+                        format!("{:.1}", p.time_ns / 1e3),
+                        format!("{:.1}", p.compute_ns / 1e3),
+                        format!("{:.1}", p.mem_ns / 1e3),
+                        format!("{:.2}", p.coalescing_efficiency()),
+                        format!("{:.2}", p.occupancy_fraction),
+                    ]);
+                }
+            }
+            runs.push(Json::obj([
+                ("dataset", w.dataset.name().into()),
+                ("algo", format!("{algo:?}").into()),
+                ("report", r.to_json()),
+            ]));
+        }
+    }
+    if cli.profile {
+        let header: Vec<String> = [
+            "network", "algo", "kernel", "launches", "time_us", "compute_us", "mem_us", "coalesce",
+            "occupancy",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        println!("\n{}", format_table(&header, &profile_rows, |_| None));
+        println!("(compute_us = issue + exposed-stall time; mem_us = bytes / bandwidth;");
+        println!(" coalesce = 1 / memory transactions per warp-level access)");
+    }
+    if let Some(path) = &cli.trace_json {
+        let doc = Json::obj([
+            ("scale", format!("{:?}", cli.scale).into()),
+            ("seed", cli.seed.into()),
+            ("runs", Json::Arr(runs)),
+        ]);
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir).expect("create --trace-json directory");
+        }
+        std::fs::write(path, doc.render_pretty()).expect("write --trace-json file");
+        println!("\n[json] {}", path.display());
+    }
 }
 
 fn banner(title: &str) {

@@ -39,7 +39,7 @@ impl GpuGraph {
         GpuGraph::build(g, Device::new(cfg))
     }
 
-    /// Uploads `g` to a device that interprets blocks on the rayon pool
+    /// Uploads `g` to a device that interprets blocks on parallel host threads
     /// (identical results, faster simulation on multicore hosts).
     pub fn with_parallel_host(g: &CsrGraph, cfg: DeviceConfig) -> Result<GpuGraph, CoreError> {
         GpuGraph::build(g, Device::new(cfg).with_mode(ExecMode::Parallel))
@@ -166,6 +166,14 @@ impl GpuGraph {
         self.dev.elapsed_ns()
     }
 
+    /// Per-kernel launch profiles accumulated across every run on this
+    /// graph (compute vs. bandwidth time, coalescing efficiency,
+    /// occupancy). Each [`RunReport::profile`] holds the single-run slice
+    /// of this; the device-level view here spans the graph's lifetime.
+    pub fn profile(&self) -> &agg_gpu_sim::ProfileReport {
+        self.dev.profile()
+    }
+
     /// The underlying device (for advanced configuration inspection).
     pub fn device(&self) -> &Device {
         &self.dev
@@ -209,6 +217,21 @@ mod tests {
         let r = gg.bfs_with(0, &RunOptions::static_variant(v)).unwrap();
         assert_eq!(r.values, traversal::bfs_levels(&g, 0));
         assert_eq!(r.switches, 0);
+    }
+
+    #[test]
+    fn device_profile_accumulates_across_runs() {
+        let g = Dataset::P2p.generate(Scale::Tiny, 35);
+        let mut gg = GpuGraph::new(&g).unwrap();
+        let first = gg.bfs(0).unwrap();
+        let after_one = gg.profile().total_launches();
+        assert_eq!(after_one, first.launches);
+        let second = gg.bfs(0).unwrap();
+        assert_eq!(
+            gg.profile().total_launches(),
+            after_one + second.launches,
+            "device-level profile spans runs; per-run reports slice it"
+        );
     }
 
     #[test]

@@ -36,6 +36,19 @@ pub enum Region {
     LargeWsHighDeg,
 }
 
+impl Region {
+    /// A stable label for traces and JSON output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Region::SmallWs => "small_ws",
+            Region::MidWsLowDeg => "mid_ws_low_deg",
+            Region::MidWsHighDeg => "mid_ws_high_deg",
+            Region::LargeWsLowDeg => "large_ws_low_deg",
+            Region::LargeWsHighDeg => "large_ws_high_deg",
+        }
+    }
+}
+
 /// Classifies a point of the decision space.
 pub fn region(cfg: &AdaptiveConfig, ws_size: u32, n: u32, avg_outdegree: f64) -> Region {
     let t3 = cfg.t3_ws_size(n);

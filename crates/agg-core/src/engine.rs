@@ -22,8 +22,10 @@
 //! switch.
 
 use crate::config::{AdaptiveConfig, DegreeMode};
-use crate::decision::decide;
+use crate::decision::{decide, region, Region};
+use crate::metrics::Metrics;
 use agg_cpu::CpuCostModel;
+use agg_gpu_sim::json::Json;
 use agg_gpu_sim::mem::transfer::transfer_ns;
 use agg_gpu_sim::prelude::*;
 use agg_graph::{NodeId, INF};
@@ -171,16 +173,54 @@ pub struct IterationRecord {
     /// The variant that executed the computation (for host iterations of
     /// a hybrid run, the variant the GPU *would* have used).
     pub variant: Variant,
-    /// Working-set size, when known (queue mode, censused bitmap mode, or
-    /// any host iteration).
+    /// Where the decision maker's inputs sat in the Figure 11 space when
+    /// this iteration's variant was chosen (recorded for every strategy,
+    /// even those that ignore it).
+    pub region: Region,
+    /// Working-set size, when known *exactly* (queue mode, censused bitmap
+    /// mode, or any host iteration).
     pub ws_size: Option<u32>,
+    /// The working-set size estimate the decision maker consumed for this
+    /// iteration — stale whenever the census was skipped. Comparing this
+    /// against [`IterationRecord::ws_size`] measures inspector-sampling
+    /// error.
+    pub est_ws: u32,
+    /// The average-outdegree estimate the decision maker consumed (the
+    /// whole-graph average, or the last working-set census in
+    /// [`DegreeMode::WorkingSet`]).
+    pub est_avg_deg: f64,
     /// Sub-warp width when the iteration ran a virtual-warp kernel.
     pub vwarp_width: Option<u32>,
     /// True when a hybrid run executed this iteration on the host CPU.
     pub on_host: bool,
+    /// True when this iteration changed variant (or processor, for hybrid
+    /// runs) relative to the previous one.
+    pub switched: bool,
+    /// Modeled time spent in the inspector this iteration (census kernels
+    /// + their result reads), ns. Subset of `iter_ns`.
+    pub inspector_ns: f64,
     /// Modeled time of this iteration (all launches + reads + host work),
     /// ns.
     pub iter_ns: f64,
+}
+
+impl IterationRecord {
+    /// This record as a JSON object (one element of the trace array).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("iteration", self.iteration.into()),
+            ("variant", self.variant.name().into()),
+            ("region", self.region.name().into()),
+            ("ws_size", self.ws_size.into()),
+            ("est_ws", self.est_ws.into()),
+            ("est_avg_deg", self.est_avg_deg.into()),
+            ("vwarp_width", self.vwarp_width.into()),
+            ("on_host", self.on_host.into()),
+            ("switched", self.switched.into()),
+            ("inspector_ns", self.inspector_ns.into()),
+            ("iter_ns", self.iter_ns.into()),
+        ])
+    }
 }
 
 /// The result of a traversal run.
@@ -198,12 +238,25 @@ pub struct RunReport {
     /// Total modeled time: state init + iterations + final D2H (+ graph
     /// H2D when configured) + host work, ns.
     pub total_ns: f64,
+    /// Modeled time before the first iteration: state reset (+ the graph
+    /// H2D transfer when configured), ns.
+    pub setup_ns: f64,
+    /// Modeled time after the last completed iteration: the terminating
+    /// workset generation + emptiness check and the final values D2H, ns.
+    /// `setup_ns + metrics.iter_ns_total + teardown_ns == total_ns`.
+    pub teardown_ns: f64,
     /// Modeled host-CPU time within the total (hybrid runs), ns.
     pub host_ns: f64,
     /// Kernel statistics summed over every launch of this run (memory
     /// traffic, divergence, atomics) — the raw material of the locality
     /// and divergence experiments.
     pub gpu_stats: agg_gpu_sim::KernelStats,
+    /// Always-on counters: per-variant iteration histogram, census
+    /// launches, inspector time (cheap; recorded for every run).
+    pub metrics: Metrics,
+    /// Per-kernel launch profiles for this run (compute vs. bandwidth
+    /// time, coalescing, occupancy). Always recorded.
+    pub profile: agg_gpu_sim::ProfileReport,
     /// Per-iteration trace (empty unless requested).
     pub trace: Vec<IterationRecord>,
 }
@@ -217,6 +270,29 @@ impl RunReport {
     /// Reinterprets the value array as f32 (PageRank ranks).
     pub fn values_as_f32(&self) -> Vec<f32> {
         self.values.iter().map(|&b| f32::from_bits(b)).collect()
+    }
+
+    /// The full telemetry payload as a JSON object: run summary, always-on
+    /// metrics, per-kernel profile, and the trace (empty array unless the
+    /// run recorded one). Values are omitted — they are data, not
+    /// telemetry.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("nodes", self.values.len().into()),
+            ("iterations", self.iterations.into()),
+            ("switches", self.switches.into()),
+            ("launches", self.launches.into()),
+            ("total_ns", self.total_ns.into()),
+            ("setup_ns", self.setup_ns.into()),
+            ("teardown_ns", self.teardown_ns.into()),
+            ("host_ns", self.host_ns.into()),
+            ("metrics", self.metrics.to_json()),
+            ("profile", self.profile.to_json()),
+            (
+                "trace",
+                Json::arr(self.trace.iter().map(IterationRecord::to_json)),
+            ),
+        ])
     }
 }
 
@@ -294,16 +370,28 @@ struct Ctx<'a> {
     pagerank: PageRankConfig,
     thread_threads: u32,
     block_threads: u32,
+    /// Modeled time spent in inspector censuses (launch + result read), ns.
+    inspector_ns: f64,
+    /// Working-set size censuses launched (bitmap `count` kernel).
+    census_launches: u32,
+    /// Degree censuses launched (working-set outdegree inspector).
+    degree_census_launches: u32,
 }
 
 impl<'a> Ctx<'a> {
     /// Steps 1-4: prep, workset generation into `ws_kind`, termination
     /// check, optional census. Returns `None` when the working set is
     /// empty (traversal done), else `(limit, known ws size)`.
+    ///
+    /// `force_census` makes a `Sampled` bitmap iteration run the census
+    /// even off-cadence — the engine sets it right after a representation
+    /// switch into bitmap mode so the decision maker never keeps running
+    /// on a size estimate from before the switch. (`Off` stays off.)
     fn gen_and_check(
         &mut self,
         ws_kind: WorkSet,
         iteration: u32,
+        force_census: bool,
     ) -> Result<Option<(u32, Option<u32>)>, CoreError> {
         let n = self.dg.n;
         self.dev.launch(
@@ -325,16 +413,20 @@ impl<'a> Ctx<'a> {
                     CensusMode::Off => false,
                     CensusMode::Every => true,
                     CensusMode::Sampled => {
-                        iteration.is_multiple_of(self.tuning.sampling_period.max(1))
+                        force_census || iteration.is_multiple_of(self.tuning.sampling_period.max(1))
                     }
                 };
                 let ws = if due {
+                    let census_start = self.dev.elapsed_ns();
                     self.dev.launch(
                         &self.kernels.count_bitmap,
                         Grid::linear(n as u64, self.thread_threads),
                         &self.state.count_args(n),
                     )?;
-                    Some(self.dev.read_word(self.state.count, 0)?)
+                    let count = self.dev.read_word(self.state.count, 0)?;
+                    self.inspector_ns += self.dev.elapsed_ns() - census_start;
+                    self.census_launches += 1;
+                    Some(count)
                 } else {
                     None
                 };
@@ -367,12 +459,16 @@ impl<'a> Ctx<'a> {
             WorkSet::Bitmap => &self.kernels.degree_census_bitmap,
             WorkSet::Queue => &self.kernels.degree_census_queue,
         };
+        let census_start = self.dev.elapsed_ns();
         self.dev.launch(
             kernel,
             Grid::linear(limit as u64, self.thread_threads),
             &self.state.degree_census_args(self.dg, ws_kind, limit),
         )?;
-        Ok(self.dev.read_word(self.state.deg_sum, 0)?)
+        let deg_sum = self.dev.read_word(self.state.deg_sum, 0)?;
+        self.inspector_ns += self.dev.elapsed_ns() - census_start;
+        self.degree_census_launches += 1;
+        Ok(deg_sum)
     }
 
     /// Step 5: findmin for ordered SSSP.
@@ -491,8 +587,12 @@ fn empty_report() -> RunReport {
         switches: 0,
         launches: 0,
         total_ns: 0.0,
+        setup_ns: 0.0,
+        teardown_ns: 0.0,
         host_ns: 0.0,
         gpu_stats: agg_gpu_sim::KernelStats::default(),
+        metrics: Metrics::default(),
+        profile: agg_gpu_sim::ProfileReport::default(),
         trace: Vec::new(),
     }
 }
@@ -560,10 +660,18 @@ pub fn run(
     let start_ns = dev.elapsed_ns();
     let start_launches = dev.launch_count();
     let start_stats = dev.cumulative_stats();
+    let start_profile = dev.profile().clone();
     match algo {
         Algo::Cc => state.reset_cc(dev, n)?,
         Algo::PageRank => state.reset_pagerank(dev, options.pagerank.damping)?,
         _ => state.reset(dev, src)?,
+    }
+    // Setup covers everything before the first iteration; the graph H2D
+    // transfer (when charged to this run) belongs to it. Folding it in
+    // here keeps `setup + Σ iter + teardown == total` exact.
+    let mut setup_ns = dev.elapsed_ns() - start_ns;
+    if options.include_graph_transfer {
+        setup_ns += transfer_ns(dev.config(), dg.bytes);
     }
 
     let block_threads =
@@ -580,6 +688,9 @@ pub fn run(
         pagerank: options.pagerank,
         thread_threads,
         block_threads,
+        inspector_ns: 0.0,
+        census_launches: 0,
+        degree_census_launches: 0,
     };
 
     let mut est_ws: u32 = if matches!(algo, Algo::Cc | Algo::PageRank) {
@@ -591,13 +702,21 @@ pub fn run(
     let mut prev_variant: Option<Variant> = None;
     let mut switches = 0u32;
     let mut iterations = 0u32;
+    let mut metrics = Metrics::default();
     let mut trace = Vec::new();
+    // Start of the pass that ends the traversal: its prep + workset-gen +
+    // emptiness check are charged to teardown, not to any iteration.
+    let mut teardown_start;
 
     loop {
         if iterations as u64 >= cap {
             return Err(CoreError::NoConvergence { iterations: cap });
         }
         let iter_start = ctx.dev.elapsed_ns();
+        teardown_start = iter_start;
+        let inspector_before = ctx.inspector_ns;
+        let (est_ws_used, est_deg_used) = (est_ws, est_avg_deg);
+        let iter_region = region(&tuning, est_ws, n, est_avg_deg);
         let mut vwarp: Option<u32> = None;
         let mut bottom_up = false;
         let variant = match options.strategy {
@@ -618,16 +737,28 @@ pub fn run(
             }
             Strategy::Hybrid { .. } => unreachable!("dispatched above"),
         };
-        if let Some(p) = prev_variant {
-            if p != variant {
-                switches += 1;
-            }
-        }
+        let switched = prev_variant.is_some_and(|p| p != variant);
+        // Entering bitmap mode from a queue iteration invalidates the size
+        // estimate's provenance (queues report exact sizes for free; the
+        // bitmap only reports when censused). Force an off-cadence census
+        // so the next decisions never run on a pre-switch estimate.
+        let force_census = switched
+            && variant.workset == WorkSet::Bitmap
+            && prev_variant.is_some_and(|p| p.workset != variant.workset);
 
-        let Some((limit, ws_known)) = ctx.gen_and_check(variant.workset, iterations + 1)? else {
+        let Some((limit, ws_known)) =
+            ctx.gen_and_check(variant.workset, iterations + 1, force_census)?
+        else {
             break;
         };
         iterations += 1;
+        // Counted only once the pass is known to execute: a variant chosen
+        // for the terminating (empty-workset) pass never runs a compute
+        // kernel, so it is not a switch — keeps `switches` equal to the
+        // number of `switched` records in the trace.
+        if switched {
+            switches += 1;
+        }
         if let Some(w) = ws_known {
             est_ws = w;
             // Working-set degree inspector (extension ablation): piggyback
@@ -655,6 +786,7 @@ pub fn run(
                 Grid::linear(n as u64, ctx.thread_threads),
                 &ctx.state.bfs_bottom_up_args(ctx.dg, n, iterations),
             )?;
+            metrics.bottom_up_iterations += 1;
         } else {
             match vwarp {
                 Some(width) => ctx.compute_vwarp(variant.workset, limit, width)?,
@@ -662,33 +794,52 @@ pub fn run(
             }
         }
 
+        let iter_ns = ctx.dev.elapsed_ns() - iter_start;
+        metrics.record_iteration(variant, iter_ns);
         if options.record_trace {
             trace.push(IterationRecord {
                 iteration: iterations,
                 variant,
+                region: iter_region,
                 ws_size: ws_known,
+                est_ws: est_ws_used,
+                est_avg_deg: est_deg_used,
                 vwarp_width: vwarp,
                 on_host: false,
-                iter_ns: ctx.dev.elapsed_ns() - iter_start,
+                switched,
+                inspector_ns: ctx.inspector_ns - inspector_before,
+                iter_ns,
             });
         }
         prev_variant = Some(variant);
     }
 
+    metrics.switches = switches;
+    metrics.census_launches = ctx.census_launches;
+    metrics.degree_census_launches = ctx.degree_census_launches;
+    metrics.inspector_ns_total = ctx.inspector_ns;
+
     let values = dev.read(state.value); // final D2H, charged
-    let mut total_ns = dev.elapsed_ns() - start_ns;
+    let end_ns = dev.elapsed_ns();
+    let teardown_ns = end_ns - teardown_start;
+    let mut total_ns = end_ns - start_ns;
     if options.include_graph_transfer {
         total_ns += transfer_ns(dev.config(), dg.bytes);
     }
     let gpu_stats = subtract_kernel_stats(dev.cumulative_stats(), start_stats);
+    let profile = dev.profile().since(&start_profile);
     Ok(RunReport {
         values,
         iterations,
         switches,
         launches: dev.launch_count() - start_launches,
         total_ns,
+        setup_ns,
+        teardown_ns,
         host_ns: 0.0,
         gpu_stats,
+        metrics,
+        profile,
         trace,
     })
 }
@@ -725,7 +876,12 @@ fn run_hybrid(
     let start_ns = dev.elapsed_ns();
     let start_launches = dev.launch_count();
     let start_stats = dev.cumulative_stats();
+    let start_profile = dev.profile().clone();
     state.reset(dev, src)?;
+    let mut setup_ns = dev.elapsed_ns() - start_ns;
+    if options.include_graph_transfer {
+        setup_ns += transfer_ns(dev.config(), dg.bytes);
+    }
 
     let mut host_values = vec![INF; n];
     let mut host_update = vec![0u32; n];
@@ -737,7 +893,9 @@ fn run_hybrid(
     let mut iterations = 0u32;
     let mut switches = 0u32;
     let mut host_ns = 0.0f64;
+    let mut metrics = Metrics::default();
     let mut trace = Vec::new();
+    let mut teardown_start;
 
     let block_threads =
         tuning.block_mapping_threads(dg.avg_outdegree, dev.config().max_threads_per_block);
@@ -748,9 +906,12 @@ fn run_hybrid(
             return Err(CoreError::NoConvergence { iterations: cap });
         }
         let iter_start = dev.elapsed_ns() + host_ns;
+        teardown_start = iter_start;
+        let est_ws_used = est_ws;
+        let iter_region = region(&tuning, est_ws, dg.n, dg.avg_outdegree);
         let want_device = est_ws >= gpu_threshold.max(1);
-        if want_device != on_device {
-            switches += 1;
+        let switched = want_device != on_device;
+        if switched {
             if want_device {
                 // host -> device: upload values and update vector.
                 dev.write(state.value, &host_values)?;
@@ -763,6 +924,7 @@ fn run_hybrid(
             on_device = want_device;
         }
 
+        let mut iter_inspector_ns = 0.0f64;
         let (variant, ws_known, done) = if on_device {
             let variant = decide(&tuning, est_ws, dg.n, dg.avg_outdegree);
             let mut ctx = Ctx {
@@ -776,8 +938,11 @@ fn run_hybrid(
                 pagerank: options.pagerank,
                 thread_threads,
                 block_threads,
+                inspector_ns: 0.0,
+                census_launches: 0,
+                degree_census_launches: 0,
             };
-            match ctx.gen_and_check(variant.workset, iterations + 1)? {
+            let out = match ctx.gen_and_check(variant.workset, iterations + 1, false)? {
                 None => (variant, None, true),
                 Some((limit, ws_known)) => {
                     ctx.compute(variant, limit)?;
@@ -786,7 +951,12 @@ fn run_hybrid(
                     }
                     (variant, ws_known, false)
                 }
-            }
+            };
+            iter_inspector_ns = ctx.inspector_ns;
+            metrics.census_launches += ctx.census_launches;
+            metrics.degree_census_launches += ctx.degree_census_launches;
+            metrics.inspector_ns_total += ctx.inspector_ns;
+            out
         } else {
             // One frontier iteration on the host, instrumented like the
             // agg-cpu baselines.
@@ -838,17 +1008,34 @@ fn run_hybrid(
             break;
         }
         iterations += 1;
+        // As in `run`: a migration decided for the terminating pass moved
+        // data (and was charged) but ran no iteration, so it is not counted.
+        if switched {
+            switches += 1;
+        }
+        let iter_ns = (dev.elapsed_ns() + host_ns) - iter_start;
+        metrics.record_iteration(variant, iter_ns);
+        if !on_device {
+            metrics.host_iterations += 1;
+        }
         if options.record_trace {
             trace.push(IterationRecord {
                 iteration: iterations,
                 variant,
+                region: iter_region,
                 ws_size: ws_known,
+                est_ws: est_ws_used,
+                est_avg_deg: dg.avg_outdegree,
                 vwarp_width: None,
                 on_host: !on_device,
-                iter_ns: (dev.elapsed_ns() + host_ns) - iter_start,
+                switched,
+                inspector_ns: iter_inspector_ns,
+                iter_ns,
             });
         }
     }
+
+    metrics.switches = switches;
 
     // Final result lives wherever the last iteration ran.
     let values = if on_device {
@@ -856,19 +1043,26 @@ fn run_hybrid(
     } else {
         host_values
     };
-    let mut total_ns = dev.elapsed_ns() - start_ns + host_ns;
+    let end_ns = dev.elapsed_ns() + host_ns;
+    let teardown_ns = end_ns - teardown_start;
+    let mut total_ns = end_ns - start_ns;
     if options.include_graph_transfer {
         total_ns += transfer_ns(dev.config(), dg.bytes);
     }
     let gpu_stats = subtract_kernel_stats(dev.cumulative_stats(), start_stats);
+    let profile = dev.profile().since(&start_profile);
     Ok(RunReport {
         values,
         iterations,
         switches,
         launches: dev.launch_count() - start_launches,
         total_ns,
+        setup_ns,
+        teardown_ns,
         host_ns,
         gpu_stats,
+        metrics,
+        profile,
         trace,
     })
 }
@@ -952,6 +1146,216 @@ mod tests {
         assert!(r.trace.iter().all(|t| t.ws_size.is_some()));
         assert_eq!(r.trace[0].ws_size, Some(1));
         assert!(r.trace.iter().all(|t| t.iter_ns > 0.0));
+    }
+
+    #[test]
+    fn trace_ws_sizes_match_exact_frontier_sizes() {
+        // With a census every iteration, the trace's ws_size column must
+        // reproduce the exact per-level frontier sizes of the reference
+        // BFS: iteration i consumes the frontier at level i-1.
+        let g = Dataset::Amazon.generate(Scale::Tiny, 24);
+        let levels = traversal::bfs_levels(&g, 0);
+        let (mut dev, k, dg, st) = setup(&g);
+        let opts = RunOptions {
+            record_trace: true,
+            census: CensusMode::Every,
+            ..RunOptions::static_variant(Variant::parse("U_T_BM").unwrap())
+        };
+        let r = run(&mut dev, &k, &dg, &st, Algo::Bfs, 0, &opts).unwrap();
+        assert_eq!(r.trace.len(), r.iterations as usize);
+        for t in &r.trace {
+            let exact = levels
+                .iter()
+                .filter(|&&l| l == t.iteration - 1)
+                .count() as u32;
+            assert_eq!(
+                t.ws_size,
+                Some(exact),
+                "iteration {} frontier mismatch",
+                t.iteration
+            );
+        }
+    }
+
+    #[test]
+    fn switching_into_bitmap_forces_an_off_cadence_census() {
+        // With an absurd sampling period the census never fires on
+        // cadence, so after a queue -> bitmap switch the decision maker
+        // would keep consuming the last queue length forever. The engine
+        // must force one census at the switch.
+        let g = Dataset::Amazon.generate(Scale::Tiny, 26);
+        let mut dev = Device::new(DeviceConfig::tiny_test_device());
+        let kernels = GpuKernels::build();
+        let dg = DeviceGraph::upload(&mut dev, &g);
+        let st = AlgoState::new(&mut dev, dg.n, 0).unwrap();
+        let mut tuning = AdaptiveConfig::for_device(dev.config());
+        tuning.t2_ws_size = 192 * 2;
+        tuning.sampling_period = 1000;
+        let opts = RunOptions {
+            strategy: Strategy::Adaptive,
+            tuning,
+            census: CensusMode::Sampled,
+            record_trace: true,
+            ..Default::default()
+        };
+        let r = run(&mut dev, &kernels, &dg, &st, Algo::Bfs, 0, &opts).unwrap();
+        assert_eq!(r.values, traversal::bfs_levels(&g, 0));
+        let first_bitmap = r
+            .trace
+            .windows(2)
+            .find(|w| {
+                w[0].variant.workset == WorkSet::Queue && w[1].variant.workset == WorkSet::Bitmap
+            })
+            .map(|w| w[1])
+            .expect("run must switch queue -> bitmap for this test to bite");
+        assert!(first_bitmap.switched);
+        assert!(
+            first_bitmap.ws_size.is_some(),
+            "switch into bitmap must census even off-cadence: {first_bitmap:?}"
+        );
+        assert!(first_bitmap.inspector_ns > 0.0);
+        assert!(r.metrics.census_launches >= 1);
+        // A later bitmap iteration with no switch stays uncensused (the
+        // sampling trade-off is preserved).
+        assert!(
+            r.trace
+                .iter()
+                .any(|t| t.variant.workset == WorkSet::Bitmap && t.ws_size.is_none()),
+            "off-cadence bitmap iterations should skip the census"
+        );
+    }
+
+    #[test]
+    fn census_off_is_never_forced() {
+        let g = Dataset::Amazon.generate(Scale::Tiny, 26);
+        let mut dev = Device::new(DeviceConfig::tiny_test_device());
+        let kernels = GpuKernels::build();
+        let dg = DeviceGraph::upload(&mut dev, &g);
+        let st = AlgoState::new(&mut dev, dg.n, 0).unwrap();
+        let mut tuning = AdaptiveConfig::for_device(dev.config());
+        tuning.t2_ws_size = 192 * 2;
+        let opts = RunOptions {
+            strategy: Strategy::Adaptive,
+            tuning,
+            census: CensusMode::Off,
+            record_trace: true,
+            ..Default::default()
+        };
+        let r = run(&mut dev, &kernels, &dg, &st, Algo::Bfs, 0, &opts).unwrap();
+        assert_eq!(r.metrics.census_launches, 0);
+        assert!(r
+            .trace
+            .iter()
+            .all(|t| t.variant.workset != WorkSet::Bitmap || t.ws_size.is_none()));
+    }
+
+    #[test]
+    fn time_accounting_identity_holds() {
+        // setup + Σ iter + teardown == total, for every execution path.
+        let g = Dataset::Amazon.generate_weighted(Scale::Tiny, 29, 64);
+        let (mut dev, k, dg, st) = setup(&g);
+        for (label, algo, opts) in [
+            ("adaptive bfs", Algo::Bfs, RunOptions::default()),
+            (
+                "static sssp",
+                Algo::Sssp,
+                RunOptions::static_variant(Variant::parse("U_B_QU").unwrap()),
+            ),
+            (
+                "no-transfer",
+                Algo::Bfs,
+                RunOptions {
+                    include_graph_transfer: false,
+                    ..Default::default()
+                },
+            ),
+            (
+                "hybrid",
+                Algo::Bfs,
+                RunOptions {
+                    strategy: Strategy::Hybrid { gpu_threshold: 64 },
+                    ..Default::default()
+                },
+            ),
+        ] {
+            let r = run(&mut dev, &k, &dg, &st, algo, 0, &opts).unwrap();
+            let parts = r.setup_ns + r.metrics.iter_ns_total + r.teardown_ns;
+            assert!(
+                (parts - r.total_ns).abs() <= 1e-6 * r.total_ns.max(1.0),
+                "{label}: {parts} != {}",
+                r.total_ns
+            );
+            assert_eq!(r.metrics.iterations, r.iterations, "{label}");
+            assert_eq!(r.metrics.switches, r.switches, "{label}");
+            assert_eq!(
+                r.metrics
+                    .by_variant()
+                    .iter()
+                    .map(|(_, c)| *c)
+                    .sum::<u32>(),
+                r.iterations,
+                "{label}"
+            );
+            assert!(r.setup_ns > 0.0, "{label}");
+            assert!(r.teardown_ns > 0.0, "{label}");
+        }
+    }
+
+    #[test]
+    fn run_report_profile_covers_this_run_only() {
+        let g = Dataset::P2p.generate(Scale::Tiny, 30);
+        let (mut dev, k, dg, st) = setup(&g);
+        let first = run(&mut dev, &k, &dg, &st, Algo::Bfs, 0, &RunOptions::default()).unwrap();
+        let second = run(&mut dev, &k, &dg, &st, Algo::Bfs, 0, &RunOptions::default()).unwrap();
+        // Same work both times: the per-run profiles agree even though the
+        // device accumulates across runs (ns fields only up to float
+        // rounding, since each run's profile is a snapshot difference).
+        let (a, b) = (first.profile.kernels(), second.profile.kernels());
+        assert_eq!(a.len(), b.len());
+        for (pa, pb) in a.iter().zip(b) {
+            assert_eq!(pa.kernel, pb.kernel);
+            assert_eq!(pa.launches, pb.launches);
+            assert_eq!(pa.stats, pb.stats);
+            assert!((pa.time_ns - pb.time_ns).abs() <= 1e-6 * pa.time_ns.max(1.0));
+        }
+        assert_eq!(first.profile.total_launches(), first.launches);
+        let workset_gen = first
+            .profile
+            .kernels()
+            .iter()
+            .find(|p| p.kernel.contains("gen"))
+            .expect("workset generation must appear in the profile");
+        assert!(workset_gen.compute_ns > 0.0);
+        assert!(workset_gen.occupancy_fraction > 0.0);
+        let json = first.to_json().render();
+        assert!(json.contains("\"compute_ns\""), "{json}");
+        assert!(json.contains("\"coalescing_efficiency\""), "{json}");
+    }
+
+    #[test]
+    fn trace_json_contains_acceptance_fields() {
+        let g = Dataset::Amazon.generate(Scale::Tiny, 31);
+        let (mut dev, k, dg, st) = setup(&g);
+        let opts = RunOptions {
+            record_trace: true,
+            census: CensusMode::Every,
+            ..Default::default()
+        };
+        let r = run(&mut dev, &k, &dg, &st, Algo::Bfs, 0, &opts).unwrap();
+        let json = r.to_json().render();
+        for field in [
+            "\"variant\"",
+            "\"region\"",
+            "\"ws_size\"",
+            "\"est_ws\"",
+            "\"est_avg_deg\"",
+            "\"inspector_ns\"",
+            "\"iter_ns\"",
+            "\"iterations_by_variant\"",
+            "\"occupancy_fraction\"",
+        ] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
     }
 
     #[test]

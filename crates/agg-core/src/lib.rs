@@ -26,6 +26,7 @@ pub mod api;
 pub mod config;
 pub mod decision;
 pub mod engine;
+pub mod metrics;
 
 pub use api::GpuGraph;
 pub use config::{AdaptiveConfig, DegreeMode};
@@ -34,3 +35,4 @@ pub use engine::{
     run, Algo, CensusMode, CoreError, IterationRecord, PageRankConfig, RunOptions, RunReport,
     Strategy,
 };
+pub use metrics::Metrics;

@@ -13,20 +13,20 @@ use crate::exec::grid::{run_grid, Grid, LaunchArgs};
 use crate::ir::builder::Kernel;
 use crate::mem::global::{DevicePtr, GlobalMemory};
 use crate::mem::transfer::transfer_ns;
-use crate::timing::report::{KernelStats, LaunchReport};
+use crate::timing::report::{KernelStats, LaunchReport, ProfileReport};
 
 /// How blocks of a launch are executed on the *host*.
 ///
 /// Functional results are identical for kernels whose cross-block
 /// communication goes through atomics (all kernels in this workspace);
-/// `Parallel` uses the rayon pool and only changes wall-clock time of the
+/// `Parallel` interprets blocks on scoped host threads and only changes wall-clock time of the
 /// simulation itself, never the modeled GPU time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ExecMode {
     /// Interpret blocks one at a time (deterministic scheduling).
     #[default]
     Sequential,
-    /// Interpret blocks on the rayon thread pool.
+    /// Interpret blocks on scoped host threads (one chunk per core).
     Parallel,
 }
 
@@ -39,6 +39,7 @@ pub struct Device {
     transfer_ns_total: f64,
     launches: u64,
     cumulative: KernelStats,
+    profile: ProfileReport,
 }
 
 impl Device {
@@ -56,6 +57,7 @@ impl Device {
             transfer_ns_total: 0.0,
             launches: 0,
             cumulative: KernelStats::default(),
+            profile: ProfileReport::default(),
         }
     }
 
@@ -145,7 +147,15 @@ impl Device {
         self.kernel_ns += report.time_ns;
         self.launches += 1;
         self.cumulative += report.stats;
+        self.profile.record(&self.cfg, &report);
         Ok(report)
+    }
+
+    /// Per-kernel launch profiles accumulated since construction or the
+    /// last [`Device::reset_clock`]. Monotonic: snapshot it before a run
+    /// and use [`ProfileReport::since`] to isolate that run's launches.
+    pub fn profile(&self) -> &ProfileReport {
+        &self.profile
     }
 
     /// Kernel statistics summed over every launch since the last
@@ -181,6 +191,7 @@ impl Device {
         self.transfer_ns_total = 0.0;
         self.launches = 0;
         self.cumulative = KernelStats::default();
+        self.profile = ProfileReport::default();
     }
 
     /// Free-of-charge buffer download for tests and debugging.
@@ -237,6 +248,33 @@ mod tests {
         assert!(r.time_ns >= 7_000.0); // at least launch overhead
         assert_eq!(dev.launch_count(), 1);
         assert!((dev.kernel_ns() - r.time_ns).abs() < 1e-9);
+    }
+
+    #[test]
+    fn device_profile_tracks_launches_per_kernel() {
+        let mut k = KernelBuilder::new("prof-k");
+        let b = k.buf_param();
+        let tid = k.global_thread_id();
+        k.store(b, tid.clone().rem(4u32), tid.clone());
+        let kernel = k.build().unwrap();
+        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let p = dev.alloc("b", 4);
+        assert!(dev.profile().is_empty());
+        dev.launch(&kernel, Grid::new(1, 32), &LaunchArgs::new().bufs([p]))
+            .unwrap();
+        let snap = dev.profile().clone();
+        dev.launch(&kernel, Grid::new(1, 32), &LaunchArgs::new().bufs([p]))
+            .unwrap();
+        let prof = dev.profile();
+        assert_eq!(prof.total_launches(), 2);
+        let entry = prof.get("prof-k").unwrap();
+        assert_eq!(entry.launches, 2);
+        assert!(entry.compute_ns > 0.0);
+        assert!(entry.stats.stores > 0);
+        // the delta since the snapshot is exactly one launch
+        assert_eq!(prof.since(&snap).get("prof-k").unwrap().launches, 1);
+        dev.reset_clock();
+        assert!(dev.profile().is_empty());
     }
 
     #[test]

@@ -9,7 +9,6 @@ use crate::ir::builder::Kernel;
 use crate::mem::global::{DevicePtr, GlobalMemory};
 use crate::timing::cost::BlockCost;
 use crate::timing::report::{finalize_launch, LaunchReport};
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Launch geometry (linearized: the simulator flattens CUDA's 3-D grids).
@@ -128,9 +127,9 @@ pub(crate) fn validate_launch(
 }
 
 /// Runs every block of the launch and folds the costs into a report.
-/// `parallel` distributes blocks over the rayon pool (results are
-/// identical for the data-race-free kernels this workspace writes: cross-
-/// block communication goes through atomics).
+/// `parallel` distributes contiguous block ranges over scoped OS threads
+/// (results are identical for the data-race-free kernels this workspace
+/// writes: cross-block communication goes through atomics).
 pub(crate) fn run_grid(
     cfg: &DeviceConfig,
     kernel: &Kernel,
@@ -154,10 +153,36 @@ pub(crate) fn run_grid(
         block_dim: grid.threads_per_block,
     };
     let costs: Vec<BlockCost> = if parallel && grid.blocks > 1 {
-        (0..grid.blocks)
-            .into_par_iter()
-            .map_init(Scratch::default, |scratch, b| run_block(&g, b, scratch))
-            .collect::<Result<Vec<_>, _>>()?
+        let workers = std::thread::available_parallelism()
+            .map_or(1, |n| n.get())
+            .min(grid.blocks as usize);
+        let chunk = (grid.blocks as usize).div_ceil(workers);
+        let per_worker = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let g = &g;
+                    s.spawn(move || {
+                        let lo = (w * chunk) as u32;
+                        let hi = ((w + 1) * chunk).min(grid.blocks as usize) as u32;
+                        let mut scratch = Scratch::default();
+                        let mut out = Vec::with_capacity((hi - lo) as usize);
+                        for b in lo..hi {
+                            out.push(run_block(g, b, &mut scratch)?);
+                        }
+                        Ok::<_, SimError>(out)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("simulator worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        let mut costs = Vec::with_capacity(grid.blocks as usize);
+        for worker_costs in per_worker {
+            costs.extend(worker_costs?);
+        }
+        costs
     } else {
         let mut scratch = Scratch::default();
         let mut out = Vec::with_capacity(grid.blocks as usize);

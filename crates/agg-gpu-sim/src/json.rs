@@ -1,0 +1,250 @@
+//! Minimal JSON document builder for telemetry serialization.
+//!
+//! The workspace builds offline against vendored dependency shims (see
+//! `shims/README.md`), so there is no `serde_json`. Telemetry payloads —
+//! launch profiles, per-iteration traces — are small trees of numbers and
+//! strings, which this module models directly: build a [`Json`] value and
+//! [`Json::render`] it. Output is deterministic (object keys keep
+//! insertion order) so traces diff cleanly across runs.
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number. Non-finite values render as `null` (JSON has no NaN).
+    Num(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys keep insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An object from `(key, value)` pairs.
+    pub fn obj(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// An array from values.
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// Serializes compactly (no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    /// Serializes with two-space indentation, for human-inspected files.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => write_num(*x, out),
+            Json::Str(s) => write_str(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_str(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    indent(out, depth + 1);
+                    item.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Obj(fields) if !fields.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    indent(out, depth + 1);
+                    write_str(k, out);
+                    out.push_str(": ");
+                    v.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+            other => other.write(out),
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_num(x: f64, out: &mut String) {
+    if !x.is_finite() {
+        out.push_str("null");
+    } else if x == x.trunc() && x.abs() < 9.0e15 {
+        // Integral values print without a fraction so counters stay exact.
+        out.push_str(&format!("{}", x as i64));
+    } else {
+        out.push_str(&format!("{x}"));
+    }
+}
+
+fn write_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::Num(x)
+    }
+}
+
+impl From<u32> for Json {
+    fn from(x: u32) -> Json {
+        Json::Num(x as f64)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(x: u64) -> Json {
+        Json::Num(x as f64)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(x: usize) -> Json {
+        Json::Num(x as f64)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl<T: Into<Json>> From<Option<T>> for Json {
+    fn from(o: Option<T>) -> Json {
+        o.map_or(Json::Null, Into::into)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_documents_compactly() {
+        let doc = Json::obj([
+            ("name", "bfs".into()),
+            ("iters", 3u32.into()),
+            ("ok", true.into()),
+            ("none", Json::Null),
+            ("xs", Json::arr([1u32.into(), 2u32.into()])),
+        ]);
+        assert_eq!(
+            doc.render(),
+            r#"{"name":"bfs","iters":3,"ok":true,"none":null,"xs":[1,2]}"#
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        assert_eq!(
+            Json::Str("a\"b\\c\nd\u{1}".into()).render(),
+            "\"a\\\"b\\\\c\\nd\\u0001\""
+        );
+    }
+
+    #[test]
+    fn numbers_render_exactly() {
+        assert_eq!(Json::Num(3.0).render(), "3");
+        assert_eq!(Json::Num(3.5).render(), "3.5");
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).render(), "null");
+        assert_eq!(Json::from(1u64 << 50).render(), "1125899906842624");
+    }
+
+    #[test]
+    fn pretty_output_is_reparseable_shape() {
+        let doc = Json::obj([("a", Json::arr([Json::Num(1.0)])), ("b", Json::obj([]))]);
+        let pretty = doc.render_pretty();
+        assert!(pretty.contains("\"a\": [\n"));
+        assert!(pretty.ends_with("}\n"));
+        // empty containers stay compact
+        assert!(pretty.contains("\"b\": {}"));
+    }
+}

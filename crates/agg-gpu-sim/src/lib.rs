@@ -60,6 +60,7 @@ pub mod device;
 pub mod error;
 pub mod exec;
 pub mod ir;
+pub mod json;
 pub mod mem;
 pub mod timing;
 
@@ -68,7 +69,8 @@ pub use device::{Device, ExecMode};
 pub use error::SimError;
 pub use exec::grid::{Grid, LaunchArgs};
 pub use ir::builder::{Kernel, KernelBuilder};
-pub use timing::report::{KernelStats, LaunchReport};
+pub use json::Json;
+pub use timing::report::{KernelStats, LaunchProfile, LaunchReport, ProfileReport};
 
 /// Convenient imports for writing and launching kernels.
 pub mod prelude {
@@ -79,5 +81,5 @@ pub mod prelude {
     pub use crate::ir::builder::{Kernel, KernelBuilder};
     pub use crate::ir::expr::Expr;
     pub use crate::mem::global::DevicePtr;
-    pub use crate::timing::report::LaunchReport;
+    pub use crate::timing::report::{LaunchProfile, LaunchReport, ProfileReport};
 }

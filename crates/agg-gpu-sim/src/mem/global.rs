@@ -1,7 +1,7 @@
 //! Global (device) memory.
 //!
 //! Buffers are flat arrays of `AtomicU32`. Plain loads/stores use relaxed
-//! atomic accesses so that parallel block execution (rayon) is data-race
+//! atomic accesses so that parallel block execution (scoped threads) is data-race
 //! free by construction — matching the memory model a real GPU gives
 //! concurrent blocks (no ordering guarantees, word-level atomicity).
 

@@ -1,7 +1,9 @@
 //! Launch reports: the timing and statistics returned by every kernel
-//! launch, and the model that turns per-block costs into kernel time.
+//! launch, the model that turns per-block costs into kernel time, and the
+//! per-kernel [`ProfileReport`] the device accumulates across launches.
 
 use crate::config::DeviceConfig;
+use crate::json::Json;
 use crate::timing::cost::{BlockCost, CostStats};
 use crate::timing::occupancy::Occupancy;
 use serde::{Deserialize, Serialize};
@@ -97,6 +99,234 @@ pub fn finalize_launch(
     }
 }
 
+/// Profile of one kernel aggregated over every launch it has had.
+///
+/// This is the "nvprof row" for a kernel: where its time went
+/// (compute vs. bandwidth vs. launch overhead), how well its accesses
+/// coalesced, and what residency it achieved. Built by
+/// [`ProfileReport::record`] from each [`LaunchReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LaunchProfile {
+    /// Kernel name.
+    pub kernel: String,
+    /// Number of launches recorded.
+    pub launches: u64,
+    /// Total blocks across launches.
+    pub blocks: u64,
+    /// Total modeled wall time, ns (compute/mem overlap + overhead).
+    pub time_ns: f64,
+    /// Total compute-path time (issue + exposed stalls), ns.
+    pub compute_ns: f64,
+    /// Total bandwidth-path time (bytes / BW), ns.
+    pub mem_ns: f64,
+    /// Total fixed launch overhead, ns.
+    pub overhead_ns: f64,
+    /// Summed issue-pipeline cycles.
+    pub issue_cycles: u64,
+    /// Summed raw stall cycles (pre-hiding).
+    pub stall_cycles: u64,
+    /// Residency of the most recent launch (launch geometry is stable per
+    /// kernel in this workspace, so this is representative).
+    pub occupancy: Occupancy,
+    /// Occupancy of the most recent launch as a fraction of the device's
+    /// maximum resident warps.
+    pub occupancy_fraction: f64,
+    /// Summed event counters.
+    pub stats: CostStats,
+}
+
+impl LaunchProfile {
+    fn new(kernel: &str) -> LaunchProfile {
+        LaunchProfile {
+            kernel: kernel.to_string(),
+            launches: 0,
+            blocks: 0,
+            time_ns: 0.0,
+            compute_ns: 0.0,
+            mem_ns: 0.0,
+            overhead_ns: 0.0,
+            issue_cycles: 0,
+            stall_cycles: 0,
+            occupancy: Occupancy {
+                blocks_per_sm: 0,
+                warps_per_sm: 0,
+            },
+            occupancy_fraction: 0.0,
+            stats: CostStats::default(),
+        }
+    }
+
+    fn record(&mut self, cfg: &DeviceConfig, r: &LaunchReport) {
+        self.launches += 1;
+        self.blocks += r.grid_blocks as u64;
+        self.time_ns += r.time_ns;
+        self.compute_ns += r.compute_ns;
+        self.mem_ns += r.mem_ns;
+        self.overhead_ns += r.overhead_ns;
+        self.issue_cycles += r.stats.issue_cycles;
+        self.stall_cycles += r.stats.stall_cycles;
+        self.occupancy = r.occupancy;
+        self.occupancy_fraction = r.occupancy.fraction(cfg);
+        self.stats += r.stats.totals;
+    }
+
+    /// Memory transactions per warp-level global access: 1.0 is perfectly
+    /// coalesced, 32.0 is fully scattered 4-byte accesses. Returns 0 for
+    /// kernels that never touch global memory.
+    pub fn transactions_per_access(&self) -> f64 {
+        let accesses = self.stats.loads + self.stats.stores;
+        if accesses == 0 {
+            return 0.0;
+        }
+        self.stats.mem_transactions as f64 / accesses as f64
+    }
+
+    /// Coalescing efficiency in `(0, 1]`: the reciprocal of
+    /// [`LaunchProfile::transactions_per_access`] (1.0 for kernels with no
+    /// global traffic — nothing was wasted).
+    pub fn coalescing_efficiency(&self) -> f64 {
+        let tpa = self.transactions_per_access();
+        if tpa <= 1.0 {
+            1.0
+        } else {
+            1.0 / tpa
+        }
+    }
+
+    /// This profile as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("kernel", self.kernel.as_str().into()),
+            ("launches", self.launches.into()),
+            ("blocks", self.blocks.into()),
+            ("time_ns", self.time_ns.into()),
+            ("compute_ns", self.compute_ns.into()),
+            ("mem_ns", self.mem_ns.into()),
+            ("overhead_ns", self.overhead_ns.into()),
+            ("issue_cycles", self.issue_cycles.into()),
+            ("stall_cycles", self.stall_cycles.into()),
+            ("blocks_per_sm", self.occupancy.blocks_per_sm.into()),
+            ("warps_per_sm", self.occupancy.warps_per_sm.into()),
+            ("occupancy_fraction", self.occupancy_fraction.into()),
+            (
+                "coalescing_efficiency",
+                self.coalescing_efficiency().into(),
+            ),
+            ("instructions", self.stats.instructions.into()),
+            ("mem_transactions", self.stats.mem_transactions.into()),
+            ("mem_bytes", self.stats.mem_bytes.into()),
+            ("atomics", self.stats.atomics.into()),
+            ("atomic_conflicts", self.stats.atomic_conflicts.into()),
+            ("divergent_branches", self.stats.divergent_branches.into()),
+            (
+                "simt_efficiency",
+                self.stats.simt_efficiency(32).into(),
+            ),
+        ])
+    }
+}
+
+/// Per-kernel profiles for a span of device activity.
+///
+/// The device keeps one of these running from construction (or the last
+/// [`crate::Device::reset_clock`]); callers snapshot it and use
+/// [`ProfileReport::since`] to attribute launches to a single run.
+/// Kernels are kept in first-launch order.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ProfileReport {
+    kernels: Vec<LaunchProfile>,
+}
+
+impl ProfileReport {
+    /// Folds one launch report into the profile for its kernel.
+    pub fn record(&mut self, cfg: &DeviceConfig, r: &LaunchReport) {
+        let entry = match self.kernels.iter_mut().find(|p| p.kernel == r.kernel) {
+            Some(p) => p,
+            None => {
+                self.kernels.push(LaunchProfile::new(&r.kernel));
+                self.kernels.last_mut().unwrap()
+            }
+        };
+        entry.record(cfg, r);
+    }
+
+    /// Profiles in first-launch order.
+    pub fn kernels(&self) -> &[LaunchProfile] {
+        &self.kernels
+    }
+
+    /// The profile for a kernel, if it has launched.
+    pub fn get(&self, kernel: &str) -> Option<&LaunchProfile> {
+        self.kernels.iter().find(|p| p.kernel == kernel)
+    }
+
+    /// True if nothing has launched in this span.
+    pub fn is_empty(&self) -> bool {
+        self.kernels.is_empty()
+    }
+
+    /// Total launches across all kernels.
+    pub fn total_launches(&self) -> u64 {
+        self.kernels.iter().map(|p| p.launches).sum()
+    }
+
+    /// Total modeled kernel time across all kernels, ns.
+    pub fn total_time_ns(&self) -> f64 {
+        self.kernels.iter().map(|p| p.time_ns).sum()
+    }
+
+    /// The activity recorded in `self` but not in the `earlier` snapshot
+    /// of the same monotonic profile: per-kernel counter subtraction.
+    /// Kernels whose launch count did not change are dropped.
+    pub fn since(&self, earlier: &ProfileReport) -> ProfileReport {
+        let mut out = ProfileReport::default();
+        for now in &self.kernels {
+            let before = earlier.get(&now.kernel);
+            let launches_before = before.map_or(0, |p| p.launches);
+            if now.launches == launches_before {
+                continue;
+            }
+            let mut delta = now.clone();
+            if let Some(b) = before {
+                delta.launches -= b.launches;
+                delta.blocks -= b.blocks;
+                delta.time_ns -= b.time_ns;
+                delta.compute_ns -= b.compute_ns;
+                delta.mem_ns -= b.mem_ns;
+                delta.overhead_ns -= b.overhead_ns;
+                delta.issue_cycles -= b.issue_cycles;
+                delta.stall_cycles -= b.stall_cycles;
+                delta.stats = subtract_stats(now.stats, b.stats);
+            }
+            out.kernels.push(delta);
+        }
+        out
+    }
+
+    /// The whole report as a JSON array of per-kernel objects.
+    pub fn to_json(&self) -> Json {
+        Json::arr(self.kernels.iter().map(|p| p.to_json()))
+    }
+}
+
+fn subtract_stats(a: CostStats, b: CostStats) -> CostStats {
+    CostStats {
+        instructions: a.instructions - b.instructions,
+        active_lane_instructions: a.active_lane_instructions - b.active_lane_instructions,
+        loads: a.loads - b.loads,
+        stores: a.stores - b.stores,
+        mem_transactions: a.mem_transactions - b.mem_transactions,
+        mem_bytes: a.mem_bytes - b.mem_bytes,
+        atomics: a.atomics - b.atomics,
+        atomic_conflicts: a.atomic_conflicts - b.atomic_conflicts,
+        divergent_branches: a.divergent_branches - b.divergent_branches,
+        shared_accesses: a.shared_accesses - b.shared_accesses,
+        shared_replays: a.shared_replays - b.shared_replays,
+        syncs: a.syncs - b.syncs,
+        barriers: a.barriers - b.barriers,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,5 +399,74 @@ mod tests {
         let r = finalize_launch(&cfg, "k", 2, 32, 0, &[block(5, 0, 10), block(7, 0, 20)]);
         assert_eq!(r.stats.issue_cycles, 12);
         assert_eq!(r.stats.totals.mem_bytes, 30);
+    }
+
+    #[test]
+    fn profile_accumulates_per_kernel() {
+        let cfg = DeviceConfig::tesla_c2070();
+        let mut prof = ProfileReport::default();
+        prof.record(&cfg, &finalize_launch(&cfg, "a", 2, 192, 0, &[block(5, 0, 10)]));
+        prof.record(&cfg, &finalize_launch(&cfg, "b", 1, 32, 0, &[block(7, 0, 20)]));
+        prof.record(&cfg, &finalize_launch(&cfg, "a", 3, 192, 0, &[block(9, 0, 30)]));
+        assert_eq!(prof.kernels().len(), 2);
+        assert_eq!(prof.total_launches(), 3);
+        let a = prof.get("a").unwrap();
+        assert_eq!(a.launches, 2);
+        assert_eq!(a.blocks, 5);
+        assert_eq!(a.issue_cycles, 14);
+        assert_eq!(a.stats.mem_bytes, 40);
+        assert!((a.occupancy_fraction - 1.0).abs() < 1e-12); // 192 tpb saturates
+        assert!(a.time_ns > 0.0 && a.overhead_ns > 0.0);
+        assert_eq!(prof.get("b").unwrap().launches, 1);
+        assert!(prof.get("c").is_none());
+    }
+
+    #[test]
+    fn profile_since_subtracts_snapshots() {
+        let cfg = DeviceConfig::tesla_c2070();
+        let mut prof = ProfileReport::default();
+        prof.record(&cfg, &finalize_launch(&cfg, "a", 1, 32, 0, &[block(5, 0, 10)]));
+        let snap = prof.clone();
+        prof.record(&cfg, &finalize_launch(&cfg, "a", 1, 32, 0, &[block(6, 0, 14)]));
+        prof.record(&cfg, &finalize_launch(&cfg, "b", 1, 32, 0, &[block(7, 0, 20)]));
+        let delta = prof.since(&snap);
+        // "a" keeps only the second launch; "b" is new in the delta.
+        let a = delta.get("a").unwrap();
+        assert_eq!(a.launches, 1);
+        assert_eq!(a.issue_cycles, 6);
+        assert_eq!(a.stats.mem_bytes, 14);
+        assert_eq!(delta.get("b").unwrap().stats.mem_bytes, 20);
+        // a snapshot minus itself is empty
+        assert!(prof.since(&prof).is_empty());
+    }
+
+    #[test]
+    fn coalescing_efficiency_from_counters() {
+        let mut p = LaunchProfile::new("k");
+        assert_eq!(p.transactions_per_access(), 0.0);
+        assert_eq!(p.coalescing_efficiency(), 1.0);
+        p.stats.loads = 10;
+        p.stats.mem_transactions = 40; // 4 transactions per warp access
+        assert!((p.transactions_per_access() - 4.0).abs() < 1e-12);
+        assert!((p.coalescing_efficiency() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profile_json_has_the_acceptance_fields() {
+        let cfg = DeviceConfig::tesla_c2070();
+        let mut prof = ProfileReport::default();
+        prof.record(&cfg, &finalize_launch(&cfg, "k", 1, 192, 0, &[block(5, 3, 10)]));
+        let s = prof.to_json().render();
+        for field in [
+            "\"kernel\":\"k\"",
+            "\"compute_ns\":",
+            "\"mem_ns\":",
+            "\"issue_cycles\":5",
+            "\"stall_cycles\":3",
+            "\"occupancy_fraction\":1",
+            "\"coalescing_efficiency\":",
+        ] {
+            assert!(s.contains(field), "missing {field} in {s}");
+        }
     }
 }

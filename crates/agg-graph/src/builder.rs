@@ -156,12 +156,16 @@ impl GraphBuilder {
         b.build()
     }
 
-    /// Convenience: a CSR graph from `(src, dst, weight)` triples.
+    /// Convenience: a CSR graph from `(src, dst, weight)` triples. The
+    /// result is weighted even when `edges` is empty: the weight array
+    /// comes from the caller's intent, not from how many edges happened
+    /// to be pushed.
     pub fn from_weighted_edges(
         node_count: usize,
         edges: &[(NodeId, NodeId, u32)],
     ) -> Result<CsrGraph, GraphError> {
         let mut b = GraphBuilder::new(node_count);
+        b.weighted = true;
         for &(s, d, w) in edges {
             b.add_weighted_edge(s, d, w)?;
         }
@@ -172,6 +176,13 @@ impl GraphBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn weighted_builder_with_no_edges_stays_weighted() {
+        let g = GraphBuilder::from_weighted_edges(3, &[]).unwrap();
+        assert!(g.is_weighted());
+        assert_eq!(g.weight_slice(), Some(&[][..]));
+    }
 
     #[test]
     fn builds_in_insertion_order_per_node() {

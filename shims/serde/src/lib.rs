@@ -1,0 +1,24 @@
+//! Offline no-op stand-in for `serde`'s derive macros.
+//!
+//! This workspace builds in environments without a crates.io mirror, so
+//! external dependencies are vendored as minimal shims (see
+//! `shims/README.md`). The codebase only ever uses serde via
+//! `#[derive(Serialize, Deserialize)]` as forward-looking annotations —
+//! actual serialization (the telemetry JSON traces) is hand-rolled in
+//! `agg_gpu_sim::json`. These derives therefore expand to nothing: the
+//! annotated types stay exactly as written and no trait impls are
+//! generated.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive: accepts any item, emits nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive: accepts any item, emits nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -116,6 +116,46 @@ proptest! {
         prop_assert!(r.total_ns.is_finite() && r.total_ns > 0.0);
         prop_assert!(r.launches > 0);
     }
+
+    #[test]
+    fn telemetry_is_self_consistent(g in arb_graph(35, 120), seed in 0u32..1000) {
+        let src = seed % g.node_count() as u32;
+        let mut gg = GpuGraph::new(&g).unwrap();
+        let opts = RunOptions { record_trace: true, ..Default::default() };
+        let r = gg.bfs_with(src, &opts).unwrap();
+        // The trace has exactly one record per iteration, in order
+        // (iteration numbers are 1-based).
+        prop_assert_eq!(r.trace.len(), r.iterations as usize);
+        for (i, t) in r.trace.iter().enumerate() {
+            prop_assert_eq!(t.iteration as usize, i + 1);
+        }
+        // Switch counters agree with the variant transitions in the trace.
+        let trace_switches = r.trace.iter().filter(|t| t.switched).count() as u32;
+        prop_assert_eq!(r.switches, trace_switches);
+        prop_assert_eq!(r.metrics.switches, r.switches);
+        let transitions = r
+            .trace
+            .windows(2)
+            .filter(|w| w[0].variant != w[1].variant)
+            .count() as u32;
+        prop_assert_eq!(trace_switches, transitions);
+        // The always-on metrics agree with the opt-in trace.
+        prop_assert_eq!(r.metrics.iterations, r.iterations);
+        let by_variant_total: u32 = r.metrics.by_variant().iter().map(|(_, c)| c).sum();
+        prop_assert_eq!(by_variant_total, r.iterations);
+        let trace_ns: f64 = r.trace.iter().map(|t| t.iter_ns).sum();
+        let tol = 1e-6 * r.total_ns.max(1.0);
+        prop_assert!(
+            (trace_ns - r.metrics.iter_ns_total).abs() <= tol,
+            "trace {} vs metrics {}", trace_ns, r.metrics.iter_ns_total
+        );
+        // Per-phase times sum to the run total.
+        let accounted = r.setup_ns + r.metrics.iter_ns_total + r.teardown_ns;
+        prop_assert!(
+            (accounted - r.total_ns).abs() <= tol,
+            "accounted {} vs total {}", accounted, r.total_ns
+        );
+    }
 }
 
 proptest! {
