@@ -3,7 +3,7 @@
 
 use agg_bench::runner::gpu_run;
 use agg_bench::workloads::load;
-use agg_core::{AdaptiveConfig, Algo, RunOptions, Strategy};
+use agg_core::{AdaptiveConfig, Algo, RunOptions};
 use agg_graph::{Dataset, Scale};
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -16,11 +16,7 @@ fn bench(c: &mut Criterion) {
             t3_fraction: pct as f64 / 100.0,
             ..Default::default()
         };
-        let opts = RunOptions {
-            strategy: Strategy::Adaptive,
-            tuning,
-            ..Default::default()
-        };
+        let opts = RunOptions::builder().tuning(tuning).build();
         g.bench_function(format!("t3={pct}%"), |b| {
             b.iter(|| gpu_run(&w, Algo::Sssp, &opts).expect("adaptive sssp"))
         });

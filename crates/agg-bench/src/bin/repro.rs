@@ -28,6 +28,9 @@
 //!   paper-spot       paper-size spot checks (adaptive BFS/SSSP vs CPU)
 //!   ablation-bottomup direction-optimizing BFS vs pure top-down (extension)
 //!   telemetry        per-iteration trace + per-kernel profile capture
+//!   batch            batched multi-query sessions: sequential vs parallel
+//!                    vs one-by-one, queries/sec (--json PATH writes the
+//!                    per-query telemetry artifact)
 //!   all              everything above (except telemetry)
 //!
 //! telemetry flags (usable with any command; `telemetry` runs only these):
@@ -45,7 +48,9 @@
 use agg_bench::runner::{cpu_baseline_ns, gpu_run, speedup_table};
 use agg_bench::tables::{format_table, write_csv};
 use agg_bench::workloads::{load, load_all, DEFAULT_SEED};
-use agg_core::{decision, AdaptiveConfig, Algo, CensusMode, GpuGraph, RunOptions, Strategy};
+use agg_core::{
+    decision, AdaptiveConfig, Algo, CensusMode, GpuGraph, Query, RunOptions, Session, Strategy,
+};
 use agg_gpu_sim::prelude::*;
 use agg_gpu_sim::Json;
 use agg_graph::{stats, Dataset, GraphStats, Scale};
@@ -59,6 +64,7 @@ struct Cli {
     seed: u64,
     out: PathBuf,
     trace_json: Option<PathBuf>,
+    json: Option<PathBuf>,
     profile: bool,
 }
 
@@ -74,6 +80,7 @@ fn parse_cli() -> Cli {
     let mut seed = DEFAULT_SEED;
     let mut out = PathBuf::from("results");
     let mut trace_json = None;
+    let mut json = None;
     let mut profile = false;
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -97,6 +104,11 @@ fn parse_cli() -> Cli {
                     args.next().unwrap_or_else(|| die("--trace-json needs a path")),
                 ));
             }
+            "--json" => {
+                json = Some(PathBuf::from(
+                    args.next().unwrap_or_else(|| die("--json needs a path")),
+                ));
+            }
             "--profile" => profile = true,
             other => die(&format!("unknown flag '{other}'")),
         }
@@ -107,6 +119,7 @@ fn parse_cli() -> Cli {
         seed,
         out,
         trace_json,
+        json,
         profile,
     }
 }
@@ -141,6 +154,7 @@ fn main() {
         "dump-kernels" => dump_kernels(&cli),
         "paper-spot" => paper_spot(&cli),
         "ablation-bottomup" => ablation_bottomup(&cli),
+        "batch" => batch(&cli),
         "telemetry" => {} // the flag handling below does all the work
         "all" => {
             table1(&cli);
@@ -164,6 +178,7 @@ fn main() {
             stats_profile(&cli);
             ablation_inspector(&cli);
             ablation_bottomup(&cli);
+            batch(&cli);
             dump_kernels(&cli);
         }
         other => {
@@ -187,15 +202,13 @@ fn main() {
 fn telemetry(cli: &Cli) {
     banner("Telemetry: per-iteration trace + per-kernel launch profiles (adaptive)");
     let workloads = load_all(cli.scale, cli.seed);
-    let opts = RunOptions {
-        strategy: Strategy::Adaptive,
-        // An exact census every iteration: the trace then carries both the
-        // exact ws size and the (possibly stale) estimate the decision
-        // maker consumed, so sampling error is measurable offline.
-        census: CensusMode::Every,
-        record_trace: true,
-        ..Default::default()
-    };
+    // An exact census every iteration: the trace then carries both the
+    // exact ws size and the (possibly stale) estimate the decision
+    // maker consumed, so sampling error is measurable offline.
+    let opts = RunOptions::builder()
+        .census(CensusMode::Every)
+        .trace()
+        .build();
     let mut runs = Vec::new();
     let mut profile_rows = Vec::new();
     for w in &workloads {
@@ -256,6 +269,104 @@ fn telemetry(cli: &Cli) {
         }
         std::fs::write(path, doc.render_pretty()).expect("write --trace-json file");
         println!("\n[json] {}", path.display());
+    }
+}
+
+// ------------------------------------------------------------------ Batch
+
+/// Batched multi-query sessions (the `Session` layer): a mixed
+/// BFS/SSSP/CC/PageRank batch per dataset, one-by-one on fresh uploads vs
+/// a sequential session vs a parallel session, reported as queries per
+/// second of modeled time. `--json PATH` writes the per-query telemetry
+/// artifact.
+fn batch(cli: &Cli) {
+    banner("Batched multi-query sessions: one-by-one vs Session (sequential | parallel)");
+    const WORKERS: usize = 4;
+    let workloads = load_all(cli.scale, cli.seed);
+    let header: Vec<String> = [
+        "network",
+        "queries",
+        "one_by_one_ms",
+        "session_ms",
+        "par_makespan_ms",
+        "session_qps",
+        "parallel_qps",
+        "pool_hits",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut rows = Vec::new();
+    let mut docs = Vec::new();
+    let opts = RunOptions::default();
+    for w in &workloads {
+        let n = w.graph.node_count() as u32;
+        let queries: Vec<Query> = vec![
+            Query::Bfs { src: w.src },
+            Query::Bfs { src: n / 2 },
+            Query::Bfs { src: n.saturating_sub(1) },
+            Query::Sssp { src: w.src },
+            Query::Sssp { src: n / 3 },
+            Query::Cc,
+            Query::pagerank(),
+        ];
+        // Baseline: each query pays a fresh upload and allocation.
+        let mut one_by_one_ns = 0.0;
+        for q in &queries {
+            let mut gg = GpuGraph::new(&w.graph).expect("upload");
+            let r = gg.run(*q, &opts).expect("single run");
+            one_by_one_ns += r.total_ns;
+        }
+        let mut seq = Session::new(&w.graph).expect("session");
+        let bs = seq.run_batch(&queries, &opts).expect("sequential batch");
+        let mut par =
+            Session::parallel(&w.graph, DeviceConfig::tesla_c2070(), WORKERS).expect("session");
+        let bp = par.run_batch(&queries, &opts).expect("parallel batch");
+        for (a, b) in bs.queries.iter().zip(&bp.queries) {
+            assert_eq!(
+                a.report.values, b.report.values,
+                "{} query #{}: parallel != sequential",
+                w.dataset.name(),
+                a.index
+            );
+        }
+        rows.push(vec![
+            w.dataset.name().to_string(),
+            queries.len().to_string(),
+            format!("{:.2}", one_by_one_ns / 1e6),
+            format!("{:.2}", bs.total_ms()),
+            format!("{:.2}", bp.makespan_ns / 1e6),
+            format!("{:.0}", bs.queries_per_sec()),
+            format!("{:.0}", bp.queries_per_sec()),
+            bs.pool.hits.to_string(),
+        ]);
+        docs.push(Json::obj([
+            ("dataset", w.dataset.name().into()),
+            ("one_by_one_ns", one_by_one_ns.into()),
+            ("sequential", bs.to_json()),
+            ("parallel", bp.to_json()),
+        ]));
+    }
+    println!("{}", format_table(&header, &rows, |_| None));
+    println!(
+        "(queries/sec of modeled serving time = critical path; the session amortizes the graph upload and\n\
+         \u{20}reuses pooled device state; par_makespan = critical path across {WORKERS} workers,\n\
+         \u{20}one simulated device each, results bit-identical to sequential)"
+    );
+    let path = write_csv(&cli.out, "batch", &header, &rows).unwrap();
+    println!("[csv] {}", path.display());
+    if let Some(path) = &cli.json {
+        let doc = Json::obj([
+            ("scale", format!("{:?}", cli.scale).into()),
+            ("seed", cli.seed.into()),
+            ("workers", WORKERS.into()),
+            ("batches", Json::Arr(docs)),
+        ]);
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir).expect("create --json directory");
+        }
+        std::fs::write(path, doc.render_pretty()).expect("write --json file");
+        println!("[json] {}", path.display());
     }
 }
 
@@ -354,11 +465,11 @@ fn fig2(cli: &Cli) {
     let mut rows = Vec::new();
     for d in [Dataset::CoRoad, Dataset::Amazon, Dataset::Sns] {
         let w = load(d, cli.scale, cli.seed);
-        let opts = RunOptions {
-            census: CensusMode::Every,
-            record_trace: true,
-            ..RunOptions::static_variant(Variant::parse("U_T_BM").unwrap())
-        };
+        let opts = RunOptions::builder()
+            .static_variant(Variant::parse("U_T_BM").unwrap())
+            .census(CensusMode::Every)
+            .trace()
+            .build();
         let r = gpu_run(&w, Algo::Sssp, &opts).expect("fig2 run");
         let peak = r.trace.iter().filter_map(|t| t.ws_size).max().unwrap_or(0);
         println!(
@@ -522,12 +633,7 @@ fn fig13(cli: &Cli) {
                 if let Some(t2) = t2_override {
                     tuning.t2_ws_size = t2;
                 }
-                let opts = RunOptions {
-                    strategy: Strategy::Adaptive,
-                    tuning,
-                    census: CensusMode::Sampled,
-                    ..Default::default()
-                };
+                let opts = RunOptions::builder().tuning(tuning).build();
                 let r = gpu_run(w, Algo::Sssp, &opts).expect("fig13 run");
                 let ms = r.total_ns / 1e6;
                 if ms < best.0 {
@@ -616,12 +722,7 @@ fn sampling(cli: &Cli) {
                 sampling_period: p,
                 ..Default::default()
             };
-            let opts = RunOptions {
-                strategy: Strategy::Adaptive,
-                tuning,
-                census: CensusMode::Sampled,
-                ..Default::default()
-            };
+            let opts = RunOptions::builder().tuning(tuning).build();
             let r = gpu_run(w, Algo::Sssp, &opts).expect("sampling run");
             row.push(format!("{:.2}", r.total_ns / 1e6));
         }
@@ -644,10 +745,10 @@ fn t2_crossover(cli: &Cli) {
     let workloads = load_all(cli.scale, cli.seed);
     for w in &workloads {
         for (i, name) in ["U_T_QU", "U_B_QU"].iter().enumerate() {
-            let opts = RunOptions {
-                record_trace: true,
-                ..RunOptions::static_variant(Variant::parse(name).unwrap())
-            };
+            let opts = RunOptions::builder()
+                .static_variant(Variant::parse(name).unwrap())
+                .trace()
+                .build();
             let r = gpu_run(w, Algo::Sssp, &opts).expect("t2 run");
             for t in &r.trace {
                 if let Some(ws) = t.ws_size {
@@ -787,13 +888,12 @@ fn ablation_vwarp(cli: &Cli) {
             row.push(format!("{:.2}", r.total_ns / 1e6));
         }
         for &width in &widths {
-            let opts = RunOptions {
-                strategy: Strategy::VirtualWarp {
+            let opts = RunOptions::builder()
+                .strategy(Strategy::VirtualWarp {
                     width,
                     workset: agg_kernels::WorkSet::Queue,
-                },
-                ..Default::default()
-            };
+                })
+                .build();
             let r = gpu_run(&w, Algo::Bfs, &opts).expect("vwarp run");
             row.push(format!("{:.2}", r.total_ns / 1e6));
         }
@@ -828,12 +928,11 @@ fn hybrid(cli: &Cli) {
         for algo in [Algo::Bfs, Algo::Sssp] {
             let cpu_ns = cpu_baseline_ns(&w, algo);
             let gpu = gpu_run(&w, algo, &RunOptions::default()).expect("adaptive run");
-            let opts = RunOptions {
-                strategy: Strategy::Hybrid {
+            let opts = RunOptions::builder()
+                .strategy(Strategy::Hybrid {
                     gpu_threshold: AdaptiveConfig::default().t2_ws_size,
-                },
-                ..Default::default()
-            };
+                })
+                .build();
             let hy = gpu_run(&w, algo, &opts).expect("hybrid run");
             rows.push(vec![
                 w.dataset.name().to_string(),
@@ -868,7 +967,9 @@ fn ablation_launch(cli: &Cli) {
         let mut cfg = DeviceConfig::tesla_c2070();
         cfg.launch_overhead_us = overhead_us;
         let mut gg = GpuGraph::with_device(&w.graph, cfg).expect("device");
-        let r = gg.bfs(w.src).expect("bfs");
+        let r = gg
+            .run(Query::Bfs { src: w.src }, &RunOptions::default())
+            .expect("bfs");
         rows.push(vec![
             format!("{overhead_us:.1}"),
             format!("{:.2}", r.total_ns / 1e6),
@@ -1057,15 +1158,8 @@ fn ablation_inspector(cli: &Cli) {
             degree_mode: agg_core::DegreeMode::WorkingSet,
             ..Default::default()
         };
-        let wsm = gpu_run(
-            &w,
-            Algo::Sssp,
-            &RunOptions {
-                tuning,
-                ..Default::default()
-            },
-        )
-        .expect("working-set run");
+        let wsm = gpu_run(&w, Algo::Sssp, &RunOptions::builder().tuning(tuning).build())
+            .expect("working-set run");
         rows.push(vec![
             w.dataset.name().to_string(),
             format!("{:.2}", whole.total_ns / 1e6),
@@ -1160,16 +1254,15 @@ fn ablation_bottomup(cli: &Cli) {
     for w in load_all(cli.scale, cli.seed) {
         let mut gg = GpuGraph::new(&w.graph).expect("upload");
         let top_down = gg
-            .bfs_with(w.src, &RunOptions::default())
+            .run(Query::Bfs { src: w.src }, &RunOptions::default())
             .expect("top-down run");
         gg.enable_bottom_up(&w.graph);
-        let opts = RunOptions {
-            strategy: Strategy::DirectionOptimized {
+        let opts = RunOptions::builder()
+            .strategy(Strategy::DirectionOptimized {
                 bottom_up_fraction: 0.05,
-            },
-            ..Default::default()
-        };
-        let dir_opt = gg.bfs_with(w.src, &opts).expect("dir-opt run");
+            })
+            .build();
+        let dir_opt = gg.run(Query::Bfs { src: w.src }, &opts).expect("dir-opt run");
         assert_eq!(top_down.values, dir_opt.values, "{}", w.dataset.name());
         rows.push(vec![
             w.dataset.name().to_string(),

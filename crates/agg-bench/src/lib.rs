@@ -8,6 +8,6 @@ pub mod runner;
 pub mod tables;
 pub mod workloads;
 
-pub use runner::{cpu_baseline_ns, gpu_static_run, speedup_table, SpeedupTable};
+pub use runner::{cpu_baseline_ns, gpu_static_run, query_for, speedup_table, SpeedupTable};
 pub use tables::{format_table, write_csv};
 pub use workloads::{load, load_all, Workload, DEFAULT_SEED, MAX_WEIGHT};

@@ -2,36 +2,36 @@
 //! tables of the paper's evaluation.
 
 use crate::workloads::Workload;
-use agg_core::{Algo, CoreError, GpuGraph, RunOptions, RunReport};
+use agg_core::{Algo, CoreError, GpuGraph, Query, RunOptions, RunReport};
 use agg_cpu::{
     bfs as cpu_bfs, connected_components as cpu_cc, dijkstra as cpu_dijkstra,
     pagerank_delta as cpu_pagerank, CpuCostModel,
 };
 use agg_kernels::Variant;
 
+/// The query a workload poses for `algo` (its source for traversals,
+/// default PageRank parameters otherwise).
+pub fn query_for(w: &Workload, algo: Algo) -> Query {
+    match algo {
+        Algo::Bfs => Query::Bfs { src: w.src },
+        Algo::Sssp => Query::Sssp { src: w.src },
+        Algo::Cc => Query::Cc,
+        Algo::PageRank => Query::pagerank(),
+    }
+}
+
 /// Runs `algo` on `w` with a fixed static variant; returns the full
 /// report (modeled GPU time in `report.total_ns`).
 pub fn gpu_static_run(w: &Workload, algo: Algo, v: Variant) -> Result<RunReport, CoreError> {
     let mut gg = GpuGraph::new(&w.graph)?;
-    let options = RunOptions::static_variant(v);
-    match algo {
-        Algo::Bfs => gg.bfs_with(w.src, &options),
-        Algo::Sssp => gg.sssp_with(w.src, &options),
-        Algo::Cc => gg.connected_components_with(&options),
-        Algo::PageRank => gg.pagerank_with(&options),
-    }
+    gg.run(query_for(w, algo), &RunOptions::static_variant(v))
 }
 
 /// Runs `algo` on `w` with explicit options (adaptive runs, tracing,
 /// tuning sweeps).
 pub fn gpu_run(w: &Workload, algo: Algo, options: &RunOptions) -> Result<RunReport, CoreError> {
     let mut gg = GpuGraph::new(&w.graph)?;
-    match algo {
-        Algo::Bfs => gg.bfs_with(w.src, options),
-        Algo::Sssp => gg.sssp_with(w.src, options),
-        Algo::Cc => gg.connected_components_with(options),
-        Algo::PageRank => gg.pagerank_with(options),
-    }
+    gg.run(query_for(w, algo), options)
 }
 
 /// Modeled serial CPU baseline time for `algo` on `w` (the denominator of

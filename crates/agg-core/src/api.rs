@@ -3,24 +3,28 @@
 //! instantiate graphs, as well as functions to run the SSSP and BFS
 //! algorithms on them".
 
-use crate::engine::{run, Algo, CoreError, RunOptions, RunReport};
+use crate::engine::{run, CoreError, Query, RunOptions, RunReport};
 use agg_gpu_sim::{Device, DeviceConfig, ExecMode};
 use agg_graph::{CsrGraph, NodeId};
 use agg_kernels::{AlgoState, DeviceGraph, GpuKernels};
 
-/// A graph resident on the (simulated) GPU, ready for repeated traversals.
+/// A graph resident on the (simulated) GPU, ready for repeated queries
+/// through the single typed entrypoint [`GpuGraph::run`].
 ///
 /// ```
-/// use agg_core::GpuGraph;
+/// use agg_core::{GpuGraph, Query, RunOptions};
 /// use agg_graph::{Dataset, Scale};
 ///
 /// let g = Dataset::Amazon.generate_weighted(Scale::Tiny, 42, 64);
 /// let mut gg = GpuGraph::new(&g).unwrap();
-/// let bfs = gg.bfs(0).unwrap();
-/// let sssp = gg.sssp(0).unwrap();
+/// let bfs = gg.run(Query::Bfs { src: 0 }, &RunOptions::default()).unwrap();
+/// let sssp = gg.run(Query::Sssp { src: 0 }, &RunOptions::default()).unwrap();
 /// assert_eq!(bfs.values.len(), g.node_count());
 /// assert!(sssp.total_ns > 0.0);
 /// ```
+///
+/// For many queries against the same graph, prefer
+/// [`crate::session::Session`], which schedules whole batches.
 pub struct GpuGraph {
     dev: Device,
     kernels: GpuKernels,
@@ -64,86 +68,80 @@ impl GpuGraph {
         self.dg.upload_reverse(&mut self.dev, g);
     }
 
+    /// Runs one typed query against the resident graph. This is the
+    /// single entrypoint that replaced the `bfs/bfs_with/...` method
+    /// matrix: the algorithm and its parameters travel in [`Query`],
+    /// execution policy in [`RunOptions`].
+    pub fn run(&mut self, query: Query, options: &RunOptions) -> Result<RunReport, CoreError> {
+        run(
+            &mut self.dev,
+            &self.kernels,
+            &self.dg,
+            &self.state,
+            query,
+            options,
+        )
+    }
+
     /// BFS from `src` with the adaptive runtime and default tuning.
+    #[deprecated(since = "0.2.0", note = "use run(Query::Bfs { src }, &RunOptions::default())")]
     pub fn bfs(&mut self, src: NodeId) -> Result<RunReport, CoreError> {
-        self.bfs_with(src, &RunOptions::default())
+        self.run(Query::Bfs { src }, &RunOptions::default())
     }
 
     /// BFS from `src` with explicit options (static variants, tracing,
     /// tuning overrides).
+    #[deprecated(since = "0.2.0", note = "use run(Query::Bfs { src }, options)")]
     pub fn bfs_with(&mut self, src: NodeId, options: &RunOptions) -> Result<RunReport, CoreError> {
-        run(
-            &mut self.dev,
-            &self.kernels,
-            &self.dg,
-            &self.state,
-            Algo::Bfs,
-            src,
-            options,
-        )
+        self.run(Query::Bfs { src }, options)
     }
 
     /// SSSP from `src` with the adaptive runtime and default tuning. The
     /// graph must be weighted.
+    #[deprecated(since = "0.2.0", note = "use run(Query::Sssp { src }, &RunOptions::default())")]
     pub fn sssp(&mut self, src: NodeId) -> Result<RunReport, CoreError> {
-        self.sssp_with(src, &RunOptions::default())
+        self.run(Query::Sssp { src }, &RunOptions::default())
     }
 
     /// SSSP from `src` with explicit options.
+    #[deprecated(since = "0.2.0", note = "use run(Query::Sssp { src }, options)")]
     pub fn sssp_with(&mut self, src: NodeId, options: &RunOptions) -> Result<RunReport, CoreError> {
-        run(
-            &mut self.dev,
-            &self.kernels,
-            &self.dg,
-            &self.state,
-            Algo::Sssp,
-            src,
-            options,
-        )
+        self.run(Query::Sssp { src }, options)
     }
 
     /// Connected components by min-label propagation (extension). The
     /// graph should be symmetric for component semantics; on directed
     /// graphs the result is the min-reachable-label fixpoint.
+    #[deprecated(since = "0.2.0", note = "use run(Query::Cc, &RunOptions::default())")]
     pub fn connected_components(&mut self) -> Result<RunReport, CoreError> {
-        self.connected_components_with(&RunOptions::default())
+        self.run(Query::Cc, &RunOptions::default())
     }
 
     /// Connected components with explicit options.
+    #[deprecated(since = "0.2.0", note = "use run(Query::Cc, options)")]
     pub fn connected_components_with(
         &mut self,
         options: &RunOptions,
     ) -> Result<RunReport, CoreError> {
-        run(
-            &mut self.dev,
-            &self.kernels,
-            &self.dg,
-            &self.state,
-            Algo::Cc,
-            0,
-            options,
-        )
+        self.run(Query::Cc, options)
     }
 
     /// PageRank-delta with default parameters (d = 0.85, ε = 1e-4)
     /// (extension). Ranks come back as f32 via
     /// [`RunReport::values_as_f32`].
+    #[deprecated(since = "0.2.0", note = "use run(Query::pagerank(), &RunOptions::default())")]
     pub fn pagerank(&mut self) -> Result<RunReport, CoreError> {
-        self.pagerank_with(&RunOptions::default())
+        self.run(Query::pagerank(), &RunOptions::default())
     }
 
-    /// PageRank-delta with explicit options (damping/ε live in
-    /// `options.pagerank`).
+    /// PageRank-delta with explicit options. Damping/ε moved into
+    /// [`Query::PageRank`]; this shim runs the defaults.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use run(Query::PageRank { config }, options); damping/epsilon moved into the query"
+    )]
     pub fn pagerank_with(&mut self, options: &RunOptions) -> Result<RunReport, CoreError> {
-        run(
-            &mut self.dev,
-            &self.kernels,
-            &self.dg,
-            &self.state,
-            Algo::PageRank,
-            0,
-            options,
-        )
+        self.run(Query::pagerank(), options)
     }
 
     /// Node count of the uploaded graph.
@@ -192,9 +190,10 @@ mod tests {
         let mut gg = GpuGraph::new(&g).unwrap();
         assert_eq!(gg.node_count(), g.node_count());
         assert_eq!(gg.edge_count(), g.edge_count());
-        let bfs = gg.bfs(0).unwrap();
+        let opts = RunOptions::default();
+        let bfs = gg.run(Query::Bfs { src: 0 }, &opts).unwrap();
         assert_eq!(bfs.values, traversal::bfs_levels(&g, 0));
-        let sssp = gg.sssp(0).unwrap();
+        let sssp = gg.run(Query::Sssp { src: 0 }, &opts).unwrap();
         assert_eq!(sssp.values, traversal::dijkstra(&g, 0));
     }
 
@@ -203,7 +202,7 @@ mod tests {
         let g = Dataset::P2p.generate(Scale::Tiny, 32);
         let mut gg = GpuGraph::new(&g).unwrap();
         for src in [0u32, 7, 100] {
-            let r = gg.bfs(src).unwrap();
+            let r = gg.run(Query::Bfs { src }, &RunOptions::default()).unwrap();
             assert_eq!(r.values, traversal::bfs_levels(&g, src), "src {src}");
         }
         assert!(gg.device_elapsed_ns() > 0.0);
@@ -214,19 +213,38 @@ mod tests {
         let g = Dataset::Amazon.generate(Scale::Tiny, 33);
         let mut gg = GpuGraph::new(&g).unwrap();
         let v = Variant::parse("U_B_QU").unwrap();
-        let r = gg.bfs_with(0, &RunOptions::static_variant(v)).unwrap();
+        let r = gg
+            .run(Query::Bfs { src: 0 }, &RunOptions::static_variant(v))
+            .unwrap();
         assert_eq!(r.values, traversal::bfs_levels(&g, 0));
         assert_eq!(r.switches, 0);
+    }
+
+    #[test]
+    fn invalid_queries_come_back_as_errors() {
+        let g = Dataset::P2p.generate(Scale::Tiny, 36); // unweighted
+        let n = g.node_count() as u32;
+        let mut gg = GpuGraph::new(&g).unwrap();
+        let opts = RunOptions::default();
+        assert!(matches!(
+            gg.run(Query::Bfs { src: n }, &opts),
+            Err(CoreError::InvalidQuery { .. })
+        ));
+        assert!(matches!(
+            gg.run(Query::Sssp { src: 0 }, &opts),
+            Err(CoreError::InvalidQuery { .. })
+        ));
     }
 
     #[test]
     fn device_profile_accumulates_across_runs() {
         let g = Dataset::P2p.generate(Scale::Tiny, 35);
         let mut gg = GpuGraph::new(&g).unwrap();
-        let first = gg.bfs(0).unwrap();
+        let opts = RunOptions::default();
+        let first = gg.run(Query::Bfs { src: 0 }, &opts).unwrap();
         let after_one = gg.profile().total_launches();
         assert_eq!(after_one, first.launches);
-        let second = gg.bfs(0).unwrap();
+        let second = gg.run(Query::Bfs { src: 0 }, &opts).unwrap();
         assert_eq!(
             gg.profile().total_launches(),
             after_one + second.launches,
@@ -239,6 +257,53 @@ mod tests {
         let g = Dataset::Amazon.generate_weighted(Scale::Tiny, 34, 32);
         let mut seq = GpuGraph::new(&g).unwrap();
         let mut par = GpuGraph::with_parallel_host(&g, DeviceConfig::tesla_c2070()).unwrap();
-        assert_eq!(seq.sssp(0).unwrap().values, par.sssp(0).unwrap().values);
+        let opts = RunOptions::default();
+        assert_eq!(
+            seq.run(Query::Sssp { src: 0 }, &opts).unwrap().values,
+            par.run(Query::Sssp { src: 0 }, &opts).unwrap().values
+        );
+    }
+
+    /// Shim-compat: the deprecated method matrix keeps working for one
+    /// release and agrees with the typed entrypoint. This is the one
+    /// place in the workspace allowed to call it.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_method_matrix_matches_run() {
+        let g = Dataset::Amazon.generate_weighted(Scale::Tiny, 37, 64);
+        let mut gg = GpuGraph::new(&g).unwrap();
+        let opts = RunOptions::default();
+        assert_eq!(
+            gg.bfs(0).unwrap().values,
+            gg.run(Query::Bfs { src: 0 }, &opts).unwrap().values
+        );
+        assert_eq!(
+            gg.bfs_with(0, &opts).unwrap().values,
+            gg.run(Query::Bfs { src: 0 }, &opts).unwrap().values
+        );
+        assert_eq!(
+            gg.sssp(0).unwrap().values,
+            gg.run(Query::Sssp { src: 0 }, &opts).unwrap().values
+        );
+        assert_eq!(
+            gg.sssp_with(0, &opts).unwrap().values,
+            gg.run(Query::Sssp { src: 0 }, &opts).unwrap().values
+        );
+        assert_eq!(
+            gg.connected_components().unwrap().values,
+            gg.run(Query::Cc, &opts).unwrap().values
+        );
+        assert_eq!(
+            gg.connected_components_with(&opts).unwrap().values,
+            gg.run(Query::Cc, &opts).unwrap().values
+        );
+        assert_eq!(
+            gg.pagerank().unwrap().values,
+            gg.run(Query::pagerank(), &opts).unwrap().values
+        );
+        assert_eq!(
+            gg.pagerank_with(&opts).unwrap().values,
+            gg.run(Query::pagerank(), &opts).unwrap().values
+        );
     }
 }

@@ -120,8 +120,112 @@ impl Default for PageRankConfig {
     }
 }
 
-/// Options for a traversal run.
+/// A typed query against a resident graph: the algorithm plus its
+/// per-algorithm parameters. This is the unit of work of
+/// [`crate::session::Session`] batches and the single entrypoint
+/// `GpuGraph::run` — source nodes belong to the traversal queries and
+/// PageRank's damping/ε belong to [`Query::PageRank`], so [`RunOptions`]
+/// carries only algorithm-independent execution policy.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Query {
+    /// Breadth-first search (levels) from `src`.
+    Bfs {
+        /// Source node; must be `< n`.
+        src: NodeId,
+    },
+    /// Single-source shortest paths (distances) from `src`. Requires a
+    /// weighted graph.
+    Sssp {
+        /// Source node; must be `< n`.
+        src: NodeId,
+    },
+    /// Connected components via min-label propagation (source-free).
+    Cc,
+    /// PageRank-delta with explicit parameters.
+    PageRank {
+        /// Damping factor and residual threshold.
+        config: PageRankConfig,
+    },
+}
+
+impl Query {
+    /// A PageRank query with the default parameters (d = 0.85, ε = 1e-4).
+    pub fn pagerank() -> Query {
+        Query::PageRank {
+            config: PageRankConfig::default(),
+        }
+    }
+
+    /// The algorithm this query runs.
+    pub fn algo(&self) -> Algo {
+        match self {
+            Query::Bfs { .. } => Algo::Bfs,
+            Query::Sssp { .. } => Algo::Sssp,
+            Query::Cc => Algo::Cc,
+            Query::PageRank { .. } => Algo::PageRank,
+        }
+    }
+
+    /// The traversal source (0 for the source-free algorithms, whose
+    /// kernels ignore it).
+    pub fn source(&self) -> NodeId {
+        match self {
+            Query::Bfs { src } | Query::Sssp { src } => *src,
+            Query::Cc | Query::PageRank { .. } => 0,
+        }
+    }
+
+    /// The PageRank parameters this query carries (defaults for the other
+    /// algorithms, which never read them).
+    pub fn pagerank_config(&self) -> PageRankConfig {
+        match self {
+            Query::PageRank { config } => *config,
+            _ => PageRankConfig::default(),
+        }
+    }
+
+    /// Short lowercase name of the queried algorithm.
+    pub fn name(&self) -> &'static str {
+        match self.algo() {
+            Algo::Bfs => "bfs",
+            Algo::Sssp => "sssp",
+            Algo::Cc => "cc",
+            Algo::PageRank => "pagerank",
+        }
+    }
+
+    /// This query as a JSON object (telemetry labels, not a wire format).
+    pub fn to_json(&self) -> Json {
+        match self {
+            Query::Bfs { src } | Query::Sssp { src } => Json::obj([
+                ("algo", self.name().into()),
+                ("src", (*src).into()),
+            ]),
+            Query::Cc => Json::obj([("algo", self.name().into())]),
+            Query::PageRank { config } => Json::obj([
+                ("algo", self.name().into()),
+                ("damping", f64::from(config.damping).into()),
+                ("epsilon", f64::from(config.epsilon).into()),
+            ]),
+        }
+    }
+}
+
+/// Options for a traversal run: algorithm-independent execution policy
+/// (strategy, tuning, census cadence, tracing). Per-algorithm parameters
+/// live on [`Query`].
+///
+/// The struct is non-exhaustive so future knobs are not semver breaks;
+/// construct it with the builder:
+///
+/// ```
+/// use agg_core::{CensusMode, RunOptions};
+///
+/// let opts = RunOptions::adaptive().trace().census(CensusMode::Every).build();
+/// assert!(opts.record_trace);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct RunOptions {
     /// Selection strategy.
     pub strategy: Strategy,
@@ -136,8 +240,6 @@ pub struct RunOptions {
     /// Charge the CSR H2D transfer to this run (the paper's reported
     /// times include CPU-GPU transfers).
     pub include_graph_transfer: bool,
-    /// PageRank parameters (ignored by other algorithms).
-    pub pagerank: PageRankConfig,
 }
 
 impl Default for RunOptions {
@@ -149,19 +251,86 @@ impl Default for RunOptions {
             record_trace: false,
             max_iterations: 0,
             include_graph_transfer: true,
-            pagerank: PageRankConfig::default(),
         }
     }
 }
 
 impl RunOptions {
-    /// A static-variant run with default tuning.
-    pub fn static_variant(v: Variant) -> RunOptions {
-        RunOptions {
-            strategy: Strategy::Static(v),
-            census: CensusMode::Off,
-            ..Default::default()
+    /// A builder seeded with the defaults (adaptive strategy, sampled
+    /// census, graph transfer charged).
+    pub fn builder() -> RunOptionsBuilder {
+        RunOptionsBuilder {
+            opts: RunOptions::default(),
         }
+    }
+
+    /// A builder for an adaptive-runtime run (alias of
+    /// [`RunOptions::builder`], reading as the strategy it selects).
+    pub fn adaptive() -> RunOptionsBuilder {
+        RunOptions::builder()
+    }
+
+    /// A static-variant run with default tuning (census off — a fixed
+    /// variant has no decision to inform).
+    pub fn static_variant(v: Variant) -> RunOptions {
+        RunOptions::builder().static_variant(v).build()
+    }
+}
+
+/// Builder for [`RunOptions`] (see [`RunOptions::builder`]).
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptionsBuilder {
+    opts: RunOptions,
+}
+
+impl RunOptionsBuilder {
+    /// Sets the selection strategy.
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.opts.strategy = strategy;
+        self
+    }
+
+    /// Pins one fixed variant and turns the census off (a fixed variant
+    /// has no decision to inform).
+    pub fn static_variant(mut self, v: Variant) -> Self {
+        self.opts.strategy = Strategy::Static(v);
+        self.opts.census = CensusMode::Off;
+        self
+    }
+
+    /// Overrides the decision-maker thresholds and kernel tuning.
+    pub fn tuning(mut self, tuning: AdaptiveConfig) -> Self {
+        self.opts.tuning = tuning;
+        self
+    }
+
+    /// Sets the working-set census policy.
+    pub fn census(mut self, census: CensusMode) -> Self {
+        self.opts.census = census;
+        self
+    }
+
+    /// Records a per-iteration trace in the report.
+    pub fn trace(mut self) -> Self {
+        self.opts.record_trace = true;
+        self
+    }
+
+    /// Sets the iteration safety cap (0 = automatic, `4n + 64`).
+    pub fn max_iterations(mut self, cap: u64) -> Self {
+        self.opts.max_iterations = cap;
+        self
+    }
+
+    /// Whether the CSR H2D transfer is charged to the run.
+    pub fn include_graph_transfer(mut self, include: bool) -> Self {
+        self.opts.include_graph_transfer = include;
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> RunOptions {
+        self.opts
     }
 }
 
@@ -306,8 +475,14 @@ pub enum CoreError {
         /// The cap that was hit.
         iterations: u64,
     },
-    /// SSSP was requested on a graph without edge weights.
-    UnweightedGraph,
+    /// The query is malformed for the target graph: an out-of-range
+    /// source, SSSP on a graph without edge weights, or PageRank
+    /// parameters outside their domain. Every rejection is an `Err`, never
+    /// a panic.
+    InvalidQuery {
+        /// Explanation of the rejected query.
+        detail: String,
+    },
     /// The algorithm/strategy combination does not exist (e.g. ordered
     /// connected components, virtual-warp CC, or a non-power-of-two
     /// sub-warp width).
@@ -327,12 +502,7 @@ impl fmt::Display for CoreError {
                     "traversal did not converge within {iterations} iterations"
                 )
             }
-            CoreError::UnweightedGraph => {
-                write!(
-                    f,
-                    "SSSP requires a weighted graph (use generate_weighted / with_weights)"
-                )
-            }
+            CoreError::InvalidQuery { detail } => write!(f, "invalid query: {detail}"),
             CoreError::Unsupported { detail } => write!(f, "unsupported combination: {detail}"),
         }
     }
@@ -550,9 +720,39 @@ impl<'a> Ctx<'a> {
     }
 }
 
-fn validate(algo: Algo, options: &RunOptions, weighted: bool) -> Result<(), CoreError> {
-    if algo == Algo::Sssp && !weighted {
-        return Err(CoreError::UnweightedGraph);
+/// Rejects malformed queries and nonexistent algorithm/strategy
+/// combinations up front, before any state is touched. The session layer
+/// calls this to fail a whole batch fast.
+pub(crate) fn validate_query(
+    query: Query,
+    options: &RunOptions,
+    dg: &DeviceGraph,
+) -> Result<(), CoreError> {
+    let algo = query.algo();
+    if algo == Algo::Sssp && dg.weights.is_none() {
+        return Err(CoreError::InvalidQuery {
+            detail: "SSSP requires a weighted graph (use generate_weighted / with_weights)".into(),
+        });
+    }
+    if matches!(query, Query::Bfs { .. } | Query::Sssp { .. }) && dg.n > 0 {
+        let src = query.source();
+        if src >= dg.n {
+            return Err(CoreError::InvalidQuery {
+                detail: format!("source {src} out of range (graph has {} nodes)", dg.n),
+            });
+        }
+    }
+    if let Query::PageRank { config } = query {
+        if !(config.damping > 0.0 && config.damping < 1.0) {
+            return Err(CoreError::InvalidQuery {
+                detail: format!("PageRank damping {} must be in (0, 1)", config.damping),
+            });
+        }
+        if config.epsilon.is_nan() || config.epsilon <= 0.0 {
+            return Err(CoreError::InvalidQuery {
+                detail: format!("PageRank epsilon {} must be positive", config.epsilon),
+            });
+        }
     }
     match (algo, options.strategy) {
         (Algo::Cc | Algo::PageRank, Strategy::Static(v)) if v.order == AlgoOrder::Ordered => {
@@ -625,21 +825,23 @@ fn subtract_kernel_stats(
     }
 }
 
-/// Runs one traversal. `state` is reset for `src` internally; the graph
-/// must already be uploaded as `dg`.
+/// Runs one typed query. `state` is reset for the query's source
+/// internally; the graph must already be uploaded as `dg`.
 pub fn run(
     dev: &mut Device,
     kernels: &GpuKernels,
     dg: &DeviceGraph,
     state: &AlgoState,
-    algo: Algo,
-    src: NodeId,
+    query: Query,
     options: &RunOptions,
 ) -> Result<RunReport, CoreError> {
-    validate(algo, options, dg.weights.is_some())?;
+    validate_query(query, options, dg)?;
     if dg.n == 0 {
         return Ok(empty_report());
     }
+    let algo = query.algo();
+    let src = query.source();
+    let pagerank = query.pagerank_config();
     if let Strategy::Hybrid { gpu_threshold } = options.strategy {
         return run_hybrid(dev, kernels, dg, state, algo, src, options, gpu_threshold);
     }
@@ -663,7 +865,7 @@ pub fn run(
     let start_profile = dev.profile().clone();
     match algo {
         Algo::Cc => state.reset_cc(dev, n)?,
-        Algo::PageRank => state.reset_pagerank(dev, options.pagerank.damping)?,
+        Algo::PageRank => state.reset_pagerank(dev, pagerank.damping)?,
         _ => state.reset(dev, src)?,
     }
     // Setup covers everything before the first iteration; the graph H2D
@@ -685,7 +887,7 @@ pub fn run(
         algo,
         tuning,
         census: options.census,
-        pagerank: options.pagerank,
+        pagerank,
         thread_threads,
         block_threads,
         inspector_ns: 0.0,
@@ -935,7 +1137,9 @@ fn run_hybrid(
                 algo,
                 tuning,
                 census: options.census,
-                pagerank: options.pagerank,
+                // hybrid execution exists for BFS/SSSP only (validated),
+                // so the PageRank parameters are never read
+                pagerank: PageRankConfig::default(),
                 thread_threads,
                 block_threads,
                 inspector_ns: 0.0,
@@ -1085,7 +1289,7 @@ mod tests {
         for d in Dataset::ALL {
             let g = d.generate(Scale::Tiny, 21);
             let (mut dev, k, dg, st) = setup(&g);
-            let r = run(&mut dev, &k, &dg, &st, Algo::Bfs, 0, &RunOptions::default()).unwrap();
+            let r = run(&mut dev, &k, &dg, &st, Query::Bfs { src: 0 }, &RunOptions::default()).unwrap();
             assert_eq!(r.values, traversal::bfs_levels(&g, 0), "{}", d.name());
             assert!(r.total_ns > 0.0);
             assert!(r.launches >= 2 * r.iterations as u64);
@@ -1102,8 +1306,7 @@ mod tests {
                 &k,
                 &dg,
                 &st,
-                Algo::Sssp,
-                0,
+                Query::Sssp { src: 0 },
                 &RunOptions::default(),
             )
             .unwrap();
@@ -1115,15 +1318,14 @@ mod tests {
     fn static_and_adaptive_agree_on_results() {
         let g = Dataset::Google.generate(Scale::Tiny, 23);
         let (mut dev, k, dg, st) = setup(&g);
-        let adaptive = run(&mut dev, &k, &dg, &st, Algo::Bfs, 0, &RunOptions::default()).unwrap();
+        let adaptive = run(&mut dev, &k, &dg, &st, Query::Bfs { src: 0 }, &RunOptions::default()).unwrap();
         for v in Variant::ALL {
             let r = run(
                 &mut dev,
                 &k,
                 &dg,
                 &st,
-                Algo::Bfs,
-                0,
+                Query::Bfs { src: 0 },
                 &RunOptions::static_variant(v),
             )
             .unwrap();
@@ -1141,7 +1343,7 @@ mod tests {
             census: CensusMode::Every,
             ..RunOptions::static_variant(Variant::parse("U_T_BM").unwrap())
         };
-        let r = run(&mut dev, &k, &dg, &st, Algo::Bfs, 0, &opts).unwrap();
+        let r = run(&mut dev, &k, &dg, &st, Query::Bfs { src: 0 }, &opts).unwrap();
         assert_eq!(r.trace.len(), r.iterations as usize);
         assert!(r.trace.iter().all(|t| t.ws_size.is_some()));
         assert_eq!(r.trace[0].ws_size, Some(1));
@@ -1161,7 +1363,7 @@ mod tests {
             census: CensusMode::Every,
             ..RunOptions::static_variant(Variant::parse("U_T_BM").unwrap())
         };
-        let r = run(&mut dev, &k, &dg, &st, Algo::Bfs, 0, &opts).unwrap();
+        let r = run(&mut dev, &k, &dg, &st, Query::Bfs { src: 0 }, &opts).unwrap();
         assert_eq!(r.trace.len(), r.iterations as usize);
         for t in &r.trace {
             let exact = levels
@@ -1198,7 +1400,7 @@ mod tests {
             record_trace: true,
             ..Default::default()
         };
-        let r = run(&mut dev, &kernels, &dg, &st, Algo::Bfs, 0, &opts).unwrap();
+        let r = run(&mut dev, &kernels, &dg, &st, Query::Bfs { src: 0 }, &opts).unwrap();
         assert_eq!(r.values, traversal::bfs_levels(&g, 0));
         let first_bitmap = r
             .trace
@@ -1241,7 +1443,7 @@ mod tests {
             record_trace: true,
             ..Default::default()
         };
-        let r = run(&mut dev, &kernels, &dg, &st, Algo::Bfs, 0, &opts).unwrap();
+        let r = run(&mut dev, &kernels, &dg, &st, Query::Bfs { src: 0 }, &opts).unwrap();
         assert_eq!(r.metrics.census_launches, 0);
         assert!(r
             .trace
@@ -1254,31 +1456,27 @@ mod tests {
         // setup + Σ iter + teardown == total, for every execution path.
         let g = Dataset::Amazon.generate_weighted(Scale::Tiny, 29, 64);
         let (mut dev, k, dg, st) = setup(&g);
-        for (label, algo, opts) in [
-            ("adaptive bfs", Algo::Bfs, RunOptions::default()),
+        for (label, query, opts) in [
+            ("adaptive bfs", Query::Bfs { src: 0 }, RunOptions::default()),
             (
                 "static sssp",
-                Algo::Sssp,
+                Query::Sssp { src: 0 },
                 RunOptions::static_variant(Variant::parse("U_B_QU").unwrap()),
             ),
             (
                 "no-transfer",
-                Algo::Bfs,
-                RunOptions {
-                    include_graph_transfer: false,
-                    ..Default::default()
-                },
+                Query::Bfs { src: 0 },
+                RunOptions::builder().include_graph_transfer(false).build(),
             ),
             (
                 "hybrid",
-                Algo::Bfs,
-                RunOptions {
-                    strategy: Strategy::Hybrid { gpu_threshold: 64 },
-                    ..Default::default()
-                },
+                Query::Bfs { src: 0 },
+                RunOptions::builder()
+                    .strategy(Strategy::Hybrid { gpu_threshold: 64 })
+                    .build(),
             ),
         ] {
-            let r = run(&mut dev, &k, &dg, &st, algo, 0, &opts).unwrap();
+            let r = run(&mut dev, &k, &dg, &st, query, &opts).unwrap();
             let parts = r.setup_ns + r.metrics.iter_ns_total + r.teardown_ns;
             assert!(
                 (parts - r.total_ns).abs() <= 1e-6 * r.total_ns.max(1.0),
@@ -1305,8 +1503,8 @@ mod tests {
     fn run_report_profile_covers_this_run_only() {
         let g = Dataset::P2p.generate(Scale::Tiny, 30);
         let (mut dev, k, dg, st) = setup(&g);
-        let first = run(&mut dev, &k, &dg, &st, Algo::Bfs, 0, &RunOptions::default()).unwrap();
-        let second = run(&mut dev, &k, &dg, &st, Algo::Bfs, 0, &RunOptions::default()).unwrap();
+        let first = run(&mut dev, &k, &dg, &st, Query::Bfs { src: 0 }, &RunOptions::default()).unwrap();
+        let second = run(&mut dev, &k, &dg, &st, Query::Bfs { src: 0 }, &RunOptions::default()).unwrap();
         // Same work both times: the per-run profiles agree even though the
         // device accumulates across runs (ns fields only up to float
         // rounding, since each run's profile is a snapshot difference).
@@ -1341,7 +1539,7 @@ mod tests {
             census: CensusMode::Every,
             ..Default::default()
         };
-        let r = run(&mut dev, &k, &dg, &st, Algo::Bfs, 0, &opts).unwrap();
+        let r = run(&mut dev, &k, &dg, &st, Query::Bfs { src: 0 }, &opts).unwrap();
         let json = r.to_json().render();
         for field in [
             "\"variant\"",
@@ -1366,7 +1564,7 @@ mod tests {
             record_trace: true,
             ..Default::default()
         };
-        let r = run(&mut dev, &k, &dg, &st, Algo::Bfs, 0, &opts).unwrap();
+        let r = run(&mut dev, &k, &dg, &st, Query::Bfs { src: 0 }, &opts).unwrap();
         assert_eq!(r.trace[0].variant.name(), "U_B_QU");
     }
 
@@ -1387,7 +1585,7 @@ mod tests {
             record_trace: true,
             ..Default::default()
         };
-        let r = run(&mut dev, &kernels, &dg, &st, Algo::Bfs, 0, &opts).unwrap();
+        let r = run(&mut dev, &kernels, &dg, &st, Query::Bfs { src: 0 }, &opts).unwrap();
         assert_eq!(r.values, traversal::bfs_levels(&g, 0));
         assert!(
             r.switches >= 1,
@@ -1402,7 +1600,7 @@ mod tests {
             let g = d.generate(Scale::Tiny, 61);
             let expected = traversal::min_labels(&g);
             let (mut dev, k, dg, st) = setup(&g);
-            let r = run(&mut dev, &k, &dg, &st, Algo::Cc, 0, &RunOptions::default()).unwrap();
+            let r = run(&mut dev, &k, &dg, &st, Query::Cc, &RunOptions::default()).unwrap();
             assert_eq!(r.values, expected, "{} adaptive CC", d.name());
             for v in Variant::UNORDERED {
                 let r = run(
@@ -1410,8 +1608,7 @@ mod tests {
                     &k,
                     &dg,
                     &st,
-                    Algo::Cc,
-                    0,
+                    Query::Cc,
                     &RunOptions::static_variant(v),
                 )
                 .unwrap();
@@ -1439,7 +1636,7 @@ mod tests {
             },
         ] {
             assert!(matches!(
-                run(&mut dev, &k, &dg, &st, Algo::Cc, 0, &opts),
+                run(&mut dev, &k, &dg, &st, Query::Cc, &opts),
                 Err(CoreError::Unsupported { .. })
             ));
         }
@@ -1458,10 +1655,10 @@ mod tests {
                     record_trace: true,
                     ..Default::default()
                 };
-                let b = run(&mut dev, &k, &dg, &st, Algo::Bfs, 0, &opts).unwrap();
+                let b = run(&mut dev, &k, &dg, &st, Query::Bfs { src: 0 }, &opts).unwrap();
                 assert_eq!(b.values, expected_bfs, "vw{width} {ws:?} BFS");
                 assert!(b.trace.iter().all(|t| t.vwarp_width == Some(width)));
-                let s = run(&mut dev, &k, &dg, &st, Algo::Sssp, 0, &opts).unwrap();
+                let s = run(&mut dev, &k, &dg, &st, Query::Sssp { src: 0 }, &opts).unwrap();
                 assert_eq!(s.values, expected_sssp, "vw{width} {ws:?} SSSP");
             }
         }
@@ -1481,7 +1678,7 @@ mod tests {
             };
             assert!(
                 matches!(
-                    run(&mut dev, &k, &dg, &st, Algo::Bfs, 0, &opts),
+                    run(&mut dev, &k, &dg, &st, Query::Bfs { src: 0 }, &opts),
                     Err(CoreError::Unsupported { .. })
                 ),
                 "width {width} should be rejected"
@@ -1498,8 +1695,7 @@ mod tests {
             &k,
             &dg,
             &st,
-            Algo::Bfs,
-            0,
+            Query::Bfs { src: 0 },
             &RunOptions::static_variant(Variant::parse("U_T_QU").unwrap()),
         )
         .unwrap();
@@ -1508,8 +1704,7 @@ mod tests {
             &k,
             &dg,
             &st,
-            Algo::Bfs,
-            0,
+            Query::Bfs { src: 0 },
             &RunOptions {
                 strategy: Strategy::VirtualWarp {
                     width: 8,
@@ -1537,14 +1732,14 @@ mod tests {
                 record_trace: true,
                 ..Default::default()
             };
-            let bfs = run(&mut dev, &k, &dg, &st, Algo::Bfs, 0, &opts).unwrap();
+            let bfs = run(&mut dev, &k, &dg, &st, Query::Bfs { src: 0 }, &opts).unwrap();
             assert_eq!(
                 bfs.values,
                 traversal::bfs_levels(&g, 0),
                 "{} hybrid BFS",
                 d.name()
             );
-            let sssp = run(&mut dev, &k, &dg, &st, Algo::Sssp, 0, &opts).unwrap();
+            let sssp = run(&mut dev, &k, &dg, &st, Query::Sssp { src: 0 }, &opts).unwrap();
             assert_eq!(
                 sssp.values,
                 traversal::dijkstra(&g, 0),
@@ -1572,7 +1767,7 @@ mod tests {
             record_trace: true,
             ..Default::default()
         };
-        let r = run(&mut dev, &k, &dg, &st, Algo::Bfs, 0, &opts).unwrap();
+        let r = run(&mut dev, &k, &dg, &st, Query::Bfs { src: 0 }, &opts).unwrap();
         assert_eq!(r.values, traversal::bfs_levels(&g, 0));
         assert!(r.trace.iter().all(|t| t.on_host));
         assert_eq!(r.launches, 0, "all-host run must not launch kernels");
@@ -1588,7 +1783,7 @@ mod tests {
             record_trace: true,
             ..Default::default()
         };
-        let r = run(&mut dev, &k, &dg, &st, Algo::Bfs, 0, &opts).unwrap();
+        let r = run(&mut dev, &k, &dg, &st, Query::Bfs { src: 0 }, &opts).unwrap();
         assert_eq!(r.values, traversal::bfs_levels(&g, 0));
         assert!(r.trace.iter().all(|t| !t.on_host));
         assert_eq!(r.host_ns, 0.0);
@@ -1600,22 +1795,16 @@ mod tests {
         for d in [Dataset::P2p, Dataset::Google] {
             let g = d.generate(Scale::Tiny, 71);
             let (mut dev, k, dg, st) = setup(&g);
-            let cfg = PageRankConfig {
-                damping: 0.85,
-                epsilon: 1e-5,
-            };
-            let opts = RunOptions {
-                pagerank: cfg,
-                ..Default::default()
+            let q = Query::PageRank {
+                config: PageRankConfig {
+                    damping: 0.85,
+                    epsilon: 1e-5,
+                },
             };
             // adaptive + all four unordered statics
-            let mut runs = vec![run(&mut dev, &k, &dg, &st, Algo::PageRank, 0, &opts).unwrap()];
+            let mut runs = vec![run(&mut dev, &k, &dg, &st, q, &RunOptions::default()).unwrap()];
             for v in Variant::UNORDERED {
-                let o = RunOptions {
-                    pagerank: cfg,
-                    ..RunOptions::static_variant(v)
-                };
-                runs.push(run(&mut dev, &k, &dg, &st, Algo::PageRank, 0, &o).unwrap());
+                runs.push(run(&mut dev, &k, &dg, &st, q, &RunOptions::static_variant(v)).unwrap());
             }
             let cpu = agg_cpu::pagerank_delta(&g, 0.85, 1e-5, &CpuCostModel::default());
             let power = agg_cpu::pagerank_power(&g, 0.85, 1e-7, 500);
@@ -1664,7 +1853,7 @@ mod tests {
             },
         ] {
             assert!(matches!(
-                run(&mut dev, &k, &dg, &st, Algo::PageRank, 0, &opts),
+                run(&mut dev, &k, &dg, &st, Query::pagerank(), &opts),
                 Err(CoreError::Unsupported { .. })
             ));
         }
@@ -1674,22 +1863,20 @@ mod tests {
     fn pagerank_epsilon_trades_accuracy_for_iterations() {
         let g = Dataset::Amazon.generate(Scale::Tiny, 73);
         let (mut dev, k, dg, st) = setup(&g);
-        let loose = RunOptions {
-            pagerank: PageRankConfig {
+        let loose = Query::PageRank {
+            config: PageRankConfig {
                 damping: 0.85,
                 epsilon: 1e-2,
             },
-            ..Default::default()
         };
-        let tight = RunOptions {
-            pagerank: PageRankConfig {
+        let tight = Query::PageRank {
+            config: PageRankConfig {
                 damping: 0.85,
                 epsilon: 1e-6,
             },
-            ..Default::default()
         };
-        let rl = run(&mut dev, &k, &dg, &st, Algo::PageRank, 0, &loose).unwrap();
-        let rt = run(&mut dev, &k, &dg, &st, Algo::PageRank, 0, &tight).unwrap();
+        let rl = run(&mut dev, &k, &dg, &st, loose, &RunOptions::default()).unwrap();
+        let rt = run(&mut dev, &k, &dg, &st, tight, &RunOptions::default()).unwrap();
         assert!(
             rt.iterations > rl.iterations,
             "{} vs {}",
@@ -1716,8 +1903,7 @@ mod tests {
             &k,
             &dg,
             &st,
-            Algo::Sssp,
-            0,
+            Query::Sssp { src: 0 },
             &RunOptions::default(),
         )
         .unwrap();
@@ -1730,7 +1916,7 @@ mod tests {
             tuning,
             ..Default::default()
         };
-        let ws_mode = run(&mut dev, &k, &dg, &st, Algo::Sssp, 0, &opts).unwrap();
+        let ws_mode = run(&mut dev, &k, &dg, &st, Query::Sssp { src: 0 }, &opts).unwrap();
         assert_eq!(whole.values, ws_mode.values);
         // The working-set inspector launches extra census kernels.
         assert!(ws_mode.launches > whole.launches);
@@ -1752,7 +1938,7 @@ mod tests {
                 record_trace: true,
                 ..Default::default()
             };
-            let r = run(&mut dev, &kernels, &dg, &st, Algo::Bfs, 0, &opts).unwrap();
+            let r = run(&mut dev, &kernels, &dg, &st, Query::Bfs { src: 0 }, &opts).unwrap();
             assert_eq!(r.values, traversal::bfs_levels(&g, 0), "{}", d.name());
             if d == Dataset::Amazon {
                 // explosive frontier: at least one bottom-up iteration
@@ -1773,14 +1959,14 @@ mod tests {
             ..Default::default()
         };
         assert!(matches!(
-            run(&mut dev, &k, &dg, &st, Algo::Bfs, 0, &opts),
+            run(&mut dev, &k, &dg, &st, Query::Bfs { src: 0 }, &opts),
             Err(CoreError::Unsupported { .. })
         ));
         // SSSP is rejected even with the reverse graph present.
         let mut dg2 = DeviceGraph::upload(&mut dev, &g);
         dg2.upload_reverse(&mut dev, &g);
         assert!(matches!(
-            run(&mut dev, &k, &dg2, &st, Algo::Sssp, 0, &opts),
+            run(&mut dev, &k, &dg2, &st, Query::Sssp { src: 0 }, &opts),
             Err(CoreError::Unsupported { .. })
         ));
     }
@@ -1802,8 +1988,7 @@ mod tests {
             &kernels,
             &dg,
             &st,
-            Algo::Bfs,
-            src,
+            Query::Bfs { src },
             &RunOptions::default(),
         )
         .unwrap();
@@ -1813,7 +1998,7 @@ mod tests {
             },
             ..Default::default()
         };
-        let dir_opt = run(&mut dev, &kernels, &dg, &st, Algo::Bfs, src, &opts).unwrap();
+        let dir_opt = run(&mut dev, &kernels, &dg, &st, Query::Bfs { src }, &opts).unwrap();
         assert_eq!(top_down.values, dir_opt.values);
         assert!(
             dir_opt.gpu_stats.totals.atomics < top_down.gpu_stats.totals.atomics,
@@ -1832,18 +2017,117 @@ mod tests {
             &k,
             &dg,
             &st,
-            Algo::Sssp,
-            0,
+            Query::Sssp { src: 0 },
             &RunOptions::default(),
         );
-        assert!(matches!(r, Err(CoreError::UnweightedGraph)));
+        assert!(matches!(r, Err(CoreError::InvalidQuery { .. })), "{r:?}");
+        assert!(r.unwrap_err().to_string().contains("weighted"));
+    }
+
+    #[test]
+    fn out_of_range_source_is_rejected_not_panicked() {
+        let g = Dataset::P2p.generate_weighted(Scale::Tiny, 27, 64);
+        let n = g.node_count() as u32;
+        let (mut dev, k, dg, st) = setup(&g);
+        for query in [
+            Query::Bfs { src: n },
+            Query::Bfs { src: u32::MAX },
+            Query::Sssp { src: n + 7 },
+        ] {
+            let r = run(&mut dev, &k, &dg, &st, query, &RunOptions::default());
+            let err = r.expect_err("out-of-range source must be an Err");
+            assert!(
+                matches!(&err, CoreError::InvalidQuery { .. }),
+                "{query:?}: {err}"
+            );
+            assert!(err.to_string().contains("out of range"), "{err}");
+        }
+    }
+
+    #[test]
+    fn bad_pagerank_parameters_are_rejected() {
+        let g = Dataset::P2p.generate(Scale::Tiny, 27);
+        let (mut dev, k, dg, st) = setup(&g);
+        for config in [
+            PageRankConfig {
+                damping: 0.0,
+                epsilon: 1e-4,
+            },
+            PageRankConfig {
+                damping: 1.0,
+                epsilon: 1e-4,
+            },
+            PageRankConfig {
+                damping: f32::NAN,
+                epsilon: 1e-4,
+            },
+            PageRankConfig {
+                damping: 0.85,
+                epsilon: 0.0,
+            },
+            PageRankConfig {
+                damping: 0.85,
+                epsilon: f32::NAN,
+            },
+        ] {
+            let r = run(
+                &mut dev,
+                &k,
+                &dg,
+                &st,
+                Query::PageRank { config },
+                &RunOptions::default(),
+            );
+            assert!(
+                matches!(r, Err(CoreError::InvalidQuery { .. })),
+                "{config:?}: {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn run_options_builder_composes() {
+        let v = Variant::parse("U_T_BM").unwrap();
+        let opts = RunOptions::builder()
+            .static_variant(v)
+            .census(CensusMode::Every)
+            .trace()
+            .max_iterations(7)
+            .include_graph_transfer(false)
+            .build();
+        assert_eq!(opts.strategy, Strategy::Static(v));
+        assert_eq!(opts.census, CensusMode::Every);
+        assert!(opts.record_trace);
+        assert_eq!(opts.max_iterations, 7);
+        assert!(!opts.include_graph_transfer);
+        // `static_variant` quiets the census unless explicitly re-enabled.
+        assert_eq!(RunOptions::static_variant(v).census, CensusMode::Off);
+        // `adaptive()` seeds the defaults.
+        assert_eq!(RunOptions::adaptive().build(), RunOptions::default());
+    }
+
+    #[test]
+    fn query_accessors_expose_algo_source_and_parameters() {
+        let cfg = PageRankConfig {
+            damping: 0.5,
+            epsilon: 1e-3,
+        };
+        assert_eq!(Query::Bfs { src: 3 }.algo(), Algo::Bfs);
+        assert_eq!(Query::Bfs { src: 3 }.source(), 3);
+        assert_eq!(Query::Sssp { src: 9 }.source(), 9);
+        assert_eq!(Query::Cc.source(), 0);
+        assert_eq!(Query::PageRank { config: cfg }.pagerank_config(), cfg);
+        assert_eq!(Query::pagerank().pagerank_config(), PageRankConfig::default());
+        assert_eq!(Query::Cc.name(), "cc");
+        let json = Query::Sssp { src: 4 }.to_json().render();
+        assert!(json.contains("\"algo\":\"sssp\"") && json.contains("\"src\":4"), "{json}");
     }
 
     #[test]
     fn empty_graph_returns_empty_report() {
         let g = agg_graph::CsrGraph::empty(0);
         let (mut dev, k, dg, st) = setup(&g);
-        let r = run(&mut dev, &k, &dg, &st, Algo::Bfs, 0, &RunOptions::default()).unwrap();
+        let r = run(&mut dev, &k, &dg, &st, Query::Bfs { src: 0 }, &RunOptions::default()).unwrap();
         assert!(r.values.is_empty());
         assert_eq!(r.iterations, 0);
     }
@@ -1856,7 +2140,7 @@ mod tests {
             max_iterations: 2,
             ..Default::default()
         };
-        let r = run(&mut dev, &k, &dg, &st, Algo::Bfs, 0, &opts);
+        let r = run(&mut dev, &k, &dg, &st, Query::Bfs { src: 0 }, &opts);
         assert!(matches!(r, Err(CoreError::NoConvergence { iterations: 2 })));
         // The hybrid path honors the cap too.
         let opts = RunOptions {
@@ -1866,7 +2150,7 @@ mod tests {
             max_iterations: 2,
             ..Default::default()
         };
-        let r = run(&mut dev, &k, &dg, &st, Algo::Bfs, 0, &opts);
+        let r = run(&mut dev, &k, &dg, &st, Query::Bfs { src: 0 }, &opts);
         assert!(matches!(r, Err(CoreError::NoConvergence { iterations: 2 })));
     }
 
@@ -1874,14 +2158,13 @@ mod tests {
     fn graph_transfer_inclusion_is_configurable() {
         let g = Dataset::P2p.generate(Scale::Tiny, 28);
         let (mut dev, k, dg, st) = setup(&g);
-        let with = run(&mut dev, &k, &dg, &st, Algo::Bfs, 0, &RunOptions::default()).unwrap();
+        let with = run(&mut dev, &k, &dg, &st, Query::Bfs { src: 0 }, &RunOptions::default()).unwrap();
         let without = run(
             &mut dev,
             &k,
             &dg,
             &st,
-            Algo::Bfs,
-            0,
+            Query::Bfs { src: 0 },
             &RunOptions {
                 include_graph_transfer: false,
                 ..Default::default()
@@ -1898,14 +2181,13 @@ mod tests {
         // overhead dominates; running those on the host wins.
         let g = Dataset::CoRoad.generate(Scale::Tiny, 69);
         let (mut dev, k, dg, st) = setup(&g);
-        let gpu = run(&mut dev, &k, &dg, &st, Algo::Bfs, 0, &RunOptions::default()).unwrap();
+        let gpu = run(&mut dev, &k, &dg, &st, Query::Bfs { src: 0 }, &RunOptions::default()).unwrap();
         let hybrid = run(
             &mut dev,
             &k,
             &dg,
             &st,
-            Algo::Bfs,
-            0,
+            Query::Bfs { src: 0 },
             &RunOptions {
                 strategy: Strategy::Hybrid {
                     gpu_threshold: 2688,

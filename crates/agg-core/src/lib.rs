@@ -27,12 +27,14 @@ pub mod config;
 pub mod decision;
 pub mod engine;
 pub mod metrics;
+pub mod session;
 
 pub use api::GpuGraph;
 pub use config::{AdaptiveConfig, DegreeMode};
 pub use decision::{decide, Region};
 pub use engine::{
-    run, Algo, CensusMode, CoreError, IterationRecord, PageRankConfig, RunOptions, RunReport,
-    Strategy,
+    run, Algo, CensusMode, CoreError, IterationRecord, PageRankConfig, Query, RunOptions,
+    RunOptionsBuilder, RunReport, Strategy,
 };
 pub use metrics::Metrics;
+pub use session::{BatchReport, QueryReport, Session};

@@ -47,6 +47,27 @@ impl Metrics {
         }
     }
 
+    /// Sums another run's counters into this one. Sessions aggregate the
+    /// per-query metrics of a batch this way, so the batch-level identity
+    /// `Σ per-query iter_ns_total == batch iter_ns_total` holds by
+    /// construction.
+    pub fn absorb(&mut self, other: &Metrics) {
+        self.iterations += other.iterations;
+        self.switches += other.switches;
+        self.census_launches += other.census_launches;
+        self.degree_census_launches += other.degree_census_launches;
+        self.host_iterations += other.host_iterations;
+        self.bottom_up_iterations += other.bottom_up_iterations;
+        self.iter_ns_total += other.iter_ns_total;
+        self.inspector_ns_total += other.inspector_ns_total;
+        for (v, c) in &other.by_variant {
+            match self.by_variant.iter_mut().find(|(w, _)| w == v) {
+                Some((_, count)) => *count += c,
+                None => self.by_variant.push((*v, *c)),
+            }
+        }
+    }
+
     /// Iteration counts per variant, in first-use order.
     pub fn by_variant(&self) -> &[(Variant, u32)] {
         &self.by_variant
@@ -106,6 +127,30 @@ mod tests {
         assert_eq!(m.iterations_for(Variant::parse("O_T_QU").unwrap()), 0);
         assert!((m.iter_ns_total - 35.0).abs() < 1e-12);
         assert_eq!(m.by_variant().len(), 2);
+    }
+
+    #[test]
+    fn absorb_sums_counters_and_merges_histograms() {
+        let a_v = Variant::parse("U_T_BM").unwrap();
+        let b_v = Variant::parse("U_B_QU").unwrap();
+        let mut a = Metrics::default();
+        a.record_iteration(a_v, 10.0);
+        a.switches = 1;
+        a.census_launches = 2;
+        let mut b = Metrics::default();
+        b.record_iteration(a_v, 5.0);
+        b.record_iteration(b_v, 7.0);
+        b.host_iterations = 1;
+        b.inspector_ns_total = 3.0;
+        a.absorb(&b);
+        assert_eq!(a.iterations, 3);
+        assert_eq!(a.switches, 1);
+        assert_eq!(a.census_launches, 2);
+        assert_eq!(a.host_iterations, 1);
+        assert!((a.iter_ns_total - 22.0).abs() < 1e-12);
+        assert!((a.inspector_ns_total - 3.0).abs() < 1e-12);
+        assert_eq!(a.iterations_for(a_v), 2);
+        assert_eq!(a.iterations_for(b_v), 1);
     }
 
     #[test]

@@ -303,6 +303,32 @@ impl ProfileReport {
         out
     }
 
+    /// Sums another profile into this one, matching kernels by name and
+    /// appending unseen kernels in first-appearance order. Merging the
+    /// per-query [`ProfileReport::since`] slices of a batch reproduces the
+    /// device-level delta spanning the whole batch (ns fields up to float
+    /// summation order, counters exactly).
+    pub fn merge(&mut self, other: &ProfileReport) {
+        for p in &other.kernels {
+            match self.kernels.iter_mut().find(|q| q.kernel == p.kernel) {
+                Some(q) => {
+                    q.launches += p.launches;
+                    q.blocks += p.blocks;
+                    q.time_ns += p.time_ns;
+                    q.compute_ns += p.compute_ns;
+                    q.mem_ns += p.mem_ns;
+                    q.overhead_ns += p.overhead_ns;
+                    q.issue_cycles += p.issue_cycles;
+                    q.stall_cycles += p.stall_cycles;
+                    q.occupancy = p.occupancy;
+                    q.occupancy_fraction = p.occupancy_fraction;
+                    q.stats += p.stats;
+                }
+                None => self.kernels.push(p.clone()),
+            }
+        }
+    }
+
     /// The whole report as a JSON array of per-kernel objects.
     pub fn to_json(&self) -> Json {
         Json::arr(self.kernels.iter().map(|p| p.to_json()))
@@ -438,6 +464,40 @@ mod tests {
         assert_eq!(delta.get("b").unwrap().stats.mem_bytes, 20);
         // a snapshot minus itself is empty
         assert!(prof.since(&prof).is_empty());
+    }
+
+    #[test]
+    fn merged_slices_reproduce_the_spanning_delta() {
+        // Two consecutive since() slices, merged, equal the one delta
+        // spanning both — the identity batch profile attribution rests on.
+        let cfg = DeviceConfig::tesla_c2070();
+        let mut prof = ProfileReport::default();
+        prof.record(&cfg, &finalize_launch(&cfg, "a", 1, 32, 0, &[block(5, 0, 10)]));
+        let snap0 = prof.clone();
+        prof.record(&cfg, &finalize_launch(&cfg, "a", 1, 32, 0, &[block(6, 0, 14)]));
+        prof.record(&cfg, &finalize_launch(&cfg, "b", 1, 32, 0, &[block(7, 0, 20)]));
+        let snap1 = prof.clone();
+        prof.record(&cfg, &finalize_launch(&cfg, "b", 1, 32, 0, &[block(8, 0, 4)]));
+        prof.record(&cfg, &finalize_launch(&cfg, "c", 2, 192, 0, &[block(9, 0, 6)]));
+
+        let mut merged = snap1.since(&snap0);
+        merged.merge(&prof.since(&snap1));
+        let spanning = prof.since(&snap0);
+        assert_eq!(merged.kernels().len(), spanning.kernels().len());
+        for (m, s) in merged.kernels().iter().zip(spanning.kernels()) {
+            assert_eq!(m.kernel, s.kernel);
+            assert_eq!(m.launches, s.launches);
+            assert_eq!(m.blocks, s.blocks);
+            assert_eq!(m.issue_cycles, s.issue_cycles);
+            assert_eq!(m.stats, s.stats);
+            assert!((m.time_ns - s.time_ns).abs() <= 1e-6 * s.time_ns.max(1.0));
+        }
+        assert_eq!(merged.total_launches(), spanning.total_launches());
+
+        // Merging into an empty report copies the other side.
+        let mut empty = ProfileReport::default();
+        empty.merge(&spanning);
+        assert_eq!(empty, spanning);
     }
 
     #[test]

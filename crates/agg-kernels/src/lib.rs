@@ -36,7 +36,7 @@ pub mod variant;
 pub mod vwarp;
 pub mod workset;
 
-pub use state::{AlgoState, DeviceGraph};
+pub use state::{AlgoState, DeviceGraph, PoolStats, StatePool};
 pub use variant::{AlgoOrder, Mapping, Variant, WorkSet};
 
 use agg_gpu_sim::Kernel;

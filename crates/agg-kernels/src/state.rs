@@ -12,6 +12,7 @@
 use crate::variant::{AlgoOrder, Variant, WorkSet};
 use agg_gpu_sim::prelude::*;
 use agg_graph::{CsrGraph, NodeId, INF};
+use serde::{Deserialize, Serialize};
 
 /// The CSR graph uploaded to the device (the paper's Figure 7 arrays).
 pub struct DeviceGraph {
@@ -338,6 +339,96 @@ impl AlgoState {
     }
 }
 
+/// Reuse counters of a [`StatePool`] (telemetry).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoolStats {
+    /// [`AlgoState`] allocations the pool ever made (misses + warm-up).
+    pub created: u32,
+    /// Acquire calls served.
+    pub acquires: u64,
+    /// Acquires served from the free list (no allocation, no modeled
+    /// memset charge — the engine resets the state in place).
+    pub hits: u64,
+}
+
+impl PoolStats {
+    /// Sums another pool's counters into this one (a session aggregates
+    /// its per-worker pools this way).
+    pub fn absorb(&mut self, other: PoolStats) {
+        self.created += other.created;
+        self.acquires += other.acquires;
+        self.hits += other.hits;
+    }
+}
+
+/// A pool of reusable [`AlgoState`] allocations for one device.
+///
+/// Batched query execution acquires a state per query; releasing it back
+/// keeps the device buffers alive, so the next query pays only the
+/// engine's reset-in-place fills instead of fresh allocations (and their
+/// modeled memset transfers). Pointers are device-specific, so a pool
+/// must only ever be used with the device it allocated from.
+pub struct StatePool {
+    n: u32,
+    free: Vec<AlgoState>,
+    stats: PoolStats,
+}
+
+impl StatePool {
+    /// An empty pool for graphs of `n` nodes.
+    pub fn new(n: u32) -> StatePool {
+        StatePool {
+            n,
+            free: Vec::new(),
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Ensures at least `count` states sit in the free list, allocating
+    /// the shortfall now. Sessions warm their pools *before* snapshotting
+    /// batch start times so allocation charges never land between
+    /// per-query time slices.
+    pub fn warm(&mut self, dev: &mut Device, count: usize) -> Result<(), SimError> {
+        while self.free.len() < count {
+            self.free.push(AlgoState::new(dev, self.n, 0)?);
+            self.stats.created += 1;
+        }
+        Ok(())
+    }
+
+    /// Pops a pooled state, or allocates one when the free list is empty.
+    /// The engine resets the state for its query, so no cleaning happens
+    /// here.
+    pub fn acquire(&mut self, dev: &mut Device) -> Result<AlgoState, SimError> {
+        self.stats.acquires += 1;
+        match self.free.pop() {
+            Some(state) => {
+                self.stats.hits += 1;
+                Ok(state)
+            }
+            None => {
+                self.stats.created += 1;
+                AlgoState::new(dev, self.n, 0)
+            }
+        }
+    }
+
+    /// Returns a state to the free list for the next acquire.
+    pub fn release(&mut self, state: AlgoState) {
+        self.free.push(state);
+    }
+
+    /// States currently in the free list.
+    pub fn available(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Reuse counters so far.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -385,5 +476,63 @@ mod tests {
         let st = AlgoState::new(&mut dev, 2, 0).unwrap();
         assert_eq!(st.ws_buf(WorkSet::Bitmap), st.bitmap);
         assert_eq!(st.ws_buf(WorkSet::Queue), st.queue);
+    }
+
+    #[test]
+    fn pool_reuses_released_states_instead_of_reallocating() {
+        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let mut pool = StatePool::new(16);
+        let a = pool.acquire(&mut dev).unwrap(); // miss: allocates
+        let a_value = a.value;
+        pool.release(a);
+        assert_eq!(pool.available(), 1);
+        let allocated_after_first = dev.transfer_time_ns();
+        let b = pool.acquire(&mut dev).unwrap(); // hit: same buffers back
+        assert_eq!(b.value, a_value);
+        assert_eq!(
+            dev.transfer_time_ns(),
+            allocated_after_first,
+            "a pool hit must not charge allocation fills"
+        );
+        let c = pool.acquire(&mut dev).unwrap(); // pool drained: allocates
+        assert_ne!(c.value, b.value);
+        let s = pool.stats();
+        assert_eq!((s.created, s.acquires, s.hits), (2, 3, 1));
+    }
+
+    #[test]
+    fn pool_warm_preallocates_without_counting_acquires() {
+        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let mut pool = StatePool::new(8);
+        pool.warm(&mut dev, 2).unwrap();
+        assert_eq!(pool.available(), 2);
+        pool.warm(&mut dev, 1).unwrap(); // already satisfied: no-op
+        assert_eq!(pool.available(), 2);
+        let s = pool.stats();
+        assert_eq!((s.created, s.acquires, s.hits), (2, 0, 0));
+        let _ = pool.acquire(&mut dev).unwrap();
+        assert_eq!(pool.stats().hits, 1, "warmed states count as hits");
+    }
+
+    #[test]
+    fn pool_stats_absorb_sums_counters() {
+        let mut a = PoolStats {
+            created: 1,
+            acquires: 4,
+            hits: 3,
+        };
+        a.absorb(PoolStats {
+            created: 2,
+            acquires: 5,
+            hits: 3,
+        });
+        assert_eq!(
+            a,
+            PoolStats {
+                created: 3,
+                acquires: 9,
+                hits: 6,
+            }
+        );
     }
 }

@@ -31,11 +31,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             t3_fraction: pct as f64 / 100.0,
             ..AdaptiveConfig::default()
         };
-        let opts = RunOptions {
-            tuning,
-            ..Default::default()
-        };
-        let r = gg.sssp_with(0, &opts)?;
+        let opts = RunOptions::builder().tuning(tuning).build();
+        let r = gg.run(Query::Sssp { src: 0 }, &opts)?;
         println!(
             "  T3 = {pct:>2}% of n -> {:.3} ms, {} switches, {} iterations",
             r.total_ms(),
@@ -50,12 +47,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             sampling_period: period,
             ..AdaptiveConfig::default()
         };
-        let opts = RunOptions {
-            tuning,
-            census: CensusMode::Sampled,
-            ..Default::default()
-        };
-        let r = gg.sssp_with(0, &opts)?;
+        let opts = RunOptions::builder()
+            .tuning(tuning)
+            .census(CensusMode::Sampled)
+            .build();
+        let r = gg.run(Query::Sssp { src: 0 }, &opts)?;
         println!("  period {period:>2} -> {:.3} ms", r.total_ms());
     }
 
@@ -65,11 +61,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             scan_queue_gen: scan,
             ..AdaptiveConfig::default()
         };
-        let opts = RunOptions {
-            tuning,
-            ..Default::default()
-        };
-        let r = gg.sssp_with(0, &opts)?;
+        let opts = RunOptions::builder().tuning(tuning).build();
+        let r = gg.run(Query::Sssp { src: 0 }, &opts)?;
         println!("  scan_queue_gen = {scan:<5} -> {:.3} ms", r.total_ms());
     }
     Ok(())

@@ -32,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let mut gg = GpuGraph::new(&graph)?;
-    let run = gg.connected_components()?;
+    let run = gg.run(Query::Cc, &RunOptions::default())?;
 
     // Component census from the label array.
     let mut sizes = std::collections::HashMap::new();
@@ -65,7 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\nper-variant modeled times:");
     for v in Variant::UNORDERED {
-        let r = gg.connected_components_with(&RunOptions::static_variant(v))?;
+        let r = gg.run(Query::Cc, &RunOptions::static_variant(v))?;
         println!(
             "  {}: {:.2} ms in {} iterations",
             v.name(),
@@ -80,11 +80,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sampling_period: 1,
         ..AdaptiveConfig::default()
     };
-    let r = gg.connected_components_with(&RunOptions {
-        record_trace: true,
-        tuning,
-        ..Default::default()
-    })?;
+    let r = gg.run(Query::Cc, &RunOptions::builder().tuning(tuning).trace().build())?;
     println!("\nadaptive decisions (working set shrinks as labels stabilize):");
     for t in &r.trace {
         println!(

@@ -21,14 +21,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Upload to the simulated Tesla C2070 and run with the adaptive
     // runtime (per-iteration kernel selection).
     let mut gg = GpuGraph::new(&graph)?;
-    let bfs = gg.bfs(0)?;
+    let bfs = gg.run(Query::Bfs { src: 0 }, &RunOptions::default())?;
     let reached = bfs.values.iter().filter(|&&l| l != INF).count();
     println!(
         "BFS:  reached {} nodes in {} iterations, {} kernel launches, {:.2} ms modeled GPU time, {} variant switches",
         reached, bfs.iterations, bfs.launches, bfs.total_ms(), bfs.switches
     );
 
-    let sssp = gg.sssp(0)?;
+    let sssp = gg.run(Query::Sssp { src: 0 }, &RunOptions::default())?;
     let max_dist = sssp.values.iter().filter(|&&d| d != INF).max().unwrap();
     println!(
         "SSSP: max finite distance {} in {} iterations, {:.2} ms modeled GPU time",
@@ -45,6 +45,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "CPU baseline BFS: {:.2} ms modeled -> GPU speedup {:.2}x",
         cpu.time_ns / 1e6,
         cpu.time_ns / bfs.total_ns
+    );
+
+    // Serving many queries against one resident graph? Use a Session:
+    // the upload is paid once and device state is pooled across queries.
+    let mut session = Session::new(&graph)?;
+    let batch = session.run_batch(
+        &[
+            Query::Bfs { src: 0 },
+            Query::Sssp { src: 0 },
+            Query::Cc,
+            Query::pagerank(),
+        ],
+        &RunOptions::default(),
+    )?;
+    println!(
+        "Session: {} queries in {:.2} ms modeled ({:.0} queries/s, {} pool hits)",
+        batch.queries.len(),
+        batch.total_ms(),
+        batch.queries_per_sec(),
+        batch.pool.hits
     );
     Ok(())
 }

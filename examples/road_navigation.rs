@@ -23,11 +23,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let depot: u32 = 0;
 
     // Adaptive SSSP with a full trace so we can watch the decisions.
-    let opts = RunOptions {
-        record_trace: true,
-        ..Default::default()
-    };
-    let run = gg.sssp_with(depot, &opts)?;
+    let opts = RunOptions::builder().trace().build();
+    let run = gg.run(Query::Sssp { src: depot }, &opts)?;
 
     let reachable = run.values.iter().filter(|&&d| d != INF).count();
     println!(

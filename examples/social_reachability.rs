@@ -26,12 +26,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let mut gg = GpuGraph::new(&graph)?;
-    let opts = RunOptions {
-        record_trace: true,
-        census: CensusMode::Every,
-        ..Default::default()
-    };
-    let run = gg.bfs_with(influencer, &opts)?;
+    let opts = RunOptions::builder()
+        .census(CensusMode::Every)
+        .trace()
+        .build();
+    let run = gg.run(Query::Bfs { src: influencer }, &opts)?;
 
     // Degrees-of-separation histogram.
     let mut by_level = std::collections::BTreeMap::new();
@@ -65,14 +64,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Social frontiers explode after one hop — exactly the shape the
     // direction-optimizing (bottom-up) extension targets.
     gg.enable_bottom_up(&graph);
-    let dir_opt = gg.bfs_with(
-        influencer,
-        &RunOptions {
-            strategy: Strategy::DirectionOptimized {
+    let dir_opt = gg.run(
+        Query::Bfs { src: influencer },
+        &RunOptions::builder()
+            .strategy(Strategy::DirectionOptimized {
                 bottom_up_fraction: 0.05,
-            },
-            ..Default::default()
-        },
+            })
+            .build(),
     )?;
     assert_eq!(dir_opt.values, run.values);
     println!(

@@ -22,13 +22,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // An exact census every iteration: ws_size is then always present, so
     // the est_ws column shows exactly how stale the decision maker's
     // input would have been under sampling.
-    let opts = RunOptions {
-        strategy: Strategy::Adaptive,
-        census: CensusMode::Every,
-        record_trace: true,
-        ..Default::default()
-    };
-    let run = gg.sssp_with(0, &opts)?;
+    let opts = RunOptions::builder()
+        .census(CensusMode::Every)
+        .trace()
+        .build();
+    let run = gg.run(Query::Sssp { src: 0 }, &opts)?;
 
     // --- The per-iteration trace -------------------------------------
     println!("iter  variant  region            ws_exact  ws_est  iter_us  flags");

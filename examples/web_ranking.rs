@@ -24,10 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         damping: 0.85,
         epsilon: 1e-5,
     };
-    let run = gg.pagerank_with(&RunOptions {
-        pagerank: cfg,
-        ..Default::default()
-    })?;
+    let run = gg.run(Query::PageRank { config: cfg }, &RunOptions::default())?;
     let ranks = run.values_as_f32();
     println!(
         "GPU PageRank: {} iterations, {:.2} ms modeled, {} launches, {} variant switches",

@@ -168,25 +168,29 @@ fn main() {
         usage_and_exit("--src out of range");
     }
 
-    let options = RunOptions {
-        strategy: parse_strategy(&a.strategy),
-        record_trace: a.trace,
-        census: CensusMode::Sampled,
-        pagerank: PageRankConfig {
-            damping: a.damping,
-            epsilon: a.epsilon,
+    let mut builder = RunOptions::builder()
+        .strategy(parse_strategy(&a.strategy))
+        .census(CensusMode::Sampled);
+    if a.trace {
+        builder = builder.trace();
+    }
+    let options = builder.build();
+    let query = match a.algo.as_str() {
+        "bfs" => Query::Bfs { src: a.src },
+        "sssp" => Query::Sssp { src: a.src },
+        "cc" => Query::Cc,
+        "pagerank" => Query::PageRank {
+            config: PageRankConfig {
+                damping: a.damping,
+                epsilon: a.epsilon,
+            },
         },
-        ..Default::default()
+        other => usage_and_exit(&format!("unknown algorithm '{other}'")),
     };
     let mut gg = GpuGraph::new(&graph).unwrap_or_else(|e| usage_and_exit(&e.to_string()));
-    let report = match a.algo.as_str() {
-        "bfs" => gg.bfs_with(a.src, &options),
-        "sssp" => gg.sssp_with(a.src, &options),
-        "cc" => gg.connected_components_with(&options),
-        "pagerank" => gg.pagerank_with(&options),
-        other => usage_and_exit(&format!("unknown algorithm '{other}'")),
-    }
-    .unwrap_or_else(|e| usage_and_exit(&e.to_string()));
+    let report = gg
+        .run(query, &options)
+        .unwrap_or_else(|e| usage_and_exit(&e.to_string()));
 
     println!(
         "{}: {} iterations, {} launches, {} switches, {:.3} ms modeled GPU time{}",

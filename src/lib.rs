@@ -12,8 +12,18 @@
 //!
 //! let graph = Dataset::Amazon.generate_weighted(Scale::Tiny, 42, 64);
 //! let mut gg = GpuGraph::new(&graph).unwrap();
-//! let report = gg.bfs(0).unwrap();
+//! let report = gg.run(Query::Bfs { src: 0 }, &RunOptions::default()).unwrap();
 //! assert_eq!(report.values.len(), graph.node_count());
+//!
+//! // Many queries against one resident graph: use a Session.
+//! let mut session = Session::new(&graph).unwrap();
+//! let batch = session
+//!     .run_batch(
+//!         &[Query::Bfs { src: 0 }, Query::Sssp { src: 3 }, Query::Cc],
+//!         &RunOptions::default(),
+//!     )
+//!     .unwrap();
+//! assert_eq!(batch.queries.len(), 3);
 //! ```
 
 pub use agg_core as core;
@@ -25,10 +35,11 @@ pub use agg_kernels as kernels;
 /// One-stop imports for examples and applications.
 pub mod prelude {
     pub use agg_core::{
-        AdaptiveConfig, Algo, CensusMode, GpuGraph, PageRankConfig, RunOptions, RunReport, Strategy,
+        AdaptiveConfig, Algo, BatchReport, CensusMode, GpuGraph, PageRankConfig, Query,
+        QueryReport, RunOptions, RunOptionsBuilder, RunReport, Session, Strategy,
     };
     pub use agg_cpu::{bfs as cpu_bfs, dijkstra as cpu_dijkstra, CpuCostModel};
-    pub use agg_gpu_sim::{Device, DeviceConfig};
+    pub use agg_gpu_sim::{Device, DeviceConfig, ExecMode};
     pub use agg_graph::{CsrGraph, Dataset, GraphBuilder, GraphStats, Scale, INF};
     pub use agg_kernels::{AlgoOrder, Mapping, Variant, WorkSet};
 }

@@ -13,11 +13,11 @@ fn end_to_end_adaptive_on_every_dataset() {
         let g = d.generate_weighted(Scale::Tiny, 404, 64);
         let mut gg = GpuGraph::new(&g).unwrap();
 
-        let bfs = gg.bfs(0).unwrap();
+        let bfs = gg.run(Query::Bfs { src: 0 }, &RunOptions::default()).unwrap();
         let cpu = cpu_bfs(&g, 0, &CpuCostModel::default());
         assert_eq!(bfs.values, cpu.result, "{} BFS", d.name());
 
-        let sssp = gg.sssp(0).unwrap();
+        let sssp = gg.run(Query::Sssp { src: 0 }, &RunOptions::default()).unwrap();
         let cpu = cpu_dijkstra(&g, 0, &CpuCostModel::default());
         assert_eq!(sssp.values, cpu.result, "{} SSSP", d.name());
 
@@ -34,9 +34,9 @@ fn end_to_end_adaptive_on_every_dataset() {
 fn every_static_variant_agrees_with_adaptive() {
     let g = Dataset::Google.generate_weighted(Scale::Tiny, 405, 64);
     let mut gg = GpuGraph::new(&g).unwrap();
-    let reference = gg.sssp(0).unwrap().values;
+    let reference = gg.run(Query::Sssp { src: 0 }, &RunOptions::default()).unwrap().values;
     for v in Variant::ALL {
-        let r = gg.sssp_with(0, &RunOptions::static_variant(v)).unwrap();
+        let r = gg.run(Query::Sssp { src: 0 }, &RunOptions::static_variant(v)).unwrap();
         assert_eq!(r.values, reference, "{}", v.name());
         assert_eq!(r.switches, 0);
     }
@@ -52,7 +52,7 @@ fn dimacs_round_trip_through_the_gpu() {
     assert_eq!(g.edge_count(), g2.edge_count());
 
     let mut gg = GpuGraph::new(&g2).unwrap();
-    let r = gg.sssp(0).unwrap();
+    let r = gg.run(Query::Sssp { src: 0 }, &RunOptions::default()).unwrap();
     assert_eq!(r.values, traversal::dijkstra(&g, 0));
 }
 
@@ -64,7 +64,7 @@ fn edge_list_round_trip_through_the_gpu() {
     let g2 = read_edge_list(Cursor::new(buf)).unwrap();
 
     let mut gg = GpuGraph::new(&g2).unwrap();
-    let r = gg.bfs(0).unwrap();
+    let r = gg.run(Query::Bfs { src: 0 }, &RunOptions::default()).unwrap();
     assert_eq!(r.values, traversal::bfs_levels(&g, 0));
 }
 
@@ -74,10 +74,10 @@ fn adaptive_is_never_worse_than_the_worst_static() {
     // pick a catastrophic configuration.
     let g = Dataset::Amazon.generate_weighted(Scale::Tiny, 408, 64);
     let mut gg = GpuGraph::new(&g).unwrap();
-    let adaptive = gg.sssp(0).unwrap().total_ns;
+    let adaptive = gg.run(Query::Sssp { src: 0 }, &RunOptions::default()).unwrap().total_ns;
     let mut worst: f64 = 0.0;
     for v in Variant::UNORDERED {
-        let r = gg.sssp_with(0, &RunOptions::static_variant(v)).unwrap();
+        let r = gg.run(Query::Sssp { src: 0 }, &RunOptions::static_variant(v)).unwrap();
         worst = worst.max(r.total_ns);
     }
     assert!(
@@ -90,11 +90,8 @@ fn adaptive_is_never_worse_than_the_worst_static() {
 fn run_reports_account_consistently() {
     let g = Dataset::Sns.generate(Scale::Tiny, 409);
     let mut gg = GpuGraph::new(&g).unwrap();
-    let opts = RunOptions {
-        record_trace: true,
-        ..Default::default()
-    };
-    let r = gg.bfs_with(0, &opts).unwrap();
+    let opts = RunOptions::builder().trace().build();
+    let r = gg.run(Query::Bfs { src: 0 }, &opts).unwrap();
     // prep + gen + compute = at least 3 launches per executed iteration,
     // plus the final empty-check iteration's prep + gen.
     assert!(r.launches >= 3 * r.iterations as u64 + 2);
@@ -112,9 +109,9 @@ fn device_clock_accumulates_across_runs() {
     let g = Dataset::P2p.generate(Scale::Tiny, 410);
     let mut gg = GpuGraph::new(&g).unwrap();
     let after_upload = gg.device_elapsed_ns();
-    gg.bfs(0).unwrap();
+    gg.run(Query::Bfs { src: 0 }, &RunOptions::default()).unwrap();
     let after_one = gg.device_elapsed_ns();
-    gg.bfs(1).unwrap();
+    gg.run(Query::Bfs { src: 1 }, &RunOptions::default()).unwrap();
     let after_two = gg.device_elapsed_ns();
     assert!(after_upload < after_one && after_one < after_two);
 }
@@ -125,7 +122,7 @@ fn sources_in_every_corner_of_the_graph() {
     let n = g.node_count() as u32;
     let mut gg = GpuGraph::new(&g).unwrap();
     for src in [0, n / 2, n - 1] {
-        let r = gg.bfs(src).unwrap();
+        let r = gg.run(Query::Bfs { src }, &RunOptions::default()).unwrap();
         assert_eq!(r.values, traversal::bfs_levels(&g, src), "src {src}");
     }
 }
@@ -134,19 +131,13 @@ fn sources_in_every_corner_of_the_graph() {
 fn scan_queue_generation_gives_identical_results() {
     let g = Dataset::Google.generate_weighted(Scale::Tiny, 412, 64);
     let mut gg = GpuGraph::new(&g).unwrap();
-    let base = gg.sssp(0).unwrap();
+    let base = gg.run(Query::Sssp { src: 0 }, &RunOptions::default()).unwrap();
     let tuning = agg::core::AdaptiveConfig {
         scan_queue_gen: true,
         ..Default::default()
     };
     let scan = gg
-        .sssp_with(
-            0,
-            &RunOptions {
-                tuning,
-                ..Default::default()
-            },
-        )
+        .run(Query::Sssp { src: 0 }, &RunOptions::builder().tuning(tuning).build())
         .unwrap();
     assert_eq!(base.values, scan.values);
 }
@@ -156,13 +147,15 @@ fn pagerank_through_the_facade_matches_the_oracle() {
     let g = Dataset::Google.generate(Scale::Tiny, 413);
     let mut gg = GpuGraph::new(&g).unwrap();
     let run = gg
-        .pagerank_with(&RunOptions {
-            pagerank: PageRankConfig {
-                damping: 0.85,
-                epsilon: 1e-5,
+        .run(
+            Query::PageRank {
+                config: PageRankConfig {
+                    damping: 0.85,
+                    epsilon: 1e-5,
+                },
             },
-            ..Default::default()
-        })
+            &RunOptions::default(),
+        )
         .unwrap();
     let power = agg::cpu::pagerank_power(&g, 0.85, 1e-7, 500);
     let max_diff = run
@@ -183,8 +176,8 @@ fn relabeled_graph_produces_permuted_results_faster_memory_traffic() {
     let mut orig = GpuGraph::new(&g).unwrap();
     let mut relab = GpuGraph::new(&h).unwrap();
     let opts = RunOptions::static_variant(Variant::parse("U_T_BM").unwrap());
-    let a = orig.bfs_with(0, &opts).unwrap();
-    let b = relab.bfs_with(relabeling.perm[0], &opts).unwrap();
+    let a = orig.run(Query::Bfs { src: 0 }, &opts).unwrap();
+    let b = relab.run(Query::Bfs { src: relabeling.perm[0] }, &opts).unwrap();
     assert_eq!(relabeling.unpermute_values(&b.values), a.values);
     // BFS-order renumbering must not increase coalesced traffic.
     assert!(
@@ -199,6 +192,6 @@ fn relabeled_graph_produces_permuted_results_faster_memory_traffic() {
 fn cc_through_the_facade() {
     let g = Dataset::CoRoad.generate(Scale::Tiny, 415);
     let mut gg = GpuGraph::new(&g).unwrap();
-    let run = gg.connected_components().unwrap();
+    let run = gg.run(Query::Cc, &RunOptions::default()).unwrap();
     assert_eq!(run.values, traversal::min_labels(&g));
 }

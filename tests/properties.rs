@@ -3,7 +3,7 @@
 //! decision function's totality.
 
 use agg::prelude::{
-    AlgoOrder, CsrGraph, GpuGraph, GraphBuilder, RunOptions, Variant, WorkSet, INF,
+    AlgoOrder, CsrGraph, GpuGraph, GraphBuilder, Query, RunOptions, Variant, WorkSet, INF,
 };
 use agg_core::AdaptiveConfig;
 use agg_graph::io::{read_dimacs, read_edge_list, write_dimacs, write_edge_list};
@@ -29,7 +29,7 @@ proptest! {
         prop_assert!(traversal::is_bfs_levels(&g, src, &expected));
         let mut gg = GpuGraph::new(&g).unwrap();
         for v in Variant::ALL {
-            let r = gg.bfs_with(src, &RunOptions::static_variant(v)).unwrap();
+            let r = gg.run(Query::Bfs { src }, &RunOptions::static_variant(v)).unwrap();
             prop_assert_eq!(&r.values, &expected, "variant {}", v.name());
         }
     }
@@ -40,11 +40,11 @@ proptest! {
         let expected = traversal::dijkstra(&g, src);
         prop_assert!(traversal::is_sssp_fixpoint(&g, src, &expected));
         let mut gg = GpuGraph::new(&g).unwrap();
-        let adaptive = gg.sssp(src).unwrap();
+        let adaptive = gg.run(Query::Sssp { src }, &RunOptions::default()).unwrap();
         prop_assert_eq!(&adaptive.values, &expected);
         for name in ["O_B_QU", "U_T_BM"] {
             let v = Variant::parse(name).unwrap();
-            let r = gg.sssp_with(src, &RunOptions::static_variant(v)).unwrap();
+            let r = gg.run(Query::Sssp { src }, &RunOptions::static_variant(v)).unwrap();
             prop_assert_eq!(&r.values, &expected, "variant {}", name);
         }
     }
@@ -112,7 +112,7 @@ proptest! {
     #[test]
     fn run_report_times_are_positive_and_finite(g in arb_graph(25, 80)) {
         let mut gg = GpuGraph::new(&g).unwrap();
-        let r = gg.bfs(0).unwrap();
+        let r = gg.run(Query::Bfs { src: 0 }, &RunOptions::default()).unwrap();
         prop_assert!(r.total_ns.is_finite() && r.total_ns > 0.0);
         prop_assert!(r.launches > 0);
     }
@@ -121,8 +121,8 @@ proptest! {
     fn telemetry_is_self_consistent(g in arb_graph(35, 120), seed in 0u32..1000) {
         let src = seed % g.node_count() as u32;
         let mut gg = GpuGraph::new(&g).unwrap();
-        let opts = RunOptions { record_trace: true, ..Default::default() };
-        let r = gg.bfs_with(src, &opts).unwrap();
+        let opts = RunOptions::builder().trace().build();
+        let r = gg.run(Query::Bfs { src }, &opts).unwrap();
         // The trace has exactly one record per iteration, in order
         // (iteration numbers are 1-based).
         prop_assert_eq!(r.trace.len(), r.iterations as usize);
@@ -199,10 +199,10 @@ proptest! {
     fn cc_matches_the_naive_oracle_on_random_graphs(g in arb_graph(35, 120)) {
         let expected = traversal::min_labels(&g);
         let mut gg = GpuGraph::new(&g).unwrap();
-        let adaptive = gg.connected_components().unwrap();
+        let adaptive = gg.run(Query::Cc, &RunOptions::default()).unwrap();
         prop_assert_eq!(&adaptive.values, &expected);
         for v in Variant::UNORDERED {
-            let r = gg.connected_components_with(&RunOptions::static_variant(v)).unwrap();
+            let r = gg.run(Query::Cc, &RunOptions::static_variant(v)).unwrap();
             prop_assert_eq!(&r.values, &expected, "variant {}", v.name());
         }
     }
@@ -213,11 +213,10 @@ proptest! {
         let expected = traversal::bfs_levels(&g, 0);
         let mut gg = GpuGraph::new(&g).unwrap();
         for ws in [WorkSet::Bitmap, WorkSet::Queue] {
-            let opts = RunOptions {
-                strategy: agg::prelude::Strategy::VirtualWarp { width, workset: ws },
-                ..Default::default()
-            };
-            let r = gg.bfs_with(0, &opts).unwrap();
+            let opts = RunOptions::builder()
+                .strategy(agg::prelude::Strategy::VirtualWarp { width, workset: ws })
+                .build();
+            let r = gg.run(Query::Bfs { src: 0 }, &opts).unwrap();
             prop_assert_eq!(&r.values, &expected, "vw{} {:?}", width, ws);
         }
     }
@@ -229,18 +228,17 @@ proptest! {
     ) {
         let expected = traversal::bfs_levels(&g, 0);
         let mut gg = GpuGraph::new(&g).unwrap();
-        let opts = RunOptions {
-            strategy: agg::prelude::Strategy::Hybrid { gpu_threshold: threshold },
-            ..Default::default()
-        };
-        let r = gg.bfs_with(0, &opts).unwrap();
+        let opts = RunOptions::builder()
+            .strategy(agg::prelude::Strategy::Hybrid { gpu_threshold: threshold })
+            .build();
+        let r = gg.run(Query::Bfs { src: 0 }, &opts).unwrap();
         prop_assert_eq!(&r.values, &expected);
     }
 
     #[test]
     fn pagerank_mass_conservation_and_oracle_proximity(g in arb_graph(30, 100)) {
         let mut gg = GpuGraph::new(&g).unwrap();
-        let r = gg.pagerank().unwrap();
+        let r = gg.run(Query::pagerank(), &RunOptions::default()).unwrap();
         let ranks = r.values_as_f32();
         let n = g.node_count() as f32;
         let total: f32 = ranks.iter().sum();
@@ -250,6 +248,55 @@ proptest! {
         let power = agg::cpu::pagerank_power(&g, 0.85, 1e-7, 500);
         let diff = ranks.iter().zip(&power).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
         prop_assert!(diff < 2e-2, "max diff {}", diff);
+    }
+
+    #[test]
+    fn shuffled_batches_match_one_by_one_runs(g in arb_graph(35, 120), seed in any::<u64>()) {
+        use agg::prelude::{DeviceConfig, Session};
+        let n = g.node_count() as u32;
+        // A mixed batch with duplicate algorithms, shuffled so the
+        // scheduler's same-algorithm grouping actually reorders it.
+        let mut queries = vec![
+            Query::Bfs { src: 0 },
+            Query::Sssp { src: seed as u32 % n },
+            Query::Cc,
+            Query::Bfs { src: (seed >> 8) as u32 % n },
+            Query::pagerank(),
+            Query::Sssp { src: 0 },
+            Query::Bfs { src: (seed >> 16) as u32 % n },
+        ];
+        // Fisher-Yates with a splitmix-style generator keyed by the seed.
+        let mut state = seed;
+        for i in (1..queries.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            queries.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        // Oracle: every query on its own fresh upload.
+        let mut expected = Vec::new();
+        for q in &queries {
+            let mut gg = GpuGraph::new(&g).unwrap();
+            expected.push(gg.run(*q, &RunOptions::default()).unwrap());
+        }
+        // Batched, both host execution modes.
+        let mut seq = Session::new(&g).unwrap();
+        let mut par = Session::parallel(&g, DeviceConfig::tesla_c2070(), 3).unwrap();
+        for batch in [
+            seq.run_batch(&queries, &RunOptions::default()).unwrap(),
+            par.run_batch(&queries, &RunOptions::default()).unwrap(),
+        ] {
+            for (i, (qr, e)) in batch.queries.iter().zip(&expected).enumerate() {
+                prop_assert_eq!(qr.index, i);
+                prop_assert_eq!(&qr.query, &queries[i]);
+                prop_assert_eq!(&qr.report.values, &e.values, "query #{} {:?}", i, queries[i]);
+                prop_assert_eq!(qr.report.iterations, e.iterations);
+            }
+            // Per-query device-time slices telescope to the batch total.
+            let sum: f64 = batch.queries.iter().map(|q| q.device_ns).sum();
+            prop_assert!(
+                (sum - batch.device_ns).abs() <= 1e-6 * batch.device_ns.max(1.0),
+                "slice sum {} vs batch {}", sum, batch.device_ns
+            );
+        }
     }
 
     #[test]
