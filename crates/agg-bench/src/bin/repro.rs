@@ -31,7 +31,13 @@
 //!   batch            batched multi-query sessions: sequential vs parallel
 //!                    vs one-by-one, queries/sec (--json PATH writes the
 //!                    per-query telemetry artifact)
-//!   all              everything above (except telemetry)
+//!   differential     differential fuzzing: random graphs from all six
+//!                    generators, every static variant + adaptive +
+//!                    shuffled Session batches, compared bit-for-bit
+//!                    against the CPU oracles (--cases N, --race-detect;
+//!                    exits nonzero on divergence; --json PATH writes the
+//!                    divergence artifact)
+//!   all              everything above (except telemetry and differential)
 //!
 //! telemetry flags (usable with any command; `telemetry` runs only these):
 //!   --trace-json PATH  write full run telemetry (per-iteration trace with
@@ -39,6 +45,11 @@
 //!                      always-on metrics, per-kernel profile) as JSON
 //!   --profile          print the per-kernel profile table (compute vs
 //!                      memory time, coalescing, occupancy)
+//!
+//! differential flags:
+//!   --cases N          corpus size for `differential` (default 24)
+//!   --race-detect      run every launch under the simulator's data-race
+//!                      detector and report its counters
 //! ```
 //!
 //! Results are printed and written as CSV under `--out` (default
@@ -66,6 +77,8 @@ struct Cli {
     trace_json: Option<PathBuf>,
     json: Option<PathBuf>,
     profile: bool,
+    cases: usize,
+    race_detect: bool,
 }
 
 fn die(msg: &str) -> ! {
@@ -82,6 +95,8 @@ fn parse_cli() -> Cli {
     let mut trace_json = None;
     let mut json = None;
     let mut profile = false;
+    let mut cases = 24usize;
+    let mut race_detect = false;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--scale" => {
@@ -110,6 +125,13 @@ fn parse_cli() -> Cli {
                 ));
             }
             "--profile" => profile = true,
+            "--cases" => {
+                let v = args.next().unwrap_or_else(|| die("--cases needs a value"));
+                cases = v
+                    .parse()
+                    .unwrap_or_else(|_| die(&format!("--cases needs a usize, got '{v}'")));
+            }
+            "--race-detect" => race_detect = true,
             other => die(&format!("unknown flag '{other}'")),
         }
     }
@@ -121,6 +143,8 @@ fn parse_cli() -> Cli {
         trace_json,
         json,
         profile,
+        cases,
+        race_detect,
     }
 }
 
@@ -155,6 +179,7 @@ fn main() {
         "paper-spot" => paper_spot(&cli),
         "ablation-bottomup" => ablation_bottomup(&cli),
         "batch" => batch(&cli),
+        "differential" => differential(&cli),
         "telemetry" => {} // the flag handling below does all the work
         "all" => {
             table1(&cli);
@@ -368,6 +393,81 @@ fn batch(cli: &Cli) {
         std::fs::write(path, doc.render_pretty()).expect("write --json file");
         println!("[json] {}", path.display());
     }
+}
+
+// ------------------------------------------------------------ Differential
+
+/// Bounded differential fuzzing run (the CI `differential-smoke` job and
+/// the manual bug hunt). Deterministic in (`--cases`, `--seed`); writes
+/// the divergence artifact to `--json` (or `--out`/differential.json)
+/// and exits nonzero when any divergence or harmful race is found.
+fn differential(cli: &Cli) {
+    banner("Differential fuzzing: GPU variants + adaptive + batches vs CPU oracles");
+    let mut cfg = agg_bench::FuzzConfig::new(cli.cases, cli.seed);
+    cfg.race_detect = cli.race_detect;
+    println!(
+        "corpus: {} graphs (seed {}), race detection {}",
+        cfg.cases,
+        cfg.seed,
+        if cfg.race_detect { "on" } else { "off" }
+    );
+    let report = agg_bench::fuzz(&cfg);
+    println!(
+        "{} runs over {} graphs, {} shuffled batches: {} divergence(s)",
+        report.runs,
+        report.cases,
+        report.batches,
+        report.divergences.len()
+    );
+    if cli.race_detect {
+        println!(
+            "race detector: {} launches checked, {} benign word(s), {} harmful word(s)",
+            report.race_launches_checked, report.race_benign_words, report.race_harmful_words
+        );
+    }
+    for d in &report.divergences {
+        println!(
+            "  DIVERGED case {} ({}, {} nodes / {} edges): {}/{} src {}{}",
+            d.case,
+            d.generator,
+            d.nodes,
+            d.edges,
+            d.algo,
+            d.exec,
+            d.src,
+            d.error
+                .as_ref()
+                .map(|e| format!(" — error: {e}"))
+                .unwrap_or_default()
+        );
+        if let Some(m) = &d.minimized {
+            println!(
+                "    minimized: {} nodes, {} edge(s), src {}: {:?}",
+                m.nodes,
+                m.edges.len(),
+                m.src,
+                m.edges
+            );
+        }
+    }
+    let path = cli
+        .json
+        .clone()
+        .unwrap_or_else(|| cli.out.join("differential.json"));
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir).expect("create artifact directory");
+    }
+    let doc = Json::obj([
+        ("seed", cli.seed.into()),
+        ("report", report.to_json()),
+    ]);
+    std::fs::write(&path, doc.render_pretty()).expect("write differential artifact");
+    println!("[json] {}", path.display());
+    if !report.is_clean() {
+        eprintln!("differential: FAILED (see artifact above)");
+        std::process::exit(1);
+    }
+    println!("differential: clean");
 }
 
 fn banner(title: &str) {

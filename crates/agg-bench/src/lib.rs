@@ -4,10 +4,12 @@
 //! formatting shared by the `repro` binary (which regenerates every table
 //! and figure of the paper) and the criterion benches.
 
+pub mod differential;
 pub mod runner;
 pub mod tables;
 pub mod workloads;
 
+pub use differential::{fuzz, CaseGraph, Divergence, FuzzConfig, FuzzReport, Minimized};
 pub use runner::{cpu_baseline_ns, gpu_static_run, query_for, speedup_table, SpeedupTable};
 pub use tables::{format_table, write_csv};
 pub use workloads::{load, load_all, Workload, DEFAULT_SEED, MAX_WEIGHT};

@@ -264,6 +264,45 @@ mod tests {
         );
     }
 
+    /// The full engine-driven kernel suite — adaptive BFS/SSSP, CC,
+    /// PageRank, direction-optimized BFS — must be free of harmful data
+    /// races, and the per-run metrics must carry the detector's counters.
+    #[test]
+    fn engine_suite_is_race_free_under_detection() {
+        use crate::Strategy;
+        let g = Dataset::Google.generate_weighted(Scale::Tiny, 40, 64);
+        let cfg = DeviceConfig::tesla_c2070().with_race_detect(true);
+        let mut gg = GpuGraph::with_device(&g, cfg).unwrap();
+        gg.enable_bottom_up(&g);
+        let opts = RunOptions::default();
+        let queries = [
+            Query::Bfs { src: 0 },
+            Query::Sssp { src: 0 },
+            Query::Cc,
+            Query::pagerank(),
+        ];
+        for q in queries {
+            let r = gg.run(q, &opts).unwrap();
+            assert!(r.metrics.race_launches_checked > 0, "{q:?}: detector idle");
+            assert_eq!(
+                r.metrics.race_harmful_words, 0,
+                "{q:?}: harmful races {:?}",
+                gg.device().race_summary().harmful
+            );
+        }
+        let do_opts = RunOptions::builder()
+            .strategy(Strategy::DirectionOptimized {
+                bottom_up_fraction: 0.05,
+            })
+            .build();
+        let r = gg.run(Query::Bfs { src: 0 }, &do_opts).unwrap();
+        assert!(r.metrics.race_launches_checked > 0);
+        assert_eq!(r.metrics.race_harmful_words, 0);
+        assert!(gg.device().race_summary().is_clean());
+        let s = r.metrics.to_json().render();
+        assert!(s.contains("\"race_harmful_words\":0"), "{s}");
+    }
+
     /// Shim-compat: the deprecated method matrix keeps working for one
     /// release and agrees with the typed entrypoint. This is the one
     /// place in the workspace allowed to call it.

@@ -623,8 +623,9 @@ impl<'a> Ctx<'a> {
     }
 
     /// Inspector extension: degree census over the current working set;
-    /// returns the summed outdegree of active nodes.
-    fn degree_census(&mut self, ws_kind: WorkSet, limit: u32) -> Result<u32, CoreError> {
+    /// returns the summed outdegree of active nodes. The device-side
+    /// accumulator is a (lo, hi) u32 pair so sums past 2^32 are exact.
+    fn degree_census(&mut self, ws_kind: WorkSet, limit: u32) -> Result<u64, CoreError> {
         let kernel = match ws_kind {
             WorkSet::Bitmap => &self.kernels.degree_census_bitmap,
             WorkSet::Queue => &self.kernels.degree_census_queue,
@@ -635,10 +636,11 @@ impl<'a> Ctx<'a> {
             Grid::linear(limit as u64, self.thread_threads),
             &self.state.degree_census_args(self.dg, ws_kind, limit),
         )?;
-        let deg_sum = self.dev.read_word(self.state.deg_sum, 0)?;
+        let lo = self.dev.read_word(self.state.deg_sum, 0)?;
+        let hi = self.dev.read_word(self.state.deg_sum, 1)?;
         self.inspector_ns += self.dev.elapsed_ns() - census_start;
         self.degree_census_launches += 1;
-        Ok(deg_sum)
+        Ok(((hi as u64) << 32) | lo as u64)
     }
 
     /// Step 5: findmin for ordered SSSP.
@@ -825,6 +827,22 @@ fn subtract_kernel_stats(
     }
 }
 
+/// Snapshot of the device's cumulative race-detector counters
+/// (launches checked, benign words, harmful words).
+fn race_counts(dev: &Device) -> (u64, u64, u64) {
+    let s = dev.race_summary();
+    (s.launches_checked, s.benign_words, s.harmful_words)
+}
+
+/// Attributes the device's race-counter growth since `before` to `metrics`
+/// (the device accumulates across runs; the run owns only its delta).
+fn record_race_deltas(metrics: &mut Metrics, dev: &Device, before: (u64, u64, u64)) {
+    let (launches, benign, harmful) = race_counts(dev);
+    metrics.race_launches_checked = launches - before.0;
+    metrics.race_benign_words = benign - before.1;
+    metrics.race_harmful_words = harmful - before.2;
+}
+
 /// Runs one typed query. `state` is reset for the query's source
 /// internally; the graph must already be uploaded as `dg`.
 pub fn run(
@@ -863,6 +881,7 @@ pub fn run(
     let start_launches = dev.launch_count();
     let start_stats = dev.cumulative_stats();
     let start_profile = dev.profile().clone();
+    let races_before = race_counts(dev);
     match algo {
         Algo::Cc => state.reset_cc(dev, n)?,
         Algo::PageRank => state.reset_pagerank(dev, pagerank.damping)?,
@@ -1020,6 +1039,7 @@ pub fn run(
     metrics.census_launches = ctx.census_launches;
     metrics.degree_census_launches = ctx.degree_census_launches;
     metrics.inspector_ns_total = ctx.inspector_ns;
+    record_race_deltas(&mut metrics, dev, races_before);
 
     let values = dev.read(state.value); // final D2H, charged
     let end_ns = dev.elapsed_ns();
@@ -1079,6 +1099,7 @@ fn run_hybrid(
     let start_launches = dev.launch_count();
     let start_stats = dev.cumulative_stats();
     let start_profile = dev.profile().clone();
+    let races_before = race_counts(dev);
     state.reset(dev, src)?;
     let mut setup_ns = dev.elapsed_ns() - start_ns;
     if options.include_graph_transfer {
@@ -1240,6 +1261,7 @@ fn run_hybrid(
     }
 
     metrics.switches = switches;
+    record_race_deltas(&mut metrics, dev, races_before);
 
     // Final result lives wherever the last iteration ran.
     let values = if on_device {

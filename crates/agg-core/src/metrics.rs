@@ -33,6 +33,15 @@ pub struct Metrics {
     /// Modeled time spent in the inspector (census kernels + their result
     /// reads), ns. Subset of `iter_ns_total`.
     pub inspector_ns_total: f64,
+    /// Launches analyzed by the data-race detector during this run
+    /// (0 unless the device was built with `DeviceConfig::race_detect`).
+    pub race_launches_checked: u64,
+    /// Words with benign races (deliberate same-value stores etc.) the
+    /// detector saw during this run.
+    pub race_benign_words: u64,
+    /// Words with harmful races the detector saw during this run. The
+    /// kernel suite is expected to keep this at 0.
+    pub race_harmful_words: u64,
     by_variant: Vec<(Variant, u32)>,
 }
 
@@ -60,6 +69,9 @@ impl Metrics {
         self.bottom_up_iterations += other.bottom_up_iterations;
         self.iter_ns_total += other.iter_ns_total;
         self.inspector_ns_total += other.inspector_ns_total;
+        self.race_launches_checked += other.race_launches_checked;
+        self.race_benign_words += other.race_benign_words;
+        self.race_harmful_words += other.race_harmful_words;
         for (v, c) in &other.by_variant {
             match self.by_variant.iter_mut().find(|(w, _)| w == v) {
                 Some((_, count)) => *count += c,
@@ -95,6 +107,9 @@ impl Metrics {
             ("bottom_up_iterations", self.bottom_up_iterations.into()),
             ("iter_ns_total", self.iter_ns_total.into()),
             ("inspector_ns_total", self.inspector_ns_total.into()),
+            ("race_launches_checked", self.race_launches_checked.into()),
+            ("race_benign_words", self.race_benign_words.into()),
+            ("race_harmful_words", self.race_harmful_words.into()),
             (
                 "iterations_by_variant",
                 Json::Obj(

@@ -54,6 +54,10 @@ pub struct DeviceConfig {
     pub pcie_gbps: f64,
     /// Fixed latency per host<->device copy, in microseconds.
     pub pcie_latency_us: f64,
+    /// Log every memory access and attach a
+    /// [`crate::mem::race::RaceReport`] to each launch report. Costly
+    /// (host-side) and off by default; timing is unaffected.
+    pub race_detect: bool,
 }
 
 impl DeviceConfig {
@@ -81,7 +85,14 @@ impl DeviceConfig {
             launch_overhead_us: 7.0,
             pcie_gbps: 6.0,
             pcie_latency_us: 10.0,
+            race_detect: false,
         }
+    }
+
+    /// This configuration with the data-race detector switched on or off.
+    pub fn with_race_detect(mut self, on: bool) -> DeviceConfig {
+        self.race_detect = on;
+        self
     }
 
     /// A deliberately tiny device (2 SMs) for tests that need to observe

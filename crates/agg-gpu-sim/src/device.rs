@@ -12,6 +12,7 @@ use crate::error::SimError;
 use crate::exec::grid::{run_grid, Grid, LaunchArgs};
 use crate::ir::builder::Kernel;
 use crate::mem::global::{DevicePtr, GlobalMemory};
+use crate::mem::race::RaceSummary;
 use crate::mem::transfer::transfer_ns;
 use crate::timing::report::{KernelStats, LaunchReport, ProfileReport};
 
@@ -40,6 +41,7 @@ pub struct Device {
     launches: u64,
     cumulative: KernelStats,
     profile: ProfileReport,
+    races: RaceSummary,
 }
 
 impl Device {
@@ -58,6 +60,7 @@ impl Device {
             launches: 0,
             cumulative: KernelStats::default(),
             profile: ProfileReport::default(),
+            races: RaceSummary::default(),
         }
     }
 
@@ -148,7 +151,23 @@ impl Device {
         self.launches += 1;
         self.cumulative += report.stats;
         self.profile.record(&self.cfg, &report);
+        if let Some(r) = &report.races {
+            self.races.absorb_report(r);
+        }
         Ok(report)
+    }
+
+    /// Toggles per-launch race detection (see
+    /// [`DeviceConfig::race_detect`]). Takes effect from the next launch.
+    pub fn set_race_detect(&mut self, on: bool) {
+        self.cfg.race_detect = on;
+    }
+
+    /// Race counters accumulated over every race-checked launch since
+    /// construction or the last [`Device::reset_clock`]. Monotonic:
+    /// snapshot the counts before a run to attribute races to it.
+    pub fn race_summary(&self) -> &RaceSummary {
+        &self.races
     }
 
     /// Per-kernel launch profiles accumulated since construction or the
@@ -192,6 +211,7 @@ impl Device {
         self.launches = 0;
         self.cumulative = KernelStats::default();
         self.profile = ProfileReport::default();
+        self.races = RaceSummary::default();
     }
 
     /// Free-of-charge buffer download for tests and debugging.
@@ -308,6 +328,79 @@ mod tests {
         assert_eq!(dev.elapsed_ns(), 0.0);
         assert_eq!(dev.launch_count(), 0);
         assert_eq!(dev.debug_read(p).unwrap(), vec![5, 6]);
+    }
+
+    #[test]
+    fn race_detector_catches_injected_harmful_race() {
+        // Every thread stores its own tid into word 0: concurrent stores
+        // of distinct values, the canonical harmful race.
+        let mut k = KernelBuilder::new("racy");
+        let b = k.buf_param();
+        let tid = k.global_thread_id();
+        k.store(b, 0u32, tid.clone());
+        let kernel = k.build().unwrap();
+        let mut dev = Device::new(DeviceConfig::tesla_c2070().with_race_detect(true));
+        let p = dev.alloc("out", 1);
+        let r = dev
+            .launch(&kernel, Grid::new(2, 32), &LaunchArgs::new().bufs([p]))
+            .unwrap();
+        let races = r.races.expect("detection enabled");
+        assert!(!races.is_clean());
+        assert_eq!(
+            races.harmful[0].class,
+            crate::mem::race::RaceClass::ConflictingStores
+        );
+        assert_eq!(races.harmful[0].buffer, "out");
+        assert!(!dev.race_summary().is_clean());
+        assert_eq!(dev.race_summary().launches_checked, 1);
+    }
+
+    #[test]
+    fn race_detector_passes_benign_flag_raise() {
+        // Every thread stores 1 into word 0 — racing, but same value.
+        let mut k = KernelBuilder::new("flag");
+        let b = k.buf_param();
+        k.store(b, 0u32, 1u32);
+        let kernel = k.build().unwrap();
+        for parallel in [false, true] {
+            let mut dev = Device::new(DeviceConfig::tesla_c2070().with_race_detect(true));
+            if parallel {
+                dev = dev.with_mode(ExecMode::Parallel);
+            }
+            let p = dev.alloc("flag", 1);
+            let r = dev
+                .launch(&kernel, Grid::new(4, 32), &LaunchArgs::new().bufs([p]))
+                .unwrap();
+            let races = r.races.expect("detection enabled");
+            assert!(races.is_clean());
+            assert_eq!(
+                races.benign[0].class,
+                crate::mem::race::RaceClass::SameValueStore
+            );
+            assert!(dev.race_summary().is_clean());
+            assert_eq!(dev.race_summary().benign_words, 1);
+        }
+    }
+
+    #[test]
+    fn race_detection_off_by_default_and_reset_clears_summary() {
+        let mut k = KernelBuilder::new("flag");
+        let b = k.buf_param();
+        k.store(b, 0u32, 1u32);
+        let kernel = k.build().unwrap();
+        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let p = dev.alloc("flag", 1);
+        let r = dev
+            .launch(&kernel, Grid::new(2, 32), &LaunchArgs::new().bufs([p]))
+            .unwrap();
+        assert!(r.races.is_none());
+        assert_eq!(dev.race_summary().launches_checked, 0);
+        dev.set_race_detect(true);
+        dev.launch(&kernel, Grid::new(2, 32), &LaunchArgs::new().bufs([p]))
+            .unwrap();
+        assert_eq!(dev.race_summary().launches_checked, 1);
+        dev.reset_clock();
+        assert_eq!(dev.race_summary(), &crate::mem::race::RaceSummary::default());
     }
 
     #[test]

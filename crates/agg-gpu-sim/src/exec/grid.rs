@@ -7,6 +7,7 @@ use crate::error::SimError;
 use crate::exec::interp::{run_block, GridCtx, Scratch};
 use crate::ir::builder::Kernel;
 use crate::mem::global::{DevicePtr, GlobalMemory};
+use crate::mem::race::{analyze, AccessRecord};
 use crate::timing::cost::BlockCost;
 use crate::timing::report::{finalize_launch, LaunchReport};
 use serde::{Deserialize, Serialize};
@@ -152,6 +153,7 @@ pub(crate) fn run_grid(
         grid_dim: grid.blocks,
         block_dim: grid.threads_per_block,
     };
+    let mut race_log: Option<Vec<AccessRecord>> = cfg.race_detect.then(Vec::new);
     let costs: Vec<BlockCost> = if parallel && grid.blocks > 1 {
         let workers = std::thread::available_parallelism()
             .map_or(1, |n| n.get())
@@ -161,15 +163,17 @@ pub(crate) fn run_grid(
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     let g = &g;
+                    let detect = cfg.race_detect;
                     s.spawn(move || {
                         let lo = (w * chunk) as u32;
                         let hi = ((w + 1) * chunk).min(grid.blocks as usize) as u32;
                         let mut scratch = Scratch::default();
                         let mut out = Vec::with_capacity((hi - lo) as usize);
+                        let mut log: Option<Vec<AccessRecord>> = detect.then(Vec::new);
                         for b in lo..hi {
-                            out.push(run_block(g, b, &mut scratch)?);
+                            out.push(run_block(g, b, &mut scratch, log.as_mut())?);
                         }
-                        Ok::<_, SimError>(out)
+                        Ok::<_, SimError>((out, log))
                     })
                 })
                 .collect();
@@ -179,26 +183,35 @@ pub(crate) fn run_grid(
                 .collect::<Vec<_>>()
         });
         let mut costs = Vec::with_capacity(grid.blocks as usize);
-        for worker_costs in per_worker {
-            costs.extend(worker_costs?);
+        for worker_result in per_worker {
+            let (worker_costs, worker_log) = worker_result?;
+            costs.extend(worker_costs);
+            if let (Some(log), Some(worker_log)) = (race_log.as_mut(), worker_log) {
+                log.extend(worker_log);
+            }
         }
         costs
     } else {
         let mut scratch = Scratch::default();
         let mut out = Vec::with_capacity(grid.blocks as usize);
         for b in 0..grid.blocks {
-            out.push(run_block(&g, b, &mut scratch)?);
+            out.push(run_block(&g, b, &mut scratch, race_log.as_mut())?);
         }
         out
     };
-    Ok(finalize_launch(
+    let mut report = finalize_launch(
         cfg,
         &kernel.name,
         grid.blocks,
         grid.threads_per_block,
         kernel.shared_words * 4,
         &costs,
-    ))
+    );
+    if let Some(log) = race_log {
+        let labels: Vec<&str> = g.bufs.iter().map(|b| b.label.as_str()).collect();
+        report.races = Some(analyze(&kernel.name, &labels, &log));
+    }
+    Ok(report)
 }
 
 #[cfg(test)]

@@ -14,6 +14,7 @@ use crate::ir::expr::{apply_binop, apply_unop, Expr, Special};
 use crate::ir::stmt::{AtomicOp, BarrierOp, Stmt};
 use crate::mem::coalesce::transactions_for;
 use crate::mem::global::Buffer;
+use crate::mem::race::{AccessKind, AccessRecord, SHARED_SLOT};
 use crate::mem::shared::bank_conflict_replays;
 use crate::timing::cost::BlockCost;
 use std::sync::atomic::Ordering;
@@ -28,6 +29,10 @@ pub struct Scratch {
     regs: Vec<u32>,
     shared: Vec<u32>,
     returned: Vec<u32>,
+    /// Per-warp barrier epoch (race detection's happens-before clock).
+    epochs: Vec<u32>,
+    /// Per-warp dynamic statement counter (race detection).
+    seqs: Vec<u32>,
 }
 
 /// Launch-wide immutable context shared by all blocks.
@@ -53,6 +58,12 @@ struct WarpCtx<'a, 'g> {
     /// Lanes that executed `Return`.
     returned: &'a mut u32,
     cost: &'a mut BlockCost,
+    /// This warp's barrier epoch (bumped at `sync_threads` and barriers).
+    epoch: &'a mut u32,
+    /// This warp's dynamic statement counter.
+    seq: &'a mut u32,
+    /// Access log when race detection is enabled.
+    log: Option<&'a mut Vec<AccessRecord>>,
 }
 
 impl<'a, 'g> WarpCtx<'a, 'g> {
@@ -112,6 +123,29 @@ impl<'a, 'g> WarpCtx<'a, 'g> {
         self.cost.stats.active_lane_instructions += ops * mask.count_ones() as u64;
     }
 
+    /// Appends one access to the race log, if detection is enabled.
+    #[inline]
+    fn log_access(&mut self, buf: u16, word: u32, kind: AccessKind, value: u32) {
+        let (block, warp, epoch, seq) = (
+            self.block_idx,
+            self.warp_base / WARP,
+            *self.epoch,
+            *self.seq,
+        );
+        if let Some(log) = self.log.as_deref_mut() {
+            log.push(AccessRecord {
+                buf,
+                word,
+                kind,
+                value,
+                block,
+                warp,
+                epoch,
+                seq,
+            });
+        }
+    }
+
     fn oob(&self, buf_slot: u8, index: u64) -> SimError {
         SimError::OutOfBounds {
             kernel: self.g.kernel.name.clone(),
@@ -167,6 +201,7 @@ impl<'a, 'g> WarpCtx<'a, 'g> {
     }
 
     fn exec_stmt(&mut self, s: &Stmt, mask: u32) -> Result<(), SimError> {
+        *self.seq = self.seq.wrapping_add(1);
         match s {
             Stmt::Assign(dst, e) => {
                 self.charge(e.op_count(), mask);
@@ -188,6 +223,14 @@ impl<'a, 'g> WarpCtx<'a, 'g> {
                     if mask & (1 << lane) != 0 {
                         let v = b.data[idxs[lane as usize] as usize].load(Ordering::Relaxed);
                         self.set_reg(dst.0, lane, v);
+                        if self.log.is_some() {
+                            self.log_access(
+                                buf.0 as u16,
+                                idxs[lane as usize],
+                                AccessKind::Read,
+                                0,
+                            );
+                        }
                     }
                 }
             }
@@ -201,6 +244,14 @@ impl<'a, 'g> WarpCtx<'a, 'g> {
                     if mask & (1 << lane) != 0 {
                         let v = self.eval(value, lane)?;
                         b.data[idxs[lane as usize] as usize].store(v, Ordering::Relaxed);
+                        if self.log.is_some() {
+                            self.log_access(
+                                buf.0 as u16,
+                                idxs[lane as usize],
+                                AccessKind::Write,
+                                v,
+                            );
+                        }
                     }
                 }
             }
@@ -268,6 +319,9 @@ impl<'a, 'g> WarpCtx<'a, 'g> {
                     };
                     if let Some(dst) = old {
                         self.set_reg(dst.0, lane, prev);
+                    }
+                    if self.log.is_some() {
+                        self.log_access(bslot as u16, i, AccessKind::Atomic, v);
                     }
                     sorted_idx[n] = i;
                     n += 1;
@@ -364,6 +418,11 @@ impl<'a, 'g> WarpCtx<'a, 'g> {
                 self.charge(0, mask);
                 self.cost.stats.syncs += 1;
                 self.cost.issue_cycles += self.g.cfg.sync_cycles;
+                // Happens-before edge: everything this warp did before the
+                // sync is ordered before everything any warp does after it.
+                // All warps execute the same top-level sync, so their
+                // epochs advance in lockstep.
+                *self.epoch += 1;
             }
             Stmt::Barrier { .. } => {
                 unreachable!("barriers are phase-split before warp execution")
@@ -408,9 +467,15 @@ impl<'a, 'g> WarpCtx<'a, 'g> {
             if let Some(dst) = load_dst {
                 let v = self.shared[word];
                 sink(self, lane, dst, v);
+                if self.log.is_some() {
+                    self.log_access(SHARED_SLOT, word as u32, AccessKind::Read, 0);
+                }
             } else if let Some(val) = value {
                 let v = self.eval(val, lane)?;
                 self.shared[word] = v;
+                if self.log.is_some() {
+                    self.log_access(SHARED_SLOT, word as u32, AccessKind::Write, v);
+                }
             }
         }
         Ok(replays)
@@ -418,10 +483,12 @@ impl<'a, 'g> WarpCtx<'a, 'g> {
 }
 
 /// Executes one block of the launch, reusing `scratch` between calls.
+/// `log` collects per-word access records when race detection is on.
 pub fn run_block(
     g: &GridCtx<'_>,
     block_idx: u32,
     scratch: &mut Scratch,
+    mut log: Option<&mut Vec<AccessRecord>>,
 ) -> Result<BlockCost, SimError> {
     let kernel = g.kernel;
     let warps = g.cfg.warps_for(g.block_dim).max(1);
@@ -432,6 +499,10 @@ pub fn run_block(
     scratch.shared.resize(kernel.shared_words as usize, 0);
     scratch.returned.clear();
     scratch.returned.resize(warps as usize, 0);
+    scratch.epochs.clear();
+    scratch.epochs.resize(warps as usize, 0);
+    scratch.seqs.clear();
+    scratch.seqs.resize(warps as usize, 0);
 
     let mut cost = BlockCost::default();
     let phases = kernel.phases();
@@ -462,11 +533,19 @@ pub fn run_block(
                 shared,
                 returned,
                 cost: &mut cost,
+                epoch: &mut scratch.epochs[w as usize],
+                seq: &mut scratch.seqs[w as usize],
+                log: log.as_deref_mut(),
             };
             ctx.exec_stmts(segment, init_mask)?;
         }
         if let Some(Stmt::Barrier { op, value, dst }) = barrier {
             apply_barrier(g, block_idx, *op, value, dst.0, scratch, warps, &mut cost)?;
+            // A block-wide collective synchronizes all warps: re-align the
+            // epochs past the highest any warp reached (warps that
+            // returned early skipped their in-segment syncs).
+            let next = scratch.epochs.iter().copied().max().unwrap_or(0) + 1;
+            scratch.epochs.iter_mut().for_each(|e| *e = next);
         }
     }
     Ok(cost)
@@ -499,6 +578,7 @@ fn apply_barrier(
             );
             let mut ret = returned;
             let mut throwaway = BlockCost::default();
+            let (mut epoch0, mut seq0) = (0u32, 0u32);
             let ctx = WarpCtx {
                 g,
                 block_idx,
@@ -507,6 +587,9 @@ fn apply_barrier(
                 shared,
                 returned: &mut ret,
                 cost: &mut throwaway,
+                epoch: &mut epoch0,
+                seq: &mut seq0,
+                log: None,
             };
             let v = if alive {
                 ctx.eval(value, lane)?
@@ -589,7 +672,7 @@ mod tests {
         };
         let mut scratch = Scratch::default();
         (0..grid_dim)
-            .map(|b| run_block(&g, b, &mut scratch))
+            .map(|b| run_block(&g, b, &mut scratch, None))
             .collect()
     }
 

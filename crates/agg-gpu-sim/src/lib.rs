@@ -70,6 +70,7 @@ pub use error::SimError;
 pub use exec::grid::{Grid, LaunchArgs};
 pub use ir::builder::{Kernel, KernelBuilder};
 pub use json::Json;
+pub use mem::race::{RaceClass, RaceFinding, RaceReport, RaceSummary};
 pub use timing::report::{KernelStats, LaunchProfile, LaunchReport, ProfileReport};
 
 /// Convenient imports for writing and launching kernels.
@@ -81,5 +82,6 @@ pub mod prelude {
     pub use crate::ir::builder::{Kernel, KernelBuilder};
     pub use crate::ir::expr::Expr;
     pub use crate::mem::global::DevicePtr;
+    pub use crate::mem::race::{RaceClass, RaceFinding, RaceReport, RaceSummary};
     pub use crate::timing::report::{LaunchProfile, LaunchReport, ProfileReport};
 }

@@ -3,10 +3,12 @@
 
 pub mod coalesce;
 pub mod global;
+pub mod race;
 pub mod shared;
 pub mod transfer;
 
 pub use coalesce::transactions_for;
 pub use global::{DevicePtr, GlobalMemory};
+pub use race::{RaceClass, RaceFinding, RaceReport, RaceSummary};
 pub use shared::bank_conflict_replays;
 pub use transfer::transfer_ns;

@@ -1,0 +1,700 @@
+//! Opt-in per-word data-race detection.
+//!
+//! When [`crate::DeviceConfig::race_detect`] is set, the interpreter logs
+//! every global and shared memory access (word index, kind, stored value,
+//! and a position in the happens-before order) and the launch machinery
+//! classifies conflicting accesses before returning the
+//! [`crate::LaunchReport`].
+//!
+//! # Happens-before model
+//!
+//! The simulator's scheduling is deterministic, but the *hardware* it
+//! models gives far weaker guarantees; the detector reasons about the
+//! hardware's order, not the interpreter's:
+//!
+//! * Accesses from **different blocks** are always concurrent (blocks may
+//!   run in any order, on any SM).
+//! * Within a block, warps are ordered only by barriers: each warp keeps
+//!   an **epoch** counter that increments at every `sync_threads` and at
+//!   every block-wide collective (reduce/scan). Accesses from different
+//!   warps are concurrent iff they are in the same epoch.
+//! * Within a warp, statements execute in program order, so two accesses
+//!   are concurrent only when they come from different lanes of the *same
+//!   dynamic instruction* (same per-warp sequence number) — e.g. two
+//!   lanes of one store hitting one word.
+//! * Kernel launches are synchronous in this model, so the log is per
+//!   launch: the kernel boundary is a happens-before edge and nothing is
+//!   carried across launches.
+//!
+//! # Classification
+//!
+//! Two concurrent accesses to a word race when at least one is a plain
+//! (non-atomic) write. Races are split into *benign* classes — the ones
+//! the paper's kernels rely on deliberately — and *harmful* ones:
+//!
+//! | class | accesses | verdict |
+//! |---|---|---|
+//! | `same-value-store` | concurrent plain stores, all of one value | benign |
+//! | `read-vs-uniform-store` | plain read vs plain stores of one value | benign |
+//! | `read-vs-atomic` | plain read vs atomic update | benign |
+//! | `conflicting-stores` | concurrent plain stores of distinct values | harmful |
+//! | `read-vs-store` | plain read vs stores of distinct values | harmful |
+//! | `atomic-vs-store` | atomic update vs concurrent plain store | harmful |
+//!
+//! Atomic-vs-atomic is never a race. The benign classes are still
+//! *races* — they are reported, with the classification explaining why
+//! the kernel's result does not depend on their outcome: a load that
+//! races with an `atomicMin` reads a stale-but-valid value (monotone
+//! relaxation re-examines it next iteration), and stores of a single
+//! value commute.
+
+use crate::json::Json;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Buffer slot used to mark shared-memory accesses in the log.
+pub(crate) const SHARED_SLOT: u16 = u16::MAX;
+
+/// What a logged access did to its word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Plain (non-atomic) load.
+    Read,
+    /// Plain (non-atomic) store.
+    Write,
+    /// Atomic read-modify-write.
+    Atomic,
+}
+
+/// One logged word access, with its position in the happens-before order.
+#[derive(Debug, Clone, Copy)]
+pub struct AccessRecord {
+    /// Buffer slot in the launch's argument list, or [`SHARED_SLOT`].
+    pub(crate) buf: u16,
+    /// Word index within the buffer (or shared memory).
+    pub(crate) word: u32,
+    /// Read, write, or atomic.
+    pub(crate) kind: AccessKind,
+    /// The stored value (writes only; 0 otherwise).
+    pub(crate) value: u32,
+    /// Block that issued the access.
+    pub(crate) block: u32,
+    /// Warp within the block.
+    pub(crate) warp: u32,
+    /// Barrier epoch of the warp at access time.
+    pub(crate) epoch: u32,
+    /// Per-warp dynamic statement number at access time.
+    pub(crate) seq: u32,
+}
+
+/// Position of an access in the happens-before order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Pos {
+    block: u32,
+    warp: u32,
+    epoch: u32,
+    seq: u32,
+}
+
+impl AccessRecord {
+    fn pos(&self) -> Pos {
+        Pos {
+            block: self.block,
+            warp: self.warp,
+            epoch: self.epoch,
+            seq: self.seq,
+        }
+    }
+}
+
+/// Why a detected race is (or is not) benign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RaceClass {
+    /// Concurrent plain stores that all write the same value (the
+    /// `workset_gen_bitmap` flag raise, ordered-BFS level stores).
+    SameValueStore,
+    /// Plain read concurrent with plain stores of a single value.
+    ReadVsUniformStore,
+    /// Plain read concurrent with an atomic update (the unordered
+    /// relaxation pattern: `load(value)` racing `atomicMin(value)`).
+    ReadVsAtomic,
+    /// Concurrent plain stores of distinct values: the winner is
+    /// schedule-dependent.
+    ConflictingStores,
+    /// Plain read concurrent with plain stores of distinct values.
+    ReadVsStore,
+    /// Atomic update concurrent with a plain store to the same word: the
+    /// store can silently overwrite the atomic's result.
+    AtomicVsStore,
+}
+
+impl RaceClass {
+    /// True when the race can change results depending on scheduling.
+    pub fn is_harmful(self) -> bool {
+        matches!(
+            self,
+            RaceClass::ConflictingStores | RaceClass::ReadVsStore | RaceClass::AtomicVsStore
+        )
+    }
+
+    /// Stable kebab-case name (used in JSON and messages).
+    pub fn name(self) -> &'static str {
+        match self {
+            RaceClass::SameValueStore => "same-value-store",
+            RaceClass::ReadVsUniformStore => "read-vs-uniform-store",
+            RaceClass::ReadVsAtomic => "read-vs-atomic",
+            RaceClass::ConflictingStores => "conflicting-stores",
+            RaceClass::ReadVsStore => "read-vs-store",
+            RaceClass::AtomicVsStore => "atomic-vs-store",
+        }
+    }
+}
+
+/// One detected race pattern: a (kernel, buffer, class) group covering
+/// every word of that buffer where the pattern occurred.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RaceFinding {
+    /// Kernel the race occurred in.
+    pub kernel: String,
+    /// Race classification.
+    pub class: RaceClass,
+    /// Label of the racing buffer (`"<shared>"` for shared memory).
+    pub buffer: String,
+    /// Lowest racing word index, as an exemplar for debugging.
+    pub word: u32,
+    /// Number of distinct words showing this pattern.
+    pub words: u64,
+}
+
+impl RaceFinding {
+    /// This finding as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("kernel", self.kernel.as_str().into()),
+            ("class", self.class.name().into()),
+            ("harmful", Json::Bool(self.class.is_harmful())),
+            ("buffer", self.buffer.as_str().into()),
+            ("word", self.word.into()),
+            ("words", self.words.into()),
+        ])
+    }
+}
+
+/// The race analysis of one kernel launch.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RaceReport {
+    /// Kernel name.
+    pub kernel: String,
+    /// Benign findings (deliberate races the kernels rely on).
+    pub benign: Vec<RaceFinding>,
+    /// Harmful findings. Non-empty means the kernel's results may depend
+    /// on hardware scheduling.
+    pub harmful: Vec<RaceFinding>,
+}
+
+impl RaceReport {
+    /// True when no harmful race was found (benign races are fine).
+    pub fn is_clean(&self) -> bool {
+        self.harmful.is_empty()
+    }
+
+    /// Total words with benign races.
+    pub fn benign_words(&self) -> u64 {
+        self.benign.iter().map(|f| f.words).sum()
+    }
+
+    /// Total words with harmful races.
+    pub fn harmful_words(&self) -> u64 {
+        self.harmful.iter().map(|f| f.words).sum()
+    }
+
+    /// This report as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("kernel", self.kernel.as_str().into()),
+            ("clean", Json::Bool(self.is_clean())),
+            ("benign", Json::arr(self.benign.iter().map(|f| f.to_json()))),
+            (
+                "harmful",
+                Json::arr(self.harmful.iter().map(|f| f.to_json())),
+            ),
+        ])
+    }
+}
+
+/// Race counters a [`crate::Device`] accumulates across launches (reset
+/// together with the clock). Harmful findings keep a capped list of
+/// exemplars for diagnostics.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RaceSummary {
+    /// Launches analyzed (only those run with detection enabled).
+    pub launches_checked: u64,
+    /// Total benign racing words across launches.
+    pub benign_words: u64,
+    /// Total harmful racing words across launches.
+    pub harmful_words: u64,
+    /// First few harmful findings, for diagnostics.
+    pub harmful: Vec<RaceFinding>,
+}
+
+/// Cap on the harmful exemplars a [`RaceSummary`] retains.
+const SUMMARY_EXEMPLAR_CAP: usize = 32;
+
+impl RaceSummary {
+    /// Folds one launch's race report into the summary.
+    pub fn absorb_report(&mut self, r: &RaceReport) {
+        self.launches_checked += 1;
+        self.benign_words += r.benign_words();
+        self.harmful_words += r.harmful_words();
+        for f in &r.harmful {
+            if self.harmful.len() >= SUMMARY_EXEMPLAR_CAP {
+                break;
+            }
+            self.harmful.push(f.clone());
+        }
+    }
+
+    /// True when no harmful race has been seen.
+    pub fn is_clean(&self) -> bool {
+        self.harmful_words == 0
+    }
+
+    /// This summary as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("launches_checked", self.launches_checked.into()),
+            ("benign_words", self.benign_words.into()),
+            ("harmful_words", self.harmful_words.into()),
+            ("clean", Json::Bool(self.is_clean())),
+            (
+                "harmful",
+                Json::arr(self.harmful.iter().map(|f| f.to_json())),
+            ),
+        ])
+    }
+}
+
+/// True when some pair of positions, one from each slice, is concurrent.
+fn concurrent_between(a: &[Pos], b: &[Pos]) -> bool {
+    if a.is_empty() || b.is_empty() {
+        return false;
+    }
+    // Cross-block pair: unless both sides sit in one identical block,
+    // some pair spans two blocks.
+    let b0 = a[0].block;
+    if a.iter().chain(b).any(|p| p.block != b0) {
+        return true;
+    }
+    // One block: group each side's warps by epoch.
+    let mut warps_a: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+    for p in a {
+        warps_a.entry(p.epoch).or_default().push(p.warp);
+    }
+    for p in b {
+        let Some(wa) = warps_a.get(&p.epoch) else {
+            continue;
+        };
+        if wa.iter().any(|&w| w != p.warp) {
+            return true;
+        }
+        // Same warp, same epoch: program order covers distinct statements,
+        // but two lanes of one dynamic instruction (same seq) are
+        // unordered — e.g. one store whose lanes write distinct values to
+        // one word.
+        if a.iter()
+            .any(|q| q.epoch == p.epoch && q.warp == p.warp && q.seq == p.seq)
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// True when some pair of distinct positions within the slice is
+/// concurrent (two lanes or two warps reaching the same word).
+fn concurrent_within(keys: &[Pos]) -> bool {
+    if keys.len() < 2 {
+        return false;
+    }
+    let b0 = keys[0].block;
+    if keys.iter().any(|p| p.block != b0) {
+        return true;
+    }
+    // Same block: per epoch, two distinct warps are concurrent; within
+    // one warp, a repeated seq means two lanes of one instruction.
+    let mut per_epoch: BTreeMap<u32, (u32, bool)> = BTreeMap::new();
+    let mut seqs: BTreeMap<(u32, u32), Vec<u32>> = BTreeMap::new();
+    for p in keys {
+        match per_epoch.get_mut(&p.epoch) {
+            None => {
+                per_epoch.insert(p.epoch, (p.warp, false));
+            }
+            Some((w, multi)) => {
+                if *w != p.warp {
+                    *multi = true;
+                }
+            }
+        }
+        seqs.entry((p.epoch, p.warp)).or_default().push(p.seq);
+    }
+    if per_epoch.values().any(|&(_, multi)| multi) {
+        return true;
+    }
+    for s in seqs.values_mut() {
+        s.sort_unstable();
+        if s.windows(2).any(|w| w[0] == w[1]) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Per-word access log split by kind.
+#[derive(Default)]
+struct WordLog {
+    reads: Vec<Pos>,
+    atomics: Vec<Pos>,
+    /// (value, position) of plain stores.
+    writes: Vec<(u32, Pos)>,
+}
+
+/// Classifies a launch's access log into a [`RaceReport`].
+///
+/// `labels` are the buffer labels of the launch's argument list, indexed
+/// by buffer slot; shared memory reports as `"<shared>"`.
+pub(crate) fn analyze(kernel: &str, labels: &[&str], records: &[AccessRecord]) -> RaceReport {
+    // Group by location. Shared memory is per block: the same shared word
+    // in two blocks is two distinct locations, so the block index joins
+    // the key for shared accesses (0 for global: one address space).
+    let mut words: BTreeMap<(u16, u32, u32), WordLog> = BTreeMap::new();
+    for r in records {
+        let block_key = if r.buf == SHARED_SLOT { r.block } else { 0 };
+        let log = words.entry((r.buf, block_key, r.word)).or_default();
+        match r.kind {
+            AccessKind::Read => log.reads.push(r.pos()),
+            AccessKind::Atomic => log.atomics.push(r.pos()),
+            AccessKind::Write => log.writes.push((r.value, r.pos())),
+        }
+    }
+
+    // (class, buf) -> (exemplar word, distinct word count)
+    let mut found: BTreeMap<(RaceClass, u16), (u32, u64)> = BTreeMap::new();
+    let mut note = |class: RaceClass, buf: u16, word: u32| {
+        let e = found.entry((class, buf)).or_insert((word, 0));
+        e.0 = e.0.min(word);
+        e.1 += 1;
+    };
+
+    for (&(buf, _, word), log) in &words {
+        if log.writes.is_empty() {
+            continue; // reads and atomics never race with each other alone
+        }
+        let mut by_value: BTreeMap<u32, Vec<Pos>> = BTreeMap::new();
+        for &(v, p) in &log.writes {
+            by_value.entry(v).or_default().push(p);
+        }
+        let write_pos: Vec<Pos> = log.writes.iter().map(|&(_, p)| p).collect();
+
+        // Store-vs-store.
+        if by_value.len() > 1 {
+            let groups: Vec<&Vec<Pos>> = by_value.values().collect();
+            let conflicting = groups
+                .iter()
+                .enumerate()
+                .any(|(i, ga)| groups[i + 1..].iter().any(|gb| concurrent_between(ga, gb)));
+            if conflicting {
+                note(RaceClass::ConflictingStores, buf, word);
+            }
+        }
+        if by_value.values().any(|g| concurrent_within(g)) {
+            note(RaceClass::SameValueStore, buf, word);
+        }
+
+        // Read-vs-store.
+        if concurrent_between(&log.reads, &write_pos) {
+            if by_value.len() == 1 {
+                note(RaceClass::ReadVsUniformStore, buf, word);
+            } else {
+                note(RaceClass::ReadVsStore, buf, word);
+            }
+        }
+
+        // Atomic-vs-store.
+        if concurrent_between(&log.atomics, &write_pos) {
+            note(RaceClass::AtomicVsStore, buf, word);
+        }
+    }
+
+    // Read-vs-atomic (no plain write needed).
+    for (&(buf, _, word), log) in &words {
+        if concurrent_between(&log.reads, &log.atomics) {
+            note(RaceClass::ReadVsAtomic, buf, word);
+        }
+    }
+
+    let mut report = RaceReport {
+        kernel: kernel.to_string(),
+        benign: Vec::new(),
+        harmful: Vec::new(),
+    };
+    for ((class, buf), (word, count)) in found {
+        let buffer = if buf == SHARED_SLOT {
+            "<shared>".to_string()
+        } else {
+            labels
+                .get(buf as usize)
+                .map_or_else(|| format!("buf{buf}"), |l| l.to_string())
+        };
+        let finding = RaceFinding {
+            kernel: kernel.to_string(),
+            class,
+            buffer,
+            word,
+            words: count,
+        };
+        if class.is_harmful() {
+            report.harmful.push(finding);
+        } else {
+            report.benign.push(finding);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[allow(clippy::too_many_arguments)]
+    fn rec(
+        buf: u16,
+        word: u32,
+        kind: AccessKind,
+        value: u32,
+        block: u32,
+        warp: u32,
+        epoch: u32,
+        seq: u32,
+    ) -> AccessRecord {
+        AccessRecord {
+            buf,
+            word,
+            kind,
+            value,
+            block,
+            warp,
+            epoch,
+            seq,
+        }
+    }
+
+    #[test]
+    fn same_value_stores_are_benign() {
+        // Two blocks both store 1 into flag[0] — the gen_bitmap pattern.
+        let log = [
+            rec(0, 0, AccessKind::Write, 1, 0, 0, 0, 3),
+            rec(0, 0, AccessKind::Write, 1, 1, 0, 0, 3),
+        ];
+        let r = analyze("k", &["flag"], &log);
+        assert!(r.is_clean());
+        assert_eq!(r.benign.len(), 1);
+        assert_eq!(r.benign[0].class, RaceClass::SameValueStore);
+        assert_eq!(r.benign[0].buffer, "flag");
+        assert_eq!(r.benign_words(), 1);
+    }
+
+    #[test]
+    fn conflicting_stores_are_harmful() {
+        let log = [
+            rec(0, 5, AccessKind::Write, 1, 0, 0, 0, 3),
+            rec(0, 5, AccessKind::Write, 2, 1, 0, 0, 3),
+        ];
+        let r = analyze("k", &["out"], &log);
+        assert!(!r.is_clean());
+        assert_eq!(r.harmful[0].class, RaceClass::ConflictingStores);
+        assert_eq!(r.harmful[0].word, 5);
+    }
+
+    #[test]
+    fn read_vs_atomic_is_benign() {
+        // The unordered-relaxation pattern: load(value[m]) in one block,
+        // atomicMin(value[m]) in another.
+        let log = [
+            rec(0, 7, AccessKind::Read, 0, 0, 0, 0, 2),
+            rec(0, 7, AccessKind::Atomic, 3, 1, 0, 0, 4),
+        ];
+        let r = analyze("k", &["value"], &log);
+        assert!(r.is_clean());
+        assert_eq!(r.benign[0].class, RaceClass::ReadVsAtomic);
+    }
+
+    #[test]
+    fn atomic_vs_store_is_harmful() {
+        let log = [
+            rec(0, 7, AccessKind::Atomic, 3, 0, 0, 0, 4),
+            rec(0, 7, AccessKind::Write, 9, 1, 0, 0, 2),
+        ];
+        let r = analyze("k", &["value"], &log);
+        assert_eq!(r.harmful[0].class, RaceClass::AtomicVsStore);
+    }
+
+    #[test]
+    fn read_vs_uniform_store_is_benign_but_mixed_values_are_not() {
+        let uniform = [
+            rec(0, 1, AccessKind::Read, 0, 0, 0, 0, 2),
+            rec(0, 1, AccessKind::Write, 4, 1, 0, 0, 3),
+            rec(0, 1, AccessKind::Write, 4, 2, 0, 0, 3),
+        ];
+        let r = analyze("k", &["value"], &uniform);
+        assert!(r.is_clean());
+        assert!(r
+            .benign
+            .iter()
+            .any(|f| f.class == RaceClass::ReadVsUniformStore));
+
+        let mixed = [
+            rec(0, 1, AccessKind::Read, 0, 0, 0, 0, 2),
+            rec(0, 1, AccessKind::Write, 4, 1, 0, 0, 3),
+            rec(0, 1, AccessKind::Write, 5, 2, 0, 0, 3),
+        ];
+        let r = analyze("k", &["value"], &mixed);
+        assert!(r.harmful.iter().any(|f| f.class == RaceClass::ReadVsStore));
+    }
+
+    #[test]
+    fn program_order_within_a_warp_is_not_a_race() {
+        // Same warp, same epoch, different statements: ordered.
+        let log = [
+            rec(0, 0, AccessKind::Read, 0, 0, 0, 0, 1),
+            rec(0, 0, AccessKind::Write, 9, 0, 0, 0, 2),
+            rec(0, 0, AccessKind::Write, 7, 0, 0, 0, 3),
+        ];
+        let r = analyze("k", &["x"], &log);
+        assert!(r.is_clean());
+        assert!(r.benign.is_empty());
+    }
+
+    #[test]
+    fn two_lanes_of_one_store_to_one_word_race() {
+        // Same warp, same seq: two lanes of one instruction.
+        let log = [
+            rec(0, 0, AccessKind::Write, 1, 0, 0, 0, 2),
+            rec(0, 0, AccessKind::Write, 2, 0, 0, 0, 2),
+        ];
+        let r = analyze("k", &["x"], &log);
+        assert_eq!(r.harmful[0].class, RaceClass::ConflictingStores);
+    }
+
+    #[test]
+    fn barrier_epoch_orders_warps_in_a_block() {
+        // Producer stores in epoch 0, consumer reads in epoch 1 after a
+        // sync: ordered. Same epoch would race.
+        let ordered = [
+            rec(0, 0, AccessKind::Write, 5, 0, 0, 0, 1),
+            rec(0, 0, AccessKind::Read, 0, 0, 1, 1, 9),
+        ];
+        assert!(analyze("k", &["x"], &ordered).benign.is_empty());
+        let racy = [
+            rec(0, 0, AccessKind::Write, 5, 0, 0, 0, 1),
+            rec(0, 0, AccessKind::Read, 0, 0, 1, 0, 9),
+        ];
+        assert!(!analyze("k", &["x"], &racy).benign.is_empty());
+    }
+
+    #[test]
+    fn shared_memory_is_scoped_per_block() {
+        // The same shared word written (with different values) by two
+        // blocks is NOT a race: each block has its own shared memory.
+        let log = [
+            rec(SHARED_SLOT, 0, AccessKind::Write, 1, 0, 0, 0, 2),
+            rec(SHARED_SLOT, 0, AccessKind::Write, 2, 1, 0, 0, 2),
+        ];
+        let r = analyze("k", &[], &log);
+        assert!(r.is_clean());
+        assert!(r.benign.is_empty());
+
+        // Two warps of one block in the same epoch DO race.
+        let log = [
+            rec(SHARED_SLOT, 0, AccessKind::Write, 1, 0, 0, 0, 2),
+            rec(SHARED_SLOT, 0, AccessKind::Write, 2, 0, 1, 0, 2),
+        ];
+        let r = analyze("k", &[], &log);
+        assert_eq!(r.harmful[0].class, RaceClass::ConflictingStores);
+        assert_eq!(r.harmful[0].buffer, "<shared>");
+    }
+
+    #[test]
+    fn atomics_never_race_with_atomics() {
+        let log = [
+            rec(0, 0, AccessKind::Atomic, 1, 0, 0, 0, 2),
+            rec(0, 0, AccessKind::Atomic, 2, 1, 0, 0, 2),
+        ];
+        let r = analyze("k", &["ctr"], &log);
+        assert!(r.is_clean());
+        assert!(r.benign.is_empty());
+    }
+
+    #[test]
+    fn findings_aggregate_words_per_buffer_and_class() {
+        let mut log = Vec::new();
+        for w in [3u32, 8, 1] {
+            log.push(rec(0, w, AccessKind::Write, 1, 0, 0, 0, 2));
+            log.push(rec(0, w, AccessKind::Write, 1, 1, 0, 0, 2));
+        }
+        let r = analyze("k", &["update"], &log);
+        assert_eq!(r.benign.len(), 1);
+        assert_eq!(r.benign[0].words, 3);
+        assert_eq!(r.benign[0].word, 1); // lowest exemplar
+    }
+
+    #[test]
+    fn summary_accumulates_and_caps() {
+        let mut s = RaceSummary::default();
+        let benign = analyze(
+            "k",
+            &["f"],
+            &[
+                rec(0, 0, AccessKind::Write, 1, 0, 0, 0, 1),
+                rec(0, 0, AccessKind::Write, 1, 1, 0, 0, 1),
+            ],
+        );
+        s.absorb_report(&benign);
+        assert!(s.is_clean());
+        assert_eq!(s.launches_checked, 1);
+        assert_eq!(s.benign_words, 1);
+        let harmful = analyze(
+            "k",
+            &["f"],
+            &[
+                rec(0, 0, AccessKind::Write, 1, 0, 0, 0, 1),
+                rec(0, 0, AccessKind::Write, 2, 1, 0, 0, 1),
+            ],
+        );
+        for _ in 0..40 {
+            s.absorb_report(&harmful);
+        }
+        assert!(!s.is_clean());
+        assert_eq!(s.harmful_words, 40);
+        assert_eq!(s.harmful.len(), 32); // capped exemplars
+        let json = s.to_json().render();
+        assert!(json.contains("\"harmful_words\":40"));
+        assert!(json.contains("conflicting-stores"));
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let r = analyze(
+            "bfs",
+            &["value"],
+            &[
+                rec(0, 2, AccessKind::Read, 0, 0, 0, 0, 1),
+                rec(0, 2, AccessKind::Atomic, 9, 1, 0, 0, 1),
+            ],
+        );
+        let s = r.to_json().render();
+        assert!(s.contains("\"kernel\":\"bfs\""));
+        assert!(s.contains("\"clean\":true"));
+        assert!(s.contains("read-vs-atomic"));
+        assert!(s.contains("\"harmful\":[]"));
+    }
+}

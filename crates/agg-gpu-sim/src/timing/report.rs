@@ -4,6 +4,7 @@
 
 use crate::config::DeviceConfig;
 use crate::json::Json;
+use crate::mem::race::RaceReport;
 use crate::timing::cost::{BlockCost, CostStats};
 use crate::timing::occupancy::Occupancy;
 use serde::{Deserialize, Serialize};
@@ -49,6 +50,9 @@ pub struct LaunchReport {
     pub occupancy: Occupancy,
     /// Aggregated statistics.
     pub stats: KernelStats,
+    /// Race analysis of this launch; `Some` only when
+    /// [`DeviceConfig::race_detect`] is enabled.
+    pub races: Option<RaceReport>,
 }
 
 /// Combines per-block costs into a launch report.
@@ -96,6 +100,7 @@ pub fn finalize_launch(
         overhead_ns,
         occupancy: occ,
         stats,
+        races: None,
     }
 }
 

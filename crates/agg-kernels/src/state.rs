@@ -97,7 +97,9 @@ pub struct AlgoState {
     pub count: DevicePtr,
     /// Auxiliary per-node array (PageRank residuals; `n` words).
     pub aux: DevicePtr,
-    /// Degree-census accumulator for the working-set inspector (1 word).
+    /// Degree-census accumulator for the working-set inspector: a
+    /// two-word (lo, hi) pair forming a 64-bit sum (see
+    /// [`crate::workset::degree_census`]).
     pub deg_sum: DevicePtr,
 }
 
@@ -114,7 +116,7 @@ impl AlgoState {
         let min_out = dev.alloc_filled("algo.min_out", 1, u32::MAX);
         let count = dev.alloc("algo.count", 1);
         let aux = dev.alloc("algo.aux", n as usize);
-        let deg_sum = dev.alloc("algo.deg_sum", 1);
+        let deg_sum = dev.alloc("algo.deg_sum", 2);
         if n > 0 {
             dev.write_word(value, src as usize, 0)?;
             dev.write_word(update, src as usize, 1)?;

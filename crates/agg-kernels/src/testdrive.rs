@@ -21,12 +21,25 @@ pub enum Algo {
 /// Runs `algo` with static variant `v` on `g` from `src` and returns the
 /// value array.
 pub fn drive(algo: Algo, g: &CsrGraph, src: NodeId, v: Variant) -> Result<Vec<u32>, SimError> {
+    drive_cfg(algo, g, src, v, DeviceConfig::tesla_c2070()).map(|(values, _)| values)
+}
+
+/// [`drive`] with an explicit device configuration; also returns the
+/// device's accumulated [`RaceSummary`] so suites can run every variant
+/// under the race detector.
+pub fn drive_cfg(
+    algo: Algo,
+    g: &CsrGraph,
+    src: NodeId,
+    v: Variant,
+    cfg: DeviceConfig,
+) -> Result<(Vec<u32>, RaceSummary), SimError> {
     let kernels = GpuKernels::build();
-    let mut dev = Device::new(DeviceConfig::tesla_c2070());
+    let mut dev = Device::new(cfg);
     let dg = DeviceGraph::upload(&mut dev, g);
     let n = dg.n;
     if n == 0 {
-        return Ok(Vec::new());
+        return Ok((Vec::new(), dev.race_summary().clone()));
     }
     let st = AlgoState::new(&mut dev, n, src)?;
     let block_threads = 32u32;
@@ -99,5 +112,53 @@ pub fn drive(algo: Algo, g: &CsrGraph, src: NodeId, v: Variant) -> Result<Vec<u3
             }
         }
     }
-    Ok(dev.read(st.value))
+    let values = dev.read(st.value);
+    Ok((values, dev.race_summary().clone()))
+}
+
+#[cfg(test)]
+mod racesuite {
+    use super::*;
+    use agg_graph::GraphBuilder;
+
+    /// A small graph that still exercises contention: two blocks' worth
+    /// of nodes, a hub, parallel edges after dedup-free build, a cycle.
+    fn contended_graph() -> CsrGraph {
+        let mut edges = Vec::new();
+        let n = 80u32;
+        for v in 1..n {
+            edges.push((0, v, 1)); // hub fan-out: racing updates
+        }
+        for v in 0..n {
+            edges.push((v, (v + 1) % n, 2)); // ring
+            edges.push(((v + 7) % n, v, 3)); // cross links -> shared targets
+        }
+        GraphBuilder::from_weighted_edges(n as usize, &edges).unwrap()
+    }
+
+    /// Every BFS and SSSP variant, end to end, under the race detector:
+    /// the whole suite must be free of harmful races, and the benign
+    /// same-value patterns (flag raise, unordered relaxation stores) must
+    /// not be reported as harmful.
+    #[test]
+    fn full_variant_suite_is_race_free() {
+        let g = contended_graph();
+        let cfg = DeviceConfig::tesla_c2070().with_race_detect(true);
+        for algo in [Algo::Bfs, Algo::Sssp] {
+            for v in Variant::ALL {
+                let (_, races) = drive_cfg(algo, &g, 0, v, cfg.clone()).unwrap();
+                assert!(
+                    races.launches_checked > 0,
+                    "{algo:?}/{}: detector never ran",
+                    v.name()
+                );
+                assert!(
+                    races.is_clean(),
+                    "{algo:?}/{}: harmful races {:?}",
+                    v.name(),
+                    races.harmful
+                );
+            }
+        }
+    }
 }

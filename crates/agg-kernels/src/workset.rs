@@ -8,6 +8,11 @@ use agg_gpu_sim::{Kernel, KernelBuilder};
 /// `n`. Also raises the nonempty `flag` (benign racing stores of 1) and
 /// clears consumed update entries — no atomics needed, the property that
 /// makes bitmaps cheap to build (Section V.C).
+///
+/// The stored bitmap word is canonicalized to 0/1 (`update != 0`) rather
+/// than copied raw: consumers test truthiness today, but a raw copy
+/// leaks whatever value a producer used as its "updated" marker into a
+/// buffer documented as a bitmap.
 pub fn gen_bitmap() -> Kernel {
     let mut k = KernelBuilder::new("workset_gen_bitmap");
     let update = k.buf_param();
@@ -17,7 +22,7 @@ pub fn gen_bitmap() -> Kernel {
     let tid = k.let_(k.global_thread_id());
     k.if_(Expr::Reg(tid).ge(n), |k| k.ret());
     let u = k.load(update, tid);
-    k.store(bitmap, tid, u.clone());
+    k.store(bitmap, tid, u.clone().ne(0u32));
     k.if_(u, |k| {
         k.store(flag, 0u32, 1u32);
         k.store(update, tid, 0u32);
@@ -83,9 +88,15 @@ pub fn gen_queue_scan() -> Kernel {
     k.build().expect("statically valid")
 }
 
-/// Per-iteration scalar resets, one tiny block:
-/// `queue_len = 0; min_out = MAX; flag = 0; count = 0; deg_sum = 0`.
-/// Slot order `[queue_len, min_out, flag, count, deg_sum]`.
+/// Per-iteration scalar resets:
+/// `queue_len = 0; min_out = MAX; flag = 0; count = 0; deg_sum = [0, 0]`.
+/// Slot order `[queue_len, min_out, flag, count, deg_sum]` where
+/// `deg_sum` is the two-word (lo, hi) accumulator of [`degree_census`].
+///
+/// Grid-stride loop over the six reset cells, so *any* launch geometry —
+/// even a single thread — performs every reset (a per-thread-index
+/// mapping silently skipped resets when launched with fewer than six
+/// threads).
 pub fn prep() -> Kernel {
     let mut k = KernelBuilder::new("prep");
     let queue_len = k.buf_param();
@@ -93,12 +104,17 @@ pub fn prep() -> Kernel {
     let flag = k.buf_param();
     let count = k.buf_param();
     let deg_sum = k.buf_param();
-    let t = k.let_(k.thread_idx());
-    k.if_(Expr::Reg(t).eq(0u32), |k| k.store(queue_len, 0u32, 0u32));
-    k.if_(Expr::Reg(t).eq(1u32), |k| k.store(min_out, 0u32, u32::MAX));
-    k.if_(Expr::Reg(t).eq(2u32), |k| k.store(flag, 0u32, 0u32));
-    k.if_(Expr::Reg(t).eq(3u32), |k| k.store(count, 0u32, 0u32));
-    k.if_(Expr::Reg(t).eq(4u32), |k| k.store(deg_sum, 0u32, 0u32));
+    let i = k.let_(k.global_thread_id());
+    let stride = k.let_(k.block_dim().mul(k.grid_dim()));
+    k.while_(Expr::Reg(i).lt(6u32), |k| {
+        k.if_(Expr::Reg(i).eq(0u32), |k| k.store(queue_len, 0u32, 0u32));
+        k.if_(Expr::Reg(i).eq(1u32), |k| k.store(min_out, 0u32, u32::MAX));
+        k.if_(Expr::Reg(i).eq(2u32), |k| k.store(flag, 0u32, 0u32));
+        k.if_(Expr::Reg(i).eq(3u32), |k| k.store(count, 0u32, 0u32));
+        k.if_(Expr::Reg(i).eq(4u32), |k| k.store(deg_sum, 0u32, 0u32));
+        k.if_(Expr::Reg(i).eq(5u32), |k| k.store(deg_sum, 1u32, 0u32));
+        k.assign(i, Expr::Reg(i).add(Expr::Reg(stride)));
+    });
     k.build().expect("statically valid")
 }
 
@@ -125,12 +141,20 @@ pub fn count_bitmap() -> Kernel {
     k.build().expect("statically valid")
 }
 
-/// Degree census of a working set: `count += Σ outdeg(v)` over active
-/// nodes, via block-wide reduction + one atomic per block. Together with
+/// Degree census of a working set: `deg_sum += Σ outdeg(v)` over active
+/// nodes, via block-wide reduction + atomics per block. Together with
 /// the node census this gives the *working-set* average outdegree — the
 /// more precise (and more expensive) inspector input the paper discusses
-/// trading away in Section VI.E. Slot order `[ws, row, count]`, scalars
-/// `[limit]`; works for both representations via `is_queue`.
+/// trading away in Section VI.E. Slot order `[ws, row, deg_sum]`,
+/// scalars `[limit]`; works for both representations via `is_queue`.
+///
+/// `deg_sum` is **two words**: a (lo, hi) pair forming a 64-bit
+/// accumulator. A single u32 cell wraps once `|ws| × avg_deg` exceeds
+/// 2^32 (≈1M nodes × 5k degree) and silently corrupts the average-degree
+/// estimate the decision maker consumes. Per-lane degrees are split into
+/// 16-bit halves so each block reduction stays exact (≤ 1024 lanes ×
+/// 0xFFFF < 2^32), then thread 0 folds the block total into the pair
+/// with explicit carry propagation.
 pub fn degree_census(is_queue: bool) -> Kernel {
     let name = if is_queue {
         "degree_census_queue"
@@ -140,7 +164,7 @@ pub fn degree_census(is_queue: bool) -> Kernel {
     let mut k = KernelBuilder::new(name);
     let ws = k.buf_param();
     let row = k.buf_param();
-    let count = k.buf_param();
+    let deg_sum = k.buf_param();
     let limit = k.scalar_param();
     let tid = k.let_(k.global_thread_id());
     let c = k.reg();
@@ -161,9 +185,30 @@ pub fn degree_census(is_queue: bool) -> Kernel {
             });
         }
     });
-    let total = k.block_reduce_add(c);
+    let sum_lo = k.block_reduce_add(Expr::Reg(c).and(0xFFFFu32));
+    let sum_hi = k.block_reduce_add(Expr::Reg(c).shr(16u32));
     k.if_(k.thread_idx().eq(0u32), |k| {
-        k.atomic_add(count, 0u32, total.clone());
+        // Block total = (sum_hi << 16) + sum_lo as a 64-bit value.
+        let shifted = k.let_(sum_hi.clone().shl(16u32));
+        let lo_add = k.let_(Expr::Reg(shifted).add(sum_lo.clone()));
+        // Carry out of the (wrapping) 32-bit lo_add computation.
+        let carry_local = Expr::Reg(shifted).gt(Expr::imm(u32::MAX).sub(sum_lo.clone()));
+        let old = k.atomic_add(deg_sum, 0u32, Expr::Reg(lo_add));
+        let old = k.let_(old);
+        // Carry out of the atomic lo-cell accumulation.
+        let carry_acc = Expr::Reg(lo_add)
+            .ne(0u32)
+            .and(Expr::Reg(old).gt(Expr::imm(u32::MAX).sub(Expr::Reg(lo_add))));
+        let hi_add = k.let_(
+            sum_hi
+                .clone()
+                .shr(16u32)
+                .add(carry_local)
+                .add(carry_acc),
+        );
+        k.if_(Expr::Reg(hi_add).ne(0u32), |k| {
+            k.atomic_add(deg_sum, 1u32, Expr::Reg(hi_add));
+        });
     });
     k.build().expect("statically valid")
 }
@@ -199,6 +244,48 @@ mod tests {
         assert_eq!(dev.debug_read(ws).unwrap(), vec![1, 0, 1, 1, 0]);
         assert_eq!(dev.debug_read(u).unwrap(), vec![0; 5]);
         assert_eq!(dev.debug_read_word(flag, 0).unwrap(), 1);
+    }
+
+    #[test]
+    fn bitmap_gen_canonicalizes_non_boolean_updates() {
+        // Producers may mark "updated" with any nonzero value; the bitmap
+        // must still come out as 0/1. Fails on the pre-fix raw copy.
+        let (mut dev, u, ws, _len, flag) = setup(&[7, 0, 2, u32::MAX, 0]);
+        let k = gen_bitmap();
+        run(
+            &k,
+            &mut dev,
+            Grid::linear(5, 192),
+            &LaunchArgs::new().bufs([u, ws, flag]).scalars([5]),
+        );
+        assert_eq!(dev.debug_read(ws).unwrap(), vec![1, 0, 1, 1, 0]);
+        assert_eq!(dev.debug_read(u).unwrap(), vec![0; 5]);
+        assert_eq!(dev.debug_read_word(flag, 0).unwrap(), 1);
+    }
+
+    #[test]
+    fn bitmap_gen_flag_raise_is_a_benign_race() {
+        // The deliberate racing stores of 1 into flag[0] must be
+        // classified benign (same-value-store), not harmful.
+        let update: Vec<u32> = vec![1; 384]; // 2 blocks of 192
+        let mut dev = Device::new(DeviceConfig::tesla_c2070().with_race_detect(true));
+        let u = dev.alloc_from_slice("update", &update);
+        let ws = dev.alloc("ws", update.len());
+        let flag = dev.alloc("flag", 1);
+        let r = run(
+            &gen_bitmap(),
+            &mut dev,
+            Grid::linear(384, 192),
+            &LaunchArgs::new().bufs([u, ws, flag]).scalars([384]),
+        );
+        let races = r.races.expect("detection enabled");
+        assert!(races.is_clean(), "harmful: {:?}", races.harmful);
+        let flag_race = races
+            .benign
+            .iter()
+            .find(|f| f.buffer == "flag")
+            .expect("flag raise detected");
+        assert_eq!(flag_race.class, RaceClass::SameValueStore);
     }
 
     #[test]
@@ -281,23 +368,28 @@ mod tests {
 
     #[test]
     fn prep_resets_all_cells() {
-        let mut dev = Device::new(DeviceConfig::tesla_c2070());
-        let len = dev.alloc_filled("len", 1, 42);
-        let min_out = dev.alloc_filled("min", 1, 3);
-        let flag = dev.alloc_filled("flag", 1, 1);
-        let count = dev.alloc_filled("count", 1, 9);
-        let deg = dev.alloc_filled("deg", 1, 5);
-        run(
-            &prep(),
-            &mut dev,
-            Grid::new(1, 32),
-            &LaunchArgs::new().bufs([len, min_out, flag, count, deg]),
-        );
-        assert_eq!(dev.debug_read_word(len, 0).unwrap(), 0);
-        assert_eq!(dev.debug_read_word(min_out, 0).unwrap(), u32::MAX);
-        assert_eq!(dev.debug_read_word(flag, 0).unwrap(), 0);
-        assert_eq!(dev.debug_read_word(count, 0).unwrap(), 0);
-        assert_eq!(dev.debug_read_word(deg, 0).unwrap(), 0);
+        // Launch geometries below the old 5-thread minimum (1 and 2
+        // threads) must still reset everything: the pre-fix per-thread
+        // mapping silently skipped cells.
+        for tpb in [1u32, 2, 32] {
+            let mut dev = Device::new(DeviceConfig::tesla_c2070());
+            let len = dev.alloc_filled("len", 1, 42);
+            let min_out = dev.alloc_filled("min", 1, 3);
+            let flag = dev.alloc_filled("flag", 1, 1);
+            let count = dev.alloc_filled("count", 1, 9);
+            let deg = dev.alloc_filled("deg", 2, 5);
+            run(
+                &prep(),
+                &mut dev,
+                Grid::new(1, tpb),
+                &LaunchArgs::new().bufs([len, min_out, flag, count, deg]),
+            );
+            assert_eq!(dev.debug_read_word(len, 0).unwrap(), 0, "tpb={tpb}");
+            assert_eq!(dev.debug_read_word(min_out, 0).unwrap(), u32::MAX);
+            assert_eq!(dev.debug_read_word(flag, 0).unwrap(), 0);
+            assert_eq!(dev.debug_read_word(count, 0).unwrap(), 0);
+            assert_eq!(dev.debug_read(deg).unwrap(), vec![0, 0], "tpb={tpb}");
+        }
     }
 
     #[test]
@@ -308,24 +400,58 @@ mod tests {
         let rowp = dev.alloc_from_slice("row", &row);
         // bitmap: nodes 0 and 2 active -> degree sum 5
         let bm = dev.alloc_from_slice("bm", &[1, 0, 1, 0]);
-        let count = dev.alloc("count", 1);
+        let count = dev.alloc("count", 2);
         dev.launch(
             &degree_census(false),
             Grid::linear(4, 192),
             &LaunchArgs::new().bufs([bm, rowp, count]).scalars([4]),
         )
         .unwrap();
-        assert_eq!(dev.debug_read_word(count, 0).unwrap(), 5);
+        assert_eq!(dev.debug_read(count).unwrap(), vec![5, 0]);
         // queue: nodes [3, 2] -> degree sum 4
         let q = dev.alloc_from_slice("q", &[3, 2]);
-        let count2 = dev.alloc("count2", 1);
+        let count2 = dev.alloc("count2", 2);
         dev.launch(
             &degree_census(true),
             Grid::linear(2, 192),
             &LaunchArgs::new().bufs([q, rowp, count2]).scalars([2]),
         )
         .unwrap();
-        assert_eq!(dev.debug_read_word(count2, 0).unwrap(), 4);
+        assert_eq!(dev.debug_read(count2).unwrap(), vec![4, 0]);
+    }
+
+    #[test]
+    fn degree_census_carries_past_u32() {
+        // One node of degree 0xC000_0000 queued three times: the true sum
+        // 0x2_4000_0000 exceeds u32. The pre-fix single-cell accumulator
+        // wrapped to 0x4000_0000; the (lo, hi) pair must hold it exactly.
+        let row = [0u32, 0xC000_0000];
+        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let rowp = dev.alloc_from_slice("row", &row);
+        let q = dev.alloc_from_slice("q", &[0, 0, 0]);
+        let deg_sum = dev.alloc("deg_sum", 2);
+        dev.launch(
+            &degree_census(true),
+            Grid::linear(3, 192),
+            &LaunchArgs::new().bufs([q, rowp, deg_sum]).scalars([3]),
+        )
+        .unwrap();
+        let words = dev.debug_read(deg_sum).unwrap();
+        let total = ((words[1] as u64) << 32) | words[0] as u64;
+        assert_eq!(total, 3 * 0xC000_0000u64);
+
+        // Cross-block accumulation must also carry: 3 more launches on top.
+        for _ in 0..3 {
+            dev.launch(
+                &degree_census(true),
+                Grid::linear(3, 192),
+                &LaunchArgs::new().bufs([q, rowp, deg_sum]).scalars([3]),
+            )
+            .unwrap();
+        }
+        let words = dev.debug_read(deg_sum).unwrap();
+        let total = ((words[1] as u64) << 32) | words[0] as u64;
+        assert_eq!(total, 12 * 0xC000_0000u64);
     }
 
     #[test]
