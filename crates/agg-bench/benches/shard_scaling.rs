@@ -1,0 +1,26 @@
+//! Criterion bench for multi-device sharded execution: host-side
+//! simulation cost of an adaptive BFS split over 1/2/4/8 simulated
+//! devices (modeled scaling numbers come from `repro shard`).
+
+use agg_core::{Query, RunOptions, ShardedGraph};
+use agg_graph::{Dataset, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let graph = Dataset::Amazon.generate_weighted(Scale::Tiny, 42, 64);
+    let opts = RunOptions::default();
+    let mut g = c.benchmark_group("shard_scaling/amazon-tiny-bfs");
+    g.sample_size(10);
+    for shards in [1usize, 2, 4, 8] {
+        g.bench_function(format!("{shards}-shards"), |b| {
+            b.iter(|| {
+                let mut sg = ShardedGraph::new(&graph, shards).expect("sharded upload");
+                sg.run(Query::Bfs { src: 0 }, &opts).expect("sharded run")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -33,10 +33,17 @@
 //!                    per-query telemetry artifact)
 //!   differential     differential fuzzing: random graphs from all six
 //!                    generators, every static variant + adaptive +
-//!                    shuffled Session batches, compared bit-for-bit
-//!                    against the CPU oracles (--cases N, --race-detect;
-//!                    exits nonzero on divergence; --json PATH writes the
-//!                    divergence artifact)
+//!                    shuffled Session batches + sharded execution,
+//!                    compared bit-for-bit against the CPU oracles
+//!                    (--cases N, --race-detect; exits nonzero on
+//!                    divergence; --json PATH writes the divergence
+//!                    artifact)
+//!   shard            multi-device sharded execution: BFS/SSSP scaling
+//!                    table over 1/2/4/8 simulated devices (total and
+//!                    exchange time, edge cut, speedup vs one device;
+//!                    every run checked bit-for-bit against the
+//!                    single-device result; --shards N caps the sweep,
+//!                    --json PATH writes the per-run report artifact)
 //!   all              everything above (except telemetry and differential)
 //!
 //! telemetry flags (usable with any command; `telemetry` runs only these):
@@ -50,6 +57,10 @@
 //!   --cases N          corpus size for `differential` (default 24)
 //!   --race-detect      run every launch under the simulator's data-race
 //!                      detector and report its counters
+//!
+//! shard flags:
+//!   --shards N         largest device count in the `shard` sweep
+//!                      (default 8; the sweep runs 1, 2, 4, 8 up to N)
 //! ```
 //!
 //! Results are printed and written as CSV under `--out` (default
@@ -60,7 +71,8 @@ use agg_bench::runner::{cpu_baseline_ns, gpu_run, speedup_table};
 use agg_bench::tables::{format_table, write_csv};
 use agg_bench::workloads::{load, load_all, DEFAULT_SEED};
 use agg_core::{
-    decision, AdaptiveConfig, Algo, CensusMode, GpuGraph, Query, RunOptions, Session, Strategy,
+    decision, AdaptiveConfig, Algo, CensusMode, GpuGraph, Query, RunOptions, Session,
+    ShardedGraph, Strategy,
 };
 use agg_gpu_sim::prelude::*;
 use agg_gpu_sim::Json;
@@ -79,6 +91,7 @@ struct Cli {
     profile: bool,
     cases: usize,
     race_detect: bool,
+    shards: usize,
 }
 
 fn die(msg: &str) -> ! {
@@ -97,6 +110,7 @@ fn parse_cli() -> Cli {
     let mut profile = false;
     let mut cases = 24usize;
     let mut race_detect = false;
+    let mut shards = 8usize;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--scale" => {
@@ -132,6 +146,14 @@ fn parse_cli() -> Cli {
                     .unwrap_or_else(|_| die(&format!("--cases needs a usize, got '{v}'")));
             }
             "--race-detect" => race_detect = true,
+            "--shards" => {
+                let v = args.next().unwrap_or_else(|| die("--shards needs a value"));
+                shards = v
+                    .parse()
+                    .ok()
+                    .filter(|&s| s >= 1)
+                    .unwrap_or_else(|| die(&format!("--shards needs a positive count, got '{v}'")));
+            }
             other => die(&format!("unknown flag '{other}'")),
         }
     }
@@ -145,6 +167,7 @@ fn parse_cli() -> Cli {
         profile,
         cases,
         race_detect,
+        shards,
     }
 }
 
@@ -180,6 +203,7 @@ fn main() {
         "ablation-bottomup" => ablation_bottomup(&cli),
         "batch" => batch(&cli),
         "differential" => differential(&cli),
+        "shard" => shard(&cli),
         "telemetry" => {} // the flag handling below does all the work
         "all" => {
             table1(&cli);
@@ -204,6 +228,7 @@ fn main() {
             ablation_inspector(&cli);
             ablation_bottomup(&cli);
             batch(&cli);
+            shard(&cli);
             dump_kernels(&cli);
         }
         other => {
@@ -413,10 +438,11 @@ fn differential(cli: &Cli) {
     );
     let report = agg_bench::fuzz(&cfg);
     println!(
-        "{} runs over {} graphs, {} shuffled batches: {} divergence(s)",
+        "{} runs over {} graphs, {} shuffled batches, {} sharded runs: {} divergence(s)",
         report.runs,
         report.cases,
         report.batches,
+        report.sharded_runs,
         report.divergences.len()
     );
     if cli.race_detect {
@@ -468,6 +494,100 @@ fn differential(cli: &Cli) {
         std::process::exit(1);
     }
     println!("differential: clean");
+}
+
+// ------------------------------------------------------------------ Shard
+
+/// Multi-device sharded execution: BFS and SSSP per dataset, split over
+/// 1/2/4/8 simulated devices with per-superstep frontier exchange over a
+/// modeled PCIe interconnect. Every sharded run is checked bit-for-bit
+/// against the single-device result before its row is printed — the
+/// scaling table is only as interesting as the answers are identical.
+/// `--shards N` caps the sweep; `--json PATH` writes every
+/// [`agg_core::ShardReport`] as a JSON artifact.
+fn shard(cli: &Cli) {
+    banner("Multi-device sharded execution: scaling over simulated devices (PCIe model)");
+    let counts: Vec<usize> = [1usize, 2, 4, 8]
+        .into_iter()
+        .filter(|&k| k <= cli.shards)
+        .collect();
+    let workloads = load_all(cli.scale, cli.seed);
+    let header: Vec<String> = [
+        "network",
+        "algo",
+        "shards",
+        "total_ms",
+        "exchange_ms",
+        "exchange_pct",
+        "cut_pct",
+        "speedup",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut rows = Vec::new();
+    let mut docs = Vec::new();
+    let opts = RunOptions::default();
+    for w in &workloads {
+        for algo in [Algo::Bfs, Algo::Sssp] {
+            let query = match algo {
+                Algo::Bfs => Query::Bfs { src: w.src },
+                _ => Query::Sssp { src: w.src },
+            };
+            let mut gg = GpuGraph::new(&w.graph).expect("single-device upload");
+            let single = gg.run(query, &opts).expect("single-device run");
+            let mut base_ms = None;
+            for &k in &counts {
+                let mut sg = ShardedGraph::new(&w.graph, k).expect("sharded upload");
+                let r = sg.run(query, &opts).expect("sharded run");
+                assert_eq!(
+                    r.values,
+                    single.values,
+                    "{} {:?} x{k}: sharded result != single-device",
+                    w.dataset.name(),
+                    algo
+                );
+                assert_eq!(r.accounting_gap(), 0.0, "time accounting leak");
+                let total_ms = r.total_ms();
+                let base = *base_ms.get_or_insert(total_ms);
+                rows.push(vec![
+                    w.dataset.name().to_string(),
+                    format!("{algo:?}"),
+                    k.to_string(),
+                    format!("{total_ms:.2}"),
+                    format!("{:.2}", r.exchange_ns / 1e6),
+                    format!("{:.1}", 100.0 * r.exchange_ns / r.total_ns.max(1.0)),
+                    format!("{:.1}", 100.0 * r.cut_fraction),
+                    format!("{:.2}", base / total_ms),
+                ]);
+                docs.push(Json::obj([
+                    ("dataset", w.dataset.name().into()),
+                    ("algo", format!("{algo:?}").into()),
+                    ("report", r.to_json()),
+                ]));
+            }
+        }
+    }
+    println!("{}", format_table(&header, &rows, |_| None));
+    println!(
+        "(speedup = one-device modeled time / k-device modeled time, same adaptive runtime\n\
+         \u{20}per shard; exchange = modeled all-to-all frontier traffic over PCIe; cut_pct =\n\
+         \u{20}cross-shard edges under contiguous 1-D partitioning; results bit-identical)"
+    );
+    let path = write_csv(&cli.out, "shard_scaling", &header, &rows).unwrap();
+    println!("[csv] {}", path.display());
+    if let Some(path) = &cli.json {
+        let doc = Json::obj([
+            ("scale", format!("{:?}", cli.scale).into()),
+            ("seed", cli.seed.into()),
+            ("runs", Json::Arr(docs)),
+        ]);
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir).expect("create --json directory");
+        }
+        std::fs::write(path, doc.render_pretty()).expect("write --json file");
+        println!("[json] {}", path.display());
+    }
 }
 
 fn banner(title: &str) {

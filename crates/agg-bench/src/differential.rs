@@ -12,8 +12,9 @@
 //!    degenerate features real inputs have (duplicate edges, self-loops,
 //!    isolated nodes, disconnected components);
 //! 2. runs every static variant, the adaptive runtime, direction-
-//!    optimized BFS, and shuffled [`Session`] batches on each graph —
-//!    optionally under the simulator's data-race detector;
+//!    optimized BFS, shuffled [`Session`] batches, and multi-device
+//!    sharded execution ([`ShardedGraph`], 2 and 4 shards) on each
+//!    graph — optionally under the simulator's data-race detector;
 //! 3. compares results bit-for-bit (PageRank ranks with an epsilon — the
 //!    GPU accumulates f32 in a different order than the serial oracle);
 //! 4. minimizes any divergence with a delta-debugging loop before
@@ -22,9 +23,9 @@
 //! The `repro differential` subcommand and the workspace-level
 //! `tests/differential.rs` suite both drive [`fuzz`].
 
-use agg_core::{CoreError, GpuGraph, Query, RunOptions, Session, Strategy};
+use agg_core::{CoreError, GpuGraph, Query, RunOptions, Session, ShardedGraph, Strategy};
 use agg_cpu::CpuCostModel;
-use agg_gpu_sim::{DeviceConfig, Json};
+use agg_gpu_sim::{DeviceConfig, Interconnect, Json};
 use agg_graph::generators::{
     erdos_renyi, powerlaw, regular_mix, rmat, road_grid, watts_strogatz, PowerLawConfig,
     RegularMixConfig, RmatConfig, RoadGridConfig, WattsStrogatzConfig,
@@ -51,11 +52,15 @@ pub struct FuzzConfig {
     pub max_weight: u32,
     /// Run a shuffled Session batch every this many cases (0 = never).
     pub batch_period: usize,
+    /// Shard counts for the multi-device sweep: every case also runs
+    /// BFS/SSSP/CC through a [`ShardedGraph`] at each of these counts
+    /// (empty = skip sharded execution).
+    pub shard_counts: Vec<usize>,
 }
 
 impl FuzzConfig {
     /// Defaults: race detection on, weights in `1..=64`, a shuffled
-    /// batch every 8th case.
+    /// batch every 8th case, sharded runs at 2 and 4 devices.
     pub fn new(cases: usize, seed: u64) -> FuzzConfig {
         FuzzConfig {
             cases,
@@ -63,6 +68,7 @@ impl FuzzConfig {
             race_detect: true,
             max_weight: 64,
             batch_period: 8,
+            shard_counts: vec![2, 4],
         }
     }
 }
@@ -280,7 +286,7 @@ pub struct Divergence {
     /// Algorithm that diverged.
     pub algo: String,
     /// Execution configuration (`variant name`, `adaptive`, `bottom-up`,
-    /// or `batch[i]`).
+    /// `batch[i]`, or `sharded[k]`).
     pub exec: String,
     /// Node count of the original graph.
     pub nodes: usize,
@@ -346,6 +352,9 @@ pub struct FuzzReport {
     pub runs: u64,
     /// Shuffled session batches executed.
     pub batches: u64,
+    /// Multi-device sharded runs compared against an oracle (also
+    /// counted in `runs`).
+    pub sharded_runs: u64,
     /// Confirmed divergences (empty on a healthy tree).
     pub divergences: Vec<Divergence>,
     /// Launches the race detector analyzed (0 when detection was off).
@@ -368,6 +377,7 @@ impl FuzzReport {
             ("cases", self.cases.into()),
             ("runs", self.runs.into()),
             ("batches", self.batches.into()),
+            ("sharded_runs", self.sharded_runs.into()),
             ("clean", Json::Bool(self.is_clean())),
             ("race_launches_checked", self.race_launches_checked.into()),
             ("race_benign_words", self.race_benign_words.into()),
@@ -401,6 +411,33 @@ fn gpu_values(
     let r = gg.run(alg.query(src), &exec.options())?;
     if let Some(report) = race {
         let s = gg.device().race_summary();
+        report.race_launches_checked += s.launches_checked;
+        report.race_benign_words += s.benign_words;
+        report.race_harmful_words += s.harmful_words;
+    }
+    Ok(r.values)
+}
+
+/// One multi-device run of `alg` split across `shards` simulated
+/// devices; returns the stitched global value array.
+fn sharded_values(
+    g: &CsrGraph,
+    src: NodeId,
+    alg: Alg,
+    shards: usize,
+    race_detect: bool,
+    race: Option<&mut FuzzReport>,
+) -> Result<Vec<u32>, CoreError> {
+    let mut sg = ShardedGraph::with_config(
+        g,
+        shards,
+        agg_graph::PartitionStrategy::Contiguous1D,
+        device_config(race_detect),
+        Interconnect::pcie(),
+    )?;
+    let r = sg.run(alg.query(src), &RunOptions::default())?;
+    if let Some(report) = race {
+        let s = sg.race_summary();
         report.race_launches_checked += s.launches_checked;
         report.race_benign_words += s.benign_words;
         report.race_harmful_words += s.harmful_words;
@@ -540,6 +577,52 @@ pub fn fuzz(cfg: &FuzzConfig) -> FuzzReport {
                     mismatched_at: Vec::new(),
                     minimized: None,
                 }),
+            }
+        }
+        // Multi-device sweep: the same queries sharded across simulated
+        // devices with frontier exchange must still match the serial
+        // oracle bit-for-bit — partitioning is not allowed to perturb
+        // results.
+        for &k in &cfg.shard_counts {
+            for alg in [Alg::Bfs, Alg::Sssp, Alg::Cc] {
+                let expected = alg.oracle(&graph, src);
+                report.runs += 1;
+                report.sharded_runs += 1;
+                match sharded_values(&graph, src, alg, k, cfg.race_detect, Some(&mut report)) {
+                    Ok(actual) if actual == expected => {}
+                    Ok(actual) => {
+                        let minimized = minimize(&graph, src, &mut |g, s| {
+                            matches!(
+                                sharded_values(g, s, alg, k, false, None),
+                                Ok(v) if v != alg.oracle(g, s)
+                            )
+                        });
+                        report.divergences.push(Divergence {
+                            case,
+                            generator: generator.into(),
+                            algo: alg.name().into(),
+                            exec: format!("sharded[{k}]"),
+                            nodes: graph.node_count(),
+                            edges: graph.edge_count(),
+                            src,
+                            error: None,
+                            mismatched_at: mismatches(&expected, &actual),
+                            minimized: Some(minimized),
+                        });
+                    }
+                    Err(e) => report.divergences.push(Divergence {
+                        case,
+                        generator: generator.into(),
+                        algo: alg.name().into(),
+                        exec: format!("sharded[{k}]"),
+                        nodes: graph.node_count(),
+                        edges: graph.edge_count(),
+                        src,
+                        error: Some(e.to_string()),
+                        mismatched_at: Vec::new(),
+                        minimized: None,
+                    }),
+                }
             }
         }
         // Shuffled Session batch: same queries, scheduler-chosen order,
@@ -707,9 +790,11 @@ mod tests {
         assert!(r.is_clean(), "divergences: {:?}", r.divergences);
         assert_eq!(r.cases, 6);
         assert_eq!(r.batches, 2);
+        // 3 algorithms x 2 shard counts on every case.
+        assert_eq!(r.sharded_runs, 6 * 6);
         // 24 matrix runs per case (9 BFS + 9 SSSP + bottom-up + 5 CC)
-        // plus the shuffled-batch queries.
-        assert!(r.runs >= 6 * 24, "runs {}", r.runs);
+        // plus the sharded sweep and the shuffled-batch queries.
+        assert!(r.runs >= 6 * 24 + 6 * 6, "runs {}", r.runs);
         assert!(r.race_launches_checked > 0);
         assert_eq!(r.race_harmful_words, 0);
         let s = r.to_json().render();

@@ -30,6 +30,10 @@ pub struct GpuGraph {
     kernels: GpuKernels,
     dg: DeviceGraph,
     state: AlgoState,
+    /// Host copy of the uploaded graph, kept so queries that need the
+    /// transpose (PageRank's deterministic gather) can upload it lazily
+    /// on first use.
+    graph: CsrGraph,
 }
 
 impl GpuGraph {
@@ -58,6 +62,7 @@ impl GpuGraph {
             kernels,
             dg,
             state,
+            graph: g.clone(),
         })
     }
 
@@ -73,6 +78,11 @@ impl GpuGraph {
     /// matrix: the algorithm and its parameters travel in [`Query`],
     /// execution policy in [`RunOptions`].
     pub fn run(&mut self, query: Query, options: &RunOptions) -> Result<RunReport, CoreError> {
+        if matches!(query, Query::PageRank { .. }) && self.dg.rrow.is_none() {
+            // PageRank's gather walks the transpose; upload it once on
+            // first use (the H2D charge lands before the run's clock).
+            self.dg.upload_reverse(&mut self.dev, &self.graph);
+        }
         run(
             &mut self.dev,
             &self.kernels,

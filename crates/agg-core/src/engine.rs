@@ -687,17 +687,28 @@ impl<'a> Ctx<'a> {
                 )?;
             }
             Algo::PageRank => {
+                // Deterministic claim → gather pair (see agg-kernels'
+                // pagerank module docs): the claim folds residuals into
+                // ranks and publishes push values; the gather accumulates
+                // them per destination over the reverse CSR in a fixed
+                // order, so ranks are bit-identical across variants,
+                // geometries, execution modes, and shards.
                 self.dev.launch(
                     self.kernels.pagerank_kernel(variant),
                     grid,
-                    &self.state.pagerank_args(
-                        self.dg,
-                        variant,
-                        limit,
-                        self.pagerank.damping,
-                        self.pagerank.epsilon,
-                    ),
+                    &self.state
+                        .pagerank_claim_args(self.dg, variant, limit, self.pagerank.damping),
                 )?;
+                let n = self.dg.n;
+                self.dev.launch(
+                    &self.kernels.pagerank_gather,
+                    Grid::linear(n as u64, self.thread_threads),
+                    &self.state
+                        .pagerank_gather_args(self.dg, n, self.pagerank.epsilon),
+                )?;
+                // Clear consumed push values with a device memset so the
+                // next iteration's gather only sees fresh claims.
+                self.dev.fill(self.state.aux2, 0)?;
             }
         }
         Ok(())
@@ -867,6 +878,14 @@ pub fn run(
         return Err(CoreError::Unsupported {
             detail: "direction-optimized BFS needs the reverse graph; call \
                      GpuGraph::enable_bottom_up (or DeviceGraph::upload_reverse) first"
+                .into(),
+        });
+    }
+    if algo == Algo::PageRank && dg.rrow.is_none() {
+        return Err(CoreError::Unsupported {
+            detail: "PageRank's deterministic gather needs the reverse graph; call \
+                     DeviceGraph::upload_reverse first (GpuGraph and Session do this \
+                     automatically)"
                 .into(),
         });
     }
@@ -1816,7 +1835,8 @@ mod tests {
     fn pagerank_matches_cpu_delta_and_power_iteration() {
         for d in [Dataset::P2p, Dataset::Google] {
             let g = d.generate(Scale::Tiny, 71);
-            let (mut dev, k, dg, st) = setup(&g);
+            let (mut dev, k, mut dg, st) = setup(&g);
+            dg.upload_reverse(&mut dev, &g);
             let q = Query::PageRank {
                 config: PageRankConfig {
                     damping: 0.85,
@@ -1884,7 +1904,8 @@ mod tests {
     #[test]
     fn pagerank_epsilon_trades_accuracy_for_iterations() {
         let g = Dataset::Amazon.generate(Scale::Tiny, 73);
-        let (mut dev, k, dg, st) = setup(&g);
+        let (mut dev, k, mut dg, st) = setup(&g);
+        dg.upload_reverse(&mut dev, &g);
         let loose = Query::PageRank {
             config: PageRankConfig {
                 damping: 0.85,

@@ -28,6 +28,7 @@ pub mod decision;
 pub mod engine;
 pub mod metrics;
 pub mod session;
+pub mod shard;
 
 pub use api::GpuGraph;
 pub use config::{AdaptiveConfig, DegreeMode};
@@ -38,3 +39,4 @@ pub use engine::{
 };
 pub use metrics::Metrics;
 pub use session::{BatchReport, QueryReport, Session};
+pub use shard::{ShardReport, ShardSlice, ShardedGraph};

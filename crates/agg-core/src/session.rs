@@ -140,6 +140,11 @@ impl Session {
     /// Runs one query on the session's main device using a pooled state.
     pub fn run(&mut self, query: Query, options: &RunOptions) -> Result<RunReport, CoreError> {
         validate_query(query, options, &self.dg)?;
+        if matches!(query, Query::PageRank { .. }) {
+            // PageRank's deterministic gather walks the transpose; upload
+            // it once on first use (no-op afterwards).
+            self.dg.upload_reverse(&mut self.dev, &self.graph);
+        }
         let state = self.pool.acquire(&mut self.dev)?;
         let result = run(&mut self.dev, &self.kernels, &self.dg, &state, query, options);
         self.pool.release(state);
@@ -159,6 +164,13 @@ impl Session {
     ) -> Result<BatchReport, CoreError> {
         for (i, q) in queries.iter().enumerate() {
             validate_query(*q, options, &self.dg).map_err(|e| at_query(i, e))?;
+        }
+        if queries.iter().any(|q| matches!(q, Query::PageRank { .. })) {
+            // PageRank's gather needs the transpose on every device the
+            // batch may touch. Uploading here (idempotent, like pool
+            // warming) keeps the charge out of per-query time slices;
+            // lazily created workers inherit it via `ensure_workers`.
+            self.enable_bottom_up();
         }
         let mut opts = *options;
         opts.include_graph_transfer = false;

@@ -1,0 +1,1288 @@
+//! Multi-device sharded execution: one simulated device per graph shard,
+//! BSP supersteps with boundary (ghost) exchange over a modeled
+//! interconnect.
+//!
+//! # Execution model
+//!
+//! The graph is split by [`agg_graph::partition()`] into `k` contiguous
+//! vertex ranges; each shard's forward CSR (owned rows + empty ghost
+//! rows) lives on its own [`Device`]. Every superstep runs the same BSP
+//! round on all shards:
+//!
+//! 1. **Emit** — `gen_ghost` scans the shard's ghost range for update
+//!    flags and compacts `(ghost lid, value)` pairs into a staging
+//!    buffer, clearing the ghost flags. The pair count and the pairs are
+//!    read back over PCIe (charged to the shard's device clock).
+//! 2. **Route** — the host maps each ghost to its owning shard and
+//!    min-merges duplicates per destination node (two shards relaxing
+//!    the same remote node in one superstep). The all-to-all is charged
+//!    once per superstep to the [`Interconnect`] ledger.
+//! 3. **Apply** — destination shards upload their inbox (PCIe) and run
+//!    `scatter_min`, which keeps improving values and marks them in the
+//!    update vector; stale pairs are ignored.
+//! 4. **Select & generate** — each shard's inspector sees only *local*
+//!    state (working-set size, local average outdegree) and picks its
+//!    own variant per [`crate::decision::decide`], then runs `prep` +
+//!    `workset_gen` exactly like the single-device engine.
+//! 5. **Compute** — the chosen kernel runs on the local working set.
+//!    Ordered SSSP shards additionally agree on a *global* minimum
+//!    candidate distance (per-shard `findmin`, 4-byte D2H reads, host
+//!    reduce, 4-byte H2D writes) so the settle wave matches the
+//!    single-device schedule.
+//!
+//! The traversal terminates when every shard's working set is empty —
+//! delivered pairs that improved nothing set no flags, so an all-empty
+//! round is a global fixpoint.
+//!
+//! # Determinism
+//!
+//! BFS/SSSP/CC converge to the unique min-fixpoint (levels, distances,
+//! min labels), so the merged result is bit-identical to a single-device
+//! run no matter how supersteps interleave. PageRank uses the
+//! deterministic claim → gather pair (see `agg-kernels`' pagerank
+//! module): each shard's reverse CSR rows list in-neighbors in canonical
+//! *global* edge order and cross-shard push values arrive bit-exact via
+//! `scatter_store`, so every per-destination f32 accumulation chain is
+//! identical to the single-device gather, superstep by superstep.
+//!
+//! # Time accounting
+//!
+//! `total_ns == setup_ns + compute_ns + exchange_ns + teardown_ns`
+//! *exactly*: setup and teardown are the max over per-shard device
+//! slices, each superstep contributes the max per-shard device delta
+//! (shards run concurrently; the round barrier waits for the slowest),
+//! and the interconnect ledger accumulates the modeled all-to-all cost
+//! of every exchange round. PCIe staging of the pair buffers is charged
+//! on the shard device clocks and therefore lands inside `compute_ns`.
+
+use crate::config::AdaptiveConfig;
+use crate::decision::decide;
+use crate::engine::{Algo, CoreError, PageRankConfig, Query, RunOptions, Strategy};
+use agg_gpu_sim::json::Json;
+use agg_gpu_sim::prelude::*;
+use agg_graph::{partition, CsrGraph, GraphError, Partition, PartitionStrategy, INF};
+use agg_kernels::{AlgoOrder, AlgoState, DeviceGraph, GpuKernels, Mapping, Variant, WorkSet};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+fn part_err(e: GraphError) -> CoreError {
+    CoreError::InvalidQuery {
+        detail: e.to_string(),
+    }
+}
+
+/// Per-shard runtime: a device, the resident local CSR, algorithm state,
+/// and the staging buffers of the exchange protocol.
+struct ShardRt {
+    dev: Device,
+    dg: DeviceGraph,
+    state: AlgoState,
+    /// Outgoing pair staging: `2 * max(ghosts, boundary_sources, 1)`.
+    out_pairs: DevicePtr,
+    /// Pair counter for `gen_ghost` / `collect_list` (1 word).
+    out_len: DevicePtr,
+    /// Incoming pair staging: `2 * max(owned, ghosts, 1)`.
+    in_pairs: DevicePtr,
+    /// Device-resident boundary-source list (PageRank `collect_list`).
+    bsrc: DevicePtr,
+    bsrc_len: u32,
+    /// For each boundary source lid: the `(dest shard, ghost lid there)`
+    /// slots its push value must reach (destinations of its cut
+    /// out-edges).
+    push_routes: HashMap<u32, Vec<(usize, u32)>>,
+    owned: u32,
+    ghosts: u32,
+    ext: u32,
+    local_edges: u32,
+    avg_deg: f64,
+}
+
+/// Per-shard telemetry slice of a [`ShardReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardSlice {
+    /// Shard index.
+    pub shard: usize,
+    /// Owned nodes.
+    pub owned: u32,
+    /// Ghost (halo) nodes.
+    pub ghosts: u32,
+    /// Edges resident on this shard (all out-edges of owned nodes).
+    pub local_edges: u32,
+    /// Out-edges whose destination another shard owns.
+    pub cut_out_edges: usize,
+    /// In-edges whose source another shard owns.
+    pub cut_in_edges: usize,
+    /// This shard's device-clock advance over the run (kernels + PCIe
+    /// staging), ns.
+    pub device_ns: f64,
+    /// Boundary pairs this shard emitted over the interconnect.
+    pub pairs_sent: u64,
+    /// Bytes those pairs occupied on the wire (8 bytes per pair).
+    pub bytes_sent: u64,
+    /// Times this shard's inspector changed variant mid-run.
+    pub switches: u32,
+}
+
+impl ShardSlice {
+    /// This slice as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("shard", self.shard.into()),
+            ("owned", self.owned.into()),
+            ("ghosts", self.ghosts.into()),
+            ("local_edges", self.local_edges.into()),
+            ("cut_out_edges", self.cut_out_edges.into()),
+            ("cut_in_edges", self.cut_in_edges.into()),
+            ("device_ns", self.device_ns.into()),
+            ("pairs_sent", self.pairs_sent.into()),
+            ("bytes_sent", self.bytes_sent.into()),
+            ("switches", self.switches.into()),
+        ])
+    }
+}
+
+/// The result of a sharded run: merged values, superstep count, the
+/// exchange ledger, and per-shard slices.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardReport {
+    /// Shard (device) count.
+    pub shards: usize,
+    /// Partitioning strategy name (`"contiguous"` / `"degree"`).
+    pub partition_strategy: String,
+    /// Final per-node values merged from the owned ranges (global node
+    /// order) — bit-identical to a single-device run.
+    pub values: Vec<u32>,
+    /// BSP supersteps that ran a compute kernel on at least one shard
+    /// (the terminating all-empty round is excluded, like the engine's
+    /// `iterations`).
+    pub supersteps: u32,
+    /// Total modeled time, ns. Equals `setup_ns + compute_ns +
+    /// exchange_ns + teardown_ns` exactly.
+    pub total_ns: f64,
+    /// State reset before the first superstep (max over shards), ns.
+    pub setup_ns: f64,
+    /// Sum over supersteps of the slowest shard's device delta (kernels,
+    /// PCIe pair staging, census reads), ns.
+    pub compute_ns: f64,
+    /// Modeled interconnect all-to-all time across every exchange round,
+    /// ns.
+    pub exchange_ns: f64,
+    /// Final owned-range D2H reads (max over shards), ns.
+    pub teardown_ns: f64,
+    /// Bytes moved over the interconnect (8 per boundary pair).
+    pub exchange_bytes: u64,
+    /// Supersteps that moved at least one pair between shards.
+    pub exchange_rounds: u32,
+    /// Edges crossing shard boundaries.
+    pub cut_edges: usize,
+    /// `cut_edges / m` (0 for an edgeless graph).
+    pub cut_fraction: f64,
+    /// Per-shard telemetry.
+    pub per_shard: Vec<ShardSlice>,
+}
+
+impl ShardReport {
+    /// Total modeled time in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.total_ns / 1e6
+    }
+
+    /// Reinterprets the merged value array as f32 (PageRank ranks).
+    pub fn values_as_f32(&self) -> Vec<f32> {
+        self.values.iter().map(|&b| f32::from_bits(b)).collect()
+    }
+
+    /// `|total - (setup + compute + exchange + teardown)|` — zero by
+    /// construction; exposed so tests and the differential harness can
+    /// assert the identity rather than trust it.
+    pub fn accounting_gap(&self) -> f64 {
+        (self.total_ns - (self.setup_ns + self.compute_ns + self.exchange_ns + self.teardown_ns))
+            .abs()
+    }
+
+    /// The telemetry payload as JSON (values omitted — data, not
+    /// telemetry).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("shards", self.shards.into()),
+            ("partition_strategy", self.partition_strategy.clone().into()),
+            ("nodes", self.values.len().into()),
+            ("supersteps", self.supersteps.into()),
+            ("total_ns", self.total_ns.into()),
+            ("setup_ns", self.setup_ns.into()),
+            ("compute_ns", self.compute_ns.into()),
+            ("exchange_ns", self.exchange_ns.into()),
+            ("teardown_ns", self.teardown_ns.into()),
+            ("exchange_bytes", self.exchange_bytes.into()),
+            ("exchange_rounds", self.exchange_rounds.into()),
+            ("cut_edges", self.cut_edges.into()),
+            ("cut_fraction", self.cut_fraction.into()),
+            (
+                "per_shard",
+                Json::arr(self.per_shard.iter().map(ShardSlice::to_json)),
+            ),
+        ])
+    }
+}
+
+/// A graph resident across `k` simulated devices, ready to answer
+/// [`Query`]s with BSP supersteps and modeled frontier exchange.
+///
+/// ```
+/// use agg_core::{Query, RunOptions, ShardedGraph};
+/// use agg_graph::{Dataset, Scale};
+///
+/// let g = Dataset::P2p.generate(Scale::Tiny, 7);
+/// let mut sharded = ShardedGraph::new(&g, 4).unwrap();
+/// let r = sharded
+///     .run(Query::Bfs { src: 0 }, &RunOptions::default())
+///     .unwrap();
+/// assert_eq!(r.values.len(), g.node_count());
+/// assert_eq!(r.accounting_gap(), 0.0);
+/// ```
+pub struct ShardedGraph {
+    part: Partition,
+    kernels: GpuKernels,
+    interconnect: Interconnect,
+    shards: Vec<ShardRt>,
+    weighted: bool,
+}
+
+impl ShardedGraph {
+    /// Partitions `g` into `shards` contiguous ranges and uploads each to
+    /// its own default device (simulated Tesla C2070), linked by a
+    /// PCIe-class interconnect.
+    pub fn new(g: &CsrGraph, shards: usize) -> Result<ShardedGraph, CoreError> {
+        ShardedGraph::with_config(
+            g,
+            shards,
+            PartitionStrategy::Contiguous1D,
+            DeviceConfig::tesla_c2070(),
+            Interconnect::pcie(),
+        )
+    }
+
+    /// Full-control constructor: partitioning strategy, per-device
+    /// configuration, and interconnect model.
+    pub fn with_config(
+        g: &CsrGraph,
+        shards: usize,
+        strategy: PartitionStrategy,
+        device: DeviceConfig,
+        interconnect: Interconnect,
+    ) -> Result<ShardedGraph, CoreError> {
+        let part = partition(g, shards, strategy).map_err(part_err)?;
+        let kernels = GpuKernels::build();
+        let k = part.shard_count();
+        let mut rts = Vec::with_capacity(k);
+        for plan in &part.shards {
+            let mut dev = Device::new(device.clone());
+            let mut dg = DeviceGraph::upload(&mut dev, &plan.local);
+            let owned = plan.owned_count() as u32;
+            let ghosts = plan.ghost_count() as u32;
+            let ext = plan.ext_count() as u32;
+            let local_edges = plan.local.edge_count() as u32;
+            // Ghost rows are empty, so the resident edge mass belongs to
+            // the owned range: the local inspector's density signal is
+            // m_local / owned, not m_local / ext.
+            let avg_deg = if owned == 0 {
+                0.0
+            } else {
+                local_edges as f64 / owned as f64
+            };
+            dg.avg_outdegree = avg_deg;
+            let state = AlgoState::new(&mut dev, ext, 0)?;
+            let bsrc_len = plan.boundary_sources.len() as u32;
+            let bsrc = dev.alloc_from_slice("shard.boundary_sources", &plan.boundary_sources);
+            let out_cap = 2 * (ghosts.max(bsrc_len).max(1)) as usize;
+            let in_cap = 2 * (owned.max(ghosts).max(1)) as usize;
+            let out_pairs = dev.alloc("shard.out_pairs", out_cap);
+            let out_len = dev.alloc("shard.out_len", 1);
+            let in_pairs = dev.alloc("shard.in_pairs", in_cap);
+            // Push routing table: boundary source lid -> every (shard,
+            // ghost lid) slot that gathers its push value (one entry per
+            // destination shard of its cut out-edges).
+            let mut push_routes: HashMap<u32, Vec<(usize, u32)>> = HashMap::new();
+            let row = plan.local.row_offsets();
+            let col = plan.local.col_indices();
+            for &u in &plan.boundary_sources {
+                let mut dests: Vec<(usize, u32)> = Vec::new();
+                for &v in &col[row[u as usize] as usize..row[u as usize + 1] as usize] {
+                    if v >= owned {
+                        let v_gid = plan.ghosts[(v - owned) as usize];
+                        let d = part.owner_of(v_gid);
+                        let gl = part.shards[d]
+                            .to_local(plan.to_global(u))
+                            .expect("boundary source is a ghost of every shard it feeds");
+                        if !dests.contains(&(d, gl)) {
+                            dests.push((d, gl));
+                        }
+                    }
+                }
+                push_routes.insert(u, dests);
+            }
+            rts.push(ShardRt {
+                dev,
+                dg,
+                state,
+                out_pairs,
+                out_len,
+                in_pairs,
+                bsrc,
+                bsrc_len,
+                push_routes,
+                owned,
+                ghosts,
+                ext,
+                local_edges,
+                avg_deg,
+            });
+        }
+        Ok(ShardedGraph {
+            part,
+            kernels,
+            interconnect,
+            shards: rts,
+            weighted: g.is_weighted(),
+        })
+    }
+
+    /// The partition driving this runtime.
+    pub fn partition(&self) -> &Partition {
+        &self.part
+    }
+
+    /// Shard (device) count.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Race-detector counters summed over every shard device (all zeros
+    /// unless the [`DeviceConfig`] passed to [`ShardedGraph::with_config`]
+    /// enabled detection). Harmful exemplars are concatenated in shard
+    /// order so a finding still names the kernel and buffer it hit.
+    pub fn race_summary(&self) -> RaceSummary {
+        let mut total = RaceSummary::default();
+        for rt in &self.shards {
+            let s = rt.dev.race_summary();
+            total.launches_checked += s.launches_checked;
+            total.benign_words += s.benign_words;
+            total.harmful_words += s.harmful_words;
+            total.harmful.extend(s.harmful.iter().cloned());
+        }
+        total
+    }
+
+    /// Runs one typed query across every shard. Sharded execution
+    /// supports [`Strategy::Adaptive`] (per-shard local decisions) and
+    /// [`Strategy::Static`]; the single-device-only strategies are
+    /// rejected with [`CoreError::Unsupported`]. The census policy in
+    /// `options` is ignored: adaptive bitmap supersteps always census
+    /// (each shard's decision feeds the next round's variant choice).
+    /// Graph upload is a construction-time cost and is not charged to the
+    /// report.
+    pub fn run(&mut self, query: Query, options: &RunOptions) -> Result<ShardReport, CoreError> {
+        self.validate(query, options)?;
+        let n = self.part.n as u32;
+        if n == 0 {
+            return Ok(self.empty_report());
+        }
+        let algo = query.algo();
+        let src = query.source();
+        let pagerank = query.pagerank_config();
+        let k = self.shards.len();
+        if algo == Algo::PageRank {
+            // The gather walks the transpose; upload each shard's
+            // canonical reverse CSR once on first use (construction-class
+            // cost: before the run clock starts).
+            for i in 0..k {
+                let rt = &mut self.shards[i];
+                rt.dg
+                    .upload_reverse_graph(&mut rt.dev, &self.part.shards[i].reverse);
+            }
+        }
+        let tuning = options.tuning;
+        let tt = tuning.thread_block_threads;
+        let cap = if options.max_iterations == 0 {
+            4 * n as u64 + 64
+        } else {
+            options.max_iterations
+        };
+
+        let run_start: Vec<f64> = self.shards.iter().map(|rt| rt.dev.elapsed_ns()).collect();
+
+        // ---- setup: per-shard state reset ------------------------------
+        for (i, rt) in self.shards.iter_mut().enumerate() {
+            if rt.ext == 0 {
+                continue;
+            }
+            match algo {
+                Algo::Bfs | Algo::Sssp => {
+                    // Like `AlgoState::reset`, but only the owning shard
+                    // marks the source.
+                    rt.dev.fill(rt.state.value, INF)?;
+                    rt.dev.fill(rt.state.update, 0)?;
+                    rt.dev.fill(rt.state.bitmap, 0)?;
+                    rt.dev.write_word(rt.state.queue_len, 0, 0)?;
+                    rt.dev.write_word(rt.state.flag, 0, 0)?;
+                    rt.dev.write_word(rt.state.min_out, 0, u32::MAX)?;
+                    if self.part.shards[i].owns(src) {
+                        let lid = (src - self.part.shards[i].start) as usize;
+                        rt.dev.write_word(rt.state.value, lid, 0)?;
+                        rt.dev.write_word(rt.state.update, lid, 1)?;
+                    }
+                }
+                Algo::Cc => {
+                    rt.state.reset_cc(&mut rt.dev, rt.ext)?;
+                    // Labels must be *global* ids (reset_cc wrote local
+                    // iota), and only owned nodes start in the working
+                    // set — ghosts activate via incoming pairs.
+                    let plan = &self.part.shards[i];
+                    let labels: Vec<u32> = (0..rt.ext).map(|l| plan.to_global(l)).collect();
+                    rt.dev.write(rt.state.value, &labels)?;
+                    let mut flags = vec![1u32; rt.ext as usize];
+                    for f in flags.iter_mut().skip(rt.owned as usize) {
+                        *f = 0;
+                    }
+                    rt.dev.write(rt.state.update, &flags)?;
+                }
+                Algo::PageRank => {
+                    rt.state.reset_pagerank(&mut rt.dev, pagerank.damping)?;
+                    // Only owned nodes seed the working set; ghost
+                    // residual/rank slots exist but are never claimed.
+                    let mut flags = vec![1u32; rt.ext as usize];
+                    for f in flags.iter_mut().skip(rt.owned as usize) {
+                        *f = 0;
+                    }
+                    rt.dev.write(rt.state.update, &flags)?;
+                }
+            }
+        }
+        let setup_ns = self
+            .shards
+            .iter()
+            .zip(&run_start)
+            .map(|(rt, &s)| rt.dev.elapsed_ns() - s)
+            .fold(0.0f64, f64::max);
+
+        // ---- superstep loop --------------------------------------------
+        let mut est_ws: Vec<u32> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, rt)| match algo {
+                Algo::Cc | Algo::PageRank => rt.ext,
+                _ => u32::from(self.part.shards[i].owns(src)),
+            })
+            .collect();
+        let mut prev_variant: Vec<Option<Variant>> = vec![None; k];
+        let mut switches = vec![0u32; k];
+        let mut pairs_sent = vec![0u64; k];
+        let mut supersteps = 0u32;
+        let mut compute_ns = 0.0f64;
+        let mut exchange_ns = 0.0f64;
+        let mut exchange_bytes = 0u64;
+        let mut exchange_rounds = 0u32;
+        let mut inbox: Vec<Vec<(u32, u32)>> = vec![Vec::new(); k];
+
+        loop {
+            if supersteps as u64 >= cap {
+                return Err(CoreError::NoConvergence { iterations: cap });
+            }
+            let mark: Vec<f64> = self.shards.iter().map(|rt| rt.dev.elapsed_ns()).collect();
+            let mut bytes = vec![vec![0usize; k]; k];
+            for ib in inbox.iter_mut() {
+                ib.clear();
+            }
+
+            let any_ran = if algo == Algo::PageRank {
+                self.superstep_pagerank(
+                    options,
+                    pagerank,
+                    tt,
+                    &mut est_ws,
+                    &mut prev_variant,
+                    &mut switches,
+                    &mut inbox,
+                    &mut bytes,
+                    &mut pairs_sent,
+                )?
+            } else {
+                self.superstep_traversal(
+                    algo,
+                    options,
+                    tt,
+                    &mut est_ws,
+                    &mut prev_variant,
+                    &mut switches,
+                    &mut inbox,
+                    &mut bytes,
+                    &mut pairs_sent,
+                )?
+            };
+
+            let round_bytes: usize = bytes.iter().flatten().sum();
+            if round_bytes > 0 {
+                exchange_ns += self.interconnect.all_to_all_ns(&bytes);
+                exchange_bytes += round_bytes as u64;
+                exchange_rounds += 1;
+            }
+            compute_ns += self
+                .shards
+                .iter()
+                .zip(&mark)
+                .map(|(rt, &s)| rt.dev.elapsed_ns() - s)
+                .fold(0.0f64, f64::max);
+            if !any_ran {
+                break;
+            }
+            supersteps += 1;
+        }
+
+        // ---- teardown: merge owned ranges ------------------------------
+        let t_mark: Vec<f64> = self.shards.iter().map(|rt| rt.dev.elapsed_ns()).collect();
+        let mut values = vec![0u32; n as usize];
+        for (i, rt) in self.shards.iter_mut().enumerate() {
+            if rt.owned == 0 {
+                continue;
+            }
+            let owned = rt.dev.read_prefix(rt.state.value, rt.owned as usize)?;
+            let start = self.part.shards[i].start as usize;
+            values[start..start + owned.len()].copy_from_slice(&owned);
+        }
+        let teardown_ns = self
+            .shards
+            .iter()
+            .zip(&t_mark)
+            .map(|(rt, &s)| rt.dev.elapsed_ns() - s)
+            .fold(0.0f64, f64::max);
+
+        let per_shard: Vec<ShardSlice> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, rt)| ShardSlice {
+                shard: i,
+                owned: rt.owned,
+                ghosts: rt.ghosts,
+                local_edges: rt.local_edges,
+                cut_out_edges: self.part.shards[i].cut_out_edges,
+                cut_in_edges: self.part.shards[i].cut_in_edges,
+                device_ns: rt.dev.elapsed_ns() - run_start[i],
+                pairs_sent: pairs_sent[i],
+                bytes_sent: pairs_sent[i] * 8,
+                switches: switches[i],
+            })
+            .collect();
+
+        Ok(ShardReport {
+            shards: k,
+            partition_strategy: self.part.strategy.name().to_string(),
+            values,
+            supersteps,
+            total_ns: setup_ns + compute_ns + exchange_ns + teardown_ns,
+            setup_ns,
+            compute_ns,
+            exchange_ns,
+            teardown_ns,
+            exchange_bytes,
+            exchange_rounds,
+            cut_edges: self.part.cut_edges,
+            cut_fraction: self.part.cut_fraction(),
+            per_shard,
+        })
+    }
+
+    /// One BFS/SSSP/CC superstep: emit + route + apply the ghost-update
+    /// exchange, then per-shard select/generate/compute. Returns whether
+    /// any shard ran a compute kernel (false = global fixpoint).
+    #[allow(clippy::too_many_arguments)]
+    fn superstep_traversal(
+        &mut self,
+        algo: Algo,
+        options: &RunOptions,
+        tt: u32,
+        est_ws: &mut [u32],
+        prev_variant: &mut [Option<Variant>],
+        switches: &mut [u32],
+        inbox: &mut [Vec<(u32, u32)>],
+        bytes: &mut [Vec<usize>],
+        pairs_sent: &mut [u64],
+    ) -> Result<bool, CoreError> {
+        let k = self.shards.len();
+        // 1-2. emit ghost updates, route to owners.
+        for s in 0..k {
+            let emitted = emit_pairs_ghost(&mut self.shards[s], &self.kernels, tt)?;
+            pairs_sent[s] += emitted.len() as u64;
+            for (ghost_lid, val) in emitted {
+                let gid =
+                    self.part.shards[s].ghosts[(ghost_lid - self.shards[s].owned) as usize];
+                let d = self.part.owner_of(gid);
+                let dest_lid = gid - self.part.shards[d].start;
+                bytes[s][d] += 8;
+                inbox[d].push((dest_lid, val));
+            }
+        }
+        // 3. apply: min-merge duplicates, upload, scatter_min.
+        for (d, ib) in inbox.iter_mut().enumerate() {
+            if ib.is_empty() {
+                continue;
+            }
+            ib.sort_unstable();
+            ib.dedup_by_key(|p| p.0); // keep min value per node
+            let rt = &mut self.shards[d];
+            let bufs = vec![rt.in_pairs, rt.state.value, rt.state.update];
+            deliver_pairs(rt, &self.kernels.scatter_min, tt, ib, bufs)?;
+        }
+        // 4. select + generate per shard.
+        let mut plans: Vec<Option<(Variant, u32)>> = vec![None; k];
+        for s in 0..k {
+            let rt = &mut self.shards[s];
+            if rt.ext == 0 {
+                continue;
+            }
+            let variant = match options.strategy {
+                Strategy::Static(v) => v,
+                _ => decide(&options.tuning, est_ws[s], rt.ext, rt.avg_deg),
+            };
+            let census = matches!(options.strategy, Strategy::Adaptive);
+            let Some((limit, ws)) = gen_workset(rt, &self.kernels, variant, tt, &options.tuning, census)?
+            else {
+                continue;
+            };
+            if let Some(w) = ws {
+                est_ws[s] = w;
+            }
+            if prev_variant[s].is_some_and(|p| p != variant) {
+                switches[s] += 1;
+            }
+            prev_variant[s] = Some(variant);
+            plans[s] = Some((variant, limit));
+        }
+        if plans.iter().all(Option::is_none) {
+            return Ok(false);
+        }
+        // 5. ordered SSSP: agree on the global minimum candidate.
+        if algo == Algo::Sssp {
+            let mut global_min = u32::MAX;
+            let mut ordered: Vec<usize> = Vec::new();
+            for (s, plan) in plans.iter().enumerate() {
+                let Some((v, limit)) = plan else { continue };
+                if v.order != AlgoOrder::Ordered {
+                    continue;
+                }
+                let rt = &mut self.shards[s];
+                let fk = match v.workset {
+                    WorkSet::Bitmap => &self.kernels.findmin_bitmap,
+                    WorkSet::Queue => &self.kernels.findmin_queue,
+                };
+                rt.dev.launch(
+                    fk,
+                    Grid::linear(*limit as u64, tt),
+                    &rt.state.findmin_args(v.workset, *limit),
+                )?;
+                global_min = global_min.min(rt.dev.read_word(rt.state.min_out, 0)?);
+                ordered.push(s);
+            }
+            for s in ordered {
+                let rt = &mut self.shards[s];
+                rt.dev.write_word(rt.state.min_out, 0, global_min)?;
+            }
+        }
+        // 6. compute.
+        for (s, plan) in plans.iter().enumerate() {
+            let Some((v, limit)) = plan else { continue };
+            let rt = &mut self.shards[s];
+            let grid = compute_grid(rt, &options.tuning, *v, *limit, tt);
+            let (kernel, args) = match algo {
+                Algo::Bfs => (
+                    self.kernels.bfs_kernel(*v),
+                    rt.state.bfs_args(&rt.dg, *v, *limit),
+                ),
+                Algo::Sssp => (
+                    self.kernels.sssp_kernel(*v),
+                    rt.state.sssp_args(&rt.dg, *v, *limit),
+                ),
+                Algo::Cc => (
+                    self.kernels.cc_kernel(*v),
+                    rt.state.cc_args(&rt.dg, *v, *limit),
+                ),
+                Algo::PageRank => unreachable!("PageRank has its own superstep"),
+            };
+            rt.dev.launch(kernel, grid, &args)?;
+        }
+        Ok(true)
+    }
+
+    /// One PageRank superstep: per-shard select/generate, claim, collect
+    /// + route + scatter the cross-shard push values, gather, clear.
+    ///
+    /// Returns whether any shard claimed (false = global fixpoint).
+    #[allow(clippy::too_many_arguments)]
+    fn superstep_pagerank(
+        &mut self,
+        options: &RunOptions,
+        pagerank: PageRankConfig,
+        tt: u32,
+        est_ws: &mut [u32],
+        prev_variant: &mut [Option<Variant>],
+        switches: &mut [u32],
+        inbox: &mut [Vec<(u32, u32)>],
+        bytes: &mut [Vec<usize>],
+        pairs_sent: &mut [u64],
+    ) -> Result<bool, CoreError> {
+        let k = self.shards.len();
+        // 1. select + generate per shard.
+        let mut plans: Vec<Option<(Variant, u32)>> = vec![None; k];
+        for s in 0..k {
+            let rt = &mut self.shards[s];
+            if rt.ext == 0 {
+                continue;
+            }
+            let variant = match options.strategy {
+                Strategy::Static(v) => v,
+                _ => decide(&options.tuning, est_ws[s], rt.ext, rt.avg_deg),
+            };
+            let census = matches!(options.strategy, Strategy::Adaptive);
+            let Some((limit, ws)) = gen_workset(rt, &self.kernels, variant, tt, &options.tuning, census)?
+            else {
+                continue;
+            };
+            if let Some(w) = ws {
+                est_ws[s] = w;
+            }
+            if prev_variant[s].is_some_and(|p| p != variant) {
+                switches[s] += 1;
+            }
+            prev_variant[s] = Some(variant);
+            plans[s] = Some((variant, limit));
+        }
+        if plans.iter().all(Option::is_none) {
+            return Ok(false);
+        }
+        // 2. claim: fold residuals into ranks, publish push values.
+        for (s, plan) in plans.iter().enumerate() {
+            let Some((v, limit)) = plan else { continue };
+            let rt = &mut self.shards[s];
+            let grid = compute_grid(rt, &options.tuning, *v, *limit, tt);
+            rt.dev.launch(
+                self.kernels.pagerank_kernel(*v),
+                grid,
+                &rt.state
+                    .pagerank_claim_args(&rt.dg, *v, *limit, pagerank.damping),
+            )?;
+        }
+        // 3. collect boundary push values, route to consuming shards.
+        for (s, plan) in plans.iter().enumerate() {
+            if plan.is_none() || self.shards[s].bsrc_len == 0 {
+                continue;
+            }
+            let emitted = emit_pairs_list(&mut self.shards[s], &self.kernels, tt)?;
+            for (lid, push_bits) in emitted {
+                let routes = self.shards[s].push_routes.get(&lid).cloned().unwrap_or_default();
+                for (d, gl) in routes {
+                    bytes[s][d] += 8;
+                    pairs_sent[s] += 1;
+                    inbox[d].push((gl, push_bits));
+                }
+            }
+        }
+        // 4. apply: each ghost slot has exactly one owner, plain stores.
+        let mut received = vec![false; k];
+        for (d, ib) in inbox.iter_mut().enumerate() {
+            if ib.is_empty() {
+                continue;
+            }
+            ib.sort_unstable();
+            let rt = &mut self.shards[d];
+            let bufs = vec![rt.in_pairs, rt.state.aux2];
+            deliver_pairs(rt, &self.kernels.scatter_store, tt, ib, bufs)?;
+            received[d] = true;
+        }
+        // 5. gather + clear on every shard that has fresh push values.
+        for s in 0..k {
+            if plans[s].is_none() && !received[s] {
+                continue;
+            }
+            let rt = &mut self.shards[s];
+            rt.dev.launch(
+                &self.kernels.pagerank_gather,
+                Grid::linear(rt.ext as u64, tt),
+                &rt.state
+                    .pagerank_gather_args(&rt.dg, rt.ext, pagerank.epsilon),
+            )?;
+            rt.dev.fill(rt.state.aux2, 0)?;
+        }
+        Ok(true)
+    }
+
+    fn validate(&self, query: Query, options: &RunOptions) -> Result<(), CoreError> {
+        match options.strategy {
+            Strategy::Adaptive | Strategy::Static(_) => {}
+            Strategy::VirtualWarp { .. } => {
+                return Err(CoreError::Unsupported {
+                    detail: "sharded execution supports Adaptive and Static strategies \
+                             (virtual-warp kernels are single-device)"
+                        .into(),
+                })
+            }
+            Strategy::DirectionOptimized { .. } => {
+                return Err(CoreError::Unsupported {
+                    detail: "sharded execution supports Adaptive and Static strategies \
+                             (direction-optimized BFS is single-device)"
+                        .into(),
+                })
+            }
+            Strategy::Hybrid { .. } => {
+                return Err(CoreError::Unsupported {
+                    detail: "sharded execution supports Adaptive and Static strategies \
+                             (hybrid CPU/GPU alternation is single-device)"
+                        .into(),
+                })
+            }
+        }
+        let algo = query.algo();
+        if algo == Algo::Sssp && !self.weighted {
+            return Err(CoreError::InvalidQuery {
+                detail: "SSSP requires a weighted graph (use generate_weighted / with_weights)"
+                    .into(),
+            });
+        }
+        let n = self.part.n as u32;
+        if matches!(query, Query::Bfs { .. } | Query::Sssp { .. }) && n > 0 {
+            let src = query.source();
+            if src >= n {
+                return Err(CoreError::InvalidQuery {
+                    detail: format!("source {src} out of range (graph has {n} nodes)"),
+                });
+            }
+        }
+        if let Query::PageRank { config } = query {
+            if !(config.damping > 0.0 && config.damping < 1.0) {
+                return Err(CoreError::InvalidQuery {
+                    detail: format!("PageRank damping {} must be in (0, 1)", config.damping),
+                });
+            }
+            if config.epsilon.is_nan() || config.epsilon <= 0.0 {
+                return Err(CoreError::InvalidQuery {
+                    detail: format!("PageRank epsilon {} must be positive", config.epsilon),
+                });
+            }
+        }
+        if let Strategy::Static(v) = options.strategy {
+            if matches!(algo, Algo::Cc | Algo::PageRank) && v.order == AlgoOrder::Ordered {
+                return Err(CoreError::Unsupported {
+                    detail: format!("{algo:?} has no ordered formulation"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn empty_report(&self) -> ShardReport {
+        ShardReport {
+            shards: self.shards.len(),
+            partition_strategy: self.part.strategy.name().to_string(),
+            values: Vec::new(),
+            supersteps: 0,
+            total_ns: 0.0,
+            setup_ns: 0.0,
+            compute_ns: 0.0,
+            exchange_ns: 0.0,
+            teardown_ns: 0.0,
+            exchange_bytes: 0,
+            exchange_rounds: 0,
+            cut_edges: 0,
+            cut_fraction: 0.0,
+            per_shard: Vec::new(),
+        }
+    }
+}
+
+/// The compute grid of a variant, mirroring the engine: thread mapping
+/// gets `limit` lanes, block mapping one block per working-set element
+/// with the degree-tuned block width.
+fn compute_grid(rt: &ShardRt, tuning: &AdaptiveConfig, v: Variant, limit: u32, tt: u32) -> Grid {
+    match v.mapping {
+        Mapping::Thread => Grid::linear(limit as u64, tt),
+        Mapping::Block => Grid::new(
+            limit,
+            tuning.block_mapping_threads(rt.avg_deg, rt.dev.config().max_threads_per_block),
+        ),
+    }
+}
+
+/// `prep` + `workset_gen` + emptiness check (+ census when adaptive
+/// bitmap) for one shard — the sharded mirror of `Ctx::gen_and_check`.
+/// Returns `None` when the shard's working set is empty, else `(limit,
+/// exact size when known)`.
+fn gen_workset(
+    rt: &mut ShardRt,
+    kernels: &GpuKernels,
+    v: Variant,
+    tt: u32,
+    tuning: &AdaptiveConfig,
+    census: bool,
+) -> Result<Option<(u32, Option<u32>)>, CoreError> {
+    let n = rt.ext;
+    rt.dev
+        .launch(&kernels.prep, Grid::new(1, 32), &rt.state.prep_args())?;
+    match v.workset {
+        WorkSet::Bitmap => {
+            rt.dev.launch(
+                &kernels.gen_bitmap,
+                Grid::linear(n as u64, tt),
+                &rt.state.gen_bitmap_args(n),
+            )?;
+            if rt.dev.read_word(rt.state.flag, 0)? == 0 {
+                return Ok(None);
+            }
+            let ws = if census {
+                rt.dev.launch(
+                    &kernels.count_bitmap,
+                    Grid::linear(n as u64, tt),
+                    &rt.state.count_args(n),
+                )?;
+                Some(rt.dev.read_word(rt.state.count, 0)?)
+            } else {
+                None
+            };
+            Ok(Some((n, ws)))
+        }
+        WorkSet::Queue => {
+            let gen = if tuning.scan_queue_gen {
+                &kernels.gen_queue_scan
+            } else {
+                &kernels.gen_queue
+            };
+            rt.dev.launch(
+                gen,
+                Grid::linear(n as u64, tt),
+                &rt.state.gen_queue_args(n),
+            )?;
+            let len = rt.dev.read_word(rt.state.queue_len, 0)?;
+            if len == 0 {
+                return Ok(None);
+            }
+            Ok(Some((len, Some(len))))
+        }
+    }
+}
+
+/// Emit phase of the BFS/SSSP/CC exchange: `gen_ghost` over the ghost
+/// range, then the 4-byte count read and the pair read-back (both PCIe,
+/// charged to this shard's clock). Ghost update flags are cleared by the
+/// kernel; owned flags stay for the local workset generation.
+fn emit_pairs_ghost(
+    rt: &mut ShardRt,
+    kernels: &GpuKernels,
+    tt: u32,
+) -> Result<Vec<(u32, u32)>, CoreError> {
+    if rt.ghosts == 0 {
+        return Ok(Vec::new());
+    }
+    rt.dev.fill(rt.out_len, 0)?;
+    rt.dev.launch(
+        &kernels.gen_ghost,
+        Grid::linear(rt.ghosts as u64, tt),
+        &LaunchArgs::new()
+            .bufs([rt.state.update, rt.state.value, rt.out_pairs, rt.out_len])
+            .scalars([rt.owned, rt.ghosts]),
+    )?;
+    read_pairs(rt)
+}
+
+/// Emit phase of the PageRank exchange: `collect_list` over the
+/// boundary-source list picks up nonzero push values.
+fn emit_pairs_list(
+    rt: &mut ShardRt,
+    kernels: &GpuKernels,
+    tt: u32,
+) -> Result<Vec<(u32, u32)>, CoreError> {
+    rt.dev.fill(rt.out_len, 0)?;
+    rt.dev.launch(
+        &kernels.collect_list,
+        Grid::linear(rt.bsrc_len as u64, tt),
+        &LaunchArgs::new()
+            .bufs([rt.bsrc, rt.state.aux2, rt.out_pairs, rt.out_len])
+            .scalars([rt.bsrc_len]),
+    )?;
+    read_pairs(rt)
+}
+
+fn read_pairs(rt: &mut ShardRt) -> Result<Vec<(u32, u32)>, CoreError> {
+    let count = rt.dev.read_word(rt.out_len, 0)?;
+    if count == 0 {
+        return Ok(Vec::new());
+    }
+    let flat = rt.dev.read_prefix(rt.out_pairs, 2 * count as usize)?;
+    Ok(flat.chunks_exact(2).map(|c| (c[0], c[1])).collect())
+}
+
+/// Apply phase: upload an inbox (PCIe) and run the given scatter kernel
+/// over it with the caller-selected buffer binding.
+fn deliver_pairs(
+    rt: &mut ShardRt,
+    kernel: &Kernel,
+    tt: u32,
+    pairs: &[(u32, u32)],
+    bufs: Vec<DevicePtr>,
+) -> Result<(), CoreError> {
+    let mut flat = Vec::with_capacity(pairs.len() * 2);
+    for &(lid, val) in pairs {
+        flat.push(lid);
+        flat.push(val);
+    }
+    rt.dev.write_prefix(rt.in_pairs, &flat)?;
+    let count = pairs.len() as u32;
+    rt.dev.launch(
+        kernel,
+        Grid::linear(count as u64, tt),
+        &LaunchArgs::new().bufs(bufs).scalars([count]),
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::GpuGraph;
+    use agg_graph::{Dataset, GraphBuilder, Scale};
+    use agg_kernels::Variant;
+
+    fn single_device(g: &CsrGraph, query: Query, options: &RunOptions) -> Vec<u32> {
+        GpuGraph::new(g)
+            .unwrap()
+            .run(query, options)
+            .unwrap()
+            .values
+    }
+
+    fn queries(weighted: bool) -> Vec<Query> {
+        let mut q = vec![Query::Bfs { src: 1 }, Query::Cc, Query::pagerank()];
+        if weighted {
+            q.push(Query::Sssp { src: 1 });
+        }
+        q
+    }
+
+    #[test]
+    fn sharded_matches_single_device_for_every_algorithm_and_shard_count() {
+        let g = Dataset::Amazon.generate_weighted(Scale::Tiny, 42, 64);
+        let opts = RunOptions::default();
+        for query in queries(true) {
+            let expected = single_device(&g, query, &opts);
+            for k in 1..=8usize {
+                let mut sharded = ShardedGraph::new(&g, k).unwrap();
+                let r = sharded.run(query, &opts).unwrap();
+                assert_eq!(
+                    r.values, expected,
+                    "{} diverged from single-device at {k} shards",
+                    query.name()
+                );
+                assert_eq!(r.accounting_gap(), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn degree_balanced_partitioning_is_also_bit_identical() {
+        let g = Dataset::Google.generate_weighted(Scale::Tiny, 9, 32);
+        let opts = RunOptions::default();
+        for query in queries(true) {
+            let expected = single_device(&g, query, &opts);
+            for k in [2usize, 5] {
+                let mut sharded = ShardedGraph::with_config(
+                    &g,
+                    k,
+                    PartitionStrategy::DegreeBalanced,
+                    DeviceConfig::tesla_c2070(),
+                    Interconnect::pcie(),
+                )
+                .unwrap();
+                let r = sharded.run(query, &opts).unwrap();
+                assert_eq!(
+                    r.values, expected,
+                    "{} diverged under degree-balanced partitioning at {k} shards",
+                    query.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn static_variants_match_too_including_ordered_sssp() {
+        let g = Dataset::P2p.generate_weighted(Scale::Tiny, 5, 64);
+        for v in [
+            Variant::parse("O_T_BM").unwrap(),
+            Variant::parse("U_B_QU").unwrap(),
+        ] {
+            let opts = RunOptions::static_variant(v);
+            let expected = single_device(&g, Query::Sssp { src: 0 }, &opts);
+            let mut sharded = ShardedGraph::new(&g, 3).unwrap();
+            let r = sharded.run(Query::Sssp { src: 0 }, &opts).unwrap();
+            assert_eq!(
+                r.values,
+                expected,
+                "static {} diverged across shards",
+                v.name()
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_runs_on_one_sharded_graph_are_reproducible() {
+        let g = Dataset::P2p.generate(Scale::Tiny, 11);
+        let mut sharded = ShardedGraph::new(&g, 4).unwrap();
+        let opts = RunOptions::default();
+        let a = sharded.run(Query::Bfs { src: 3 }, &opts).unwrap();
+        let pr = sharded.run(Query::pagerank(), &opts).unwrap();
+        let b = sharded.run(Query::Bfs { src: 3 }, &opts).unwrap();
+        assert_eq!(a.values, b.values, "state reset between queries leaked");
+        assert_eq!(pr.values.len(), g.node_count());
+    }
+
+    #[test]
+    fn time_accounting_identity_and_ledger_consistency() {
+        let g = Dataset::Amazon.generate(Scale::Tiny, 3);
+        let mut sharded = ShardedGraph::new(&g, 4).unwrap();
+        let r = sharded.run(Query::Bfs { src: 0 }, &RunOptions::default()).unwrap();
+        assert_eq!(r.accounting_gap(), 0.0);
+        assert!(r.setup_ns > 0.0 && r.compute_ns > 0.0 && r.teardown_ns > 0.0);
+        // A multi-shard BFS on a connected-ish graph must cross
+        // boundaries: the ledger and the per-shard slices agree.
+        assert!(r.exchange_bytes > 0, "no boundary traffic on 4 shards");
+        assert!(r.exchange_ns > 0.0);
+        assert!(r.exchange_rounds > 0 && r.exchange_rounds <= r.supersteps + 1);
+        let sent: u64 = r.per_shard.iter().map(|s| s.bytes_sent).sum();
+        assert_eq!(sent, r.exchange_bytes);
+        assert_eq!(r.cut_edges, sharded.partition().cut_edges);
+        for s in &r.per_shard {
+            assert!(s.device_ns > 0.0);
+        }
+    }
+
+    #[test]
+    fn faster_interconnect_shrinks_only_exchange_time() {
+        let g = Dataset::Google.generate(Scale::Tiny, 21);
+        let opts = RunOptions::default();
+        let run_with = |icx: Interconnect| {
+            let mut sharded = ShardedGraph::with_config(
+                &g,
+                4,
+                PartitionStrategy::Contiguous1D,
+                DeviceConfig::tesla_c2070(),
+                icx,
+            )
+            .unwrap();
+            sharded.run(Query::Bfs { src: 0 }, &opts).unwrap()
+        };
+        let pcie = run_with(Interconnect::pcie());
+        let nvlink = run_with(Interconnect::nvlink());
+        assert_eq!(pcie.values, nvlink.values);
+        assert_eq!(pcie.exchange_bytes, nvlink.exchange_bytes);
+        assert!(nvlink.exchange_ns < pcie.exchange_ns);
+        assert_eq!(pcie.compute_ns, nvlink.compute_ns);
+    }
+
+    #[test]
+    fn single_device_strategies_are_rejected() {
+        let g = Dataset::P2p.generate(Scale::Tiny, 2);
+        let mut sharded = ShardedGraph::new(&g, 2).unwrap();
+        for strategy in [
+            Strategy::VirtualWarp {
+                width: 8,
+                workset: WorkSet::Queue,
+            },
+            Strategy::DirectionOptimized {
+                bottom_up_fraction: 0.1,
+            },
+            Strategy::Hybrid { gpu_threshold: 64 },
+        ] {
+            let opts = RunOptions::builder().strategy(strategy).build();
+            assert!(
+                matches!(
+                    sharded.run(Query::Bfs { src: 0 }, &opts),
+                    Err(CoreError::Unsupported { .. })
+                ),
+                "{strategy:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_queries_are_rejected_before_any_superstep() {
+        let g = Dataset::P2p.generate(Scale::Tiny, 2); // unweighted
+        let mut sharded = ShardedGraph::new(&g, 2).unwrap();
+        let opts = RunOptions::default();
+        assert!(matches!(
+            sharded.run(Query::Sssp { src: 0 }, &opts),
+            Err(CoreError::InvalidQuery { .. })
+        ));
+        let n = g.node_count() as u32;
+        assert!(matches!(
+            sharded.run(Query::Bfs { src: n }, &opts),
+            Err(CoreError::InvalidQuery { .. })
+        ));
+        assert!(matches!(
+            sharded.run(
+                Query::PageRank {
+                    config: PageRankConfig {
+                        damping: 1.5,
+                        epsilon: 1e-4
+                    }
+                },
+                &opts
+            ),
+            Err(CoreError::InvalidQuery { .. })
+        ));
+        assert!(matches!(
+            sharded.run(
+                Query::Cc,
+                &RunOptions::static_variant(Variant::parse("O_T_BM").unwrap())
+            ),
+            Err(CoreError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn report_json_carries_the_exchange_ledger() {
+        let g = Dataset::P2p.generate(Scale::Tiny, 4);
+        let mut sharded = ShardedGraph::new(&g, 2).unwrap();
+        let r = sharded.run(Query::Cc, &RunOptions::default()).unwrap();
+        let json = r.to_json().render();
+        for key in [
+            "\"shards\"",
+            "\"partition_strategy\"",
+            "\"supersteps\"",
+            "\"exchange_ns\"",
+            "\"exchange_bytes\"",
+            "\"cut_fraction\"",
+            "\"per_shard\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn more_shards_than_nodes_still_works() {
+        let g = GraphBuilder::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        let expected = single_device(&g, Query::Bfs { src: 0 }, &RunOptions::default());
+        let mut sharded = ShardedGraph::new(&g, 8).unwrap();
+        let r = sharded
+            .run(Query::Bfs { src: 0 }, &RunOptions::default())
+            .unwrap();
+        assert_eq!(r.values, expected);
+    }
+
+    #[test]
+    fn empty_graph_yields_empty_report() {
+        let g = GraphBuilder::from_edges(0, &[]).unwrap();
+        let mut sharded = ShardedGraph::new(&g, 2).unwrap();
+        let r = sharded
+            .run(Query::Bfs { src: 0 }, &RunOptions::default())
+            .unwrap();
+        assert!(r.values.is_empty());
+        assert_eq!(r.total_ns, 0.0);
+    }
+}

@@ -101,6 +101,15 @@ impl Device {
         self.mem.read(ptr).expect("read of unallocated buffer")
     }
 
+    /// Downloads the first `words` words of a buffer, charging a D2H
+    /// transfer for just those bytes. The sharded runtime drains its
+    /// variable-length pair buffers this way instead of paying for the
+    /// unused tail.
+    pub fn read_prefix(&mut self, ptr: DevicePtr, words: usize) -> Result<Vec<u32>, SimError> {
+        self.transfer_ns_total += transfer_ns(&self.cfg, words * 4);
+        self.mem.read_prefix(ptr, words)
+    }
+
     /// Downloads one word (4-byte D2H; latency-dominated — this is what
     /// the adaptive runtime pays every time it samples the working set
     /// size).
@@ -113,6 +122,13 @@ impl Device {
     pub fn write(&mut self, ptr: DevicePtr, src: &[u32]) -> Result<(), SimError> {
         self.transfer_ns_total += transfer_ns(&self.cfg, src.len() * 4);
         self.mem.write(ptr, src)
+    }
+
+    /// Uploads a host slice over the front of an existing (possibly
+    /// longer) buffer, charging H2D for just those bytes.
+    pub fn write_prefix(&mut self, ptr: DevicePtr, src: &[u32]) -> Result<(), SimError> {
+        self.transfer_ns_total += transfer_ns(&self.cfg, src.len() * 4);
+        self.mem.write_prefix(ptr, src)
     }
 
     /// Uploads one word.

@@ -71,6 +71,7 @@ pub use exec::grid::{Grid, LaunchArgs};
 pub use ir::builder::{Kernel, KernelBuilder};
 pub use json::Json;
 pub use mem::race::{RaceClass, RaceFinding, RaceReport, RaceSummary};
+pub use mem::transfer::Interconnect;
 pub use timing::report::{KernelStats, LaunchProfile, LaunchReport, ProfileReport};
 
 /// Convenient imports for writing and launching kernels.
@@ -83,5 +84,6 @@ pub mod prelude {
     pub use crate::ir::expr::Expr;
     pub use crate::mem::global::DevicePtr;
     pub use crate::mem::race::{RaceClass, RaceFinding, RaceReport, RaceSummary};
+    pub use crate::mem::transfer::Interconnect;
     pub use crate::timing::report::{LaunchProfile, LaunchReport, ProfileReport};
 }

@@ -102,6 +102,27 @@ impl GlobalMemory {
             .collect())
     }
 
+    /// Copies the first `words` words of the buffer to the host (for
+    /// draining variable-length staging buffers without touching the
+    /// unused tail).
+    pub fn read_prefix(&self, ptr: DevicePtr, words: usize) -> Result<Vec<u32>, SimError> {
+        let b = self.buffer(ptr)?;
+        if words > b.data.len() {
+            return Err(SimError::ArgumentMismatch {
+                detail: format!(
+                    "prefix read of {} words from buffer '{}' of {} words",
+                    words,
+                    b.label,
+                    b.data.len()
+                ),
+            });
+        }
+        Ok(b.data[..words]
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect())
+    }
+
     /// Reads one word.
     pub fn read_word(&self, ptr: DevicePtr, index: usize) -> Result<u32, SimError> {
         let b = self.buffer(ptr)?;
@@ -123,6 +144,26 @@ impl GlobalMemory {
             return Err(SimError::ArgumentMismatch {
                 detail: format!(
                     "write of {} words into buffer '{}' of {} words",
+                    src.len(),
+                    b.label,
+                    b.data.len()
+                ),
+            });
+        }
+        for (dst, &v) in b.data.iter().zip(src) {
+            dst.store(v, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Overwrites the first `src.len()` words of the buffer; the tail
+    /// keeps its contents. Errors if the buffer is shorter than `src`.
+    pub fn write_prefix(&self, ptr: DevicePtr, src: &[u32]) -> Result<(), SimError> {
+        let b = self.buffer(ptr)?;
+        if src.len() > b.data.len() {
+            return Err(SimError::ArgumentMismatch {
+                detail: format!(
+                    "prefix write of {} words into buffer '{}' of {} words",
                     src.len(),
                     b.label,
                     b.data.len()

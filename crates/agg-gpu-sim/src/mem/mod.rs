@@ -11,4 +11,4 @@ pub use coalesce::transactions_for;
 pub use global::{DevicePtr, GlobalMemory};
 pub use race::{RaceClass, RaceFinding, RaceReport, RaceSummary};
 pub use shared::bank_conflict_replays;
-pub use transfer::transfer_ns;
+pub use transfer::{transfer_ns, Interconnect};

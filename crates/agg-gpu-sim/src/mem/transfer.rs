@@ -1,4 +1,5 @@
-//! Host<->device transfer cost model (PCIe).
+//! Host<->device transfer cost model (PCIe) and the device<->device
+//! [`Interconnect`] used by multi-device sharded execution.
 
 use crate::config::DeviceConfig;
 
@@ -6,6 +7,68 @@ use crate::config::DeviceConfig;
 /// fixed latency plus bandwidth time.
 pub fn transfer_ns(cfg: &DeviceConfig, bytes: usize) -> f64 {
     cfg.pcie_latency_us * 1_000.0 + bytes as f64 / cfg.pcie_gbps
+}
+
+/// Cost model for the link fabric between simulated devices.
+///
+/// Like the PCIe model above it is latency + bandwidth, but it also
+/// models the *all-to-all* exchange step of a bulk-synchronous sharded
+/// run: every device sends and receives concurrently, links are
+/// full-duplex, so one exchange round costs a single latency term plus
+/// the bandwidth time of the most-loaded node port (the max over devices
+/// of `max(bytes sent, bytes received)`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interconnect {
+    /// Per-direction node bandwidth in GB/s (== bytes per nanosecond).
+    pub gbps: f64,
+    /// One-way message latency in microseconds.
+    pub latency_us: f64,
+}
+
+impl Interconnect {
+    /// PCIe 2.0-era peer copies through host memory (the Tesla C2070's
+    /// world): ~6 GB/s per direction, 10 us latency.
+    pub fn pcie() -> Interconnect {
+        Interconnect {
+            gbps: 6.0,
+            latency_us: 10.0,
+        }
+    }
+
+    /// An NVLink-class fabric: ~25 GB/s per direction, 2 us latency.
+    pub fn nvlink() -> Interconnect {
+        Interconnect {
+            gbps: 25.0,
+            latency_us: 2.0,
+        }
+    }
+
+    /// Nanoseconds for one point-to-point message of `bytes`.
+    pub fn pair_ns(&self, bytes: usize) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        self.latency_us * 1_000.0 + bytes as f64 / self.gbps
+    }
+
+    /// Nanoseconds for one all-to-all exchange round, given the per-pair
+    /// byte matrix `bytes[src][dst]` (diagonal ignored). All pairs
+    /// proceed concurrently; the round is gated by the most-loaded node
+    /// port and pays the latency once. A round that moves no bytes is
+    /// free (no message is sent at all).
+    pub fn all_to_all_ns(&self, bytes: &[Vec<usize>]) -> f64 {
+        let k = bytes.len();
+        let mut busiest = 0usize;
+        for (s, row) in bytes.iter().enumerate() {
+            let sent: usize = (0..k).filter(|&d| d != s).map(|d| row[d]).sum();
+            let recv: usize = (0..k).filter(|&d| d != s).map(|d| bytes[d][s]).sum();
+            busiest = busiest.max(sent).max(recv);
+        }
+        if busiest == 0 {
+            return 0.0;
+        }
+        self.latency_us * 1_000.0 + busiest as f64 / self.gbps
+    }
 }
 
 #[cfg(test)]
@@ -34,5 +97,36 @@ mod tests {
     fn monotone_in_bytes() {
         let cfg = DeviceConfig::tesla_c2070();
         assert!(transfer_ns(&cfg, 1000) < transfer_ns(&cfg, 2000));
+    }
+
+    #[test]
+    fn interconnect_pair_cost_and_free_empty_message() {
+        let ic = Interconnect::pcie();
+        assert_eq!(ic.pair_ns(0), 0.0);
+        // 6 GB/s = 6 bytes/ns: 600 bytes -> 100 ns + 10 us latency.
+        assert!((ic.pair_ns(600) - 10_100.0).abs() < 1e-9);
+        assert!(Interconnect::nvlink().pair_ns(600) < ic.pair_ns(600));
+    }
+
+    #[test]
+    fn all_to_all_gated_by_most_loaded_port() {
+        let ic = Interconnect::pcie();
+        // 3 devices; device 0 sends 600 + 600, the rest send less. The
+        // busiest port moves 1200 bytes -> 200 ns + latency.
+        let bytes = vec![vec![0, 600, 600], vec![60, 0, 0], vec![0, 60, 0]];
+        assert!((ic.all_to_all_ns(&bytes) - 10_200.0).abs() < 1e-9);
+        // Receive side can gate too: both senders target device 2.
+        let bytes = vec![vec![0, 0, 600], vec![0, 0, 600], vec![0, 0, 0]];
+        assert!((ic.all_to_all_ns(&bytes) - 10_200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_to_all_with_no_traffic_is_free() {
+        let ic = Interconnect::pcie();
+        let bytes = vec![vec![0; 4]; 4];
+        assert_eq!(ic.all_to_all_ns(&bytes), 0.0);
+        // Diagonal (self) entries are ignored even if nonzero.
+        let bytes = vec![vec![7, 0], vec![0, 7]];
+        assert_eq!(ic.all_to_all_ns(&bytes), 0.0);
     }
 }

@@ -32,6 +32,12 @@ pub enum GraphError {
         /// The requested count.
         requested: u64,
     },
+    /// A partition request that cannot be satisfied (zero shards, more
+    /// shards than the id space, ...).
+    InvalidPartition {
+        /// Human-readable description of the problem.
+        detail: String,
+    },
     /// A parse error in an input file, with 1-based line number.
     Parse {
         /// 1-based line number of the offending input line.
@@ -60,6 +66,9 @@ impl fmt::Display for GraphError {
             }
             GraphError::TooLarge { what, requested } => {
                 write!(f, "{what} count {requested} exceeds 32-bit device id space")
+            }
+            GraphError::InvalidPartition { detail } => {
+                write!(f, "invalid partition request: {detail}")
             }
             GraphError::Parse { line, detail } => write!(f, "parse error at line {line}: {detail}"),
             GraphError::Io(e) => write!(f, "i/o error: {e}"),

@@ -16,6 +16,9 @@
 //!   Watts–Strogatz).
 //! * [`io`] — parsers and writers for the 9th DIMACS challenge `.gr` format
 //!   and SNAP-style edge lists, so the real datasets can be dropped in.
+//! * [`mod@partition`] — 1D vertex partitioners (contiguous and
+//!   degree-balanced) producing per-shard CSR slices plus ghost/halo
+//!   metadata for multi-device sharded execution.
 //! * [`stats`] — the topology statistics the paper's Table 1 and Figure 1
 //!   report and that the adaptive runtime's *graph inspector* consumes.
 //! * [`datasets`] — a registry binding the six paper datasets to generator
@@ -29,6 +32,7 @@ pub mod datasets;
 pub mod error;
 pub mod generators;
 pub mod io;
+pub mod partition;
 pub mod relabel;
 pub mod stats;
 pub mod traversal;
@@ -37,4 +41,5 @@ pub use builder::GraphBuilder;
 pub use csr::{CsrGraph, NodeId, INF};
 pub use datasets::{Dataset, Scale};
 pub use error::GraphError;
+pub use partition::{partition, Partition, PartitionStrategy, ShardPlan};
 pub use stats::{DegreeStats, GraphStats};

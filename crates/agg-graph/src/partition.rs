@@ -1,0 +1,641 @@
+//! 1D vertex partitioning for multi-device sharded execution.
+//!
+//! A [`Partition`] splits a [`CsrGraph`] into `k` shards, each owning a
+//! *contiguous* global vertex range `[start, end)` — the classic 1D
+//! decomposition of distributed BFS (Bisson et al.) and multi-GPU Gunrock.
+//! Every directed edge belongs to exactly one shard: the shard that owns
+//! its **source**. Each shard gets:
+//!
+//! * a **local forward CSR** over `owned + ghost` nodes: owned nodes keep
+//!   all their out-edges (so local outdegree == global outdegree), remote
+//!   endpoints are renamed to *ghost* local ids, and ghost rows are empty;
+//! * a **local reverse CSR** listing, for every owned destination, its
+//!   in-edges (from owned *and* remote sources) in the same canonical
+//!   `(source, edge ordinal)` ascending order that [`CsrGraph::reverse`]
+//!   produces globally — the order the deterministic PageRank gather sums
+//!   in, so sharded float accumulation is bit-identical to single-device;
+//! * a sorted **ghost table** (global ids of every remote node referenced
+//!   by either CSR) and the **boundary source** list (owned nodes with at
+//!   least one out-edge leaving the shard — the nodes whose updates other
+//!   shards may need).
+//!
+//! Local ids are dense: owned nodes map to `[0, owned)` by offset, ghosts
+//! to `[owned, owned + ghosts)` in ascending global order, so translation
+//! is offset arithmetic plus a binary search (see [`ShardPlan::to_local`] /
+//! [`ShardPlan::to_global`], round-trip checked by [`Partition::validate`]).
+//!
+//! Two strategies choose the range boundaries:
+//!
+//! * [`PartitionStrategy::Contiguous1D`] — equal node counts;
+//! * [`PartitionStrategy::DegreeBalanced`] — a prefix-degree sweep placing
+//!   boundaries so shard *edge* counts balance; each shard's edge count is
+//!   within `max_outdegree` of the ideal `m / k` (documented bound:
+//!   `max_shard_edges <= ceil(m / k) + max_outdegree`, and symmetrically
+//!   `min_shard_edges >= floor(m / k) - max_outdegree`, saturating at 0).
+
+use crate::csr::{CsrGraph, NodeId};
+use crate::error::GraphError;
+
+/// How shard boundaries are chosen along the global vertex order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionStrategy {
+    /// Equal-width node ranges: shard `s` owns `[s*n/k, (s+1)*n/k)`.
+    Contiguous1D,
+    /// Prefix-degree sweep balancing *edge* counts: the boundary of shard
+    /// `s` is the first node whose edge prefix reaches `s * m / k`. Shard
+    /// edge counts stay within `max_outdegree` of `m / k` (see module
+    /// docs). Falls back to [`PartitionStrategy::Contiguous1D`] boundaries
+    /// on edgeless graphs.
+    DegreeBalanced,
+}
+
+impl PartitionStrategy {
+    /// Parses `"contiguous"` / `"degree"` (CLI spelling).
+    pub fn parse(s: &str) -> Option<PartitionStrategy> {
+        match s {
+            "contiguous" => Some(PartitionStrategy::Contiguous1D),
+            "degree" => Some(PartitionStrategy::DegreeBalanced),
+            _ => None,
+        }
+    }
+
+    /// Canonical name (inverse of [`PartitionStrategy::parse`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            PartitionStrategy::Contiguous1D => "contiguous",
+            PartitionStrategy::DegreeBalanced => "degree",
+        }
+    }
+}
+
+/// One shard of a [`Partition`]: the owned vertex range, the local CSR
+/// slices, and the ghost/boundary metadata needed for frontier exchange.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    /// Shard index in `0..k`.
+    pub shard: usize,
+    /// First owned global node id.
+    pub start: NodeId,
+    /// One past the last owned global node id (`start == end` for an
+    /// empty shard).
+    pub end: NodeId,
+    /// Local forward CSR over `owned + ghost` nodes: owned rows carry all
+    /// their out-edges (columns renamed to local ids), ghost rows are
+    /// empty. Weights are sliced along when the global graph is weighted.
+    pub local: CsrGraph,
+    /// Local reverse CSR over the same node set: row `v` (owned) lists the
+    /// local ids of `v`'s in-neighbors in canonical global
+    /// `(source, edge ordinal)` order; ghost rows are empty. Unweighted.
+    pub reverse: CsrGraph,
+    /// Global ids of ghost nodes, ascending. Ghost local id
+    /// `owned_count() + i` corresponds to `ghosts[i]`.
+    pub ghosts: Vec<NodeId>,
+    /// Local ids (ascending) of owned nodes with at least one out-edge
+    /// whose destination another shard owns.
+    pub boundary_sources: Vec<u32>,
+    /// Out-edges of this shard whose destination another shard owns.
+    pub cut_out_edges: usize,
+    /// In-edges of this shard's owned nodes whose source another shard
+    /// owns (those edges are counted in the *source* shard's
+    /// `local.edge_count()`, not this one's).
+    pub cut_in_edges: usize,
+}
+
+impl ShardPlan {
+    /// Number of owned nodes.
+    #[inline]
+    pub fn owned_count(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// Number of ghost nodes.
+    #[inline]
+    pub fn ghost_count(&self) -> usize {
+        self.ghosts.len()
+    }
+
+    /// Owned + ghost node count (the local CSR's node count).
+    #[inline]
+    pub fn ext_count(&self) -> usize {
+        self.owned_count() + self.ghosts.len()
+    }
+
+    /// Whether this shard owns global node `g`.
+    #[inline]
+    pub fn owns(&self, g: NodeId) -> bool {
+        (self.start..self.end).contains(&g)
+    }
+
+    /// Local id of global node `g`: offset arithmetic for owned nodes, a
+    /// binary search of the ghost table otherwise. `None` when `g` is
+    /// neither owned nor a ghost here.
+    pub fn to_local(&self, g: NodeId) -> Option<u32> {
+        if self.owns(g) {
+            return Some(g - self.start);
+        }
+        self.ghosts
+            .binary_search(&g)
+            .ok()
+            .map(|i| self.owned_count() as u32 + i as u32)
+    }
+
+    /// Global id of local node `l` (owned or ghost).
+    ///
+    /// # Panics
+    /// When `l >= ext_count()`.
+    pub fn to_global(&self, l: u32) -> NodeId {
+        let owned = self.owned_count() as u32;
+        if l < owned {
+            self.start + l
+        } else {
+            self.ghosts[(l - owned) as usize]
+        }
+    }
+}
+
+/// A complete 1D partition of a graph into `k` shards.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// Global node count.
+    pub n: usize,
+    /// Global edge count.
+    pub m: usize,
+    /// Strategy that placed the boundaries.
+    pub strategy: PartitionStrategy,
+    /// The shards, in global vertex order (`shards[s].shard == s`).
+    pub shards: Vec<ShardPlan>,
+    /// Total edges whose endpoints live on different shards (each cut
+    /// edge counted once, at its source shard).
+    pub cut_edges: usize,
+}
+
+impl Partition {
+    /// Number of shards.
+    #[inline]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Index of the shard owning global node `g`.
+    ///
+    /// # Panics
+    /// When `g >= n`.
+    pub fn owner_of(&self, g: NodeId) -> usize {
+        assert!((g as usize) < self.n, "node {g} out of range ({})", self.n);
+        // Shards are contiguous and ordered: find the last start <= g.
+        self.shards.partition_point(|s| s.start <= g) - 1
+    }
+
+    /// Fraction of edges cut by the partition (`0.0` on edgeless graphs).
+    pub fn cut_fraction(&self) -> f64 {
+        if self.m == 0 {
+            0.0
+        } else {
+            self.cut_edges as f64 / self.m as f64
+        }
+    }
+
+    /// Largest per-shard owned edge count.
+    pub fn max_shard_edges(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.local.edge_count())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Smallest per-shard owned edge count.
+    pub fn min_shard_edges(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.local.edge_count())
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Re-derives every partition invariant from scratch against the
+    /// source graph: shard ranges tile `[0, n)`; every global edge appears
+    /// in exactly one shard (at its source, with its weight); local ids
+    /// round-trip through [`ShardPlan::to_local`]/[`ShardPlan::to_global`];
+    /// ghost tables are sorted, deduplicated, and disjoint from the owned
+    /// range; reverse rows cover exactly the in-edges of owned nodes.
+    pub fn validate(&self, g: &CsrGraph) -> Result<(), GraphError> {
+        let fail = |detail: String| Err(GraphError::InvalidPartition { detail });
+        if g.node_count() != self.n || g.edge_count() != self.m {
+            return fail(format!(
+                "partition built for {}n/{}m, graph has {}n/{}m",
+                self.n,
+                self.m,
+                g.node_count(),
+                g.edge_count()
+            ));
+        }
+        // Ranges tile [0, n).
+        let mut next = 0u32;
+        for (i, s) in self.shards.iter().enumerate() {
+            if s.shard != i || s.start != next || s.end < s.start {
+                return fail(format!(
+                    "shard {i} range [{}, {}) does not continue from {next}",
+                    s.start, s.end
+                ));
+            }
+            next = s.end;
+        }
+        if next as usize != self.n {
+            return fail(format!("shard ranges end at {next}, expected {}", self.n));
+        }
+        let mut total_edges = 0usize;
+        let mut total_cut = 0usize;
+        for s in &self.shards {
+            // Ghost table: sorted, unique, never owned.
+            if !s.ghosts.windows(2).all(|w| w[0] < w[1]) {
+                return fail(format!("shard {} ghost table not strictly sorted", s.shard));
+            }
+            if s.ghosts.iter().any(|&gh| s.owns(gh)) {
+                return fail(format!("shard {} ghost table contains owned node", s.shard));
+            }
+            // Id round-trip, both directions.
+            for l in 0..s.ext_count() as u32 {
+                let gl = s.to_global(l);
+                if s.to_local(gl) != Some(l) {
+                    return fail(format!(
+                        "shard {}: local {l} -> global {gl} -> {:?}",
+                        s.shard,
+                        s.to_local(gl)
+                    ));
+                }
+            }
+            // Every local forward edge is a global edge owned by this
+            // shard, in the global CSR's row order.
+            let mut want: Vec<(NodeId, NodeId, u32)> = Vec::with_capacity(s.local.edge_count());
+            for v in s.start..s.end {
+                want.extend(g.weighted_neighbors(v).map(|(d, w)| (v, d, w)));
+            }
+            let got: Vec<(NodeId, NodeId, u32)> = s
+                .local
+                .edges()
+                .map(|(ls, ld, w)| (s.to_global(ls), s.to_global(ld), w))
+                .collect();
+            if got != want {
+                return fail(format!(
+                    "shard {}: local edges disagree with the owned global slice",
+                    s.shard
+                ));
+            }
+            total_edges += got.len();
+            total_cut += s.cut_out_edges;
+            // Reverse rows: exactly the in-edges of owned nodes, in
+            // canonical (source, ordinal) order.
+            let mut want_in: Vec<Vec<u32>> = vec![Vec::new(); s.ext_count()];
+            for (src, dst, _) in g.edges() {
+                if s.owns(dst) {
+                    let Some(ls) = s.to_local(src) else {
+                        return fail(format!(
+                            "shard {}: in-edge source {src} missing from ghost table",
+                            s.shard
+                        ));
+                    };
+                    want_in[(dst - s.start) as usize].push(ls);
+                }
+            }
+            if s.reverse.node_count() != s.ext_count() {
+                return fail(format!("shard {}: reverse CSR node count", s.shard));
+            }
+            for v in 0..s.ext_count() as u32 {
+                let got_in: Vec<u32> = s.reverse.neighbors(v).collect();
+                if got_in != want_in[v as usize] {
+                    return fail(format!(
+                        "shard {}: reverse row of local {v} out of canonical order",
+                        s.shard
+                    ));
+                }
+            }
+        }
+        if total_edges != self.m {
+            return fail(format!(
+                "shards own {total_edges} edges, graph has {}",
+                self.m
+            ));
+        }
+        if total_cut != self.cut_edges {
+            return fail(format!(
+                "per-shard cut edges sum to {total_cut}, partition says {}",
+                self.cut_edges
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Partitions `g` into `shards` 1D vertex shards. The result is validated
+/// before it is returned, so a `Ok(_)` partition always satisfies the
+/// invariants [`Partition::validate`] documents.
+pub fn partition(
+    g: &CsrGraph,
+    shards: usize,
+    strategy: PartitionStrategy,
+) -> Result<Partition, GraphError> {
+    if shards == 0 {
+        return Err(GraphError::InvalidPartition {
+            detail: "shard count must be at least 1".into(),
+        });
+    }
+    let n = g.node_count();
+    let m = g.edge_count();
+    let boundaries = boundaries(g, shards, strategy);
+    let owner = |node: NodeId| -> usize {
+        // Last boundary <= node; boundaries is sorted with k+1 entries.
+        boundaries.partition_point(|&b| b <= node) - 1
+    };
+
+    // One pass over the global edges discovers every ghost relationship:
+    // a cut edge (u, v) makes v a ghost of owner(u) (forward target) and
+    // u a ghost of owner(v) (reverse source).
+    let mut ghost_sets: Vec<Vec<NodeId>> = vec![Vec::new(); shards];
+    let mut cut_out = vec![0usize; shards];
+    let mut cut_in = vec![0usize; shards];
+    for (u, v, _) in g.edges() {
+        let (su, sv) = (owner(u), owner(v));
+        if su != sv {
+            ghost_sets[su].push(v);
+            ghost_sets[sv].push(u);
+            cut_out[su] += 1;
+            cut_in[sv] += 1;
+        }
+    }
+    for set in &mut ghost_sets {
+        set.sort_unstable();
+        set.dedup();
+    }
+
+    let weighted = g.is_weighted();
+    let mut plans = Vec::with_capacity(shards);
+    for s in 0..shards {
+        let (start, end) = (boundaries[s], boundaries[s + 1]);
+        let owned = (end - start) as usize;
+        let ghosts = std::mem::take(&mut ghost_sets[s]);
+        let ext = owned + ghosts.len();
+        let to_local = |node: NodeId| -> u32 {
+            if (start..end).contains(&node) {
+                node - start
+            } else {
+                // Present by construction of the ghost sets above.
+                owned as u32 + ghosts.binary_search(&node).expect("ghost present") as u32
+            }
+        };
+
+        // Forward CSR: owned rows sliced from the global graph, columns
+        // renamed; ghost rows empty.
+        let mut row = Vec::with_capacity(ext + 1);
+        row.push(0u32);
+        let mut col = Vec::new();
+        let mut wts = weighted.then(Vec::new);
+        let mut boundary_sources = Vec::new();
+        for v in start..end {
+            let mut cuts = false;
+            for (d, w) in g.weighted_neighbors(v) {
+                cuts |= !(start..end).contains(&d);
+                col.push(to_local(d));
+                if let Some(ws) = wts.as_mut() {
+                    ws.push(w);
+                }
+            }
+            row.push(col.len() as u32);
+            if cuts {
+                boundary_sources.push(v - start);
+            }
+        }
+        row.resize(ext + 1, col.len() as u32);
+        let local = CsrGraph::from_raw(row, col, wts)?;
+
+        // Reverse CSR via a stable counting sort over the global edge
+        // order, exactly like `CsrGraph::reverse`, restricted to edges
+        // terminating in this shard — so each owned row lists its
+        // in-neighbors in ascending global (source, ordinal) order.
+        let mut in_deg = vec![0u32; ext];
+        for (_, v, _) in g.edges() {
+            if (start..end).contains(&v) {
+                in_deg[(v - start) as usize] += 1;
+            }
+        }
+        let mut rrow = vec![0u32; ext + 1];
+        for i in 0..ext {
+            rrow[i + 1] = rrow[i] + in_deg[i];
+        }
+        let mut rcol = vec![0u32; rrow[ext] as usize];
+        let mut cursor: Vec<u32> = rrow[..ext].to_vec();
+        for (u, v, _) in g.edges() {
+            if (start..end).contains(&v) {
+                let slot = cursor[(v - start) as usize] as usize;
+                cursor[(v - start) as usize] += 1;
+                rcol[slot] = to_local(u);
+            }
+        }
+        let reverse = CsrGraph::from_raw(rrow, rcol, None)?;
+
+        plans.push(ShardPlan {
+            shard: s,
+            start,
+            end,
+            local,
+            reverse,
+            ghosts,
+            boundary_sources,
+            cut_out_edges: cut_out[s],
+            cut_in_edges: cut_in[s],
+        });
+    }
+
+    let part = Partition {
+        n,
+        m,
+        strategy,
+        shards: plans,
+        cut_edges: cut_out.iter().sum(),
+    };
+    part.validate(g)?;
+    Ok(part)
+}
+
+/// Shard boundaries as `k + 1` node ids (`boundaries[s]..boundaries[s+1]`
+/// is shard `s`'s owned range).
+fn boundaries(g: &CsrGraph, k: usize, strategy: PartitionStrategy) -> Vec<NodeId> {
+    let n = g.node_count() as u64;
+    let m = g.edge_count() as u64;
+    match strategy {
+        PartitionStrategy::DegreeBalanced if m > 0 => {
+            let row = g.row_offsets();
+            let mut b: Vec<NodeId> = (0..=k as u64)
+                .map(|s| {
+                    // First node whose edge prefix reaches s*m/k, compared
+                    // exactly in integers: row[v] * k >= s * m.
+                    row.partition_point(|&r| (r as u64) * (k as u64) < s * m) as NodeId
+                })
+                .collect();
+            b[k] = n as NodeId;
+            b
+        }
+        _ => (0..=k as u64)
+            .map(|s| ((s * n) / k as u64) as NodeId)
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn diamond() -> CsrGraph {
+        // 6 nodes, edges chosen so every shard count 1..=4 cuts something.
+        GraphBuilder::from_weighted_edges(
+            6,
+            &[
+                (0, 1, 2),
+                (0, 4, 7),
+                (1, 2, 1),
+                (2, 5, 3),
+                (3, 0, 9),
+                (4, 5, 4),
+                (5, 1, 6),
+                (5, 5, 1),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn contiguous_tiles_nodes_evenly() {
+        let g = diamond();
+        for k in 1..=8 {
+            let p = partition(&g, k, PartitionStrategy::Contiguous1D).unwrap();
+            assert_eq!(p.shard_count(), k);
+            p.validate(&g).unwrap();
+            let max = p.shards.iter().map(|s| s.owned_count()).max().unwrap();
+            let min = p.shards.iter().map(|s| s.owned_count()).min().unwrap();
+            assert!(max - min <= 1, "k={k}: {min}..{max}");
+        }
+    }
+
+    #[test]
+    fn degree_balanced_respects_documented_edge_bound() {
+        let g = diamond();
+        let dmax = (0..6).map(|v| g.out_degree(v)).max().unwrap();
+        for k in 1..=8 {
+            let p = partition(&g, k, PartitionStrategy::DegreeBalanced).unwrap();
+            p.validate(&g).unwrap();
+            let ideal = g.edge_count().div_ceil(k);
+            assert!(
+                p.max_shard_edges() <= ideal + dmax,
+                "k={k}: max {} > {ideal} + {dmax}",
+                p.max_shard_edges()
+            );
+            assert!(
+                p.min_shard_edges() + dmax >= g.edge_count() / k,
+                "k={k}: min {}",
+                p.min_shard_edges()
+            );
+        }
+    }
+
+    #[test]
+    fn single_shard_is_the_whole_graph_with_no_ghosts() {
+        let g = diamond();
+        let p = partition(&g, 1, PartitionStrategy::Contiguous1D).unwrap();
+        let s = &p.shards[0];
+        assert_eq!(s.ghost_count(), 0);
+        assert_eq!(p.cut_edges, 0);
+        assert!(s.boundary_sources.is_empty());
+        assert_eq!(s.local, g);
+        // Reverse matches the global transpose (unweighted).
+        let mut want: Vec<_> = g.reverse().edges().map(|(a, b, _)| (a, b)).collect();
+        let mut got: Vec<_> = s.reverse.edges().map(|(a, b, _)| (a, b)).collect();
+        want.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn ghost_translation_round_trips_and_owner_lookup_agrees() {
+        let g = diamond();
+        let p = partition(&g, 3, PartitionStrategy::Contiguous1D).unwrap();
+        for v in 0..6u32 {
+            let o = p.owner_of(v);
+            assert!(p.shards[o].owns(v));
+            for s in &p.shards {
+                if let Some(l) = s.to_local(v) {
+                    assert_eq!(s.to_global(l), v);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weights_follow_their_edges() {
+        let g = diamond();
+        let p = partition(&g, 3, PartitionStrategy::DegreeBalanced).unwrap();
+        let mut seen: Vec<(u32, u32, u32)> = Vec::new();
+        for s in &p.shards {
+            seen.extend(
+                s.local
+                    .edges()
+                    .map(|(ls, ld, w)| (s.to_global(ls), s.to_global(ld), w)),
+            );
+        }
+        seen.sort_unstable();
+        let mut want: Vec<_> = g.edges().collect();
+        want.sort_unstable();
+        assert_eq!(seen, want);
+    }
+
+    #[test]
+    fn empty_graph_and_more_shards_than_nodes() {
+        let empty = CsrGraph::empty(0);
+        let p = partition(&empty, 4, PartitionStrategy::DegreeBalanced).unwrap();
+        assert!(p.shards.iter().all(|s| s.owned_count() == 0));
+        let tiny = CsrGraph::empty(2);
+        let p = partition(&tiny, 5, PartitionStrategy::Contiguous1D).unwrap();
+        assert_eq!(
+            p.shards.iter().map(|s| s.owned_count()).sum::<usize>(),
+            2,
+            "all nodes owned exactly once"
+        );
+        p.validate(&tiny).unwrap();
+    }
+
+    #[test]
+    fn zero_shards_is_rejected() {
+        assert!(matches!(
+            partition(&diamond(), 0, PartitionStrategy::Contiguous1D),
+            Err(GraphError::InvalidPartition { .. })
+        ));
+    }
+
+    #[test]
+    fn boundary_sources_are_exactly_the_cut_sources() {
+        let g = diamond();
+        let p = partition(&g, 2, PartitionStrategy::Contiguous1D).unwrap();
+        for s in &p.shards {
+            for v in s.start..s.end {
+                let cuts = g.neighbors(v).any(|d| !s.owns(d));
+                assert_eq!(
+                    s.boundary_sources.contains(&(v - s.start)),
+                    cuts,
+                    "shard {} node {v}",
+                    s.shard
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn strategy_parse_round_trips() {
+        for s in [
+            PartitionStrategy::Contiguous1D,
+            PartitionStrategy::DegreeBalanced,
+        ] {
+            assert_eq!(PartitionStrategy::parse(s.name()), Some(s));
+        }
+        assert_eq!(PartitionStrategy::parse("metis"), None);
+    }
+}

@@ -1,0 +1,173 @@
+//! Boundary-exchange kernels for multi-device sharded execution.
+//!
+//! A sharded run keeps one device per vertex shard (see
+//! `agg_graph::partition`). Between supersteps, shards trade boundary
+//! state as `(local id, value)` pairs staged through interleaved pair
+//! buffers: `pairs[2i]` is the local node id, `pairs[2i + 1]` the value
+//! word. Three small kernels implement the device side of the protocol:
+//!
+//! * `gen_ghost` in [`crate::workset`] (the boundary-aware
+//!   `workset_gen`) *emits* the outgoing pairs for updated ghost nodes;
+//! * [`collect_list`] emits pairs for a precomputed node list (PageRank
+//!   boundary sources publishing their push values);
+//! * [`scatter_min`] *applies* incoming pairs with a min-merge, flagging
+//!   improved nodes for the next working set (BFS/SSSP/CC);
+//! * [`scatter_store`] applies incoming pairs with a plain store
+//!   (PageRank ghost push values — each ghost has exactly one owner, so
+//!   no merge is needed).
+//!
+//! The host deduplicates incoming pairs per destination before launching
+//! a scatter, so every kernel here writes each word from at most one
+//! thread: the whole exchange is race-free by construction (and runs
+//! clean under the simulator's race detector in the differential
+//! harness).
+
+use agg_gpu_sim::ir::expr::Expr;
+use agg_gpu_sim::{Kernel, KernelBuilder};
+
+/// Applies incoming `(local id, value)` pairs with a min-merge: a pair
+/// improving `value[lid]` stores the new value and flags `update[lid]`.
+/// Buffers `[pairs, value, update]`, scalar `count` (number of pairs).
+/// The host guarantees at most one pair per destination id, so plain
+/// loads/stores suffice.
+pub fn scatter_min() -> Kernel {
+    let mut k = KernelBuilder::new("shard_scatter_min");
+    let pairs = k.buf_param();
+    let value = k.buf_param();
+    let update = k.buf_param();
+    let count = k.scalar_param();
+    let tid = k.let_(k.global_thread_id());
+    k.if_(Expr::Reg(tid).ge(count), |k| k.ret());
+    let lid = k.load(pairs, Expr::Reg(tid).mul(2u32));
+    let lid = k.let_(lid);
+    let val = k.load(pairs, Expr::Reg(tid).mul(2u32).add(1u32));
+    let val = k.let_(val);
+    let cur = k.load(value, lid);
+    k.if_(Expr::Reg(val).lt(cur), |k| {
+        k.store(value, lid, Expr::Reg(val));
+        k.store(update, lid, 1u32);
+    });
+    k.build().expect("statically valid")
+}
+
+/// Applies incoming `(local id, word)` pairs with a plain store into
+/// `dst`. Buffers `[pairs, dst]`, scalar `count`. Used for PageRank
+/// ghost push values, where each ghost id appears in at most one pair.
+pub fn scatter_store() -> Kernel {
+    let mut k = KernelBuilder::new("shard_scatter_store");
+    let pairs = k.buf_param();
+    let dst = k.buf_param();
+    let count = k.scalar_param();
+    let tid = k.let_(k.global_thread_id());
+    k.if_(Expr::Reg(tid).ge(count), |k| k.ret());
+    let lid = k.load(pairs, Expr::Reg(tid).mul(2u32));
+    let lid = k.let_(lid);
+    let val = k.load(pairs, Expr::Reg(tid).mul(2u32).add(1u32));
+    k.store(dst, lid, val);
+    k.build().expect("statically valid")
+}
+
+/// Emits `(local id, src[lid])` pairs for every id in a precomputed node
+/// list whose `src` word is nonzero (zero words carry no information —
+/// for PageRank push values, `+0.0` contributes nothing to a gather).
+/// Buffers `[list, src, pairs, out_len]`, scalar `count` (list length).
+/// Pair slots are handed out with an `atomicAdd`, so pair order is
+/// nondeterministic — consumers must not depend on it (the shard
+/// runtime's host-side merge sorts pairs before applying them).
+pub fn collect_list() -> Kernel {
+    let mut k = KernelBuilder::new("shard_collect_list");
+    let list = k.buf_param();
+    let src = k.buf_param();
+    let pairs = k.buf_param();
+    let out_len = k.buf_param();
+    let count = k.scalar_param();
+    let tid = k.let_(k.global_thread_id());
+    k.if_(Expr::Reg(tid).ge(count), |k| k.ret());
+    let lid = k.load(list, tid);
+    let lid = k.let_(lid);
+    let val = k.load(src, lid);
+    let val = k.let_(val);
+    k.if_(Expr::Reg(val).ne(0u32), |k| {
+        let slot = k.atomic_add(out_len, 0u32, 1u32);
+        let slot = k.let_(slot);
+        k.store(pairs, Expr::Reg(slot).mul(2u32), Expr::Reg(lid));
+        k.store(pairs, Expr::Reg(slot).mul(2u32).add(1u32), Expr::Reg(val));
+    });
+    k.build().expect("statically valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agg_gpu_sim::prelude::*;
+
+    #[test]
+    fn scatter_min_improves_and_flags() {
+        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let pairs = dev.alloc_from_slice("pairs", &[1, 5, 3, 40, 0, 2]);
+        let value = dev.alloc_from_slice("value", &[10, 10, 10, 10]);
+        let update = dev.alloc("update", 4);
+        dev.launch(
+            &scatter_min(),
+            Grid::linear(3, 192),
+            &LaunchArgs::new().bufs([pairs, value, update]).scalars([3]),
+        )
+        .unwrap();
+        // Pair (3, 40) does not improve value[3] = 10: no store, no flag.
+        assert_eq!(dev.debug_read(value).unwrap(), vec![2, 5, 10, 10]);
+        assert_eq!(dev.debug_read(update).unwrap(), vec![1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn scatter_store_writes_verbatim() {
+        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let pairs = dev.alloc_from_slice("pairs", &[2, 77, 0, 99]);
+        let dst = dev.alloc("dst", 3);
+        dev.launch(
+            &scatter_store(),
+            Grid::linear(2, 192),
+            &LaunchArgs::new().bufs([pairs, dst]).scalars([2]),
+        )
+        .unwrap();
+        assert_eq!(dev.debug_read(dst).unwrap(), vec![99, 0, 77]);
+    }
+
+    #[test]
+    fn collect_list_emits_only_nonzero_words() {
+        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let list = dev.alloc_from_slice("list", &[0, 2, 4]);
+        let src = dev.alloc_from_slice("src", &[11, 0, 0, 0, 44]);
+        let pairs = dev.alloc("pairs", 6);
+        let out_len = dev.alloc("out_len", 1);
+        dev.launch(
+            &collect_list(),
+            Grid::linear(3, 192),
+            &LaunchArgs::new()
+                .bufs([list, src, pairs, out_len])
+                .scalars([3]),
+        )
+        .unwrap();
+        let n = dev.debug_read_word(out_len, 0).unwrap() as usize;
+        assert_eq!(n, 2);
+        let raw = dev.debug_read(pairs).unwrap();
+        let mut got: Vec<(u32, u32)> = (0..n).map(|i| (raw[2 * i], raw[2 * i + 1])).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![(0, 11), (4, 44)]);
+    }
+
+    #[test]
+    fn empty_pair_sets_are_no_ops() {
+        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let pairs = dev.alloc("pairs", 2);
+        let value = dev.alloc_from_slice("value", &[9]);
+        let update = dev.alloc("update", 1);
+        dev.launch(
+            &scatter_min(),
+            Grid::linear(1, 192),
+            &LaunchArgs::new().bufs([pairs, value, update]).scalars([0]),
+        )
+        .unwrap();
+        assert_eq!(dev.debug_read(value).unwrap(), vec![9]);
+        assert_eq!(dev.debug_read(update).unwrap(), vec![0]);
+    }
+}

@@ -26,6 +26,7 @@
 pub mod bfs;
 pub mod bottomup;
 pub mod cc;
+pub mod exchange;
 pub mod findmin;
 pub mod pagerank;
 pub mod sssp;
@@ -77,11 +78,26 @@ pub struct GpuKernels {
     pub sssp_vw_bitmap: Kernel,
     /// Virtual-warp SSSP, queue working set (extension).
     pub sssp_vw_queue: Kernel,
-    /// PageRank-delta kernels, indexed by `Variant::index() - 4` over
-    /// [`Variant::UNORDERED`] (extension).
+    /// PageRank-delta *claim* kernels, indexed by `Variant::index() - 4`
+    /// over [`Variant::UNORDERED`] (extension).
     pub pagerank: Vec<Kernel>,
+    /// PageRank-delta *gather* kernel (variant-independent; deterministic
+    /// per-destination accumulation over the reverse CSR).
+    pub pagerank_gather: Kernel,
     /// Bottom-up BFS step (direction-optimizing extension).
     pub bfs_bottom_up: Kernel,
+    /// Boundary-aware working-set generation: emits outgoing ghost-update
+    /// pairs (sharded execution).
+    pub gen_ghost: Kernel,
+    /// Min-merge application of incoming boundary pairs (sharded
+    /// BFS/SSSP/CC).
+    pub scatter_min: Kernel,
+    /// Plain-store application of incoming boundary pairs (sharded
+    /// PageRank push values).
+    pub scatter_store: Kernel,
+    /// Pair emission over a precomputed node list (sharded PageRank
+    /// boundary sources).
+    pub collect_list: Kernel,
 }
 
 impl GpuKernels {
@@ -108,7 +124,12 @@ impl GpuKernels {
                 .iter()
                 .map(|v| pagerank::build(*v))
                 .collect(),
+            pagerank_gather: pagerank::gather(),
             bfs_bottom_up: bottomup::build(),
+            gen_ghost: workset::gen_ghost(),
+            scatter_min: exchange::scatter_min(),
+            scatter_store: exchange::scatter_store(),
+            collect_list: exchange::collect_list(),
         }
     }
 
@@ -177,9 +198,14 @@ mod tests {
             &k.bfs_vw_queue,
             &k.sssp_vw_bitmap,
             &k.sssp_vw_queue,
+            &k.pagerank_gather,
             &k.bfs_bottom_up,
+            &k.gen_ghost,
+            &k.scatter_min,
+            &k.scatter_store,
+            &k.collect_list,
         ]);
-        assert_eq!(all.len(), 8 + 8 + 4 + 4 + 14);
+        assert_eq!(all.len(), 8 + 8 + 4 + 4 + 19);
         for kernel in all {
             let src = kernel.to_pseudo_code();
             assert!(src.contains(&kernel.name), "{} missing from listing", kernel.name);

@@ -1,51 +1,76 @@
 //! PageRank-delta computation kernels (extension).
 //!
 //! The paper's introduction motivates web ranking as a target workload;
-//! delta-PageRank ("push-style" PageRank) fits the framework's iterative
-//! working-set pattern exactly: each active node *claims* its accumulated
-//! residual, folds it into its rank, and pushes `residual × d / outdeg`
-//! to each neighbor with a float atomic add. A neighbor enters the update
-//! vector when its residual crosses the convergence threshold `ε` from
-//! below, and the traversal ends when no residual exceeds ε.
+//! delta-PageRank fits the framework's iterative working-set pattern
+//! exactly. Each iteration runs a deterministic **claim → gather** pair
+//! instead of the classic atomic-push formulation:
+//!
+//! 1. **claim** (one kernel per variant): each working-set node claims
+//!    its accumulated residual (`atomic_exch` to 0), folds it into its
+//!    rank, and publishes `residual × d / outdeg` into the per-node
+//!    *push-value* buffer (0 for dangling nodes, which drop their mass —
+//!    the common simplification, documented in the oracle too).
+//! 2. **gather** (a single kernel): one thread per destination walks the
+//!    *reverse* CSR row in storage order and accumulates the neighbors'
+//!    push values into the destination's residual **sequentially in a
+//!    register**. A destination whose residual crosses the convergence
+//!    threshold `ε` from below enters the update vector. The host then
+//!    clears the push-value buffer with a device memset.
+//!
+//! The gather replaces the push-style `atomicAdd` scatter on purpose:
+//! float atomics make the summation order depend on warp scheduling, so
+//! results were only reproducible for one launch geometry. With a fixed
+//! per-destination gather order (ascending `(source, edge ordinal)`, the
+//! order [`agg_graph::CsrGraph::reverse`] produces), ranks are
+//! bit-identical across variants, launch geometries, execution modes —
+//! and across multi-device shards, whose local reverse CSRs preserve the
+//! same global order. It is also race-free by construction: every word a
+//! gather thread writes is owned by that thread.
 //!
 //! Invariant maintained across iterations: a node outside both the
 //! working set and the update vector has residual < ε — crossing ε is the
 //! only way in, claiming (which zeroes the residual) the only way out.
-//! Dangling nodes drop their pushed mass (the common simplification;
-//! documented in the oracle too).
+//! Residuals never go negative, so "crossed" reduces to comparing the
+//! register's initial and final values.
 //!
-//! Buffers: `[row, col, rank, residual, ws, update]`; scalars:
-//! `[limit, damping_bits, epsilon_bits]` (f32 bit patterns). Unordered
-//! only — there is no priority order to respect.
+//! Claim buffers: `[row, rank, residual, ws, push_val]`; scalars
+//! `[limit, damping_bits]`. Gather buffers:
+//! `[rev_row, rev_col, residual, push_val, update]`; scalars
+//! `[limit, epsilon_bits]` (f32 bit patterns). Unordered only — there is
+//! no priority order to respect.
 
 use crate::variant::{AlgoOrder, Mapping, Variant, WorkSet};
 use agg_gpu_sim::ir::expr::Expr;
 use agg_gpu_sim::{Kernel, KernelBuilder};
 
-/// Builds the PageRank-delta kernel for `v` (unordered variants only).
+/// Builds the PageRank-delta *claim* kernel for `v` (unordered variants
+/// only). Claiming is O(1) per working-set element, so the block-mapped
+/// variants do the work on thread 0 alone — the mapping still changes
+/// the launch geometry (and therefore the modeled cost) exactly like the
+/// other block-mapped kernels.
 pub fn build(v: Variant) -> Kernel {
     assert!(
         matches!(v.order, AlgoOrder::Unordered),
         "PageRank-delta has no ordered formulation"
     );
-    let mut k = KernelBuilder::new(format!("pagerank_{}", v.name()));
+    let mut k = KernelBuilder::new(format!("pagerank_claim_{}", v.name()));
     let row = k.buf_param();
-    let col = k.buf_param();
     let rank = k.buf_param();
     let residual = k.buf_param();
     let ws = k.buf_param();
-    let update = k.buf_param();
+    let push_val = k.buf_param();
     let limit = k.scalar_param();
     let damping = k.scalar_param();
-    let eps = k.scalar_param();
-    // Block mapping needs the claimed residual broadcast from thread 0.
-    let r_slot = matches!(v.mapping, Mapping::Block).then(|| k.shared_alloc(1));
 
     let id = match v.mapping {
         Mapping::Thread => k.let_(k.global_thread_id()),
         Mapping::Block => k.let_(k.block_idx()),
     };
     k.if_(Expr::Reg(id).ge(limit), |k| k.ret());
+    if matches!(v.mapping, Mapping::Block) {
+        // One claim per element: lanes past 0 have nothing to do.
+        k.if_(k.thread_idx().ne(0u32), |k| k.ret());
+    }
 
     let node = match v.workset {
         WorkSet::Bitmap => {
@@ -58,67 +83,71 @@ pub fn build(v: Variant) -> Kernel {
     let node = k.let_(node);
 
     // Claim the residual and fold it into the rank — once per element.
-    let r = k.reg();
-    match v.mapping {
-        Mapping::Thread => {
-            let claimed = k.atomic_exch(residual, node, 0u32);
-            k.assign(r, claimed);
-            let old_rank = k.load(rank, node);
-            k.store(rank, node, old_rank.fadd(Expr::Reg(r)));
-        }
-        Mapping::Block => {
-            let slot = r_slot.expect("allocated for block mapping");
-            k.if_(k.thread_idx().eq(0u32), |k| {
-                let claimed = k.atomic_exch(residual, node, 0u32);
-                let old_rank = k.load(rank, node);
-                k.store(rank, node, old_rank.fadd(claimed.clone()));
-                k.shared_store(slot, claimed);
-            });
-            k.sync_threads();
-            let broadcast = k.shared_load(slot);
-            k.assign(r, broadcast);
-        }
-    }
+    let claimed = k.atomic_exch(residual, node, 0u32);
+    let claimed = k.let_(claimed);
+    let old_rank = k.load(rank, node);
+    k.store(rank, node, old_rank.fadd(Expr::Reg(claimed)));
 
+    // Publish this node's per-edge push value for the gather; dangling
+    // nodes publish 0.0 (their mass is dropped).
     let start = k.load(row, node);
     let end = k.load(row, Expr::Reg(node).add(1u32));
-    let deg = k.let_(end.clone().sub(start.clone()));
-
+    let deg = k.let_(end.sub(start));
+    k.store(push_val, node, 0u32);
     k.if_(Expr::Reg(deg).gt(0u32), |k| {
-        let push = k.let_(
-            Expr::Reg(r)
-                .fmul(damping.clone())
-                .fdiv(Expr::Reg(deg).u2f()),
-        );
-        let relax = |k: &mut KernelBuilder, e: Expr| {
-            let m = k.load(col, e);
-            let old = k.atomic_fadd(residual, m.clone(), Expr::Reg(push));
-            let new = old.clone().fadd(Expr::Reg(push));
-            let crossed = old.flt(eps.clone()).and(new.fge(eps.clone()));
-            k.if_(crossed, |k| {
-                k.store(update, m.clone(), 1u32);
-            });
-        };
-        match v.mapping {
-            Mapping::Thread => {
-                let e = k.let_(start.clone());
-                k.while_(Expr::Reg(e).lt(end.clone()), |k| {
-                    relax(k, Expr::Reg(e));
-                    k.assign(e, Expr::Reg(e).add(1u32));
-                });
-            }
-            Mapping::Block => {
-                let e = k.let_(start.clone().add(k.thread_idx()));
-                k.while_(Expr::Reg(e).lt(end.clone()), |k| {
-                    relax(k, Expr::Reg(e));
-                    k.assign(e, Expr::Reg(e).add(k.block_dim()));
-                });
-            }
-        }
+        let push = Expr::Reg(claimed)
+            .fmul(damping.clone())
+            .fdiv(Expr::Reg(deg).u2f());
+        k.store(push_val, node, push);
     });
 
     k.build()
-        .expect("PageRank kernel construction is statically valid")
+        .expect("PageRank claim kernel construction is statically valid")
+}
+
+/// Builds the PageRank-delta *gather* kernel (variant-independent): one
+/// thread per destination accumulates `push_val` over the reverse CSR
+/// row into a register, flags an ε-crossing, and stores the new
+/// residual. Deterministic and race-free — see the module docs.
+pub fn gather() -> Kernel {
+    let mut k = KernelBuilder::new("pagerank_gather");
+    let rev_row = k.buf_param();
+    let rev_col = k.buf_param();
+    let residual = k.buf_param();
+    let push_val = k.buf_param();
+    let update = k.buf_param();
+    let limit = k.scalar_param();
+    let eps = k.scalar_param();
+
+    let m = k.let_(k.global_thread_id());
+    k.if_(Expr::Reg(m).ge(limit), |k| k.ret());
+
+    let before = k.load(residual, m);
+    let before = k.let_(before);
+    let acc = k.reg();
+    k.assign(acc, Expr::Reg(before));
+    let start = k.load(rev_row, m);
+    let end = k.load(rev_row, Expr::Reg(m).add(1u32));
+    let end = k.let_(end);
+    let e = k.let_(start);
+    k.while_(Expr::Reg(e).lt(Expr::Reg(end)), |k| {
+        let u = k.load(rev_col, Expr::Reg(e));
+        let pv = k.load(push_val, u);
+        k.assign(acc, Expr::Reg(acc).fadd(pv));
+        k.assign(e, Expr::Reg(e).add(1u32));
+    });
+    k.store(residual, m, Expr::Reg(acc));
+    // Residuals are non-negative and only grow within a gather, so the
+    // ε-crossing test needs just the endpoints.
+    let crossed = Expr::Reg(before)
+        .flt(eps.clone())
+        .and(Expr::Reg(acc).fge(eps.clone()));
+    k.if_(crossed, |k| {
+        k.store(update, m, 1u32);
+    });
+
+    k.build()
+        .expect("PageRank gather kernel construction is statically valid")
 }
 
 #[cfg(test)]
@@ -129,12 +158,18 @@ mod tests {
     fn builds_for_all_unordered_variants() {
         for v in Variant::UNORDERED {
             let k = build(v);
-            assert_eq!(k.num_bufs, 6);
-            assert_eq!(k.num_scalars, 3);
-            if matches!(v.mapping, Mapping::Block) {
-                assert_eq!(k.shared_words, 1, "{}", v.name());
-            }
+            assert_eq!(k.num_bufs, 5, "{}", v.name());
+            assert_eq!(k.num_scalars, 2, "{}", v.name());
+            assert_eq!(k.shared_words, 0, "{}", v.name());
         }
+    }
+
+    #[test]
+    fn gather_kernel_shape() {
+        let k = gather();
+        assert_eq!(k.num_bufs, 5);
+        assert_eq!(k.num_scalars, 2);
+        assert!(k.to_pseudo_code().contains("pagerank_gather"));
     }
 
     #[test]

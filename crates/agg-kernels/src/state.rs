@@ -69,6 +69,18 @@ impl DeviceGraph {
             return;
         }
         let rev = g.reverse();
+        self.upload_reverse_graph(dev, &rev);
+    }
+
+    /// Uploads an already-computed transpose adjacency. The sharded
+    /// runtime uses this: a shard's canonical reverse CSR is built from
+    /// the *global* edge order (so per-row gather order matches a
+    /// single-device run bit-for-bit) and is not what `local.reverse()`
+    /// would produce. No-op if a reverse graph is already resident.
+    pub fn upload_reverse_graph(&mut self, dev: &mut Device, rev: &CsrGraph) {
+        if self.rrow.is_some() {
+            return;
+        }
         self.rrow = Some(dev.alloc_from_slice("csr.rev_row_offsets", rev.row_offsets()));
         self.rcol = Some(dev.alloc_from_slice("csr.rev_col_indices", rev.col_indices()));
         self.bytes += 4 * (rev.row_offsets().len() + rev.col_indices().len());
@@ -97,6 +109,10 @@ pub struct AlgoState {
     pub count: DevicePtr,
     /// Auxiliary per-node array (PageRank residuals; `n` words).
     pub aux: DevicePtr,
+    /// Second auxiliary per-node array (PageRank per-node push values
+    /// published by the claim kernel and consumed by the gather; `n`
+    /// words, zeroed between iterations with a device memset).
+    pub aux2: DevicePtr,
     /// Degree-census accumulator for the working-set inspector: a
     /// two-word (lo, hi) pair forming a 64-bit sum (see
     /// [`crate::workset::degree_census`]).
@@ -116,6 +132,7 @@ impl AlgoState {
         let min_out = dev.alloc_filled("algo.min_out", 1, u32::MAX);
         let count = dev.alloc("algo.count", 1);
         let aux = dev.alloc("algo.aux", n as usize);
+        let aux2 = dev.alloc("algo.aux2", n as usize);
         let deg_sum = dev.alloc("algo.deg_sum", 2);
         if n > 0 {
             dev.write_word(value, src as usize, 0)?;
@@ -131,6 +148,7 @@ impl AlgoState {
             min_out,
             count,
             aux,
+            aux2,
             deg_sum,
         })
     }
@@ -163,10 +181,12 @@ impl AlgoState {
     }
 
     /// Re-initializes state for PageRank-delta: ranks zero, residuals
-    /// `1 - damping` everywhere, every node in the initial working set.
+    /// `1 - damping` everywhere, push values zero, every node in the
+    /// initial working set.
     pub fn reset_pagerank(&self, dev: &mut Device, damping: f32) -> Result<(), SimError> {
         dev.fill(self.value, 0)?; // ranks (f32 bits of 0.0)
         dev.fill(self.aux, (1.0 - damping).to_bits())?;
+        dev.fill(self.aux2, 0)?; // push values (f32 bits of 0.0)
         dev.fill(self.update, 1)?;
         dev.fill(self.bitmap, 0)?;
         dev.write_word(self.queue_len, 0, 0)?;
@@ -175,27 +195,37 @@ impl AlgoState {
         Ok(())
     }
 
-    /// Arguments for a PageRank-delta kernel:
-    /// `[row, col, rank, residual, ws, update]`,
-    /// scalars `[limit, damping_bits, epsilon_bits]`.
-    pub fn pagerank_args(
+    /// Arguments for a PageRank-delta *claim* kernel (see
+    /// [`crate::pagerank::build`]): `[row, rank, residual, ws, push_val]`,
+    /// scalars `[limit, damping_bits]`.
+    pub fn pagerank_claim_args(
         &self,
         g: &DeviceGraph,
         v: Variant,
         limit: u32,
         damping: f32,
-        epsilon: f32,
     ) -> LaunchArgs {
         LaunchArgs::new()
             .bufs([
                 g.row,
-                g.col,
                 self.value,
                 self.aux,
                 self.ws_buf(v.workset),
-                self.update,
+                self.aux2,
             ])
-            .scalars([limit, damping.to_bits(), epsilon.to_bits()])
+            .scalars([limit, damping.to_bits()])
+    }
+
+    /// Arguments for the PageRank-delta *gather* kernel (see
+    /// [`crate::pagerank::gather`]):
+    /// `[rev_row, rev_col, residual, push_val, update]`,
+    /// scalars `[limit, epsilon_bits]`.
+    pub fn pagerank_gather_args(&self, g: &DeviceGraph, limit: u32, epsilon: f32) -> LaunchArgs {
+        let rrow = g.rrow.expect("reverse graph uploaded for PageRank gather");
+        let rcol = g.rcol.expect("reverse graph uploaded for PageRank gather");
+        LaunchArgs::new()
+            .bufs([rrow, rcol, self.aux, self.aux2, self.update])
+            .scalars([limit, epsilon.to_bits()])
     }
 
     /// The working-set buffer for a representation.

@@ -88,6 +88,38 @@ pub fn gen_queue_scan() -> Kernel {
     k.build().expect("statically valid")
 }
 
+/// Boundary-aware working-set generation for sharded execution: scans
+/// the *ghost* tail of the update vector (local ids `[base, base+limit)`)
+/// and, for each updated ghost, emits an outgoing `(local id, value)`
+/// pair into the interleaved pair buffer and clears the update flag —
+/// ghosts never enter the local working set, their updates travel to the
+/// owning shard instead. Slot order `[update, value, pairs, out_len]`,
+/// scalars `[base, limit]` (ghost-range start and length). Pair slots
+/// are handed out with an `atomicAdd` like [`gen_queue`], so pair order
+/// is nondeterministic; the shard runtime sorts before merging.
+pub fn gen_ghost() -> Kernel {
+    let mut k = KernelBuilder::new("workset_gen_ghost");
+    let update = k.buf_param();
+    let value = k.buf_param();
+    let pairs = k.buf_param();
+    let out_len = k.buf_param();
+    let base = k.scalar_param();
+    let limit = k.scalar_param();
+    let tid = k.let_(k.global_thread_id());
+    k.if_(Expr::Reg(tid).ge(limit), |k| k.ret());
+    let lid = k.let_(Expr::Reg(tid).add(base));
+    let u = k.load(update, lid);
+    k.if_(u, |k| {
+        let slot = k.atomic_add(out_len, 0u32, 1u32);
+        let slot = k.let_(slot);
+        let val = k.load(value, lid);
+        k.store(pairs, Expr::Reg(slot).mul(2u32), Expr::Reg(lid));
+        k.store(pairs, Expr::Reg(slot).mul(2u32).add(1u32), val);
+        k.store(update, lid, 0u32);
+    });
+    k.build().expect("statically valid")
+}
+
 /// Per-iteration scalar resets:
 /// `queue_len = 0; min_out = MAX; flag = 0; count = 0; deg_sum = [0, 0]`.
 /// Slot order `[queue_len, min_out, flag, count, deg_sum]` where
@@ -364,6 +396,33 @@ mod tests {
         assert_eq!(r_atomic.stats.totals.atomics, 384);
         assert_eq!(r_scan.stats.totals.atomics, 2); // one per block
         assert!(r_scan.stats.totals.atomic_conflicts < r_atomic.stats.totals.atomic_conflicts);
+    }
+
+    #[test]
+    fn ghost_gen_emits_pairs_and_clears_only_ghost_range() {
+        // 4 owned nodes + 3 ghosts (local ids 4..7). Ghosts 4 and 6 are
+        // updated; owned node 1 is updated too but must be left alone.
+        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let update = dev.alloc_from_slice("update", &[0, 1, 0, 0, 1, 0, 1]);
+        let value = dev.alloc_from_slice("value", &[9, 9, 9, 9, 30, 9, 50]);
+        let pairs = dev.alloc("pairs", 6);
+        let out_len = dev.alloc("out_len", 1);
+        dev.launch(
+            &gen_ghost(),
+            Grid::linear(3, 192),
+            &LaunchArgs::new()
+                .bufs([update, value, pairs, out_len])
+                .scalars([4, 3]),
+        )
+        .unwrap();
+        let n = dev.debug_read_word(out_len, 0).unwrap() as usize;
+        assert_eq!(n, 2);
+        let raw = dev.debug_read(pairs).unwrap();
+        let mut got: Vec<(u32, u32)> = (0..n).map(|i| (raw[2 * i], raw[2 * i + 1])).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![(4, 30), (6, 50)]);
+        // Ghost flags consumed, owned flag untouched.
+        assert_eq!(dev.debug_read(update).unwrap(), vec![0, 1, 0, 0, 0, 0, 0]);
     }
 
     #[test]

@@ -36,10 +36,14 @@ pub use agg_kernels as kernels;
 pub mod prelude {
     pub use agg_core::{
         AdaptiveConfig, Algo, BatchReport, CensusMode, GpuGraph, PageRankConfig, Query,
-        QueryReport, RunOptions, RunOptionsBuilder, RunReport, Session, Strategy,
+        QueryReport, RunOptions, RunOptionsBuilder, RunReport, Session, ShardReport, ShardSlice,
+        ShardedGraph, Strategy,
     };
     pub use agg_cpu::{bfs as cpu_bfs, dijkstra as cpu_dijkstra, CpuCostModel};
-    pub use agg_gpu_sim::{Device, DeviceConfig, ExecMode};
-    pub use agg_graph::{CsrGraph, Dataset, GraphBuilder, GraphStats, Scale, INF};
+    pub use agg_gpu_sim::{Device, DeviceConfig, ExecMode, Interconnect};
+    pub use agg_graph::{
+        partition, CsrGraph, Dataset, GraphBuilder, GraphStats, Partition, PartitionStrategy,
+        Scale, ShardPlan, INF,
+    };
     pub use agg_kernels::{AlgoOrder, Mapping, Variant, WorkSet};
 }

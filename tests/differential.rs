@@ -1,6 +1,7 @@
 //! Workspace-level differential fuzzing suite: the acceptance gate for
 //! the whole execution matrix. Every static variant, the adaptive
-//! runtime, direction-optimized BFS, and shuffled Session batches must
+//! runtime, direction-optimized BFS, shuffled Session batches, and
+//! multi-device sharded execution (2 and 4 shards) must
 //! agree bit-for-bit with the serial CPU oracles on a corpus spanning
 //! all six graph generators — including graphs with duplicate edges,
 //! self-loops, isolated nodes, and disconnected components — and the
@@ -24,8 +25,10 @@ fn two_hundred_graph_corpus_matches_cpu_oracles() {
         report.divergences
     );
     assert_eq!(report.cases, 200);
-    // 24 matrix runs per graph plus the shuffled-batch queries.
-    assert!(report.runs >= 200 * 24, "only {} runs", report.runs);
+    // 24 matrix runs per graph plus the sharded sweep (BFS/SSSP/CC at 2
+    // and 4 shards each) and the shuffled-batch queries.
+    assert!(report.runs >= 200 * 24 + 200 * 6, "only {} runs", report.runs);
+    assert_eq!(report.sharded_runs, 200 * 6, "sharded sweep incomplete");
     assert_eq!(report.batches, 25, "one shuffled batch every 8th case");
     assert!(
         report.race_launches_checked > 0,
@@ -93,6 +96,7 @@ fn fuzz_report_artifact_has_ci_keys() {
         "\"race_harmful_words\":0",
         "\"race_launches_checked\":",
         "\"batches\":1",
+        "\"sharded_runs\":12",
     ] {
         assert!(s.contains(key), "missing {key} in {s}");
     }

@@ -315,3 +315,130 @@ proptest! {
         prop_assert_eq!(da, db);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, .. ProptestConfig::default() })]
+
+    #[test]
+    fn partition_covers_every_edge_exactly_once(
+        g in arb_graph(40, 150),
+        k in 1usize..7,
+        degree_balanced in any::<bool>(),
+    ) {
+        use agg::prelude::{partition, PartitionStrategy};
+        let strategy = if degree_balanced {
+            PartitionStrategy::DegreeBalanced
+        } else {
+            PartitionStrategy::Contiguous1D
+        };
+        let part = partition(&g, k, strategy).unwrap();
+        prop_assert_eq!(part.shard_count(), k);
+        // Every global edge appears in exactly one shard's local CSR
+        // (owned by its source), with the weight carried along.
+        let mut seen: Vec<(u32, u32, u32)> = Vec::new();
+        for plan in &part.shards {
+            for (u_l, v_l, w) in plan.local.edges() {
+                prop_assert!(u_l < plan.owned_count() as u32, "ghost rows must be empty");
+                seen.push((plan.to_global(u_l), plan.to_global(v_l), w));
+            }
+        }
+        let mut expected: Vec<(u32, u32, u32)> = g.edges().collect();
+        seen.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(seen, expected);
+        // Ownership is a partition of the node range.
+        let total_owned: usize = part.shards.iter().map(|p| p.owned_count()).sum();
+        prop_assert_eq!(total_owned, g.node_count());
+        // Cut accounting is symmetric across shards.
+        let cut_out: usize = part.shards.iter().map(|p| p.cut_out_edges).sum();
+        let cut_in: usize = part.shards.iter().map(|p| p.cut_in_edges).sum();
+        prop_assert_eq!(cut_out, part.cut_edges);
+        prop_assert_eq!(cut_in, part.cut_edges);
+    }
+
+    #[test]
+    fn ghost_ids_round_trip_and_stay_sorted(g in arb_graph(40, 150), k in 2usize..6) {
+        use agg::prelude::{partition, PartitionStrategy};
+        let part = partition(&g, k, PartitionStrategy::Contiguous1D).unwrap();
+        for plan in &part.shards {
+            prop_assert!(plan.ghosts.windows(2).all(|w| w[0] < w[1]), "ghosts must be sorted");
+            for l in 0..plan.ext_count() as u32 {
+                let gid = plan.to_global(l);
+                prop_assert_eq!(plan.to_local(gid), Some(l), "lid {} round trip", l);
+                prop_assert_eq!(plan.owns(gid), l < plan.owned_count() as u32);
+                // Ghosts are never owned here but always owned elsewhere.
+                if l >= plan.owned_count() as u32 {
+                    let owner = part.owner_of(gid);
+                    prop_assert!(owner != plan.shard);
+                    prop_assert!(part.shards[owner].owns(gid));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degree_balanced_shards_respect_the_edge_bound(g in arb_graph(50, 250), k in 1usize..7) {
+        use agg::prelude::{partition, PartitionStrategy};
+        let part = partition(&g, k, PartitionStrategy::DegreeBalanced).unwrap();
+        let max_outdeg = (0..g.node_count() as u32)
+            .map(|v| g.out_degree(v))
+            .max()
+            .unwrap_or(0);
+        let bound = g.edge_count().div_ceil(k) + max_outdeg;
+        prop_assert!(
+            part.max_shard_edges() <= bound,
+            "max shard edges {} exceeds ceil(m/k) + max outdegree = {}",
+            part.max_shard_edges(),
+            bound
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, .. ProptestConfig::default() })]
+
+    #[test]
+    fn sharded_execution_is_bit_identical_to_single_device(
+        g in arb_graph(35, 120),
+        k in 1usize..6,
+        seed in 0u32..1000,
+        degree_balanced in any::<bool>(),
+    ) {
+        use agg::prelude::{
+            DeviceConfig, Interconnect, PartitionStrategy, ShardedGraph,
+        };
+        let strategy = if degree_balanced {
+            PartitionStrategy::DegreeBalanced
+        } else {
+            PartitionStrategy::Contiguous1D
+        };
+        let src = seed % g.node_count() as u32;
+        let opts = RunOptions::default();
+        let mut sharded = ShardedGraph::with_config(
+            &g,
+            k,
+            strategy,
+            DeviceConfig::tesla_c2070(),
+            Interconnect::pcie(),
+        )
+        .unwrap();
+        let mut gg = GpuGraph::new(&g).unwrap();
+        for query in [
+            Query::Bfs { src },
+            Query::Sssp { src },
+            Query::Cc,
+            Query::pagerank(),
+        ] {
+            let expected = gg.run(query, &opts).unwrap();
+            let r = sharded.run(query, &opts).unwrap();
+            prop_assert_eq!(
+                &r.values, &expected.values,
+                "{:?} diverged at {} shards ({:?})", query, k, strategy
+            );
+            // The report's time-accounting identity holds exactly.
+            prop_assert_eq!(r.accounting_gap(), 0.0);
+            let sent: u64 = r.per_shard.iter().map(|s| s.bytes_sent).sum();
+            prop_assert_eq!(sent, r.exchange_bytes);
+        }
+    }
+}
