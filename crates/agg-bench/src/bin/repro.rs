@@ -60,6 +60,9 @@
 //!
 //! shard flags:
 //!   --shards N         largest device count in the `shard` sweep
+//!   --datasets A,B     restrict the `shard` sweep to the named datasets
+//!   --partition S      partitioning for the `shard` sweep
+//!                      (contiguous|degree|clustered; default degree)
 //!                      (default 8; the sweep runs 1, 2, 4, 8 up to N)
 //! ```
 //!
@@ -71,8 +74,8 @@ use agg_bench::runner::{cpu_baseline_ns, gpu_run, speedup_table};
 use agg_bench::tables::{format_table, write_csv};
 use agg_bench::workloads::{load, load_all, DEFAULT_SEED};
 use agg_core::{
-    decision, AdaptiveConfig, Algo, CensusMode, GpuGraph, Query, RunOptions, Session,
-    ShardedGraph, Strategy,
+    decision, AdaptiveConfig, Algo, CensusMode, GpuGraph, Query, RunOptions, Session, ShardedGraph,
+    Strategy,
 };
 use agg_gpu_sim::prelude::*;
 use agg_gpu_sim::Json;
@@ -92,6 +95,8 @@ struct Cli {
     cases: usize,
     race_detect: bool,
     shards: usize,
+    datasets: Option<Vec<Dataset>>,
+    partition: agg_graph::PartitionStrategy,
 }
 
 fn die(msg: &str) -> ! {
@@ -111,6 +116,8 @@ fn parse_cli() -> Cli {
     let mut cases = 24usize;
     let mut race_detect = false;
     let mut shards = 8usize;
+    let mut datasets = None;
+    let mut partition = agg_graph::PartitionStrategy::DegreeBalanced;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--scale" => {
@@ -126,11 +133,15 @@ fn parse_cli() -> Cli {
                     .unwrap_or_else(|_| die(&format!("--seed needs a u64, got '{v}'")));
             }
             "--out" => {
-                out = PathBuf::from(args.next().unwrap_or_else(|| die("--out needs a directory")))
+                out = PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| die("--out needs a directory")),
+                )
             }
             "--trace-json" => {
                 trace_json = Some(PathBuf::from(
-                    args.next().unwrap_or_else(|| die("--trace-json needs a path")),
+                    args.next()
+                        .unwrap_or_else(|| die("--trace-json needs a path")),
                 ));
             }
             "--json" => {
@@ -148,11 +159,34 @@ fn parse_cli() -> Cli {
             "--race-detect" => race_detect = true,
             "--shards" => {
                 let v = args.next().unwrap_or_else(|| die("--shards needs a value"));
-                shards = v
-                    .parse()
-                    .ok()
-                    .filter(|&s| s >= 1)
-                    .unwrap_or_else(|| die(&format!("--shards needs a positive count, got '{v}'")));
+                shards =
+                    v.parse().ok().filter(|&s| s >= 1).unwrap_or_else(|| {
+                        die(&format!("--shards needs a positive count, got '{v}'"))
+                    });
+            }
+            "--datasets" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| die("--datasets needs a comma-separated list"));
+                let parsed: Vec<Dataset> = v
+                    .split(',')
+                    .map(|name| {
+                        Dataset::parse(name.trim())
+                            .unwrap_or_else(|| die(&format!("unknown dataset '{name}'")))
+                    })
+                    .collect();
+                datasets = Some(parsed);
+            }
+            "--partition" => {
+                let v = args.next().unwrap_or_else(|| {
+                    die("--partition needs a value (contiguous|degree|clustered)")
+                });
+                partition = match v.as_str() {
+                    "contiguous" => agg_graph::PartitionStrategy::Contiguous1D,
+                    "degree" => agg_graph::PartitionStrategy::DegreeBalanced,
+                    "clustered" => agg_graph::PartitionStrategy::ClusteredContiguous,
+                    _ => die(&format!("unknown partition strategy '{v}'")),
+                };
             }
             other => die(&format!("unknown flag '{other}'")),
         }
@@ -168,6 +202,8 @@ fn parse_cli() -> Cli {
         cases,
         race_detect,
         shards,
+        datasets,
+        partition,
     }
 }
 
@@ -298,7 +334,14 @@ fn telemetry(cli: &Cli) {
     }
     if cli.profile {
         let header: Vec<String> = [
-            "network", "algo", "kernel", "launches", "time_us", "compute_us", "mem_us", "coalesce",
+            "network",
+            "algo",
+            "kernel",
+            "launches",
+            "time_us",
+            "compute_us",
+            "mem_us",
+            "coalesce",
             "occupancy",
         ]
         .iter()
@@ -354,7 +397,9 @@ fn batch(cli: &Cli) {
         let queries: Vec<Query> = vec![
             Query::Bfs { src: w.src },
             Query::Bfs { src: n / 2 },
-            Query::Bfs { src: n.saturating_sub(1) },
+            Query::Bfs {
+                src: n.saturating_sub(1),
+            },
             Query::Sssp { src: w.src },
             Query::Sssp { src: n / 3 },
             Query::Cc,
@@ -374,7 +419,8 @@ fn batch(cli: &Cli) {
         let bp = par.run_batch(&queries, &opts).expect("parallel batch");
         for (a, b) in bs.queries.iter().zip(&bp.queries) {
             assert_eq!(
-                a.report.values, b.report.values,
+                a.report.values,
+                b.report.values,
                 "{} query #{}: parallel != sequential",
                 w.dataset.name(),
                 a.index
@@ -483,10 +529,7 @@ fn differential(cli: &Cli) {
     if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
         std::fs::create_dir_all(dir).expect("create artifact directory");
     }
-    let doc = Json::obj([
-        ("seed", cli.seed.into()),
-        ("report", report.to_json()),
-    ]);
+    let doc = Json::obj([("seed", cli.seed.into()), ("report", report.to_json())]);
     std::fs::write(&path, doc.render_pretty()).expect("write differential artifact");
     println!("[json] {}", path.display());
     if !report.is_clean() {
@@ -500,24 +543,31 @@ fn differential(cli: &Cli) {
 
 /// Multi-device sharded execution: BFS and SSSP per dataset, split over
 /// 1/2/4/8 simulated devices with per-superstep frontier exchange over a
-/// modeled PCIe interconnect. Every sharded run is checked bit-for-bit
-/// against the single-device result before its row is printed — the
-/// scaling table is only as interesting as the answers are identical.
-/// `--shards N` caps the sweep; `--json PATH` writes every
-/// [`agg_core::ShardReport`] as a JSON artifact.
+/// modeled PCIe interconnect, under the cut-minimizing clustered
+/// partitioner with boundary/interior overlap. Every sharded run is
+/// checked bit-for-bit against the single-device result before its row
+/// is printed — the scaling table is only as interesting as the answers
+/// are identical. `--shards N` caps the sweep; `--json PATH` writes
+/// every [`agg_core::ShardReport`] as a JSON artifact. A compact
+/// per-configuration summary (total / exchange / overlap / speedup) is
+/// always written to `BENCH_shard.json` at the repository root.
 fn shard(cli: &Cli) {
     banner("Multi-device sharded execution: scaling over simulated devices (PCIe model)");
     let counts: Vec<usize> = [1usize, 2, 4, 8]
         .into_iter()
         .filter(|&k| k <= cli.shards)
         .collect();
-    let workloads = load_all(cli.scale, cli.seed);
+    let mut workloads = load_all(cli.scale, cli.seed);
+    if let Some(wanted) = &cli.datasets {
+        workloads.retain(|w| wanted.contains(&w.dataset));
+    }
     let header: Vec<String> = [
         "network",
         "algo",
         "shards",
         "total_ms",
         "exchange_ms",
+        "overlap_ms",
         "exchange_pct",
         "cut_pct",
         "speedup",
@@ -527,6 +577,7 @@ fn shard(cli: &Cli) {
     .collect();
     let mut rows = Vec::new();
     let mut docs = Vec::new();
+    let mut bench = Vec::new();
     let opts = RunOptions::default();
     for w in &workloads {
         for algo in [Algo::Bfs, Algo::Sssp] {
@@ -538,7 +589,14 @@ fn shard(cli: &Cli) {
             let single = gg.run(query, &opts).expect("single-device run");
             let mut base_ms = None;
             for &k in &counts {
-                let mut sg = ShardedGraph::new(&w.graph, k).expect("sharded upload");
+                let mut sg = ShardedGraph::with_config(
+                    &w.graph,
+                    k,
+                    cli.partition,
+                    DeviceConfig::tesla_c2070(),
+                    Interconnect::pcie(),
+                )
+                .expect("sharded upload");
                 let r = sg.run(query, &opts).expect("sharded run");
                 assert_eq!(
                     r.values,
@@ -556,26 +614,51 @@ fn shard(cli: &Cli) {
                     k.to_string(),
                     format!("{total_ms:.2}"),
                     format!("{:.2}", r.exchange_ns / 1e6),
+                    format!("{:.2}", r.overlap_saved_ns / 1e6),
                     format!("{:.1}", 100.0 * r.exchange_ns / r.total_ns.max(1.0)),
                     format!("{:.1}", 100.0 * r.cut_fraction),
                     format!("{:.2}", base / total_ms),
                 ]);
-                docs.push(Json::obj([
+                bench.push(Json::obj([
                     ("dataset", w.dataset.name().into()),
                     ("algo", format!("{algo:?}").into()),
-                    ("report", r.to_json()),
+                    ("shards", k.into()),
+                    ("total_ns", r.total_ns.into()),
+                    ("exchange_ns", r.exchange_ns.into()),
+                    ("overlap_saved_ns", r.overlap_saved_ns.into()),
+                    ("cut_fraction", r.cut_fraction.into()),
+                    ("speedup", (base / total_ms).into()),
                 ]));
+                let mut doc = vec![
+                    ("dataset", Json::from(w.dataset.name())),
+                    ("algo", format!("{algo:?}").into()),
+                    ("report", r.to_json()),
+                ];
+                if std::env::var_os("AGG_SHARD_PROFILE").is_some() {
+                    doc.push(("kernel_profiles", Json::Arr(sg.kernel_profiles())));
+                }
+                docs.push(Json::obj(doc));
             }
         }
     }
     println!("{}", format_table(&header, &rows, |_| None));
     println!(
         "(speedup = one-device modeled time / k-device modeled time, same adaptive runtime\n\
-         \u{20}per shard; exchange = modeled all-to-all frontier traffic over PCIe; cut_pct =\n\
-         \u{20}cross-shard edges under contiguous 1-D partitioning; results bit-identical)"
+         \u{20}per shard; exchange = visible all-to-all frontier traffic over PCIe after\n\
+         \u{20}boundary/interior overlap (overlap_ms = wire time hidden behind interior\n\
+         \u{20}compute); cut_pct = cross-shard edges under the selected partitioning\n\
+         \u{20}(--partition, default degree-balanced); results bit-identical)"
     );
     let path = write_csv(&cli.out, "shard_scaling", &header, &rows).unwrap();
     println!("[csv] {}", path.display());
+    let bench_doc = Json::obj([
+        ("scale", format!("{:?}", cli.scale).into()),
+        ("seed", cli.seed.into()),
+        ("partition_strategy", format!("{:?}", cli.partition).into()),
+        ("configs", Json::Arr(bench)),
+    ]);
+    std::fs::write("BENCH_shard.json", bench_doc.render_pretty()).expect("write BENCH_shard.json");
+    println!("[json] BENCH_shard.json");
     if let Some(path) = &cli.json {
         let doc = Json::obj([
             ("scale", format!("{:?}", cli.scale).into()),
@@ -1378,8 +1461,12 @@ fn ablation_inspector(cli: &Cli) {
             degree_mode: agg_core::DegreeMode::WorkingSet,
             ..Default::default()
         };
-        let wsm = gpu_run(&w, Algo::Sssp, &RunOptions::builder().tuning(tuning).build())
-            .expect("working-set run");
+        let wsm = gpu_run(
+            &w,
+            Algo::Sssp,
+            &RunOptions::builder().tuning(tuning).build(),
+        )
+        .expect("working-set run");
         rows.push(vec![
             w.dataset.name().to_string(),
             format!("{:.2}", whole.total_ns / 1e6),
@@ -1482,7 +1569,9 @@ fn ablation_bottomup(cli: &Cli) {
                 bottom_up_fraction: 0.05,
             })
             .build();
-        let dir_opt = gg.run(Query::Bfs { src: w.src }, &opts).expect("dir-opt run");
+        let dir_opt = gg
+            .run(Query::Bfs { src: w.src }, &opts)
+            .expect("dir-opt run");
         assert_eq!(top_down.values, dir_opt.values, "{}", w.dataset.name());
         rows.push(vec![
             w.dataset.name().to_string(),

@@ -419,23 +419,40 @@ fn gpu_values(
 }
 
 /// One multi-device run of `alg` split across `shards` simulated
-/// devices; returns the stitched global value array.
+/// devices; returns the stitched global value array. Besides the value
+/// comparison the caller makes, this checks the run's own invariants:
+/// the time-accounting identity must hold exactly on every fuzz case.
 fn sharded_values(
     g: &CsrGraph,
     src: NodeId,
     alg: Alg,
     shards: usize,
+    strategy: agg_graph::PartitionStrategy,
     race_detect: bool,
     race: Option<&mut FuzzReport>,
 ) -> Result<Vec<u32>, CoreError> {
     let mut sg = ShardedGraph::with_config(
         g,
         shards,
-        agg_graph::PartitionStrategy::Contiguous1D,
+        strategy,
         device_config(race_detect),
         Interconnect::pcie(),
     )?;
     let r = sg.run(alg.query(src), &RunOptions::default())?;
+    if r.accounting_gap() != 0.0 {
+        return Err(CoreError::InvalidQuery {
+            detail: format!(
+                "time-accounting identity violated: gap {} ns (total {}, setup {}, \
+                 compute {}, exchange {}, teardown {})",
+                r.accounting_gap(),
+                r.total_ns,
+                r.setup_ns,
+                r.compute_ns,
+                r.exchange_ns,
+                r.teardown_ns
+            ),
+        });
+    }
     if let Some(report) = race {
         let s = sg.race_summary();
         report.race_launches_checked += s.launches_checked;
@@ -582,18 +599,33 @@ pub fn fuzz(cfg: &FuzzConfig) -> FuzzReport {
         // Multi-device sweep: the same queries sharded across simulated
         // devices with frontier exchange must still match the serial
         // oracle bit-for-bit — partitioning is not allowed to perturb
-        // results.
+        // results. Cases alternate between the blind contiguous split
+        // and the relabeling clustered partitioner so both see the full
+        // adversarial corpus.
         for &k in &cfg.shard_counts {
             for alg in [Alg::Bfs, Alg::Sssp, Alg::Cc] {
+                let strategy = if (case + k) % 2 == 0 {
+                    agg_graph::PartitionStrategy::Contiguous1D
+                } else {
+                    agg_graph::PartitionStrategy::ClusteredContiguous
+                };
                 let expected = alg.oracle(&graph, src);
                 report.runs += 1;
                 report.sharded_runs += 1;
-                match sharded_values(&graph, src, alg, k, cfg.race_detect, Some(&mut report)) {
+                match sharded_values(
+                    &graph,
+                    src,
+                    alg,
+                    k,
+                    strategy,
+                    cfg.race_detect,
+                    Some(&mut report),
+                ) {
                     Ok(actual) if actual == expected => {}
                     Ok(actual) => {
                         let minimized = minimize(&graph, src, &mut |g, s| {
                             matches!(
-                                sharded_values(g, s, alg, k, false, None),
+                                sharded_values(g, s, alg, k, strategy, false, None),
                                 Ok(v) if v != alg.oracle(g, s)
                             )
                         });
@@ -601,7 +633,7 @@ pub fn fuzz(cfg: &FuzzConfig) -> FuzzReport {
                             case,
                             generator: generator.into(),
                             algo: alg.name().into(),
-                            exec: format!("sharded[{k}]"),
+                            exec: format!("sharded[{k},{}]", strategy.name()),
                             nodes: graph.node_count(),
                             edges: graph.edge_count(),
                             src,
@@ -614,7 +646,7 @@ pub fn fuzz(cfg: &FuzzConfig) -> FuzzReport {
                         case,
                         generator: generator.into(),
                         algo: alg.name().into(),
-                        exec: format!("sharded[{k}]"),
+                        exec: format!("sharded[{k},{}]", strategy.name()),
                         nodes: graph.node_count(),
                         edges: graph.edge_count(),
                         src,

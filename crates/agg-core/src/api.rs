@@ -94,7 +94,10 @@ impl GpuGraph {
     }
 
     /// BFS from `src` with the adaptive runtime and default tuning.
-    #[deprecated(since = "0.2.0", note = "use run(Query::Bfs { src }, &RunOptions::default())")]
+    #[deprecated(
+        since = "0.2.0",
+        note = "use run(Query::Bfs { src }, &RunOptions::default())"
+    )]
     pub fn bfs(&mut self, src: NodeId) -> Result<RunReport, CoreError> {
         self.run(Query::Bfs { src }, &RunOptions::default())
     }
@@ -108,7 +111,10 @@ impl GpuGraph {
 
     /// SSSP from `src` with the adaptive runtime and default tuning. The
     /// graph must be weighted.
-    #[deprecated(since = "0.2.0", note = "use run(Query::Sssp { src }, &RunOptions::default())")]
+    #[deprecated(
+        since = "0.2.0",
+        note = "use run(Query::Sssp { src }, &RunOptions::default())"
+    )]
     pub fn sssp(&mut self, src: NodeId) -> Result<RunReport, CoreError> {
         self.run(Query::Sssp { src }, &RunOptions::default())
     }
@@ -139,7 +145,10 @@ impl GpuGraph {
     /// PageRank-delta with default parameters (d = 0.85, ε = 1e-4)
     /// (extension). Ranks come back as f32 via
     /// [`RunReport::values_as_f32`].
-    #[deprecated(since = "0.2.0", note = "use run(Query::pagerank(), &RunOptions::default())")]
+    #[deprecated(
+        since = "0.2.0",
+        note = "use run(Query::pagerank(), &RunOptions::default())"
+    )]
     pub fn pagerank(&mut self) -> Result<RunReport, CoreError> {
         self.run(Query::pagerank(), &RunOptions::default())
     }
@@ -295,7 +304,8 @@ mod tests {
             let r = gg.run(q, &opts).unwrap();
             assert!(r.metrics.race_launches_checked > 0, "{q:?}: detector idle");
             assert_eq!(
-                r.metrics.race_harmful_words, 0,
+                r.metrics.race_harmful_words,
+                0,
                 "{q:?}: harmful races {:?}",
                 gg.device().race_summary().harmful
             );

@@ -197,10 +197,9 @@ impl Query {
     /// This query as a JSON object (telemetry labels, not a wire format).
     pub fn to_json(&self) -> Json {
         match self {
-            Query::Bfs { src } | Query::Sssp { src } => Json::obj([
-                ("algo", self.name().into()),
-                ("src", (*src).into()),
-            ]),
+            Query::Bfs { src } | Query::Sssp { src } => {
+                Json::obj([("algo", self.name().into()), ("src", (*src).into())])
+            }
             Query::Cc => Json::obj([("algo", self.name().into())]),
             Query::PageRank { config } => Json::obj([
                 ("algo", self.name().into()),
@@ -696,14 +695,16 @@ impl<'a> Ctx<'a> {
                 self.dev.launch(
                     self.kernels.pagerank_kernel(variant),
                     grid,
-                    &self.state
+                    &self
+                        .state
                         .pagerank_claim_args(self.dg, variant, limit, self.pagerank.damping),
                 )?;
                 let n = self.dg.n;
                 self.dev.launch(
                     &self.kernels.pagerank_gather,
                     Grid::linear(n as u64, self.thread_threads),
-                    &self.state
+                    &self
+                        .state
                         .pagerank_gather_args(self.dg, n, self.pagerank.epsilon),
                 )?;
                 // Clear consumed push values with a device memset so the
@@ -1330,7 +1331,15 @@ mod tests {
         for d in Dataset::ALL {
             let g = d.generate(Scale::Tiny, 21);
             let (mut dev, k, dg, st) = setup(&g);
-            let r = run(&mut dev, &k, &dg, &st, Query::Bfs { src: 0 }, &RunOptions::default()).unwrap();
+            let r = run(
+                &mut dev,
+                &k,
+                &dg,
+                &st,
+                Query::Bfs { src: 0 },
+                &RunOptions::default(),
+            )
+            .unwrap();
             assert_eq!(r.values, traversal::bfs_levels(&g, 0), "{}", d.name());
             assert!(r.total_ns > 0.0);
             assert!(r.launches >= 2 * r.iterations as u64);
@@ -1359,7 +1368,15 @@ mod tests {
     fn static_and_adaptive_agree_on_results() {
         let g = Dataset::Google.generate(Scale::Tiny, 23);
         let (mut dev, k, dg, st) = setup(&g);
-        let adaptive = run(&mut dev, &k, &dg, &st, Query::Bfs { src: 0 }, &RunOptions::default()).unwrap();
+        let adaptive = run(
+            &mut dev,
+            &k,
+            &dg,
+            &st,
+            Query::Bfs { src: 0 },
+            &RunOptions::default(),
+        )
+        .unwrap();
         for v in Variant::ALL {
             let r = run(
                 &mut dev,
@@ -1407,10 +1424,7 @@ mod tests {
         let r = run(&mut dev, &k, &dg, &st, Query::Bfs { src: 0 }, &opts).unwrap();
         assert_eq!(r.trace.len(), r.iterations as usize);
         for t in &r.trace {
-            let exact = levels
-                .iter()
-                .filter(|&&l| l == t.iteration - 1)
-                .count() as u32;
+            let exact = levels.iter().filter(|&&l| l == t.iteration - 1).count() as u32;
             assert_eq!(
                 t.ws_size,
                 Some(exact),
@@ -1527,11 +1541,7 @@ mod tests {
             assert_eq!(r.metrics.iterations, r.iterations, "{label}");
             assert_eq!(r.metrics.switches, r.switches, "{label}");
             assert_eq!(
-                r.metrics
-                    .by_variant()
-                    .iter()
-                    .map(|(_, c)| *c)
-                    .sum::<u32>(),
+                r.metrics.by_variant().iter().map(|(_, c)| *c).sum::<u32>(),
                 r.iterations,
                 "{label}"
             );
@@ -1544,8 +1554,24 @@ mod tests {
     fn run_report_profile_covers_this_run_only() {
         let g = Dataset::P2p.generate(Scale::Tiny, 30);
         let (mut dev, k, dg, st) = setup(&g);
-        let first = run(&mut dev, &k, &dg, &st, Query::Bfs { src: 0 }, &RunOptions::default()).unwrap();
-        let second = run(&mut dev, &k, &dg, &st, Query::Bfs { src: 0 }, &RunOptions::default()).unwrap();
+        let first = run(
+            &mut dev,
+            &k,
+            &dg,
+            &st,
+            Query::Bfs { src: 0 },
+            &RunOptions::default(),
+        )
+        .unwrap();
+        let second = run(
+            &mut dev,
+            &k,
+            &dg,
+            &st,
+            Query::Bfs { src: 0 },
+            &RunOptions::default(),
+        )
+        .unwrap();
         // Same work both times: the per-run profiles agree even though the
         // device accumulates across runs (ns fields only up to float
         // rounding, since each run's profile is a snapshot difference).
@@ -2160,17 +2186,31 @@ mod tests {
         assert_eq!(Query::Sssp { src: 9 }.source(), 9);
         assert_eq!(Query::Cc.source(), 0);
         assert_eq!(Query::PageRank { config: cfg }.pagerank_config(), cfg);
-        assert_eq!(Query::pagerank().pagerank_config(), PageRankConfig::default());
+        assert_eq!(
+            Query::pagerank().pagerank_config(),
+            PageRankConfig::default()
+        );
         assert_eq!(Query::Cc.name(), "cc");
         let json = Query::Sssp { src: 4 }.to_json().render();
-        assert!(json.contains("\"algo\":\"sssp\"") && json.contains("\"src\":4"), "{json}");
+        assert!(
+            json.contains("\"algo\":\"sssp\"") && json.contains("\"src\":4"),
+            "{json}"
+        );
     }
 
     #[test]
     fn empty_graph_returns_empty_report() {
         let g = agg_graph::CsrGraph::empty(0);
         let (mut dev, k, dg, st) = setup(&g);
-        let r = run(&mut dev, &k, &dg, &st, Query::Bfs { src: 0 }, &RunOptions::default()).unwrap();
+        let r = run(
+            &mut dev,
+            &k,
+            &dg,
+            &st,
+            Query::Bfs { src: 0 },
+            &RunOptions::default(),
+        )
+        .unwrap();
         assert!(r.values.is_empty());
         assert_eq!(r.iterations, 0);
     }
@@ -2201,7 +2241,15 @@ mod tests {
     fn graph_transfer_inclusion_is_configurable() {
         let g = Dataset::P2p.generate(Scale::Tiny, 28);
         let (mut dev, k, dg, st) = setup(&g);
-        let with = run(&mut dev, &k, &dg, &st, Query::Bfs { src: 0 }, &RunOptions::default()).unwrap();
+        let with = run(
+            &mut dev,
+            &k,
+            &dg,
+            &st,
+            Query::Bfs { src: 0 },
+            &RunOptions::default(),
+        )
+        .unwrap();
         let without = run(
             &mut dev,
             &k,
@@ -2224,7 +2272,15 @@ mod tests {
         // overhead dominates; running those on the host wins.
         let g = Dataset::CoRoad.generate(Scale::Tiny, 69);
         let (mut dev, k, dg, st) = setup(&g);
-        let gpu = run(&mut dev, &k, &dg, &st, Query::Bfs { src: 0 }, &RunOptions::default()).unwrap();
+        let gpu = run(
+            &mut dev,
+            &k,
+            &dg,
+            &st,
+            Query::Bfs { src: 0 },
+            &RunOptions::default(),
+        )
+        .unwrap();
         let hybrid = run(
             &mut dev,
             &k,

@@ -99,10 +99,7 @@ impl Metrics {
             ("iterations", self.iterations.into()),
             ("switches", self.switches.into()),
             ("census_launches", self.census_launches.into()),
-            (
-                "degree_census_launches",
-                self.degree_census_launches.into(),
-            ),
+            ("degree_census_launches", self.degree_census_launches.into()),
             ("host_iterations", self.host_iterations.into()),
             ("bottom_up_iterations", self.bottom_up_iterations.into()),
             ("iter_ns_total", self.iter_ns_total.into()),

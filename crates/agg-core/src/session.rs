@@ -146,7 +146,14 @@ impl Session {
             self.dg.upload_reverse(&mut self.dev, &self.graph);
         }
         let state = self.pool.acquire(&mut self.dev)?;
-        let result = run(&mut self.dev, &self.kernels, &self.dg, &state, query, options);
+        let result = run(
+            &mut self.dev,
+            &self.kernels,
+            &self.dg,
+            &state,
+            query,
+            options,
+        );
         self.pool.release(state);
         self.queries_run += 1;
         result
@@ -224,7 +231,14 @@ impl Session {
         let mut slots: Vec<Option<QueryReport>> = queries.iter().map(|_| None).collect();
         for &i in order {
             let state = self.pool.acquire(&mut self.dev)?;
-            let result = run(&mut self.dev, &self.kernels, &self.dg, &state, queries[i], opts);
+            let result = run(
+                &mut self.dev,
+                &self.kernels,
+                &self.dg,
+                &state,
+                queries[i],
+                opts,
+            );
             self.pool.release(state);
             let report = result.map_err(|e| at_query(i, e))?;
             slots[i] = Some(QueryReport {
@@ -237,11 +251,7 @@ impl Session {
         }
         let device_ns = self.dev.elapsed_ns() - start_ns;
         let profile = self.dev.profile().since(&start_profile);
-        let host_ns: f64 = slots
-            .iter()
-            .flatten()
-            .map(|q| q.report.host_ns)
-            .sum();
+        let host_ns: f64 = slots.iter().flatten().map(|q| q.report.host_ns).sum();
         Ok((slots, device_ns, profile, 1, device_ns + host_ns))
     }
 
@@ -576,7 +586,10 @@ mod tests {
         // Grouped: BFS (1, 4, 6), SSSP (2, 5), CC (3), PageRank (0) —
         // submission order preserved within each group.
         assert_eq!(order, vec![1, 4, 6, 2, 5, 3, 0]);
-        let ranks: Vec<u8> = order.iter().map(|&i| algo_rank(queries[i].algo())).collect();
+        let ranks: Vec<u8> = order
+            .iter()
+            .map(|&i| algo_rank(queries[i].algo()))
+            .collect();
         let mut sorted = ranks.clone();
         sorted.sort_unstable();
         assert_eq!(ranks, sorted, "scheduled order is grouped by algorithm");
@@ -586,7 +599,9 @@ mod tests {
     fn per_query_device_slices_sum_to_batch_total_sequential() {
         let g = Dataset::Amazon.generate_weighted(Scale::Tiny, 82, 64);
         let mut session = Session::new(&g).unwrap();
-        let batch = session.run_batch(&mixed_batch(), &RunOptions::default()).unwrap();
+        let batch = session
+            .run_batch(&mixed_batch(), &RunOptions::default())
+            .unwrap();
         let sum: f64 = batch.queries.iter().map(|q| q.device_ns).sum();
         assert!(
             (sum - batch.device_ns).abs() <= 1e-6 * batch.device_ns.max(1.0),
@@ -605,7 +620,9 @@ mod tests {
     fn per_query_device_slices_sum_to_batch_total_parallel() {
         let g = Dataset::Amazon.generate_weighted(Scale::Tiny, 82, 64);
         let mut session = Session::parallel(&g, DeviceConfig::tesla_c2070(), 3).unwrap();
-        let batch = session.run_batch(&mixed_batch(), &RunOptions::default()).unwrap();
+        let batch = session
+            .run_batch(&mixed_batch(), &RunOptions::default())
+            .unwrap();
         assert_eq!(batch.workers, 3);
         let sum: f64 = batch.queries.iter().map(|q| q.device_ns).sum();
         assert!(
@@ -656,7 +673,10 @@ mod tests {
             .unwrap();
         // The batch profile is the device-level since() slice...
         let device_slice = session.device().profile().since(&before);
-        assert_eq!(batch.profile.total_launches(), device_slice.total_launches());
+        assert_eq!(
+            batch.profile.total_launches(),
+            device_slice.total_launches()
+        );
         // ...and merging the per-query slices reproduces it.
         let mut merged = ProfileReport::default();
         for q in &batch.queries {

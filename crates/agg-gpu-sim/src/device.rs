@@ -416,7 +416,10 @@ mod tests {
             .unwrap();
         assert_eq!(dev.race_summary().launches_checked, 1);
         dev.reset_clock();
-        assert_eq!(dev.race_summary(), &crate::mem::race::RaceSummary::default());
+        assert_eq!(
+            dev.race_summary(),
+            &crate::mem::race::RaceSummary::default()
+        );
     }
 
     #[test]

@@ -224,12 +224,7 @@ impl<'a, 'g> WarpCtx<'a, 'g> {
                         let v = b.data[idxs[lane as usize] as usize].load(Ordering::Relaxed);
                         self.set_reg(dst.0, lane, v);
                         if self.log.is_some() {
-                            self.log_access(
-                                buf.0 as u16,
-                                idxs[lane as usize],
-                                AccessKind::Read,
-                                0,
-                            );
+                            self.log_access(buf.0 as u16, idxs[lane as usize], AccessKind::Read, 0);
                         }
                     }
                 }

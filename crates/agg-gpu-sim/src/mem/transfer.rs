@@ -43,6 +43,13 @@ impl Interconnect {
         }
     }
 
+    /// The fixed per-round latency in nanoseconds — the part of an
+    /// exchange round no amount of compute overlap can hide (the
+    /// synchronization handshake happens after the overlapped window).
+    pub fn latency_ns(&self) -> f64 {
+        self.latency_us * 1_000.0
+    }
+
     /// Nanoseconds for one point-to-point message of `bytes`.
     pub fn pair_ns(&self, bytes: usize) -> f64 {
         if bytes == 0 {

@@ -213,20 +213,14 @@ impl LaunchProfile {
             ("blocks_per_sm", self.occupancy.blocks_per_sm.into()),
             ("warps_per_sm", self.occupancy.warps_per_sm.into()),
             ("occupancy_fraction", self.occupancy_fraction.into()),
-            (
-                "coalescing_efficiency",
-                self.coalescing_efficiency().into(),
-            ),
+            ("coalescing_efficiency", self.coalescing_efficiency().into()),
             ("instructions", self.stats.instructions.into()),
             ("mem_transactions", self.stats.mem_transactions.into()),
             ("mem_bytes", self.stats.mem_bytes.into()),
             ("atomics", self.stats.atomics.into()),
             ("atomic_conflicts", self.stats.atomic_conflicts.into()),
             ("divergent_branches", self.stats.divergent_branches.into()),
-            (
-                "simt_efficiency",
-                self.stats.simt_efficiency(32).into(),
-            ),
+            ("simt_efficiency", self.stats.simt_efficiency(32).into()),
         ])
     }
 }
@@ -436,9 +430,18 @@ mod tests {
     fn profile_accumulates_per_kernel() {
         let cfg = DeviceConfig::tesla_c2070();
         let mut prof = ProfileReport::default();
-        prof.record(&cfg, &finalize_launch(&cfg, "a", 2, 192, 0, &[block(5, 0, 10)]));
-        prof.record(&cfg, &finalize_launch(&cfg, "b", 1, 32, 0, &[block(7, 0, 20)]));
-        prof.record(&cfg, &finalize_launch(&cfg, "a", 3, 192, 0, &[block(9, 0, 30)]));
+        prof.record(
+            &cfg,
+            &finalize_launch(&cfg, "a", 2, 192, 0, &[block(5, 0, 10)]),
+        );
+        prof.record(
+            &cfg,
+            &finalize_launch(&cfg, "b", 1, 32, 0, &[block(7, 0, 20)]),
+        );
+        prof.record(
+            &cfg,
+            &finalize_launch(&cfg, "a", 3, 192, 0, &[block(9, 0, 30)]),
+        );
         assert_eq!(prof.kernels().len(), 2);
         assert_eq!(prof.total_launches(), 3);
         let a = prof.get("a").unwrap();
@@ -456,10 +459,19 @@ mod tests {
     fn profile_since_subtracts_snapshots() {
         let cfg = DeviceConfig::tesla_c2070();
         let mut prof = ProfileReport::default();
-        prof.record(&cfg, &finalize_launch(&cfg, "a", 1, 32, 0, &[block(5, 0, 10)]));
+        prof.record(
+            &cfg,
+            &finalize_launch(&cfg, "a", 1, 32, 0, &[block(5, 0, 10)]),
+        );
         let snap = prof.clone();
-        prof.record(&cfg, &finalize_launch(&cfg, "a", 1, 32, 0, &[block(6, 0, 14)]));
-        prof.record(&cfg, &finalize_launch(&cfg, "b", 1, 32, 0, &[block(7, 0, 20)]));
+        prof.record(
+            &cfg,
+            &finalize_launch(&cfg, "a", 1, 32, 0, &[block(6, 0, 14)]),
+        );
+        prof.record(
+            &cfg,
+            &finalize_launch(&cfg, "b", 1, 32, 0, &[block(7, 0, 20)]),
+        );
         let delta = prof.since(&snap);
         // "a" keeps only the second launch; "b" is new in the delta.
         let a = delta.get("a").unwrap();
@@ -477,13 +489,28 @@ mod tests {
         // spanning both — the identity batch profile attribution rests on.
         let cfg = DeviceConfig::tesla_c2070();
         let mut prof = ProfileReport::default();
-        prof.record(&cfg, &finalize_launch(&cfg, "a", 1, 32, 0, &[block(5, 0, 10)]));
+        prof.record(
+            &cfg,
+            &finalize_launch(&cfg, "a", 1, 32, 0, &[block(5, 0, 10)]),
+        );
         let snap0 = prof.clone();
-        prof.record(&cfg, &finalize_launch(&cfg, "a", 1, 32, 0, &[block(6, 0, 14)]));
-        prof.record(&cfg, &finalize_launch(&cfg, "b", 1, 32, 0, &[block(7, 0, 20)]));
+        prof.record(
+            &cfg,
+            &finalize_launch(&cfg, "a", 1, 32, 0, &[block(6, 0, 14)]),
+        );
+        prof.record(
+            &cfg,
+            &finalize_launch(&cfg, "b", 1, 32, 0, &[block(7, 0, 20)]),
+        );
         let snap1 = prof.clone();
-        prof.record(&cfg, &finalize_launch(&cfg, "b", 1, 32, 0, &[block(8, 0, 4)]));
-        prof.record(&cfg, &finalize_launch(&cfg, "c", 2, 192, 0, &[block(9, 0, 6)]));
+        prof.record(
+            &cfg,
+            &finalize_launch(&cfg, "b", 1, 32, 0, &[block(8, 0, 4)]),
+        );
+        prof.record(
+            &cfg,
+            &finalize_launch(&cfg, "c", 2, 192, 0, &[block(9, 0, 6)]),
+        );
 
         let mut merged = snap1.since(&snap0);
         merged.merge(&prof.since(&snap1));
@@ -520,7 +547,10 @@ mod tests {
     fn profile_json_has_the_acceptance_fields() {
         let cfg = DeviceConfig::tesla_c2070();
         let mut prof = ProfileReport::default();
-        prof.record(&cfg, &finalize_launch(&cfg, "k", 1, 192, 0, &[block(5, 3, 10)]));
+        prof.record(
+            &cfg,
+            &finalize_launch(&cfg, "k", 1, 192, 0, &[block(5, 3, 10)]),
+        );
         let s = prof.to_json().render();
         for field in [
             "\"kernel\":\"k\"",

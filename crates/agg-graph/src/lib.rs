@@ -42,4 +42,5 @@ pub use csr::{CsrGraph, NodeId, INF};
 pub use datasets::{Dataset, Scale};
 pub use error::GraphError;
 pub use partition::{partition, Partition, PartitionStrategy, ShardPlan};
+pub use relabel::Relabeling;
 pub use stats::{DegreeStats, GraphStats};

@@ -24,17 +24,27 @@
 //! is offset arithmetic plus a binary search (see [`ShardPlan::to_local`] /
 //! [`ShardPlan::to_global`], round-trip checked by [`Partition::validate`]).
 //!
-//! Two strategies choose the range boundaries:
+//! Three strategies choose the range boundaries:
 //!
 //! * [`PartitionStrategy::Contiguous1D`] — equal node counts;
 //! * [`PartitionStrategy::DegreeBalanced`] — a prefix-degree sweep placing
 //!   boundaries so shard *edge* counts balance; each shard's edge count is
 //!   within `max_outdegree` of the ideal `m / k` (documented bound:
 //!   `max_shard_edges <= ceil(m / k) + max_outdegree`, and symmetrically
-//!   `min_shard_edges >= floor(m / k) - max_outdegree`, saturating at 0).
+//!   `min_shard_edges >= floor(m / k) - max_outdegree`, saturating at 0);
+//! * [`PartitionStrategy::ClusteredContiguous`] — a deterministic
+//!   label-propagation clustering pass renumbers the nodes (via
+//!   [`crate::relabel`]) so that densely connected groups occupy
+//!   contiguous id ranges, then the degree-balanced sweep splits the
+//!   *relabeled* graph — same 1-D machinery, smaller edge cut. The
+//!   renumbering is recorded in [`Partition::relabeling`]; every other
+//!   field of the partition (ranges, ghost tables, `owner_of`) speaks the
+//!   relabeled id space.
 
 use crate::csr::{CsrGraph, NodeId};
 use crate::error::GraphError;
+use crate::relabel::{self, Relabeling};
+use std::collections::HashMap;
 
 /// How shard boundaries are chosen along the global vertex order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,14 +57,21 @@ pub enum PartitionStrategy {
     /// docs). Falls back to [`PartitionStrategy::Contiguous1D`] boundaries
     /// on edgeless graphs.
     DegreeBalanced,
+    /// Label-propagation clustering + BFS-order renumbering before the
+    /// degree-balanced sweep: nodes of one cluster receive contiguous ids,
+    /// so the 1-D ranges cut mostly *between* clusters. The resulting
+    /// [`Relabeling`] is carried in [`Partition::relabeling`] so runtimes
+    /// can translate sources and results at the edges of a run.
+    ClusteredContiguous,
 }
 
 impl PartitionStrategy {
-    /// Parses `"contiguous"` / `"degree"` (CLI spelling).
+    /// Parses `"contiguous"` / `"degree"` / `"clustered"` (CLI spelling).
     pub fn parse(s: &str) -> Option<PartitionStrategy> {
         match s {
             "contiguous" => Some(PartitionStrategy::Contiguous1D),
             "degree" => Some(PartitionStrategy::DegreeBalanced),
+            "clustered" => Some(PartitionStrategy::ClusteredContiguous),
             _ => None,
         }
     }
@@ -64,6 +81,7 @@ impl PartitionStrategy {
         match self {
             PartitionStrategy::Contiguous1D => "contiguous",
             PartitionStrategy::DegreeBalanced => "degree",
+            PartitionStrategy::ClusteredContiguous => "clustered",
         }
     }
 }
@@ -167,6 +185,14 @@ pub struct Partition {
     /// Total edges whose endpoints live on different shards (each cut
     /// edge counted once, at its source shard).
     pub cut_edges: usize,
+    /// The node renumbering applied before the 1-D split
+    /// ([`PartitionStrategy::ClusteredContiguous`] only). When present,
+    /// *every* id this struct exposes — shard ranges, ghost tables,
+    /// [`Partition::owner_of`] — lives in the relabeled space:
+    /// `relabeling.perm[old] = new` translates inward,
+    /// `relabeling.inv[new] = old` outward. `None` for the
+    /// identity-order strategies.
+    pub relabeling: Option<Relabeling>,
 }
 
 impl Partition {
@@ -184,6 +210,27 @@ impl Partition {
         assert!((g as usize) < self.n, "node {g} out of range ({})", self.n);
         // Shards are contiguous and ordered: find the last start <= g.
         self.shards.partition_point(|s| s.start <= g) - 1
+    }
+
+    /// Translates an original node id into the partition's id space —
+    /// identity unless the strategy relabeled (see
+    /// [`Partition::relabeling`]).
+    #[inline]
+    pub fn to_partition_id(&self, original: NodeId) -> NodeId {
+        match &self.relabeling {
+            Some(r) => r.perm[original as usize],
+            None => original,
+        }
+    }
+
+    /// Translates a partition-space node id back to the original
+    /// numbering (inverse of [`Partition::to_partition_id`]).
+    #[inline]
+    pub fn to_original_id(&self, internal: NodeId) -> NodeId {
+        match &self.relabeling {
+            Some(r) => r.inv[internal as usize],
+            None => internal,
+        }
     }
 
     /// Fraction of edges cut by the partition (`0.0` on edgeless graphs).
@@ -218,7 +265,10 @@ impl Partition {
     /// in exactly one shard (at its source, with its weight); local ids
     /// round-trip through [`ShardPlan::to_local`]/[`ShardPlan::to_global`];
     /// ghost tables are sorted, deduplicated, and disjoint from the owned
-    /// range; reverse rows cover exactly the in-edges of owned nodes.
+    /// range; reverse rows cover exactly the in-edges of owned nodes, in
+    /// the **source graph's** canonical `(source, ordinal)` order. When a
+    /// [`Partition::relabeling`] is present it must be a bijection and
+    /// every check compares through it.
     pub fn validate(&self, g: &CsrGraph) -> Result<(), GraphError> {
         let fail = |detail: String| Err(GraphError::InvalidPartition { detail });
         if g.node_count() != self.n || g.edge_count() != self.m {
@@ -229,6 +279,21 @@ impl Partition {
                 g.node_count(),
                 g.edge_count()
             ));
+        }
+        if let Some(r) = &self.relabeling {
+            if r.perm.len() != self.n || r.inv.len() != self.n {
+                return fail(format!(
+                    "relabeling covers {} nodes, partition has {}",
+                    r.perm.len(),
+                    self.n
+                ));
+            }
+            for old in 0..self.n {
+                let new = r.perm[old] as usize;
+                if new >= self.n || r.inv[new] as usize != old {
+                    return fail(format!("relabeling is not a bijection at node {old}"));
+                }
+            }
         }
         // Ranges tile [0, n).
         let mut next = 0u32;
@@ -266,10 +331,15 @@ impl Partition {
                 }
             }
             // Every local forward edge is a global edge owned by this
-            // shard, in the global CSR's row order.
+            // shard, in the global CSR's row order (rows walked in
+            // partition-space order, columns translated inward).
             let mut want: Vec<(NodeId, NodeId, u32)> = Vec::with_capacity(s.local.edge_count());
             for v in s.start..s.end {
-                want.extend(g.weighted_neighbors(v).map(|(d, w)| (v, d, w)));
+                let old = self.to_original_id(v);
+                want.extend(
+                    g.weighted_neighbors(old)
+                        .map(|(d, w)| (v, self.to_partition_id(d), w)),
+                );
             }
             let got: Vec<(NodeId, NodeId, u32)> = s
                 .local
@@ -284,10 +354,13 @@ impl Partition {
             }
             total_edges += got.len();
             total_cut += s.cut_out_edges;
-            // Reverse rows: exactly the in-edges of owned nodes, in
-            // canonical (source, ordinal) order.
+            // Reverse rows: exactly the in-edges of owned nodes, in the
+            // source graph's canonical (source, ordinal) order — under a
+            // relabeling this is NOT the relabeled graph's row order, so
+            // walk the original edge stream and translate.
             let mut want_in: Vec<Vec<u32>> = vec![Vec::new(); s.ext_count()];
             for (src, dst, _) in g.edges() {
+                let (src, dst) = (self.to_partition_id(src), self.to_partition_id(dst));
                 if s.owns(dst) {
                     let Some(ls) = s.to_local(src) else {
                         return fail(format!(
@@ -342,7 +415,18 @@ pub fn partition(
     }
     let n = g.node_count();
     let m = g.edge_count();
-    let boundaries = boundaries(g, shards, strategy);
+    // ClusteredContiguous renumbers first; the rest of the pipeline then
+    // partitions the relabeled graph exactly like the other strategies.
+    let (relabeling, relabeled) = match strategy {
+        PartitionStrategy::ClusteredContiguous => {
+            let r = cluster_relabeling(g);
+            let h = relabel::apply(g, &r)?;
+            (Some(r), Some(h))
+        }
+        _ => (None, None),
+    };
+    let work: &CsrGraph = relabeled.as_ref().unwrap_or(g);
+    let boundaries = boundaries(work, shards, strategy);
     let owner = |node: NodeId| -> usize {
         // Last boundary <= node; boundaries is sorted with k+1 entries.
         boundaries.partition_point(|&b| b <= node) - 1
@@ -354,7 +438,7 @@ pub fn partition(
     let mut ghost_sets: Vec<Vec<NodeId>> = vec![Vec::new(); shards];
     let mut cut_out = vec![0usize; shards];
     let mut cut_in = vec![0usize; shards];
-    for (u, v, _) in g.edges() {
+    for (u, v, _) in work.edges() {
         let (su, sv) = (owner(u), owner(v));
         if su != sv {
             ghost_sets[su].push(v);
@@ -367,6 +451,21 @@ pub fn partition(
         set.sort_unstable();
         set.dedup();
     }
+
+    // The reverse CSRs must list in-neighbors in the *source graph's*
+    // canonical `(source, ordinal)` edge order — the order the
+    // deterministic PageRank gather sums in. Under a relabeling that
+    // stream is not the relabeled graph's row order, so materialize it
+    // once, translated.
+    let canon_edges: Option<Vec<(NodeId, NodeId)>> = relabeling.as_ref().map(|r| {
+        g.edges()
+            .map(|(u, v, _)| (r.perm[u as usize], r.perm[v as usize]))
+            .collect()
+    });
+    let each_canonical_edge = |f: &mut dyn FnMut(NodeId, NodeId)| match &canon_edges {
+        Some(es) => es.iter().for_each(|&(u, v)| f(u, v)),
+        None => work.edges().for_each(|(u, v, _)| f(u, v)),
+    };
 
     let weighted = g.is_weighted();
     let mut plans = Vec::with_capacity(shards);
@@ -393,7 +492,7 @@ pub fn partition(
         let mut boundary_sources = Vec::new();
         for v in start..end {
             let mut cuts = false;
-            for (d, w) in g.weighted_neighbors(v) {
+            for (d, w) in work.weighted_neighbors(v) {
                 cuts |= !(start..end).contains(&d);
                 col.push(to_local(d));
                 if let Some(ws) = wts.as_mut() {
@@ -413,24 +512,24 @@ pub fn partition(
         // terminating in this shard — so each owned row lists its
         // in-neighbors in ascending global (source, ordinal) order.
         let mut in_deg = vec![0u32; ext];
-        for (_, v, _) in g.edges() {
+        each_canonical_edge(&mut |_, v| {
             if (start..end).contains(&v) {
                 in_deg[(v - start) as usize] += 1;
             }
-        }
+        });
         let mut rrow = vec![0u32; ext + 1];
         for i in 0..ext {
             rrow[i + 1] = rrow[i] + in_deg[i];
         }
         let mut rcol = vec![0u32; rrow[ext] as usize];
         let mut cursor: Vec<u32> = rrow[..ext].to_vec();
-        for (u, v, _) in g.edges() {
+        each_canonical_edge(&mut |u, v| {
             if (start..end).contains(&v) {
                 let slot = cursor[(v - start) as usize] as usize;
                 cursor[(v - start) as usize] += 1;
                 rcol[slot] = to_local(u);
             }
-        }
+        });
         let reverse = CsrGraph::from_raw(rrow, rcol, None)?;
 
         plans.push(ShardPlan {
@@ -452,9 +551,91 @@ pub fn partition(
         strategy,
         shards: plans,
         cut_edges: cut_out.iter().sum(),
+        relabeling,
     };
     part.validate(g)?;
     Ok(part)
+}
+
+/// Bounded rounds of the deterministic label-propagation sweep (a few
+/// rounds capture most of the community structure; the pass is a
+/// preconditioner, not an optimizer, so convergence is not required).
+const CLUSTER_ROUNDS: usize = 4;
+
+/// Deterministic clustering renumbering: label propagation over the
+/// undirected view groups nodes into clusters, then nodes are ordered by
+/// `(cluster, BFS rank)` — clusters sorted by their earliest-visited
+/// member, members inside a cluster keeping the bandwidth-reducing
+/// BFS-visit order of [`relabel::bfs_order`].
+///
+/// Everything here is sequential and order-stable: ascending sweeps,
+/// most-frequent-neighbor label with ties broken toward the smaller
+/// label, so the same graph always produces the same permutation.
+fn cluster_relabeling(g: &CsrGraph) -> Relabeling {
+    let n = g.node_count();
+    // Undirected adjacency (out- plus in-neighbors; multi-edges kept —
+    // heavier links simply vote more).
+    let mut deg = vec![0u32; n];
+    for (u, v, _) in g.edges() {
+        deg[u as usize] += 1;
+        deg[v as usize] += 1;
+    }
+    let mut off = vec![0usize; n + 1];
+    for i in 0..n {
+        off[i + 1] = off[i] + deg[i] as usize;
+    }
+    let mut adj = vec![0u32; off[n]];
+    let mut cursor = off[..n].to_vec();
+    for (u, v, _) in g.edges() {
+        adj[cursor[u as usize]] = v;
+        cursor[u as usize] += 1;
+        adj[cursor[v as usize]] = u;
+        cursor[v as usize] += 1;
+    }
+
+    let mut label: Vec<u32> = (0..n as u32).collect();
+    let mut freq: HashMap<u32, u32> = HashMap::new();
+    for _ in 0..CLUSTER_ROUNDS {
+        let mut changed = false;
+        for v in 0..n {
+            if deg[v] == 0 {
+                continue;
+            }
+            freq.clear();
+            for &w in &adj[off[v]..off[v + 1]] {
+                *freq.entry(label[w as usize]).or_insert(0) += 1;
+            }
+            // Max by (count, smaller label) — a total order, so the
+            // winner is independent of hash iteration order.
+            let (&best, _) = freq
+                .iter()
+                .max_by(|(la, ca), (lb, cb)| ca.cmp(cb).then(lb.cmp(la)))
+                .expect("deg > 0 implies at least one neighbor label");
+            if best != label[v] {
+                label[v] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Order clusters by the BFS rank of their earliest member; order
+    // members within a cluster by BFS rank.
+    let bfs = relabel::bfs_order(g, 0);
+    let mut cluster_rank: HashMap<u32, u32> = HashMap::new();
+    for (v, &lab) in label.iter().enumerate().take(n) {
+        let r = cluster_rank.entry(lab).or_insert(u32::MAX);
+        *r = (*r).min(bfs.perm[v]);
+    }
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_unstable_by_key(|&v| (cluster_rank[&label[v as usize]], bfs.perm[v as usize]));
+    let mut perm = vec![0u32; n];
+    for (new, &old) in order.iter().enumerate() {
+        perm[old as usize] = new as u32;
+    }
+    Relabeling { perm, inv: order }
 }
 
 /// Shard boundaries as `k + 1` node ids (`boundaries[s]..boundaries[s+1]`
@@ -463,7 +644,7 @@ fn boundaries(g: &CsrGraph, k: usize, strategy: PartitionStrategy) -> Vec<NodeId
     let n = g.node_count() as u64;
     let m = g.edge_count() as u64;
     match strategy {
-        PartitionStrategy::DegreeBalanced if m > 0 => {
+        PartitionStrategy::DegreeBalanced | PartitionStrategy::ClusteredContiguous if m > 0 => {
             let row = g.row_offsets();
             let mut b: Vec<NodeId> = (0..=k as u64)
                 .map(|s| {
@@ -633,9 +814,120 @@ mod tests {
         for s in [
             PartitionStrategy::Contiguous1D,
             PartitionStrategy::DegreeBalanced,
+            PartitionStrategy::ClusteredContiguous,
         ] {
             assert_eq!(PartitionStrategy::parse(s.name()), Some(s));
         }
         assert_eq!(PartitionStrategy::parse("metis"), None);
+    }
+
+    const ALL_STRATEGIES: [PartitionStrategy; 3] = [
+        PartitionStrategy::Contiguous1D,
+        PartitionStrategy::DegreeBalanced,
+        PartitionStrategy::ClusteredContiguous,
+    ];
+
+    #[test]
+    fn degenerate_shapes_return_typed_results_never_panic() {
+        // k in {n, n+1} for n in {0, 1}, every strategy: the call must
+        // come back as Ok(valid partition with possibly-empty shards) or
+        // a typed GraphError — never a panic.
+        let shapes: Vec<(CsrGraph, Vec<usize>)> = vec![
+            (CsrGraph::empty(0), vec![1, 2]),
+            (CsrGraph::empty(1), vec![1, 2]),
+            // Single node with a self-loop: n = 1 with edge mass.
+            (GraphBuilder::from_edges(1, &[(0, 0)]).unwrap(), vec![1, 2]),
+        ];
+        for (g, ks) in &shapes {
+            for &k in ks {
+                for strategy in ALL_STRATEGIES {
+                    match partition(g, k, strategy) {
+                        Ok(p) => {
+                            p.validate(g).unwrap();
+                            assert_eq!(p.shard_count(), k);
+                            assert_eq!(
+                                p.shards.iter().map(|s| s.owned_count()).sum::<usize>(),
+                                g.node_count()
+                            );
+                        }
+                        Err(GraphError::InvalidPartition { .. }) => {}
+                        Err(e) => panic!("{:?} k={k}: unexpected error class {e:?}", strategy),
+                    }
+                }
+            }
+        }
+        for strategy in ALL_STRATEGIES {
+            assert!(
+                matches!(
+                    partition(&CsrGraph::empty(3), 0, strategy),
+                    Err(GraphError::InvalidPartition { .. })
+                ),
+                "{strategy:?}: zero shards must be a typed error"
+            );
+        }
+    }
+
+    #[test]
+    fn clustered_strategy_validates_and_translates_ids() {
+        let g = diamond();
+        for k in 1..=4 {
+            let p = partition(&g, k, PartitionStrategy::ClusteredContiguous).unwrap();
+            p.validate(&g).unwrap();
+            let r = p.relabeling.as_ref().expect("clustered records relabeling");
+            for old in 0..g.node_count() as u32 {
+                let new = p.to_partition_id(old);
+                assert_eq!(r.perm[old as usize], new);
+                assert_eq!(p.to_original_id(new), old);
+                assert!(p.shards[p.owner_of(new)].owns(new));
+            }
+            // Edge mass is preserved through the renumbering.
+            assert_eq!(
+                p.shards.iter().map(|s| s.local.edge_count()).sum::<usize>(),
+                g.edge_count()
+            );
+        }
+    }
+
+    #[test]
+    fn clustering_groups_communities_and_cuts_fewer_edges() {
+        // Two dense 8-cliques joined by one bridge, but with node ids
+        // interleaved so contiguous splits are maximally bad: even ids in
+        // clique A, odd ids in clique B.
+        let mut edges = Vec::new();
+        for a in 0..8u32 {
+            for b in 0..8u32 {
+                if a != b {
+                    edges.push((2 * a, 2 * b)); // clique A on even ids
+                    edges.push((2 * a + 1, 2 * b + 1)); // clique B on odd ids
+                }
+            }
+        }
+        edges.push((0, 1)); // bridge
+        let g = GraphBuilder::from_edges(16, &edges).unwrap();
+        let naive = partition(&g, 2, PartitionStrategy::Contiguous1D).unwrap();
+        let clustered = partition(&g, 2, PartitionStrategy::ClusteredContiguous).unwrap();
+        assert!(
+            clustered.cut_edges < naive.cut_edges,
+            "clustered cut {} not below contiguous cut {}",
+            clustered.cut_edges,
+            naive.cut_edges
+        );
+        // The interleaved cliques separate perfectly: only the bridge is
+        // cut.
+        assert_eq!(clustered.cut_edges, 1);
+    }
+
+    #[test]
+    fn identity_strategies_record_no_relabeling() {
+        let g = diamond();
+        for s in [
+            PartitionStrategy::Contiguous1D,
+            PartitionStrategy::DegreeBalanced,
+        ] {
+            let p = partition(&g, 2, s).unwrap();
+            assert!(p.relabeling.is_none());
+            assert_eq!(p.to_partition_id(3), 3);
+            assert_eq!(p.to_original_id(3), 3);
+        }
     }
 }

@@ -2,13 +2,23 @@
 //!
 //! A sharded run keeps one device per vertex shard (see
 //! `agg_graph::partition`). Between supersteps, shards trade boundary
-//! state as `(local id, value)` pairs staged through interleaved pair
-//! buffers: `pairs[2i]` is the local node id, `pairs[2i + 1]` the value
-//! word. Three small kernels implement the device side of the protocol:
+//! state as `(local id, value)` pairs staged through a self-describing
+//! pair buffer: `pairs[0]` is the pair count, pair `i` occupies words
+//! `[1 + 2i, 2 + 2i]` (local id, value word). Folding the count into the
+//! buffer lets the host fetch a shard's entire outgoing traffic with a
+//! *single* speculative prefix read instead of a count read followed by
+//! a data read — at PCIe latencies every eliminated round trip matters.
 //!
-//! * `gen_ghost` in [`crate::workset`] (the boundary-aware
-//!   `workset_gen`) *emits* the outgoing pairs for updated ghost nodes;
-//! * [`collect_list`] emits pairs for a precomputed node list (PageRank
+//! The device side of the protocol:
+//!
+//! * [`shard_prep`] resets the per-shard meta buffer (see the `META_*`
+//!   constants) and the outgoing pair count in one launch;
+//! * `gen_bitmap_split` / `gen_queue_split` in [`crate::workset`]
+//!   partition the frontier into boundary and interior working sets and
+//!   fill the meta buffer;
+//! * [`emit_ghost`] emits pairs for updated ghost nodes (BFS/SSSP/CC
+//!   outgoing values);
+//! * [`collect_pairs`] emits pairs for a precomputed node list (PageRank
 //!   boundary sources publishing their push values);
 //! * [`scatter_min`] *applies* incoming pairs with a min-merge, flagging
 //!   improved nodes for the next working set (BFS/SSSP/CC);
@@ -17,13 +27,28 @@
 //!   no merge is needed).
 //!
 //! The host deduplicates incoming pairs per destination before launching
-//! a scatter, so every kernel here writes each word from at most one
+//! a scatter, so every scatter kernel writes each word from at most one
 //! thread: the whole exchange is race-free by construction (and runs
 //! clean under the simulator's race detector in the differential
-//! harness).
+//! harness). Emit slots are handed out with `atomicAdd`, so pair order
+//! is nondeterministic — the shard runtime sorts pairs on the host
+//! before routing them.
 
 use agg_gpu_sim::ir::expr::Expr;
 use agg_gpu_sim::{Kernel, KernelBuilder};
+
+/// Meta word 0: running minimum of active tentative distances (ordered
+/// SSSP's findmin cell). Reset to `u32::MAX` by [`shard_prep`].
+pub const META_MIN: usize = 0;
+/// Meta word 1: total number of active vertices this superstep (bitmap
+/// working sets only — queue lengths already imply the count).
+pub const META_COUNT: usize = 1;
+/// Meta word 2: boundary-queue length (vertices with cut out-edges).
+pub const META_QB: usize = 2;
+/// Meta word 3: interior-queue length (queue working sets only).
+pub const META_QLEN: usize = 3;
+/// Size of the per-shard meta buffer in words.
+pub const META_WORDS: usize = 4;
 
 /// Applies incoming `(local id, value)` pairs with a min-merge: a pair
 /// improving `value[lid]` stores the new value and flags `update[lid]`.
@@ -67,19 +92,71 @@ pub fn scatter_store() -> Kernel {
     k.build().expect("statically valid")
 }
 
+/// Resets the per-shard scratch state in one launch: the meta buffer
+/// (`meta[META_MIN] = u32::MAX`, the other words zero) and the outgoing
+/// pair count `pairs[0]`. Buffers `[meta, pairs]`, no scalars. Replaces
+/// what would otherwise be five host `write_word` round trips.
+pub fn shard_prep() -> Kernel {
+    let mut k = KernelBuilder::new("shard_prep");
+    let meta = k.buf_param();
+    let pairs = k.buf_param();
+    let i = k.let_(k.global_thread_id());
+    let stride = k.let_(k.block_dim().mul(k.grid_dim()));
+    k.while_(Expr::Reg(i).lt(5u32), |k| {
+        k.if_(Expr::Reg(i).eq(META_MIN as u32), |k| {
+            k.store(meta, META_MIN as u32, u32::MAX)
+        });
+        k.if_(Expr::Reg(i).eq(META_COUNT as u32), |k| {
+            k.store(meta, META_COUNT as u32, 0u32)
+        });
+        k.if_(Expr::Reg(i).eq(META_QB as u32), |k| {
+            k.store(meta, META_QB as u32, 0u32)
+        });
+        k.if_(Expr::Reg(i).eq(META_QLEN as u32), |k| {
+            k.store(meta, META_QLEN as u32, 0u32)
+        });
+        k.if_(Expr::Reg(i).eq(4u32), |k| k.store(pairs, 0u32, 0u32));
+        k.assign(i, Expr::Reg(i).add(Expr::Reg(stride)));
+    });
+    k.build().expect("statically valid")
+}
+
+/// Emits `(ghost local id, value)` pairs for every updated ghost node
+/// and consumes the ghost's update flag. Buffers `[update, value,
+/// pairs]`, scalars `[base, limit]` — ghosts occupy local ids
+/// `base..base + limit`. The pair count lives in `pairs[0]`.
+pub fn emit_ghost() -> Kernel {
+    let mut k = KernelBuilder::new("shard_emit_ghost");
+    let update = k.buf_param();
+    let value = k.buf_param();
+    let pairs = k.buf_param();
+    let base = k.scalar_param();
+    let limit = k.scalar_param();
+    let tid = k.let_(k.global_thread_id());
+    k.if_(Expr::Reg(tid).ge(limit), |k| k.ret());
+    let lid = k.let_(Expr::Reg(tid).add(base));
+    let u = k.load(update, lid);
+    k.if_(u, |k| {
+        let slot = k.atomic_add(pairs, 0u32, 1u32);
+        let slot = k.let_(slot);
+        let val = k.load(value, lid);
+        k.store(pairs, Expr::Reg(slot).mul(2u32).add(1u32), Expr::Reg(lid));
+        k.store(pairs, Expr::Reg(slot).mul(2u32).add(2u32), val);
+        k.store(update, lid, 0u32);
+    });
+    k.build().expect("statically valid")
+}
+
 /// Emits `(local id, src[lid])` pairs for every id in a precomputed node
 /// list whose `src` word is nonzero (zero words carry no information —
 /// for PageRank push values, `+0.0` contributes nothing to a gather).
-/// Buffers `[list, src, pairs, out_len]`, scalar `count` (list length).
-/// Pair slots are handed out with an `atomicAdd`, so pair order is
-/// nondeterministic — consumers must not depend on it (the shard
-/// runtime's host-side merge sorts pairs before applying them).
-pub fn collect_list() -> Kernel {
-    let mut k = KernelBuilder::new("shard_collect_list");
+/// Buffers `[list, src, pairs]`, scalar `count` (list length). The pair
+/// count lives in `pairs[0]`.
+pub fn collect_pairs() -> Kernel {
+    let mut k = KernelBuilder::new("shard_collect_pairs");
     let list = k.buf_param();
     let src = k.buf_param();
     let pairs = k.buf_param();
-    let out_len = k.buf_param();
     let count = k.scalar_param();
     let tid = k.let_(k.global_thread_id());
     k.if_(Expr::Reg(tid).ge(count), |k| k.ret());
@@ -88,10 +165,10 @@ pub fn collect_list() -> Kernel {
     let val = k.load(src, lid);
     let val = k.let_(val);
     k.if_(Expr::Reg(val).ne(0u32), |k| {
-        let slot = k.atomic_add(out_len, 0u32, 1u32);
+        let slot = k.atomic_add(pairs, 0u32, 1u32);
         let slot = k.let_(slot);
-        k.store(pairs, Expr::Reg(slot).mul(2u32), Expr::Reg(lid));
-        k.store(pairs, Expr::Reg(slot).mul(2u32).add(1u32), Expr::Reg(val));
+        k.store(pairs, Expr::Reg(slot).mul(2u32).add(1u32), Expr::Reg(lid));
+        k.store(pairs, Expr::Reg(slot).mul(2u32).add(2u32), Expr::Reg(val));
     });
     k.build().expect("statically valid")
 }
@@ -133,26 +210,65 @@ mod tests {
     }
 
     #[test]
-    fn collect_list_emits_only_nonzero_words() {
+    fn collect_pairs_emits_only_nonzero_words() {
         let mut dev = Device::new(DeviceConfig::tesla_c2070());
         let list = dev.alloc_from_slice("list", &[0, 2, 4]);
         let src = dev.alloc_from_slice("src", &[11, 0, 0, 0, 44]);
-        let pairs = dev.alloc("pairs", 6);
-        let out_len = dev.alloc("out_len", 1);
+        let pairs = dev.alloc("pairs", 7);
         dev.launch(
-            &collect_list(),
+            &collect_pairs(),
             Grid::linear(3, 192),
-            &LaunchArgs::new()
-                .bufs([list, src, pairs, out_len])
-                .scalars([3]),
+            &LaunchArgs::new().bufs([list, src, pairs]).scalars([3]),
         )
         .unwrap();
-        let n = dev.debug_read_word(out_len, 0).unwrap() as usize;
-        assert_eq!(n, 2);
         let raw = dev.debug_read(pairs).unwrap();
-        let mut got: Vec<(u32, u32)> = (0..n).map(|i| (raw[2 * i], raw[2 * i + 1])).collect();
+        let n = raw[0] as usize;
+        assert_eq!(n, 2);
+        let mut got: Vec<(u32, u32)> = (0..n).map(|i| (raw[1 + 2 * i], raw[2 + 2 * i])).collect();
         got.sort_unstable();
         assert_eq!(got, vec![(0, 11), (4, 44)]);
+    }
+
+    #[test]
+    fn emit_ghost_drains_only_the_ghost_range() {
+        // 4 owned nodes + 3 ghosts (local ids 4..7). Ghosts 4 and 6 are
+        // updated; owned node 1 is updated too but must be left alone.
+        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let update = dev.alloc_from_slice("update", &[0, 1, 0, 0, 1, 0, 1]);
+        let value = dev.alloc_from_slice("value", &[9, 9, 9, 9, 30, 9, 50]);
+        let pairs = dev.alloc("pairs", 7);
+        dev.launch(
+            &emit_ghost(),
+            Grid::linear(3, 192),
+            &LaunchArgs::new()
+                .bufs([update, value, pairs])
+                .scalars([4, 3]),
+        )
+        .unwrap();
+        let raw = dev.debug_read(pairs).unwrap();
+        let n = raw[0] as usize;
+        assert_eq!(n, 2);
+        let mut got: Vec<(u32, u32)> = (0..n).map(|i| (raw[1 + 2 * i], raw[2 + 2 * i])).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![(4, 30), (6, 50)]);
+        // Ghost flags consumed, owned flag untouched.
+        assert_eq!(dev.debug_read(update).unwrap(), vec![0, 1, 0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn shard_prep_resets_meta_and_pair_count() {
+        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let meta = dev.alloc_from_slice("meta", &[3, 9, 4, 7]);
+        let pairs = dev.alloc_from_slice("pairs", &[5, 1, 2]);
+        dev.launch(
+            &shard_prep(),
+            Grid::linear(5, 192),
+            &LaunchArgs::new().bufs([meta, pairs]),
+        )
+        .unwrap();
+        assert_eq!(dev.debug_read(meta).unwrap(), vec![u32::MAX, 0, 0, 0]);
+        // Only the count word resets; stale pair payloads are harmless.
+        assert_eq!(dev.debug_read(pairs).unwrap(), vec![0, 1, 2]);
     }
 
     #[test]

@@ -86,9 +86,23 @@ pub struct GpuKernels {
     pub pagerank_gather: Kernel,
     /// Bottom-up BFS step (direction-optimizing extension).
     pub bfs_bottom_up: Kernel,
-    /// Boundary-aware working-set generation: emits outgoing ghost-update
-    /// pairs (sharded execution).
-    pub gen_ghost: Kernel,
+    /// Per-shard scratch reset: meta buffer + outgoing pair count
+    /// (sharded execution).
+    pub shard_prep: Kernel,
+    /// Boundary/interior frontier split into bitmap + boundary queue
+    /// (sharded execution).
+    pub gen_bitmap_split: Kernel,
+    /// [`GpuKernels::gen_bitmap_split`] fused with the findmin reduction
+    /// (sharded ordered SSSP).
+    pub gen_bitmap_split_min: Kernel,
+    /// Boundary/interior frontier split into two queues (sharded
+    /// execution).
+    pub gen_queue_split: Kernel,
+    /// [`GpuKernels::gen_queue_split`] fused with the findmin reduction
+    /// (sharded ordered SSSP).
+    pub gen_queue_split_min: Kernel,
+    /// Outgoing ghost-update pair emission (sharded BFS/SSSP/CC).
+    pub emit_ghost: Kernel,
     /// Min-merge application of incoming boundary pairs (sharded
     /// BFS/SSSP/CC).
     pub scatter_min: Kernel,
@@ -97,7 +111,7 @@ pub struct GpuKernels {
     pub scatter_store: Kernel,
     /// Pair emission over a precomputed node list (sharded PageRank
     /// boundary sources).
-    pub collect_list: Kernel,
+    pub collect_pairs: Kernel,
 }
 
 impl GpuKernels {
@@ -126,10 +140,15 @@ impl GpuKernels {
                 .collect(),
             pagerank_gather: pagerank::gather(),
             bfs_bottom_up: bottomup::build(),
-            gen_ghost: workset::gen_ghost(),
+            shard_prep: exchange::shard_prep(),
+            gen_bitmap_split: workset::gen_bitmap_split(false),
+            gen_bitmap_split_min: workset::gen_bitmap_split(true),
+            gen_queue_split: workset::gen_queue_split(false),
+            gen_queue_split_min: workset::gen_queue_split(true),
+            emit_ghost: exchange::emit_ghost(),
             scatter_min: exchange::scatter_min(),
             scatter_store: exchange::scatter_store(),
-            collect_list: exchange::collect_list(),
+            collect_pairs: exchange::collect_pairs(),
         }
     }
 
@@ -200,15 +219,24 @@ mod tests {
             &k.sssp_vw_queue,
             &k.pagerank_gather,
             &k.bfs_bottom_up,
-            &k.gen_ghost,
+            &k.shard_prep,
+            &k.gen_bitmap_split,
+            &k.gen_bitmap_split_min,
+            &k.gen_queue_split,
+            &k.gen_queue_split_min,
+            &k.emit_ghost,
             &k.scatter_min,
             &k.scatter_store,
-            &k.collect_list,
+            &k.collect_pairs,
         ]);
-        assert_eq!(all.len(), 8 + 8 + 4 + 4 + 19);
+        assert_eq!(all.len(), 8 + 8 + 4 + 4 + 24);
         for kernel in all {
             let src = kernel.to_pseudo_code();
-            assert!(src.contains(&kernel.name), "{} missing from listing", kernel.name);
+            assert!(
+                src.contains(&kernel.name),
+                "{} missing from listing",
+                kernel.name
+            );
             assert!(src.starts_with("__global__ void"), "{}", kernel.name);
             assert!(src.trim_end().ends_with('}'), "{}", kernel.name);
             kernel.validate().expect("every built kernel validates");

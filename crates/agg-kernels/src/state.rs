@@ -205,14 +205,20 @@ impl AlgoState {
         limit: u32,
         damping: f32,
     ) -> LaunchArgs {
+        self.pagerank_claim_args_over(g, self.ws_buf(v.workset), limit, damping)
+    }
+
+    /// [`AlgoState::pagerank_claim_args`] with an explicit working-set
+    /// buffer (the sharded runtime substitutes its boundary queue).
+    pub fn pagerank_claim_args_over(
+        &self,
+        g: &DeviceGraph,
+        ws: DevicePtr,
+        limit: u32,
+        damping: f32,
+    ) -> LaunchArgs {
         LaunchArgs::new()
-            .bufs([
-                g.row,
-                self.value,
-                self.aux,
-                self.ws_buf(v.workset),
-                self.aux2,
-            ])
+            .bufs([g.row, self.value, self.aux, ws, self.aux2])
             .scalars([limit, damping.to_bits()])
     }
 
@@ -240,14 +246,14 @@ impl AlgoState {
     /// for the slot convention). `limit` is `n` for bitmap variants, the
     /// queue length for queue variants.
     pub fn bfs_args(&self, g: &DeviceGraph, v: Variant, limit: u32) -> LaunchArgs {
+        self.bfs_args_over(g, self.ws_buf(v.workset), limit)
+    }
+
+    /// [`AlgoState::bfs_args`] with an explicit working-set buffer (the
+    /// sharded runtime substitutes its boundary queue).
+    pub fn bfs_args_over(&self, g: &DeviceGraph, ws: DevicePtr, limit: u32) -> LaunchArgs {
         LaunchArgs::new()
-            .bufs([
-                g.row,
-                g.col,
-                self.value,
-                self.ws_buf(v.workset),
-                self.update,
-            ])
+            .bufs([g.row, g.col, self.value, ws, self.update])
             .scalars([limit])
     }
 
@@ -255,15 +261,20 @@ impl AlgoState {
     /// [`crate::sssp::build`]). Ordered variants additionally read the
     /// findmin cell.
     pub fn sssp_args(&self, g: &DeviceGraph, v: Variant, limit: u32) -> LaunchArgs {
+        self.sssp_args_over(g, v, self.ws_buf(v.workset), limit)
+    }
+
+    /// [`AlgoState::sssp_args`] with an explicit working-set buffer (the
+    /// sharded runtime substitutes its boundary queue).
+    pub fn sssp_args_over(
+        &self,
+        g: &DeviceGraph,
+        v: Variant,
+        ws: DevicePtr,
+        limit: u32,
+    ) -> LaunchArgs {
         let weights = g.weights.expect("SSSP requires a weighted graph");
-        let mut bufs = vec![
-            g.row,
-            g.col,
-            weights,
-            self.value,
-            self.ws_buf(v.workset),
-            self.update,
-        ];
+        let mut bufs = vec![g.row, g.col, weights, self.value, ws, self.update];
         if matches!(v.order, AlgoOrder::Ordered) {
             bufs.push(self.min_out);
         }
@@ -274,6 +285,11 @@ impl AlgoState {
     /// BFS: `[row, col, label, ws, update]`).
     pub fn cc_args(&self, g: &DeviceGraph, v: Variant, limit: u32) -> LaunchArgs {
         self.bfs_args(g, v, limit)
+    }
+
+    /// [`AlgoState::cc_args`] with an explicit working-set buffer.
+    pub fn cc_args_over(&self, g: &DeviceGraph, ws: DevicePtr, limit: u32) -> LaunchArgs {
+        self.bfs_args_over(g, ws, limit)
     }
 
     /// Arguments for a virtual-warp BFS kernel (extension):

@@ -88,35 +88,160 @@ pub fn gen_queue_scan() -> Kernel {
     k.build().expect("statically valid")
 }
 
-/// Boundary-aware working-set generation for sharded execution: scans
-/// the *ghost* tail of the update vector (local ids `[base, base+limit)`)
-/// and, for each updated ghost, emits an outgoing `(local id, value)`
-/// pair into the interleaved pair buffer and clears the update flag —
-/// ghosts never enter the local working set, their updates travel to the
-/// owning shard instead. Slot order `[update, value, pairs, out_len]`,
-/// scalars `[base, limit]` (ghost-range start and length). Pair slots
-/// are handed out with an `atomicAdd` like [`gen_queue`], so pair order
-/// is nondeterministic; the shard runtime sorts before merging.
-pub fn gen_ghost() -> Kernel {
-    let mut k = KernelBuilder::new("workset_gen_ghost");
+/// Update vector → boundary queue + interior bitmap in one pass (sharded
+/// execution). Active nodes whose `mask` word is nonzero (owned nodes
+/// with at least one cut out-edge) are compacted into `bqueue`; the rest
+/// go into `bitmap`. Every superstep scalar lands in the 4-word `meta`
+/// block (see [`crate::exchange`]): the boundary queue length via
+/// `atomicAdd(meta[QB])`, the full active census via one block
+/// reduction into `atomicAdd(meta[COUNT])`, and — when built with
+/// `want_min` — the minimum active `value` via a block reduction into
+/// `atomicMin(meta[MIN])`, folding ordered SSSP's findmin into
+/// generation so the host learns everything with a single `meta` read.
+///
+/// Slot order `[update, mask, bitmap, bqueue, meta, value, next_meta,
+/// pairs]`, scalar `n`. Bitmap words are always stored (0/1) so stale
+/// bits from the previous superstep are cleared without a separate
+/// memset. Thread 0 additionally resets `next_meta` (the ping-pong
+/// partner of `meta`) and the outgoing pair count `pairs[0]`, replacing
+/// the per-superstep prep launch.
+pub fn gen_bitmap_split(want_min: bool) -> Kernel {
+    let name = if want_min {
+        "workset_gen_bitmap_split_min"
+    } else {
+        "workset_gen_bitmap_split"
+    };
+    let mut k = KernelBuilder::new(name);
     let update = k.buf_param();
+    let mask = k.buf_param();
+    let bitmap = k.buf_param();
+    let bqueue = k.buf_param();
+    let meta = k.buf_param();
     let value = k.buf_param();
+    let next_meta = k.buf_param();
     let pairs = k.buf_param();
-    let out_len = k.buf_param();
-    let base = k.scalar_param();
-    let limit = k.scalar_param();
+    let n = k.scalar_param();
     let tid = k.let_(k.global_thread_id());
-    k.if_(Expr::Reg(tid).ge(limit), |k| k.ret());
-    let lid = k.let_(Expr::Reg(tid).add(base));
-    let u = k.load(update, lid);
-    k.if_(u, |k| {
-        let slot = k.atomic_add(out_len, 0u32, 1u32);
-        let slot = k.let_(slot);
-        let val = k.load(value, lid);
-        k.store(pairs, Expr::Reg(slot).mul(2u32), Expr::Reg(lid));
-        k.store(pairs, Expr::Reg(slot).mul(2u32).add(1u32), val);
-        k.store(update, lid, 0u32);
+    // Thread 0 resets the *next* superstep's meta header and this
+    // superstep's outgoing pair count — the ping-pong that lets the
+    // runtime drop the separate per-superstep prep launch. Nothing else
+    // touches `next_meta` this superstep, and the pair count is consumed
+    // (read back) before the following generation pass runs.
+    k.if_(Expr::Reg(tid).eq(0u32), |k| {
+        k.store(next_meta, 0u32, u32::MAX);
+        k.store(next_meta, 1u32, 0u32);
+        k.store(next_meta, 2u32, 0u32);
+        k.store(next_meta, 3u32, 0u32);
+        k.store(pairs, 0u32, 0u32);
     });
+    // No early return: every lane participates in the block reductions
+    // (out-of-range lanes contribute 0 / MAX).
+    let c = k.reg();
+    k.assign(c, 0u32);
+    let cand = k.reg();
+    k.assign(cand, u32::MAX);
+    let b = k.reg();
+    k.assign(b, 0u32);
+    k.if_(Expr::Reg(tid).lt(n.clone()), |k| {
+        let u = k.load(update, tid);
+        k.if_(u, |k| {
+            k.assign(c, 1u32);
+            k.store(update, tid, 0u32);
+            if want_min {
+                let v = k.load(value, tid);
+                k.assign(cand, v);
+            }
+            let mb = k.load(mask, tid);
+            let mb = k.let_(mb);
+            k.if_(Expr::Reg(mb).ne(0u32), |k| {
+                let slot = k.atomic_add(meta, crate::exchange::META_QB as u32, 1u32);
+                k.store(bqueue, slot, tid);
+            });
+            k.if_(Expr::Reg(mb).eq(0u32), |k| {
+                k.assign(b, 1u32);
+            });
+        });
+        k.store(bitmap, tid, Expr::Reg(b));
+    });
+    let total = k.block_reduce_add(Expr::Reg(c));
+    let total = k.let_(total);
+    k.if_(
+        k.thread_idx().eq(0u32).and(Expr::Reg(total).ne(0u32)),
+        |k| {
+            k.atomic_add(meta, crate::exchange::META_COUNT as u32, Expr::Reg(total));
+        },
+    );
+    if want_min {
+        let m = k.block_reduce_min(Expr::Reg(cand));
+        k.if_(k.thread_idx().eq(0u32), |k| {
+            k.atomic_min(meta, crate::exchange::META_MIN as u32, m.clone());
+        });
+    }
+    k.build().expect("statically valid")
+}
+
+/// Update vector → boundary queue + interior queue in one pass (sharded
+/// execution, queue flavor of [`gen_bitmap_split`]). Boundary-masked
+/// actives compact into `bqueue` (length `meta[QB]`), the rest into
+/// `queue` (length `meta[QLEN]`); `want_min` additionally folds the
+/// findmin reduction into `meta[MIN]`.
+///
+/// Slot order `[update, mask, queue, bqueue, meta, value, next_meta,
+/// pairs]`, scalar `n`; `next_meta` and `pairs[0]` are reset by thread 0
+/// exactly as in [`gen_bitmap_split`].
+pub fn gen_queue_split(want_min: bool) -> Kernel {
+    let name = if want_min {
+        "workset_gen_queue_split_min"
+    } else {
+        "workset_gen_queue_split"
+    };
+    let mut k = KernelBuilder::new(name);
+    let update = k.buf_param();
+    let mask = k.buf_param();
+    let queue = k.buf_param();
+    let bqueue = k.buf_param();
+    let meta = k.buf_param();
+    let value = k.buf_param();
+    let next_meta = k.buf_param();
+    let pairs = k.buf_param();
+    let n = k.scalar_param();
+    let tid = k.let_(k.global_thread_id());
+    // Same ping-pong reset as [`gen_bitmap_split`]: see there.
+    k.if_(Expr::Reg(tid).eq(0u32), |k| {
+        k.store(next_meta, 0u32, u32::MAX);
+        k.store(next_meta, 1u32, 0u32);
+        k.store(next_meta, 2u32, 0u32);
+        k.store(next_meta, 3u32, 0u32);
+        k.store(pairs, 0u32, 0u32);
+    });
+    let cand = k.reg();
+    k.assign(cand, u32::MAX);
+    k.if_(Expr::Reg(tid).lt(n.clone()), |k| {
+        let u = k.load(update, tid);
+        k.if_(u, |k| {
+            k.store(update, tid, 0u32);
+            if want_min {
+                let v = k.load(value, tid);
+                k.assign(cand, v);
+            }
+            let mb = k.load(mask, tid);
+            let mb = k.let_(mb);
+            k.if_(Expr::Reg(mb).ne(0u32), |k| {
+                let slot = k.atomic_add(meta, crate::exchange::META_QB as u32, 1u32);
+                k.store(bqueue, slot, tid);
+            });
+            k.if_(Expr::Reg(mb).eq(0u32), |k| {
+                let slot = k.atomic_add(meta, crate::exchange::META_QLEN as u32, 1u32);
+                k.store(queue, slot, tid);
+            });
+        });
+    });
+    if want_min {
+        let m = k.block_reduce_min(Expr::Reg(cand));
+        k.if_(k.thread_idx().eq(0u32), |k| {
+            k.atomic_min(meta, crate::exchange::META_MIN as u32, m.clone());
+        });
+    }
     k.build().expect("statically valid")
 }
 
@@ -231,13 +356,7 @@ pub fn degree_census(is_queue: bool) -> Kernel {
         let carry_acc = Expr::Reg(lo_add)
             .ne(0u32)
             .and(Expr::Reg(old).gt(Expr::imm(u32::MAX).sub(Expr::Reg(lo_add))));
-        let hi_add = k.let_(
-            sum_hi
-                .clone()
-                .shr(16u32)
-                .add(carry_local)
-                .add(carry_acc),
-        );
+        let hi_add = k.let_(sum_hi.clone().shr(16u32).add(carry_local).add(carry_acc));
         k.if_(Expr::Reg(hi_add).ne(0u32), |k| {
             k.atomic_add(deg_sum, 1u32, Expr::Reg(hi_add));
         });
@@ -399,30 +518,94 @@ mod tests {
     }
 
     #[test]
-    fn ghost_gen_emits_pairs_and_clears_only_ghost_range() {
-        // 4 owned nodes + 3 ghosts (local ids 4..7). Ghosts 4 and 6 are
-        // updated; owned node 1 is updated too but must be left alone.
+    fn bitmap_split_partitions_actives_and_fills_meta() {
+        use crate::exchange::{META_COUNT, META_MIN, META_QB, META_WORDS};
+        // Actives: 0 (boundary), 2 (interior), 4 (boundary). Node 3 has a
+        // stale bitmap bit from the previous superstep that must clear.
         let mut dev = Device::new(DeviceConfig::tesla_c2070());
-        let update = dev.alloc_from_slice("update", &[0, 1, 0, 0, 1, 0, 1]);
-        let value = dev.alloc_from_slice("value", &[9, 9, 9, 9, 30, 9, 50]);
-        let pairs = dev.alloc("pairs", 6);
-        let out_len = dev.alloc("out_len", 1);
+        let update = dev.alloc_from_slice("update", &[1, 0, 1, 0, 1]);
+        let mask = dev.alloc_from_slice("mask", &[1, 0, 0, 1, 1]);
+        let bitmap = dev.alloc_from_slice("bitmap", &[0, 0, 0, 1, 0]);
+        let bqueue = dev.alloc("bqueue", 5);
+        let meta = dev.alloc_filled("meta", META_WORDS, 0);
+        dev.write_word(meta, META_MIN, u32::MAX).unwrap();
+        // Dirty ping-pong partner and pair count: thread 0 must reset
+        // them (that reset replaces the per-superstep prep launch).
+        let next_meta = dev.alloc_filled("next_meta", META_WORDS, 77);
+        let pairs = dev.alloc_from_slice("pairs", &[9, 5, 6]);
+        let value = dev.alloc_from_slice("value", &[7, 1, 9, 2, 5]);
+        for (kernel, min_expected) in [
+            (gen_bitmap_split(false), u32::MAX),
+            (gen_bitmap_split(true), 5),
+        ] {
+            dev.write(update, &[1, 0, 1, 0, 1]).unwrap();
+            dev.write(bitmap, &[0, 0, 0, 1, 0]).unwrap();
+            dev.write(meta, &[u32::MAX, 0, 0, 0]).unwrap();
+            dev.write(next_meta, &[77, 77, 77, 77]).unwrap();
+            dev.write(pairs, &[9, 5, 6]).unwrap();
+            dev.launch(
+                &kernel,
+                Grid::linear(5, 192),
+                &LaunchArgs::new()
+                    .bufs([update, mask, bitmap, bqueue, meta, value, next_meta, pairs])
+                    .scalars([5]),
+            )
+            .unwrap();
+            let m = dev.debug_read(meta).unwrap();
+            assert_eq!(m[META_COUNT], 3, "{}", kernel.name);
+            assert_eq!(m[META_QB], 2, "{}", kernel.name);
+            assert_eq!(m[META_MIN], min_expected, "{}", kernel.name);
+            // Interior actives only; stale bit at node 3 cleared.
+            assert_eq!(dev.debug_read(bitmap).unwrap(), vec![0, 0, 1, 0, 0]);
+            let mut bq = dev.debug_read(bqueue).unwrap()[..m[META_QB] as usize].to_vec();
+            bq.sort_unstable();
+            assert_eq!(bq, vec![0, 4]);
+            assert_eq!(dev.debug_read(update).unwrap(), vec![0; 5]);
+            assert_eq!(
+                dev.debug_read(next_meta).unwrap(),
+                vec![u32::MAX, 0, 0, 0],
+                "{}: ping-pong header not reset",
+                kernel.name
+            );
+            // Only the pair count resets — staged pair words are inert.
+            assert_eq!(dev.debug_read(pairs).unwrap(), vec![0, 5, 6]);
+        }
+    }
+
+    #[test]
+    fn queue_split_partitions_actives_between_queues() {
+        use crate::exchange::{META_MIN, META_QB, META_QLEN, META_WORDS};
+        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let update = dev.alloc_from_slice("update", &[1, 1, 0, 1, 1]);
+        let mask = dev.alloc_from_slice("mask", &[0, 1, 1, 0, 1]);
+        let queue = dev.alloc("queue", 5);
+        let bqueue = dev.alloc("bqueue", 5);
+        let meta = dev.alloc_filled("meta", META_WORDS, 0);
+        dev.write_word(meta, META_MIN, u32::MAX).unwrap();
+        let next_meta = dev.alloc_filled("next_meta", META_WORDS, 77);
+        let pairs = dev.alloc_from_slice("pairs", &[9, 5, 6]);
+        let value = dev.alloc_from_slice("value", &[8, 3, 1, 6, 4]);
         dev.launch(
-            &gen_ghost(),
-            Grid::linear(3, 192),
+            &gen_queue_split(true),
+            Grid::linear(5, 192),
             &LaunchArgs::new()
-                .bufs([update, value, pairs, out_len])
-                .scalars([4, 3]),
+                .bufs([update, mask, queue, bqueue, meta, value, next_meta, pairs])
+                .scalars([5]),
         )
         .unwrap();
-        let n = dev.debug_read_word(out_len, 0).unwrap() as usize;
-        assert_eq!(n, 2);
-        let raw = dev.debug_read(pairs).unwrap();
-        let mut got: Vec<(u32, u32)> = (0..n).map(|i| (raw[2 * i], raw[2 * i + 1])).collect();
-        got.sort_unstable();
-        assert_eq!(got, vec![(4, 30), (6, 50)]);
-        // Ghost flags consumed, owned flag untouched.
-        assert_eq!(dev.debug_read(update).unwrap(), vec![0, 1, 0, 0, 0, 0, 0]);
+        let m = dev.debug_read(meta).unwrap();
+        assert_eq!(m[META_QB], 2);
+        assert_eq!(m[META_QLEN], 2);
+        assert_eq!(dev.debug_read(next_meta).unwrap(), vec![u32::MAX, 0, 0, 0]);
+        assert_eq!(dev.debug_read(pairs).unwrap(), vec![0, 5, 6]);
+        assert_eq!(m[META_MIN], 3); // min over actives {8, 3, 6, 4}; 1 inactive
+        let mut bq = dev.debug_read(bqueue).unwrap()[..2].to_vec();
+        bq.sort_unstable();
+        assert_eq!(bq, vec![1, 4]);
+        let mut q = dev.debug_read(queue).unwrap()[..2].to_vec();
+        q.sort_unstable();
+        assert_eq!(q, vec![0, 3]);
+        assert_eq!(dev.debug_read(update).unwrap(), vec![0; 5]);
     }
 
     #[test]

@@ -80,7 +80,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sampling_period: 1,
         ..AdaptiveConfig::default()
     };
-    let r = gg.run(Query::Cc, &RunOptions::builder().tuning(tuning).trace().build())?;
+    let r = gg.run(
+        Query::Cc,
+        &RunOptions::builder().tuning(tuning).trace().build(),
+    )?;
     println!("\nadaptive decisions (working set shrinks as labels stabilize):");
     for t in &r.trace {
         println!(

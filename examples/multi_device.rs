@@ -47,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for shards in [1usize, 2, 4, 8] {
         let mut sg = ShardedGraph::new(&graph, shards)?;
         let r = sg.run(Query::Bfs { src: 0 }, &opts)?;
-        assert_eq!(r.values, single_bfs.values, "sharded BFS must be bit-identical");
+        assert_eq!(
+            r.values, single_bfs.values,
+            "sharded BFS must be bit-identical"
+        );
         assert_eq!(r.accounting_gap(), 0.0, "time ledger must balance exactly");
         println!(
             "  {:>6}  {:>8.2}  {:>11.2}  {:>10}  {:>4.1}",
@@ -71,7 +74,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Interconnect::nvlink(),
     )?;
     let r = balanced.run(Query::Sssp { src: 0 }, &opts)?;
-    assert_eq!(r.values, single_sssp.values, "sharded SSSP must be bit-identical");
+    assert_eq!(
+        r.values, single_sssp.values,
+        "sharded SSSP must be bit-identical"
+    );
     println!(
         "\nSSSP on 4 degree-balanced shards over NVLink: {:.2} ms total, {:.2} ms exchange \
          ({} rounds, {} bytes moved)",

@@ -27,7 +27,11 @@ fn two_hundred_graph_corpus_matches_cpu_oracles() {
     assert_eq!(report.cases, 200);
     // 24 matrix runs per graph plus the sharded sweep (BFS/SSSP/CC at 2
     // and 4 shards each) and the shuffled-batch queries.
-    assert!(report.runs >= 200 * 24 + 200 * 6, "only {} runs", report.runs);
+    assert!(
+        report.runs >= 200 * 24 + 200 * 6,
+        "only {} runs",
+        report.runs
+    );
     assert_eq!(report.sharded_runs, 200 * 6, "sharded sweep incomplete");
     assert_eq!(report.batches, 25, "one shuffled batch every 8th case");
     assert!(

@@ -13,11 +13,15 @@ fn end_to_end_adaptive_on_every_dataset() {
         let g = d.generate_weighted(Scale::Tiny, 404, 64);
         let mut gg = GpuGraph::new(&g).unwrap();
 
-        let bfs = gg.run(Query::Bfs { src: 0 }, &RunOptions::default()).unwrap();
+        let bfs = gg
+            .run(Query::Bfs { src: 0 }, &RunOptions::default())
+            .unwrap();
         let cpu = cpu_bfs(&g, 0, &CpuCostModel::default());
         assert_eq!(bfs.values, cpu.result, "{} BFS", d.name());
 
-        let sssp = gg.run(Query::Sssp { src: 0 }, &RunOptions::default()).unwrap();
+        let sssp = gg
+            .run(Query::Sssp { src: 0 }, &RunOptions::default())
+            .unwrap();
         let cpu = cpu_dijkstra(&g, 0, &CpuCostModel::default());
         assert_eq!(sssp.values, cpu.result, "{} SSSP", d.name());
 
@@ -34,9 +38,14 @@ fn end_to_end_adaptive_on_every_dataset() {
 fn every_static_variant_agrees_with_adaptive() {
     let g = Dataset::Google.generate_weighted(Scale::Tiny, 405, 64);
     let mut gg = GpuGraph::new(&g).unwrap();
-    let reference = gg.run(Query::Sssp { src: 0 }, &RunOptions::default()).unwrap().values;
+    let reference = gg
+        .run(Query::Sssp { src: 0 }, &RunOptions::default())
+        .unwrap()
+        .values;
     for v in Variant::ALL {
-        let r = gg.run(Query::Sssp { src: 0 }, &RunOptions::static_variant(v)).unwrap();
+        let r = gg
+            .run(Query::Sssp { src: 0 }, &RunOptions::static_variant(v))
+            .unwrap();
         assert_eq!(r.values, reference, "{}", v.name());
         assert_eq!(r.switches, 0);
     }
@@ -52,7 +61,9 @@ fn dimacs_round_trip_through_the_gpu() {
     assert_eq!(g.edge_count(), g2.edge_count());
 
     let mut gg = GpuGraph::new(&g2).unwrap();
-    let r = gg.run(Query::Sssp { src: 0 }, &RunOptions::default()).unwrap();
+    let r = gg
+        .run(Query::Sssp { src: 0 }, &RunOptions::default())
+        .unwrap();
     assert_eq!(r.values, traversal::dijkstra(&g, 0));
 }
 
@@ -64,7 +75,9 @@ fn edge_list_round_trip_through_the_gpu() {
     let g2 = read_edge_list(Cursor::new(buf)).unwrap();
 
     let mut gg = GpuGraph::new(&g2).unwrap();
-    let r = gg.run(Query::Bfs { src: 0 }, &RunOptions::default()).unwrap();
+    let r = gg
+        .run(Query::Bfs { src: 0 }, &RunOptions::default())
+        .unwrap();
     assert_eq!(r.values, traversal::bfs_levels(&g, 0));
 }
 
@@ -74,10 +87,15 @@ fn adaptive_is_never_worse_than_the_worst_static() {
     // pick a catastrophic configuration.
     let g = Dataset::Amazon.generate_weighted(Scale::Tiny, 408, 64);
     let mut gg = GpuGraph::new(&g).unwrap();
-    let adaptive = gg.run(Query::Sssp { src: 0 }, &RunOptions::default()).unwrap().total_ns;
+    let adaptive = gg
+        .run(Query::Sssp { src: 0 }, &RunOptions::default())
+        .unwrap()
+        .total_ns;
     let mut worst: f64 = 0.0;
     for v in Variant::UNORDERED {
-        let r = gg.run(Query::Sssp { src: 0 }, &RunOptions::static_variant(v)).unwrap();
+        let r = gg
+            .run(Query::Sssp { src: 0 }, &RunOptions::static_variant(v))
+            .unwrap();
         worst = worst.max(r.total_ns);
     }
     assert!(
@@ -109,9 +127,11 @@ fn device_clock_accumulates_across_runs() {
     let g = Dataset::P2p.generate(Scale::Tiny, 410);
     let mut gg = GpuGraph::new(&g).unwrap();
     let after_upload = gg.device_elapsed_ns();
-    gg.run(Query::Bfs { src: 0 }, &RunOptions::default()).unwrap();
+    gg.run(Query::Bfs { src: 0 }, &RunOptions::default())
+        .unwrap();
     let after_one = gg.device_elapsed_ns();
-    gg.run(Query::Bfs { src: 1 }, &RunOptions::default()).unwrap();
+    gg.run(Query::Bfs { src: 1 }, &RunOptions::default())
+        .unwrap();
     let after_two = gg.device_elapsed_ns();
     assert!(after_upload < after_one && after_one < after_two);
 }
@@ -131,13 +151,18 @@ fn sources_in_every_corner_of_the_graph() {
 fn scan_queue_generation_gives_identical_results() {
     let g = Dataset::Google.generate_weighted(Scale::Tiny, 412, 64);
     let mut gg = GpuGraph::new(&g).unwrap();
-    let base = gg.run(Query::Sssp { src: 0 }, &RunOptions::default()).unwrap();
+    let base = gg
+        .run(Query::Sssp { src: 0 }, &RunOptions::default())
+        .unwrap();
     let tuning = agg::core::AdaptiveConfig {
         scan_queue_gen: true,
         ..Default::default()
     };
     let scan = gg
-        .run(Query::Sssp { src: 0 }, &RunOptions::builder().tuning(tuning).build())
+        .run(
+            Query::Sssp { src: 0 },
+            &RunOptions::builder().tuning(tuning).build(),
+        )
         .unwrap();
     assert_eq!(base.values, scan.values);
 }
@@ -177,7 +202,14 @@ fn relabeled_graph_produces_permuted_results_faster_memory_traffic() {
     let mut relab = GpuGraph::new(&h).unwrap();
     let opts = RunOptions::static_variant(Variant::parse("U_T_BM").unwrap());
     let a = orig.run(Query::Bfs { src: 0 }, &opts).unwrap();
-    let b = relab.run(Query::Bfs { src: relabeling.perm[0] }, &opts).unwrap();
+    let b = relab
+        .run(
+            Query::Bfs {
+                src: relabeling.perm[0],
+            },
+            &opts,
+        )
+        .unwrap();
     assert_eq!(relabeling.unpermute_values(&b.values), a.values);
     // BFS-order renumbering must not increase coalesced traffic.
     assert!(
