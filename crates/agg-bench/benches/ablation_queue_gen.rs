@@ -18,7 +18,7 @@ fn bench(c: &mut Criterion) {
     ] {
         g.bench_function(name, |b| {
             b.iter(|| {
-                let mut dev = Device::new(DeviceConfig::tesla_c2070());
+                let mut dev = Device::try_new(DeviceConfig::tesla_c2070()).unwrap();
                 let u = dev.alloc_from_slice("update", &update);
                 let q = dev.alloc("queue", n as usize);
                 let len = dev.alloc("len", 1);

@@ -56,7 +56,7 @@ fn bench(c: &mut Criterion) {
     ] {
         g.bench_function(name, |b| {
             b.iter(|| {
-                let mut dev = Device::new(DeviceConfig::tesla_c2070());
+                let mut dev = Device::try_new(DeviceConfig::tesla_c2070()).unwrap();
                 let a = dev.alloc("a", n as usize);
                 let out = dev.alloc("out", words);
                 let args = if kernel.num_bufs == 2 {

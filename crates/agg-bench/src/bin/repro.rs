@@ -38,6 +38,10 @@
 //!                    (--cases N, --race-detect; exits nonzero on
 //!                    divergence; --json PATH writes the divergence
 //!                    artifact)
+//!   simbench         simulator speed: the differential suite wall-clocked
+//!                    under the interpreter vs the bytecode engine (timed
+//!                    and fast-functional legs); writes BENCH_sim.json at
+//!                    the repository root (--cases N, --seed S)
 //!   shard            multi-device sharded execution: BFS/SSSP scaling
 //!                    table over 1/2/4/8 simulated devices (total and
 //!                    exchange time, edge cut, speedup vs one device;
@@ -54,7 +58,7 @@
 //!                      memory time, coalescing, occupancy)
 //!
 //! differential flags:
-//!   --cases N          corpus size for `differential` (default 24)
+//!   --cases N          corpus size for `differential` (default 256)
 //!   --race-detect      run every launch under the simulator's data-race
 //!                      detector and report its counters
 //!
@@ -113,7 +117,7 @@ fn parse_cli() -> Cli {
     let mut trace_json = None;
     let mut json = None;
     let mut profile = false;
-    let mut cases = 24usize;
+    let mut cases = 256usize;
     let mut race_detect = false;
     let mut shards = 8usize;
     let mut datasets = None;
@@ -239,6 +243,7 @@ fn main() {
         "ablation-bottomup" => ablation_bottomup(&cli),
         "batch" => batch(&cli),
         "differential" => differential(&cli),
+        "simbench" => simbench(&cli),
         "shard" => shard(&cli),
         "telemetry" => {} // the flag handling below does all the work
         "all" => {
@@ -537,6 +542,115 @@ fn differential(cli: &Cli) {
         std::process::exit(1);
     }
     println!("differential: clean");
+}
+
+// --------------------------------------------------------------- Simbench
+
+/// Simulator speed benchmark: the repro/differential suite wall-clocked
+/// under both execution engines. Each leg runs the full differential
+/// corpus (`--cases` graphs, every execution configuration vs the CPU
+/// oracles) plus the adaptive runtime on every paper workload at
+/// `--scale` (BFS/SSSP/CC/PageRank per dataset). Three legs, all of
+/// which must come back clean and value-identical:
+///
+/// 1. the legacy harness configuration — tree-walking interpreter, fully
+///    timed, race detector on (what every artifact paid before the
+///    bytecode engine landed);
+/// 2. the bytecode engine at the same timed+races fidelity (isolates the
+///    engine swap from the fidelity split);
+/// 3. the bytecode engine at fast-functional fidelity (the harness
+///    default today).
+///
+/// Writes `BENCH_sim.json` at the repository root; the CI `sim-speed`
+/// job gates on `speedup` (leg 1 / leg 3) staying above its floor.
+fn simbench(cli: &Cli) {
+    banner("Simulator speed: repro + differential suites, interpreter vs bytecode");
+    let legs: [(&str, ExecEngine, bool); 3] = [
+        ("interpreter_timed_races", ExecEngine::Interpreter, true),
+        ("bytecode_timed_races", ExecEngine::Bytecode, true),
+        ("bytecode_functional", ExecEngine::Bytecode, false),
+    ];
+    let workloads = load_all(cli.scale, cli.seed);
+    let mut wall = Vec::new();
+    let mut docs = Vec::new();
+    let mut baseline_values: Option<Vec<Vec<u32>>> = None;
+    for (name, engine, race_detect) in legs {
+        let mut cfg = agg_bench::FuzzConfig::new(cli.cases, cli.seed);
+        cfg.engine = engine;
+        cfg.race_detect = race_detect;
+        let fidelity = if race_detect {
+            SimFidelity::TimedWithRaces
+        } else {
+            SimFidelity::Functional
+        };
+        let t0 = Instant::now();
+        let report = agg_bench::fuzz(&cfg);
+        if !report.is_clean() {
+            eprintln!(
+                "simbench: leg '{name}' diverged ({} divergence(s)) — engines disagree",
+                report.divergences.len()
+            );
+            std::process::exit(1);
+        }
+        let mut leg_values = Vec::new();
+        let mut repro_runs = 0u64;
+        for w in &workloads {
+            let dev_cfg = DeviceConfig::tesla_c2070()
+                .with_engine(engine)
+                .with_fidelity(fidelity);
+            let mut gg = GpuGraph::with_device(&w.graph, dev_cfg).expect("simbench device");
+            for q in [
+                Query::Bfs { src: w.src },
+                Query::Sssp { src: w.src },
+                Query::Cc,
+                Query::pagerank(),
+            ] {
+                let r = gg.run(q, &RunOptions::default()).expect("simbench run");
+                leg_values.push(r.values);
+                repro_runs += 1;
+            }
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        match &baseline_values {
+            None => baseline_values = Some(leg_values),
+            Some(base) => {
+                if *base != leg_values {
+                    eprintln!("simbench: leg '{name}' produced different workload values");
+                    std::process::exit(1);
+                }
+            }
+        }
+        println!(
+            "  {name:<26} {secs:>8.2}s  ({} corpus runs + {repro_runs} workload runs, clean)",
+            report.runs
+        );
+        wall.push(secs);
+        docs.push(Json::obj([
+            ("name", name.into()),
+            ("engine", format!("{engine:?}").into()),
+            ("race_detect", Json::Bool(race_detect)),
+            ("wall_s", secs.into()),
+            ("corpus_runs", report.runs.into()),
+            ("workload_runs", repro_runs.into()),
+        ]));
+    }
+    let speedup_timed = wall[0] / wall[1];
+    let speedup = wall[0] / wall[2];
+    println!(
+        "  engine speedup (timed vs timed): {speedup_timed:.2}x\n  \
+         suite speedup (legacy vs new default): {speedup:.2}x"
+    );
+    let doc = Json::obj([
+        ("suite", "differential+repro".into()),
+        ("cases", cli.cases.into()),
+        ("scale", format!("{:?}", cli.scale).into()),
+        ("seed", cli.seed.into()),
+        ("legs", Json::Arr(docs)),
+        ("speedup_timed", speedup_timed.into()),
+        ("speedup", speedup.into()),
+    ]);
+    std::fs::write("BENCH_sim.json", doc.render_pretty()).expect("write BENCH_sim.json");
+    println!("[json] BENCH_sim.json");
 }
 
 // ------------------------------------------------------------------ Shard
@@ -1121,7 +1235,7 @@ fn ablation_queue(cli: &Cli) {
         let update: Vec<u32> = (0..n).map(|i| (i % stride == 0) as u32).collect();
         let mut times = Vec::new();
         for kernel in [&kernels.gen_queue, &kernels.gen_queue_scan] {
-            let mut dev = Device::new(DeviceConfig::tesla_c2070());
+            let mut dev = Device::try_new(DeviceConfig::tesla_c2070()).unwrap();
             let u = dev.alloc_from_slice("update", &update);
             let q = dev.alloc("queue", n as usize);
             let len = dev.alloc("len", 1);

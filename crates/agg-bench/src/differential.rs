@@ -25,7 +25,7 @@
 
 use agg_core::{CoreError, GpuGraph, Query, RunOptions, Session, ShardedGraph, Strategy};
 use agg_cpu::CpuCostModel;
-use agg_gpu_sim::{DeviceConfig, Interconnect, Json};
+use agg_gpu_sim::{DeviceConfig, ExecEngine, Interconnect, Json, SimFidelity};
 use agg_graph::generators::{
     erdos_renyi, powerlaw, regular_mix, rmat, road_grid, watts_strogatz, PowerLawConfig,
     RegularMixConfig, RmatConfig, RoadGridConfig, WattsStrogatzConfig,
@@ -45,13 +45,19 @@ pub struct FuzzConfig {
     pub cases: usize,
     /// Corpus seed: the whole run is deterministic in (`cases`, `seed`).
     pub seed: u64,
-    /// Run every launch under the simulator's data-race detector and
-    /// report its counters.
+    /// Run every launch fully timed under the simulator's data-race
+    /// detector and report its counters. Off by default: differential
+    /// runs compare values, so they use the fast-functional fidelity.
     pub race_detect: bool,
     /// Maximum edge weight for the SSSP corpus.
     pub max_weight: u32,
     /// Run a shuffled Session batch every this many cases (0 = never).
     pub batch_period: usize,
+    /// Execution engine for every simulated device in the sweep. The
+    /// bytecode default is what production uses; `repro simbench` also
+    /// runs the whole suite under [`ExecEngine::Interpreter`] to measure
+    /// the engines against each other.
+    pub engine: ExecEngine,
     /// Shard counts for the multi-device sweep: every case also runs
     /// BFS/SSSP/CC through a [`ShardedGraph`] at each of these counts
     /// (empty = skip sharded execution).
@@ -59,15 +65,17 @@ pub struct FuzzConfig {
 }
 
 impl FuzzConfig {
-    /// Defaults: race detection on, weights in `1..=64`, a shuffled
-    /// batch every 8th case, sharded runs at 2 and 4 devices.
+    /// Defaults: fast-functional fidelity (race detection off), weights
+    /// in `1..=64`, a shuffled batch every 8th case, sharded runs at 2
+    /// and 4 devices.
     pub fn new(cases: usize, seed: u64) -> FuzzConfig {
         FuzzConfig {
             cases,
             seed,
-            race_detect: true,
+            race_detect: false,
             max_weight: 64,
             batch_period: 8,
+            engine: ExecEngine::Bytecode,
             shard_counts: vec![2, 4],
         }
     }
@@ -390,8 +398,18 @@ impl FuzzReport {
     }
 }
 
-fn device_config(race_detect: bool) -> DeviceConfig {
-    DeviceConfig::tesla_c2070().with_race_detect(race_detect)
+/// Differential runs compare values against the CPU reference, so by
+/// default they use the fast-functional fidelity (no timing model, no
+/// race bookkeeping). `--race-detect` opts back into the fully timed
+/// engine with per-launch race analysis.
+fn device_config(race_detect: bool, engine: ExecEngine) -> DeviceConfig {
+    DeviceConfig::tesla_c2070()
+        .with_engine(engine)
+        .with_fidelity(if race_detect {
+            SimFidelity::TimedWithRaces
+        } else {
+            SimFidelity::Functional
+        })
 }
 
 /// One GPU run of (`alg`, `exec`) on a fresh device; returns the value
@@ -402,9 +420,10 @@ fn gpu_values(
     alg: Alg,
     exec: Exec,
     race_detect: bool,
+    engine: ExecEngine,
     race: Option<&mut FuzzReport>,
 ) -> Result<Vec<u32>, CoreError> {
-    let mut gg = GpuGraph::with_device(g, device_config(race_detect))?;
+    let mut gg = GpuGraph::with_device(g, device_config(race_detect, engine))?;
     if matches!(exec, Exec::BottomUp) {
         gg.enable_bottom_up(g);
     }
@@ -422,6 +441,7 @@ fn gpu_values(
 /// devices; returns the stitched global value array. Besides the value
 /// comparison the caller makes, this checks the run's own invariants:
 /// the time-accounting identity must hold exactly on every fuzz case.
+#[allow(clippy::too_many_arguments)]
 fn sharded_values(
     g: &CsrGraph,
     src: NodeId,
@@ -429,13 +449,14 @@ fn sharded_values(
     shards: usize,
     strategy: agg_graph::PartitionStrategy,
     race_detect: bool,
+    engine: ExecEngine,
     race: Option<&mut FuzzReport>,
 ) -> Result<Vec<u32>, CoreError> {
     let mut sg = ShardedGraph::with_config(
         g,
         shards,
         strategy,
-        device_config(race_detect),
+        device_config(race_detect, engine),
         Interconnect::pcie(),
     )?;
     let r = sg.run(alg.query(src), &RunOptions::default())?;
@@ -560,12 +581,12 @@ pub fn fuzz(cfg: &FuzzConfig) -> FuzzReport {
         for (alg, exec) in jobs {
             let expected = alg.oracle(&graph, src);
             report.runs += 1;
-            match gpu_values(&graph, src, alg, exec, cfg.race_detect, Some(&mut report)) {
+            match gpu_values(&graph, src, alg, exec, cfg.race_detect, cfg.engine, Some(&mut report)) {
                 Ok(actual) if actual == expected => {}
                 Ok(actual) => {
                     let minimized = minimize(&graph, src, &mut |g, s| {
                         matches!(
-                            gpu_values(g, s, alg, exec, false, None),
+                            gpu_values(g, s, alg, exec, false, cfg.engine, None),
                             Ok(v) if v != alg.oracle(g, s)
                         )
                     });
@@ -619,13 +640,14 @@ pub fn fuzz(cfg: &FuzzConfig) -> FuzzReport {
                     k,
                     strategy,
                     cfg.race_detect,
+                    cfg.engine,
                     Some(&mut report),
                 ) {
                     Ok(actual) if actual == expected => {}
                     Ok(actual) => {
                         let minimized = minimize(&graph, src, &mut |g, s| {
                             matches!(
-                                sharded_values(g, s, alg, k, strategy, false, None),
+                                sharded_values(g, s, alg, k, strategy, false, cfg.engine, None),
                                 Ok(v) if v != alg.oracle(g, s)
                             )
                         });
@@ -694,7 +716,7 @@ fn run_shuffled_batch(
     for i in (1..queries.len()).rev() {
         queries.swap(i, rng.gen_range(0..=i));
     }
-    let outcome = Session::with_device(graph, device_config(cfg.race_detect)).and_then(|mut s| {
+    let outcome = Session::with_device(graph, device_config(cfg.race_detect, cfg.engine)).and_then(|mut s| {
         let b = s.run_batch(&queries, &RunOptions::default())?;
         let races = s.device().race_summary().clone();
         Ok((b, races))
@@ -814,10 +836,48 @@ mod tests {
         assert!(checks > 0);
     }
 
+    /// The adaptive runtime on a fuzz-corpus sample under both execution
+    /// engines at full timed fidelity: the value arrays AND the modeled
+    /// device clock must match exactly for all four algorithms. This is
+    /// the end-to-end leg of the bytecode equivalence suite — it covers
+    /// the kernels (PageRank, CC, adaptive variant switching) the
+    /// kernel-level matrix in `agg-kernels` does not reach.
+    #[test]
+    fn adaptive_runs_are_engine_equivalent_on_corpus_sample() {
+        use agg_gpu_sim::ExecEngine;
+        for case in 0..4 {
+            let cg = case_graph(0xE9E, case);
+            for query in [
+                Query::Bfs { src: cg.src },
+                Query::Sssp { src: cg.src },
+                Query::Cc,
+                Query::pagerank(),
+            ] {
+                let mut outcomes = Vec::new();
+                for engine in [ExecEngine::Interpreter, ExecEngine::Bytecode] {
+                    let cfg = DeviceConfig::tesla_c2070().with_engine(engine);
+                    let mut gg = GpuGraph::with_device(&cg.graph, cfg).unwrap();
+                    let r = gg.run(query, &RunOptions::default()).unwrap();
+                    outcomes.push((r.values, gg.device().elapsed_ns()));
+                }
+                let (bc, interp) = (outcomes.pop().unwrap(), outcomes.pop().unwrap());
+                assert_eq!(
+                    interp.0, bc.0,
+                    "case {case} {query:?}: values diverge between engines"
+                );
+                assert_eq!(
+                    interp.1, bc.1,
+                    "case {case} {query:?}: modeled time diverges between engines"
+                );
+            }
+        }
+    }
+
     #[test]
     fn tiny_fuzz_run_is_clean_and_counts_work() {
         let mut cfg = FuzzConfig::new(6, 0xD1FF);
         cfg.batch_period = 3;
+        cfg.race_detect = true; // opt into the timed+races fidelity
         let r = fuzz(&cfg);
         assert!(r.is_clean(), "divergences: {:?}", r.divergences);
         assert_eq!(r.cases, 6);

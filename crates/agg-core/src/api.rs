@@ -44,13 +44,13 @@ impl GpuGraph {
 
     /// Uploads `g` to a device with the given configuration.
     pub fn with_device(g: &CsrGraph, cfg: DeviceConfig) -> Result<GpuGraph, CoreError> {
-        GpuGraph::build(g, Device::new(cfg))
+        GpuGraph::build(g, Device::try_new(cfg)?)
     }
 
     /// Uploads `g` to a device that interprets blocks on parallel host threads
     /// (identical results, faster simulation on multicore hosts).
     pub fn with_parallel_host(g: &CsrGraph, cfg: DeviceConfig) -> Result<GpuGraph, CoreError> {
-        GpuGraph::build(g, Device::new(cfg).with_mode(ExecMode::Parallel))
+        GpuGraph::build(g, Device::try_new(cfg.with_host_exec(ExecMode::Parallel))?)
     }
 
     fn build(g: &CsrGraph, mut dev: Device) -> Result<GpuGraph, CoreError> {
@@ -200,6 +200,7 @@ impl GpuGraph {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use agg_gpu_sim::SimFidelity;
     use agg_graph::{traversal, Dataset, Scale};
     use agg_kernels::Variant;
 
@@ -290,7 +291,7 @@ mod tests {
     fn engine_suite_is_race_free_under_detection() {
         use crate::Strategy;
         let g = Dataset::Google.generate_weighted(Scale::Tiny, 40, 64);
-        let cfg = DeviceConfig::tesla_c2070().with_race_detect(true);
+        let cfg = DeviceConfig::tesla_c2070().with_fidelity(SimFidelity::TimedWithRaces);
         let mut gg = GpuGraph::with_device(&g, cfg).unwrap();
         gg.enable_bottom_up(&g);
         let opts = RunOptions::default();

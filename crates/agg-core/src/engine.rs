@@ -1319,7 +1319,7 @@ mod tests {
     use agg_graph::{traversal, Dataset, GraphBuilder, Scale};
 
     fn setup(g: &agg_graph::CsrGraph) -> (Device, GpuKernels, DeviceGraph, AlgoState) {
-        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let mut dev = Device::try_new(DeviceConfig::tesla_c2070()).unwrap();
         let kernels = GpuKernels::build();
         let dg = DeviceGraph::upload(&mut dev, g);
         let st = AlgoState::new(&mut dev, dg.n, 0).unwrap();
@@ -1441,7 +1441,7 @@ mod tests {
         // would keep consuming the last queue length forever. The engine
         // must force one census at the switch.
         let g = Dataset::Amazon.generate(Scale::Tiny, 26);
-        let mut dev = Device::new(DeviceConfig::tiny_test_device());
+        let mut dev = Device::try_new(DeviceConfig::tiny_test_device()).unwrap();
         let kernels = GpuKernels::build();
         let dg = DeviceGraph::upload(&mut dev, &g);
         let st = AlgoState::new(&mut dev, dg.n, 0).unwrap();
@@ -1485,7 +1485,7 @@ mod tests {
     #[test]
     fn census_off_is_never_forced() {
         let g = Dataset::Amazon.generate(Scale::Tiny, 26);
-        let mut dev = Device::new(DeviceConfig::tiny_test_device());
+        let mut dev = Device::try_new(DeviceConfig::tiny_test_device()).unwrap();
         let kernels = GpuKernels::build();
         let dg = DeviceGraph::upload(&mut dev, &g);
         let st = AlgoState::new(&mut dev, dg.n, 0).unwrap();
@@ -1638,7 +1638,7 @@ mod tests {
     #[test]
     fn adaptive_switches_on_datasets_with_growing_working_sets() {
         let g = Dataset::Amazon.generate(Scale::Tiny, 26); // 2000 nodes, avg 8.5
-        let mut dev = Device::new(DeviceConfig::tiny_test_device());
+        let mut dev = Device::try_new(DeviceConfig::tiny_test_device()).unwrap();
         let kernels = GpuKernels::build();
         let dg = DeviceGraph::upload(&mut dev, &g);
         let st = AlgoState::new(&mut dev, dg.n, 0).unwrap();
@@ -1995,7 +1995,7 @@ mod tests {
     fn direction_optimized_bfs_matches_reference_and_runs_bottom_up() {
         for d in [Dataset::Amazon, Dataset::Sns, Dataset::CoRoad] {
             let g = d.generate(Scale::Tiny, 75);
-            let mut dev = Device::new(DeviceConfig::tesla_c2070());
+            let mut dev = Device::try_new(DeviceConfig::tesla_c2070()).unwrap();
             let kernels = GpuKernels::build();
             let mut dg = DeviceGraph::upload(&mut dev, &g);
             dg.upload_reverse(&mut dev, &g);
@@ -2043,7 +2043,7 @@ mod tests {
     #[test]
     fn bottom_up_saves_edge_work_on_explosive_frontiers() {
         let g = Dataset::Sns.generate(Scale::Tiny, 77);
-        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let mut dev = Device::try_new(DeviceConfig::tesla_c2070()).unwrap();
         let kernels = GpuKernels::build();
         let mut dg = DeviceGraph::upload(&mut dev, &g);
         dg.upload_reverse(&mut dev, &g);

@@ -109,7 +109,7 @@ impl Session {
         mode: ExecMode,
         worker_count: usize,
     ) -> Result<Session, CoreError> {
-        let mut dev = Device::new(cfg).with_mode(mode);
+        let mut dev = Device::try_new(cfg.with_host_exec(mode))?;
         let kernels = GpuKernels::build();
         let dg = DeviceGraph::upload(&mut dev, g);
         let mut pool = StatePool::new(dg.n);
@@ -325,7 +325,9 @@ impl Session {
 
     fn ensure_workers(&mut self, k: usize) -> Result<(), CoreError> {
         while self.workers.len() < k {
-            let mut dev = Device::new(self.dev.config().clone()).with_mode(ExecMode::Parallel);
+            let mut dev = Device::try_new(
+                self.dev.config().clone().with_host_exec(ExecMode::Parallel),
+            )?;
             let mut dg = DeviceGraph::upload(&mut dev, &self.graph);
             if self.dg.rrow.is_some() {
                 dg.upload_reverse(&mut dev, &self.graph);

@@ -366,7 +366,7 @@ impl ShardedGraph {
         let k = part.shard_count();
         let mut rts = Vec::with_capacity(k);
         for plan in &part.shards {
-            let mut dev = Device::new(device.clone());
+            let mut dev = Device::try_new(device.clone())?;
             let mut dg = DeviceGraph::upload(&mut dev, &plan.local);
             let owned = plan.owned_count() as u32;
             let ghosts = plan.ghost_count() as u32;

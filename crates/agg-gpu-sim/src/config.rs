@@ -5,6 +5,61 @@
 
 use serde::{Deserialize, Serialize};
 
+/// What the execution engine computes per launch, beyond the kernel's
+/// memory effects (which every fidelity produces bit-identically).
+///
+/// | fidelity | values | `BlockCost`/timing | race log |
+/// |---|---|---|---|
+/// | [`SimFidelity::Timed`] | ✓ | ✓ | — |
+/// | [`SimFidelity::TimedWithRaces`] | ✓ | ✓ | ✓ |
+/// | [`SimFidelity::Functional`] | ✓ | zeroed | — |
+///
+/// Under `Functional`, every launch report carries `time_ns == 0.0`,
+/// default statistics, and `races: None`; the device clock does not
+/// advance on launches (transfers still charge PCIe time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SimFidelity {
+    /// Full timing model: divergence, coalescing, atomic serialization,
+    /// bank conflicts, occupancy-based latency hiding (the default).
+    #[default]
+    Timed,
+    /// [`SimFidelity::Timed`] plus per-word access logging and race
+    /// classification attached to each [`crate::LaunchReport`]. Costly
+    /// (host-side); timing results are unaffected.
+    TimedWithRaces,
+    /// Fast-functional: memory semantics only (masks, traps, bounds
+    /// checks, deterministic atomic order, barrier collectives), with
+    /// all cost, coalescing, occupancy, and race bookkeeping skipped.
+    Functional,
+}
+
+/// Which execution engine runs kernel launches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ExecEngine {
+    /// The flat bytecode engine (compiled once per kernel, memoized) —
+    /// the default and the only engine available in production builds.
+    #[default]
+    Bytecode,
+    /// The original tree-walking interpreter, kept as a differential
+    /// oracle. Only available under `cfg(test)` or the `interp-oracle`
+    /// feature; selecting it otherwise fails [`DeviceConfig::validate`].
+    Interpreter,
+}
+
+/// How blocks of a launch are scheduled on the *host* (simulation
+/// threading; modeled GPU time is identical either way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ExecMode {
+    /// Blocks run one after another on the calling thread (the default;
+    /// deterministic and fastest for small launches).
+    #[default]
+    Sequential,
+    /// Blocks are distributed over scoped OS threads. Results are
+    /// identical for data-race-free kernels (cross-block communication
+    /// goes through atomics).
+    Parallel,
+}
+
 /// Architectural + timing description of a simulated CUDA device.
 ///
 /// The default constructor [`DeviceConfig::tesla_c2070`] models the Fermi
@@ -54,10 +109,13 @@ pub struct DeviceConfig {
     pub pcie_gbps: f64,
     /// Fixed latency per host<->device copy, in microseconds.
     pub pcie_latency_us: f64,
-    /// Log every memory access and attach a
-    /// [`crate::mem::race::RaceReport`] to each launch report. Costly
-    /// (host-side) and off by default; timing is unaffected.
-    pub race_detect: bool,
+    /// What launches compute: full timing, timing + race detection, or
+    /// fast-functional (see [`SimFidelity`]).
+    pub fidelity: SimFidelity,
+    /// Which execution engine runs launches (see [`ExecEngine`]).
+    pub engine: ExecEngine,
+    /// Host-side block scheduling (see [`ExecMode`]).
+    pub host_exec: ExecMode,
 }
 
 impl DeviceConfig {
@@ -85,14 +143,41 @@ impl DeviceConfig {
             launch_overhead_us: 7.0,
             pcie_gbps: 6.0,
             pcie_latency_us: 10.0,
-            race_detect: false,
+            fidelity: SimFidelity::default(),
+            engine: ExecEngine::default(),
+            host_exec: ExecMode::default(),
         }
     }
 
-    /// This configuration with the data-race detector switched on or off.
-    pub fn with_race_detect(mut self, on: bool) -> DeviceConfig {
-        self.race_detect = on;
+    /// This configuration running at the given fidelity.
+    pub fn with_fidelity(mut self, fidelity: SimFidelity) -> DeviceConfig {
+        self.fidelity = fidelity;
         self
+    }
+
+    /// This configuration running on the given execution engine.
+    pub fn with_engine(mut self, engine: ExecEngine) -> DeviceConfig {
+        self.engine = engine;
+        self
+    }
+
+    /// This configuration with the given host-side block scheduling.
+    pub fn with_host_exec(mut self, mode: ExecMode) -> DeviceConfig {
+        self.host_exec = mode;
+        self
+    }
+
+    /// This configuration with the data-race detector switched on or off.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use with_fidelity(SimFidelity::TimedWithRaces) / with_fidelity(SimFidelity::Timed)"
+    )]
+    pub fn with_race_detect(self, on: bool) -> DeviceConfig {
+        self.with_fidelity(if on {
+            SimFidelity::TimedWithRaces
+        } else {
+            SimFidelity::Timed
+        })
     }
 
     /// A deliberately tiny device (2 SMs) for tests that need to observe
@@ -142,6 +227,13 @@ impl DeviceConfig {
         if self.max_threads_per_block == 0 || self.max_threads_per_sm < self.max_threads_per_block {
             return Err("thread limits inconsistent".into());
         }
+        #[cfg(not(any(test, feature = "interp-oracle")))]
+        if matches!(self.engine, ExecEngine::Interpreter) {
+            return Err(
+                "ExecEngine::Interpreter requires the `interp-oracle` feature of agg-gpu-sim"
+                    .into(),
+            );
+        }
         Ok(())
     }
 }
@@ -173,6 +265,31 @@ mod tests {
         assert_eq!(c.warps_for(32), 1);
         assert_eq!(c.warps_for(33), 2);
         assert_eq!(c.warps_for(0), 0);
+    }
+
+    #[test]
+    fn fidelity_and_engine_default_to_timed_bytecode() {
+        let c = DeviceConfig::tesla_c2070();
+        assert_eq!(c.fidelity, SimFidelity::Timed);
+        assert_eq!(c.engine, ExecEngine::Bytecode);
+        assert_eq!(c.host_exec, ExecMode::Sequential);
+        let c = c
+            .with_fidelity(SimFidelity::Functional)
+            .with_engine(ExecEngine::Interpreter)
+            .with_host_exec(ExecMode::Parallel);
+        assert_eq!(c.fidelity, SimFidelity::Functional);
+        assert_eq!(c.engine, ExecEngine::Interpreter);
+        assert_eq!(c.host_exec, ExecMode::Parallel);
+    }
+
+    #[test]
+    fn deprecated_race_toggle_maps_to_fidelity() {
+        #[allow(deprecated)]
+        let on = DeviceConfig::tesla_c2070().with_race_detect(true);
+        assert_eq!(on.fidelity, SimFidelity::TimedWithRaces);
+        #[allow(deprecated)]
+        let off = on.with_race_detect(false);
+        assert_eq!(off.fidelity, SimFidelity::Timed);
     }
 
     #[test]

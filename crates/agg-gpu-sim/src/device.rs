@@ -7,7 +7,7 @@
 //! *inspection* that the algorithm under study would not perform can use
 //! the `debug_*` accessors, which are free.
 
-use crate::config::DeviceConfig;
+use crate::config::{DeviceConfig, SimFidelity};
 use crate::error::SimError;
 use crate::exec::grid::{run_grid, Grid, LaunchArgs};
 use crate::ir::builder::Kernel;
@@ -16,26 +16,12 @@ use crate::mem::race::RaceSummary;
 use crate::mem::transfer::transfer_ns;
 use crate::timing::report::{KernelStats, LaunchReport, ProfileReport};
 
-/// How blocks of a launch are executed on the *host*.
-///
-/// Functional results are identical for kernels whose cross-block
-/// communication goes through atomics (all kernels in this workspace);
-/// `Parallel` interprets blocks on scoped host threads and only changes wall-clock time of the
-/// simulation itself, never the modeled GPU time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum ExecMode {
-    /// Interpret blocks one at a time (deterministic scheduling).
-    #[default]
-    Sequential,
-    /// Interpret blocks on scoped host threads (one chunk per core).
-    Parallel,
-}
+pub use crate::config::ExecMode;
 
-/// A simulated GPU: memory + interpreter + clock.
+/// A simulated GPU: memory + execution engine + clock.
 pub struct Device {
     cfg: DeviceConfig,
     mem: GlobalMemory,
-    mode: ExecMode,
     kernel_ns: f64,
     transfer_ns_total: f64,
     launches: u64,
@@ -45,28 +31,44 @@ pub struct Device {
 }
 
 impl Device {
-    /// Creates a device. Panics on an internally inconsistent config (this
-    /// is a programming error, not an input error).
-    pub fn new(cfg: DeviceConfig) -> Device {
-        if let Err(e) = cfg.validate() {
-            panic!("invalid DeviceConfig: {e}");
-        }
-        Device {
+    /// Creates a device, validating the configuration. Execution
+    /// behaviour — fidelity, engine, host threading — is fixed by the
+    /// [`DeviceConfig`] at construction (see [`DeviceConfig::with_fidelity`]
+    /// and friends).
+    pub fn try_new(cfg: DeviceConfig) -> Result<Device, SimError> {
+        cfg.validate()
+            .map_err(|detail| SimError::InvalidConfig { detail })?;
+        Ok(Device {
             cfg,
             mem: GlobalMemory::new(),
-            mode: ExecMode::Sequential,
             kernel_ns: 0.0,
             transfer_ns_total: 0.0,
             launches: 0,
             cumulative: KernelStats::default(),
             profile: ProfileReport::default(),
             races: RaceSummary::default(),
+        })
+    }
+
+    /// Creates a device. Panics on an internally inconsistent config.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use Device::try_new, which returns Err(SimError::InvalidConfig) instead of panicking"
+    )]
+    pub fn new(cfg: DeviceConfig) -> Device {
+        match Device::try_new(cfg) {
+            Ok(dev) => dev,
+            Err(e) => panic!("{e}"),
         }
     }
 
     /// Sets the host-side execution mode.
+    #[deprecated(
+        since = "0.3.0",
+        note = "set it on the config instead: DeviceConfig::with_host_exec(ExecMode::..)"
+    )]
     pub fn with_mode(mut self, mode: ExecMode) -> Device {
-        self.mode = mode;
+        self.cfg.host_exec = mode;
         self
     }
 
@@ -90,7 +92,9 @@ impl Device {
     /// Allocates `len` words set to `fill`, charging a device-side memset
     /// (bandwidth-bound, no PCIe).
     pub fn alloc_filled(&mut self, label: impl Into<String>, len: usize, fill: u32) -> DevicePtr {
-        self.kernel_ns += self.memset_cost(len);
+        if !matches!(self.cfg.fidelity, SimFidelity::Functional) {
+            self.kernel_ns += self.memset_cost(len);
+        }
         self.mem.alloc_filled(label, len, fill)
     }
 
@@ -137,10 +141,13 @@ impl Device {
         self.mem.write_word(ptr, index, value)
     }
 
-    /// Device-side memset, charging bandwidth time.
+    /// Device-side memset, charging bandwidth time (free under
+    /// [`SimFidelity::Functional`], like any other device-side work).
     pub fn fill(&mut self, ptr: DevicePtr, value: u32) -> Result<(), SimError> {
-        let words = self.mem.len(ptr)?;
-        self.kernel_ns += self.memset_cost(words);
+        if !matches!(self.cfg.fidelity, SimFidelity::Functional) {
+            let words = self.mem.len(ptr)?;
+            self.kernel_ns += self.memset_cost(words);
+        }
         self.mem.fill(ptr, value)
     }
 
@@ -161,7 +168,7 @@ impl Device {
             grid,
             args,
             &self.mem,
-            matches!(self.mode, ExecMode::Parallel),
+            matches!(self.cfg.host_exec, ExecMode::Parallel),
         )?;
         self.kernel_ns += report.time_ns;
         self.launches += 1;
@@ -173,10 +180,18 @@ impl Device {
         Ok(report)
     }
 
-    /// Toggles per-launch race detection (see
-    /// [`DeviceConfig::race_detect`]). Takes effect from the next launch.
+    /// Toggles per-launch race detection. Takes effect from the next
+    /// launch.
+    #[deprecated(
+        since = "0.3.0",
+        note = "set it on the config instead: DeviceConfig::with_fidelity(SimFidelity::TimedWithRaces)"
+    )]
     pub fn set_race_detect(&mut self, on: bool) {
-        self.cfg.race_detect = on;
+        self.cfg.fidelity = if on {
+            SimFidelity::TimedWithRaces
+        } else {
+            SimFidelity::Timed
+        };
     }
 
     /// Race counters accumulated over every race-checked launch since
@@ -258,7 +273,7 @@ mod tests {
 
     #[test]
     fn clock_advances_on_every_charged_operation() {
-        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let mut dev = Device::try_new(DeviceConfig::tesla_c2070()).unwrap();
         assert_eq!(dev.elapsed_ns(), 0.0);
         let p = dev.alloc_from_slice("x", &[0; 1024]);
         let after_upload = dev.elapsed_ns();
@@ -276,7 +291,7 @@ mod tests {
         let tid = k.global_thread_id();
         k.store(b, tid.clone().rem(4u32), tid.clone());
         let kernel = k.build().unwrap();
-        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let mut dev = Device::try_new(DeviceConfig::tesla_c2070()).unwrap();
         let p = dev.alloc("b", 4);
         let r = dev
             .launch(&kernel, Grid::new(1, 32), &LaunchArgs::new().bufs([p]))
@@ -293,7 +308,7 @@ mod tests {
         let tid = k.global_thread_id();
         k.store(b, tid.clone().rem(4u32), tid.clone());
         let kernel = k.build().unwrap();
-        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let mut dev = Device::try_new(DeviceConfig::tesla_c2070()).unwrap();
         let p = dev.alloc("b", 4);
         assert!(dev.profile().is_empty());
         dev.launch(&kernel, Grid::new(1, 32), &LaunchArgs::new().bufs([p]))
@@ -315,7 +330,7 @@ mod tests {
 
     #[test]
     fn debug_accessors_are_free() {
-        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let mut dev = Device::try_new(DeviceConfig::tesla_c2070()).unwrap();
         let p = dev.alloc("x", 8);
         dev.reset_clock();
         let _ = dev.debug_read(p).unwrap();
@@ -327,7 +342,7 @@ mod tests {
 
     #[test]
     fn fill_and_alloc_filled_charge_memset() {
-        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let mut dev = Device::try_new(DeviceConfig::tesla_c2070()).unwrap();
         let p = dev.alloc_filled("x", 1000, 7);
         assert!(dev.kernel_ns() > 0.0);
         assert_eq!(dev.debug_read_word(p, 999).unwrap(), 7);
@@ -338,7 +353,7 @@ mod tests {
 
     #[test]
     fn reset_clock_clears_accounting_but_not_memory() {
-        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let mut dev = Device::try_new(DeviceConfig::tesla_c2070()).unwrap();
         let p = dev.alloc_from_slice("x", &[5, 6]);
         dev.reset_clock();
         assert_eq!(dev.elapsed_ns(), 0.0);
@@ -355,7 +370,10 @@ mod tests {
         let tid = k.global_thread_id();
         k.store(b, 0u32, tid.clone());
         let kernel = k.build().unwrap();
-        let mut dev = Device::new(DeviceConfig::tesla_c2070().with_race_detect(true));
+        let mut dev = Device::try_new(
+            DeviceConfig::tesla_c2070().with_fidelity(SimFidelity::TimedWithRaces),
+        )
+        .unwrap();
         let p = dev.alloc("out", 1);
         let r = dev
             .launch(&kernel, Grid::new(2, 32), &LaunchArgs::new().bufs([p]))
@@ -378,11 +396,11 @@ mod tests {
         let b = k.buf_param();
         k.store(b, 0u32, 1u32);
         let kernel = k.build().unwrap();
-        for parallel in [false, true] {
-            let mut dev = Device::new(DeviceConfig::tesla_c2070().with_race_detect(true));
-            if parallel {
-                dev = dev.with_mode(ExecMode::Parallel);
-            }
+        for host_exec in [ExecMode::Sequential, ExecMode::Parallel] {
+            let cfg = DeviceConfig::tesla_c2070()
+                .with_fidelity(SimFidelity::TimedWithRaces)
+                .with_host_exec(host_exec);
+            let mut dev = Device::try_new(cfg).unwrap();
             let p = dev.alloc("flag", 1);
             let r = dev
                 .launch(&kernel, Grid::new(4, 32), &LaunchArgs::new().bufs([p]))
@@ -404,14 +422,19 @@ mod tests {
         let b = k.buf_param();
         k.store(b, 0u32, 1u32);
         let kernel = k.build().unwrap();
-        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let mut dev = Device::try_new(DeviceConfig::tesla_c2070()).unwrap();
         let p = dev.alloc("flag", 1);
         let r = dev
             .launch(&kernel, Grid::new(2, 32), &LaunchArgs::new().bufs([p]))
             .unwrap();
         assert!(r.races.is_none());
         assert_eq!(dev.race_summary().launches_checked, 0);
-        dev.set_race_detect(true);
+
+        let mut dev = Device::try_new(
+            DeviceConfig::tesla_c2070().with_fidelity(SimFidelity::TimedWithRaces),
+        )
+        .unwrap();
+        let p = dev.alloc("flag", 1);
         dev.launch(&kernel, Grid::new(2, 32), &LaunchArgs::new().bufs([p]))
             .unwrap();
         assert_eq!(dev.race_summary().launches_checked, 1);
@@ -423,10 +446,70 @@ mod tests {
     }
 
     #[test]
+    fn functional_fidelity_runs_kernels_without_advancing_the_clock() {
+        let mut k = KernelBuilder::new("nop");
+        let b = k.buf_param();
+        let tid = k.global_thread_id();
+        k.store(b, tid.clone().rem(4u32), tid.clone());
+        let kernel = k.build().unwrap();
+        let mut dev =
+            Device::try_new(DeviceConfig::tesla_c2070().with_fidelity(SimFidelity::Functional))
+                .unwrap();
+        let p = dev.alloc("b", 4);
+        let r = dev
+            .launch(&kernel, Grid::new(1, 32), &LaunchArgs::new().bufs([p]))
+            .unwrap();
+        assert_eq!(r.time_ns, 0.0);
+        assert_eq!(r.stats, KernelStats::default());
+        assert!(r.races.is_none());
+        assert_eq!(dev.kernel_ns(), 0.0);
+        assert_eq!(dev.launch_count(), 1);
+        // ...but the memory effects are real.
+        assert_eq!(dev.debug_read(p).unwrap(), vec![28, 29, 30, 31]);
+    }
+
+    #[test]
+    fn try_new_rejects_invalid_config() {
+        let mut cfg = DeviceConfig::tesla_c2070();
+        cfg.num_sms = 0;
+        let err = Device::try_new(cfg).err().expect("invalid config must be rejected");
+        match err {
+            SimError::InvalidConfig { detail } => {
+                assert!(detail.contains("num_sms"), "detail: {detail}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "invalid DeviceConfig")]
     fn bad_config_panics() {
         let mut cfg = DeviceConfig::tesla_c2070();
         cfg.num_sms = 0;
+        #[allow(deprecated)]
         let _ = Device::new(cfg);
+    }
+
+    /// The sanctioned exercise of the deprecated 0.2 surface: constructor,
+    /// mode setter, race toggle. Everything else in the workspace must use
+    /// the `DeviceConfig` builders (`deprecated = "deny"` enforces it).
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_device_surface_still_works() {
+        let mut k = KernelBuilder::new("flag");
+        let b = k.buf_param();
+        k.store(b, 0u32, 1u32);
+        let kernel = k.build().unwrap();
+        let mut dev = Device::new(DeviceConfig::tesla_c2070()).with_mode(ExecMode::Parallel);
+        assert_eq!(dev.config().host_exec, ExecMode::Parallel);
+        dev.set_race_detect(true);
+        assert_eq!(dev.config().fidelity, SimFidelity::TimedWithRaces);
+        let p = dev.alloc("flag", 1);
+        let r = dev
+            .launch(&kernel, Grid::new(2, 32), &LaunchArgs::new().bufs([p]))
+            .unwrap();
+        assert!(r.races.is_some());
+        dev.set_race_detect(false);
+        assert_eq!(dev.config().fidelity, SimFidelity::Timed);
     }
 }

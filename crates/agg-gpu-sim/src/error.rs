@@ -52,6 +52,12 @@ pub enum SimError {
         /// Explanation.
         detail: String,
     },
+    /// The [`crate::DeviceConfig`] failed validation (see
+    /// `DeviceConfig::validate`); raised by `Device::try_new`.
+    InvalidConfig {
+        /// Explanation of the inconsistency.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -72,6 +78,7 @@ impl fmt::Display for SimError {
             SimError::ArgumentMismatch { detail } => write!(f, "argument mismatch: {detail}"),
             SimError::InvalidKernel { detail } => write!(f, "invalid kernel: {detail}"),
             SimError::BadPointer { detail } => write!(f, "bad device pointer: {detail}"),
+            SimError::InvalidConfig { detail } => write!(f, "invalid DeviceConfig: {detail}"),
         }
     }
 }

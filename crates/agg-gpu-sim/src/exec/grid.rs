@@ -2,15 +2,27 @@
 //! validation against device limits, and (optionally parallel) block
 //! execution.
 
-use crate::config::DeviceConfig;
+use crate::config::{DeviceConfig, ExecEngine, SimFidelity};
 use crate::error::SimError;
-use crate::exec::interp::{run_block, GridCtx, Scratch};
+use crate::exec::bytecode::{self, BcScratch};
 use crate::ir::builder::Kernel;
-use crate::mem::global::{DevicePtr, GlobalMemory};
+use crate::mem::global::{Buffer, DevicePtr, GlobalMemory};
 use crate::mem::race::{analyze, AccessRecord};
 use crate::timing::cost::BlockCost;
-use crate::timing::report::{finalize_launch, LaunchReport};
+use crate::timing::occupancy::Occupancy;
+use crate::timing::report::{finalize_launch, KernelStats, LaunchReport};
 use serde::{Deserialize, Serialize};
+
+/// Everything a block needs to execute: the launch's resolved arguments
+/// plus geometry. Shared read-only across worker threads.
+pub struct GridCtx<'a> {
+    pub(crate) cfg: &'a DeviceConfig,
+    pub(crate) kernel: &'a Kernel,
+    pub(crate) bufs: Vec<&'a Buffer>,
+    pub(crate) scalars: &'a [u32],
+    pub(crate) grid_dim: u32,
+    pub(crate) block_dim: u32,
+}
 
 /// Launch geometry (linearized: the simulator flattens CUDA's 3-D grids).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -127,10 +139,74 @@ pub(crate) fn validate_launch(
     Ok(())
 }
 
-/// Runs every block of the launch and folds the costs into a report.
-/// `parallel` distributes contiguous block ranges over scoped OS threads
-/// (results are identical for the data-race-free kernels this workspace
-/// writes: cross-block communication goes through atomics).
+/// Runs every block of the launch through `exec` and collects per-block
+/// costs. `parallel` distributes contiguous block ranges over scoped OS
+/// threads (results are identical for the data-race-free kernels this
+/// workspace writes: cross-block communication goes through atomics).
+/// Each worker owns one `S` scratch and, when `detect` is set, one
+/// private access log merged into `race_log` in worker order.
+fn run_blocks<S, F>(
+    g: &GridCtx<'_>,
+    grid: Grid,
+    parallel: bool,
+    detect: bool,
+    race_log: &mut Option<Vec<AccessRecord>>,
+    exec: F,
+) -> Result<Vec<BlockCost>, SimError>
+where
+    S: Default,
+    F: Fn(&GridCtx<'_>, u32, &mut S, Option<&mut Vec<AccessRecord>>) -> Result<BlockCost, SimError>
+        + Sync,
+{
+    if parallel && grid.blocks > 1 {
+        let workers = std::thread::available_parallelism()
+            .map_or(1, |n| n.get())
+            .min(grid.blocks as usize);
+        let chunk = (grid.blocks as usize).div_ceil(workers);
+        let exec = &exec;
+        let per_worker = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    s.spawn(move || {
+                        let lo = (w * chunk) as u32;
+                        let hi = ((w + 1) * chunk).min(grid.blocks as usize) as u32;
+                        let mut scratch = S::default();
+                        let mut out = Vec::with_capacity((hi - lo) as usize);
+                        let mut log: Option<Vec<AccessRecord>> = detect.then(Vec::new);
+                        for b in lo..hi {
+                            out.push(exec(g, b, &mut scratch, log.as_mut())?);
+                        }
+                        Ok::<_, SimError>((out, log))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("simulator worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        let mut costs = Vec::with_capacity(grid.blocks as usize);
+        for worker_result in per_worker {
+            let (worker_costs, worker_log) = worker_result?;
+            costs.extend(worker_costs);
+            if let (Some(log), Some(worker_log)) = (race_log.as_mut(), worker_log) {
+                log.extend(worker_log);
+            }
+        }
+        Ok(costs)
+    } else {
+        let mut scratch = S::default();
+        let mut out = Vec::with_capacity(grid.blocks as usize);
+        for b in 0..grid.blocks {
+            out.push(exec(g, b, &mut scratch, race_log.as_mut())?);
+        }
+        Ok(out)
+    }
+}
+
+/// Runs a launch end to end: validation, argument binding, block
+/// execution on the configured [`ExecEngine`], and report assembly per
+/// the configured [`SimFidelity`].
 pub(crate) fn run_grid(
     cfg: &DeviceConfig,
     kernel: &Kernel,
@@ -153,60 +229,57 @@ pub(crate) fn run_grid(
         grid_dim: grid.blocks,
         block_dim: grid.threads_per_block,
     };
-    let mut race_log: Option<Vec<AccessRecord>> = cfg.race_detect.then(Vec::new);
-    let costs: Vec<BlockCost> = if parallel && grid.blocks > 1 {
-        let workers = std::thread::available_parallelism()
-            .map_or(1, |n| n.get())
-            .min(grid.blocks as usize);
-        let chunk = (grid.blocks as usize).div_ceil(workers);
-        let per_worker = std::thread::scope(|s| {
-            let handles: Vec<_> = (0..workers)
-                .map(|w| {
-                    let g = &g;
-                    let detect = cfg.race_detect;
-                    s.spawn(move || {
-                        let lo = (w * chunk) as u32;
-                        let hi = ((w + 1) * chunk).min(grid.blocks as usize) as u32;
-                        let mut scratch = Scratch::default();
-                        let mut out = Vec::with_capacity((hi - lo) as usize);
-                        let mut log: Option<Vec<AccessRecord>> = detect.then(Vec::new);
-                        for b in lo..hi {
-                            out.push(run_block(g, b, &mut scratch, log.as_mut())?);
-                        }
-                        Ok::<_, SimError>((out, log))
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("simulator worker panicked"))
-                .collect::<Vec<_>>()
-        });
-        let mut costs = Vec::with_capacity(grid.blocks as usize);
-        for worker_result in per_worker {
-            let (worker_costs, worker_log) = worker_result?;
-            costs.extend(worker_costs);
-            if let (Some(log), Some(worker_log)) = (race_log.as_mut(), worker_log) {
-                log.extend(worker_log);
-            }
+    let timed = !matches!(cfg.fidelity, SimFidelity::Functional);
+    let detect = matches!(cfg.fidelity, SimFidelity::TimedWithRaces);
+    let mut race_log: Option<Vec<AccessRecord>> = detect.then(Vec::new);
+    let costs: Vec<BlockCost> = match cfg.engine {
+        ExecEngine::Bytecode => {
+            let bc = kernel.bytecode();
+            run_blocks::<BcScratch, _>(&g, grid, parallel, detect, &mut race_log, |g, b, s, l| {
+                bytecode::run_block(g, bc, b, s, l, timed)
+            })?
         }
-        costs
-    } else {
-        let mut scratch = Scratch::default();
-        let mut out = Vec::with_capacity(grid.blocks as usize);
-        for b in 0..grid.blocks {
-            out.push(run_block(&g, b, &mut scratch, race_log.as_mut())?);
+        #[cfg(any(test, feature = "interp-oracle"))]
+        ExecEngine::Interpreter => {
+            use crate::exec::interp;
+            run_blocks::<interp::Scratch, _>(&g, grid, parallel, detect, &mut race_log, |g, b, s, l| {
+                interp::run_block(g, b, s, l)
+            })?
         }
-        out
+        #[cfg(not(any(test, feature = "interp-oracle")))]
+        ExecEngine::Interpreter => {
+            return Err(SimError::BadLaunch {
+                detail: "ExecEngine::Interpreter requires the `interp-oracle` feature of agg-gpu-sim"
+                    .into(),
+            })
+        }
     };
-    let mut report = finalize_launch(
-        cfg,
-        &kernel.name,
-        grid.blocks,
-        grid.threads_per_block,
-        kernel.shared_words * 4,
-        &costs,
-    );
+    let mut report = if timed {
+        finalize_launch(
+            cfg,
+            &kernel.name,
+            grid.blocks,
+            grid.threads_per_block,
+            kernel.shared_words * 4,
+            &costs,
+        )
+    } else {
+        // Fast-functional: memory effects only. The report is all-zero by
+        // contract (see `SimFidelity::Functional`), without paying for
+        // `finalize_launch`'s latency-hiding model or launch overhead.
+        LaunchReport {
+            kernel: kernel.name.clone(),
+            grid_blocks: grid.blocks,
+            block_threads: grid.threads_per_block,
+            time_ns: 0.0,
+            compute_ns: 0.0,
+            mem_ns: 0.0,
+            overhead_ns: 0.0,
+            occupancy: Occupancy::compute(cfg, grid.threads_per_block, kernel.shared_words * 4),
+            stats: KernelStats::default(),
+            races: None,
+        }
+    };
     if let Some(log) = race_log {
         let labels: Vec<&str> = g.bufs.iter().map(|b| b.label.as_str()).collect();
         report.races = Some(analyze(&kernel.name, &labels, &log));

@@ -1,4 +1,5 @@
-//! The warp-synchronous interpreter.
+//! The warp-synchronous tree-walking interpreter, kept as the
+//! differential *oracle* for the bytecode engine (`exec/bytecode.rs`).
 //!
 //! One block executes as `ceil(block_dim / 32)` warps. Within a phase
 //! (a top-level segment between barrier intrinsics) warps run to
@@ -6,14 +7,17 @@
 //! each statement together under an active-lane mask. Divergence, memory
 //! coalescing, atomic serialization, and bank conflicts are measured on
 //! the fly and accumulated into a [`BlockCost`].
+//!
+//! This module is compiled only under `cfg(test)` or the `interp-oracle`
+//! feature; production launches run on the bytecode engine, whose
+//! timed driver reproduces this interpreter's costs and race stream
+//! bit-identically (enforced by the equivalence property tests).
 
-use crate::config::DeviceConfig;
 use crate::error::SimError;
-use crate::ir::builder::Kernel;
+use crate::exec::grid::GridCtx;
 use crate::ir::expr::{apply_binop, apply_unop, Expr, Special};
 use crate::ir::stmt::{AtomicOp, BarrierOp, Stmt};
 use crate::mem::coalesce::transactions_for;
-use crate::mem::global::Buffer;
 use crate::mem::race::{AccessKind, AccessRecord, SHARED_SLOT};
 use crate::mem::shared::bank_conflict_replays;
 use crate::timing::cost::BlockCost;
@@ -33,16 +37,6 @@ pub struct Scratch {
     epochs: Vec<u32>,
     /// Per-warp dynamic statement counter (race detection).
     seqs: Vec<u32>,
-}
-
-/// Launch-wide immutable context shared by all blocks.
-pub struct GridCtx<'a> {
-    pub(crate) cfg: &'a DeviceConfig,
-    pub(crate) kernel: &'a Kernel,
-    pub(crate) bufs: Vec<&'a Buffer>,
-    pub(crate) scalars: &'a [u32],
-    pub(crate) grid_dim: u32,
-    pub(crate) block_dim: u32,
 }
 
 /// Per-warp mutable view during statement execution.
@@ -645,7 +639,8 @@ fn apply_barrier(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ir::builder::KernelBuilder;
+    use crate::config::DeviceConfig;
+    use crate::ir::builder::{Kernel, KernelBuilder};
     use crate::mem::global::GlobalMemory;
 
     fn ctx_and_run(

@@ -1,7 +1,11 @@
-//! Kernel execution: the warp-synchronous interpreter and the grid
-//! scheduler.
+//! Kernel execution: the bytecode engine (compiler + timed/functional
+//! drivers), the grid scheduler, and — behind the `interp-oracle`
+//! feature — the original tree-walking interpreter kept as a
+//! differential oracle.
 
+pub(crate) mod bytecode;
 pub mod grid;
+#[cfg(any(test, feature = "interp-oracle"))]
 pub mod interp;
 
 pub use grid::{Grid, LaunchArgs};

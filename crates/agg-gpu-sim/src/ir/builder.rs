@@ -7,10 +7,12 @@
 use super::expr::{BufSlot, Expr, Reg, Special};
 use super::stmt::{AtomicOp, BarrierOp, Stmt};
 use crate::error::SimError;
+use crate::exec::bytecode::{compile, Bytecode};
 use serde::{Deserialize, Serialize};
+use std::sync::{Arc, OnceLock};
 
 /// A validated, immutable kernel.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Kernel {
     /// Kernel name (appears in error messages and launch reports).
     pub name: String,
@@ -24,9 +26,30 @@ pub struct Kernel {
     pub num_scalars: u8,
     /// Shared memory words allocated per block.
     pub shared_words: u32,
+    /// Memoized bytecode, compiled on first launch. Cloning a kernel
+    /// shares the compiled form (behind an `Arc`); equality ignores it.
+    pub(crate) compiled: OnceLock<Arc<Bytecode>>,
+}
+
+// `compiled` is a pure cache of `body`: two kernels are equal iff their
+// IR is, regardless of whether either has been compiled yet.
+impl PartialEq for Kernel {
+    fn eq(&self, other: &Kernel) -> bool {
+        self.name == other.name
+            && self.body == other.body
+            && self.num_regs == other.num_regs
+            && self.num_bufs == other.num_bufs
+            && self.num_scalars == other.num_scalars
+            && self.shared_words == other.shared_words
+    }
 }
 
 impl Kernel {
+    /// The kernel's bytecode, compiled on first use and memoized.
+    pub(crate) fn bytecode(&self) -> &Bytecode {
+        self.compiled.get_or_init(|| Arc::new(compile(self)))
+    }
+
     /// Checks the structural IR rules:
     /// * every register / buffer slot / scalar slot is within the declared
     ///   counts;
@@ -435,6 +458,7 @@ impl KernelBuilder {
             num_bufs: self.next_buf,
             num_scalars: self.next_scalar,
             shared_words: self.shared_words,
+            compiled: OnceLock::new(),
         };
         k.validate()?;
         Ok(k)
@@ -499,6 +523,7 @@ mod tests {
             num_bufs: 1,
             num_scalars: 0,
             shared_words: 0,
+            compiled: OnceLock::new(),
         };
         assert!(matches!(k.validate(), Err(SimError::InvalidKernel { .. })));
 
@@ -509,6 +534,7 @@ mod tests {
             num_bufs: 0,
             num_scalars: 0,
             shared_words: 0,
+            compiled: OnceLock::new(),
         };
         assert!(matches!(k.validate(), Err(SimError::InvalidKernel { .. })));
 
@@ -519,6 +545,7 @@ mod tests {
             num_bufs: 0,
             num_scalars: 1,
             shared_words: 0,
+            compiled: OnceLock::new(),
         };
         assert!(matches!(k.validate(), Err(SimError::InvalidKernel { .. })));
     }
@@ -540,6 +567,7 @@ mod tests {
             num_bufs: 0,
             num_scalars: 0,
             shared_words: 0,
+            compiled: OnceLock::new(),
         };
         assert!(matches!(k.validate(), Err(SimError::InvalidKernel { .. })));
     }

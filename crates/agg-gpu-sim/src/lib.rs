@@ -23,9 +23,12 @@
 //! * **Launch overhead** — every kernel launch pays a fixed host-side
 //!   cost, which is what makes high-diameter road networks GPU-hostile.
 //!
-//! Functional results are exact (the interpreter really executes the
-//! kernel against device buffers); timing is analytic and configurable via
-//! [`DeviceConfig`]. See `DESIGN.md` §5 for the model summary.
+//! Functional results are exact (kernels really execute against device
+//! buffers); timing is analytic and configurable via [`DeviceConfig`].
+//! Kernels are compiled once to a flat bytecode and memoized; launches
+//! run the bytecode either fully timed or fast-functional depending on
+//! the configured [`SimFidelity`]. See `DESIGN.md` §5 for the model
+//! summary and §5g for the bytecode engine.
 //!
 //! # Example
 //!
@@ -44,7 +47,7 @@
 //! });
 //! let kernel = k.build().unwrap();
 //!
-//! let mut dev = Device::new(DeviceConfig::tesla_c2070());
+//! let mut dev = Device::try_new(DeviceConfig::tesla_c2070()).unwrap();
 //! let da = dev.alloc_from_slice("a", &[1, 2, 3, 4]);
 //! let db = dev.alloc_from_slice("b", &[10, 20, 30, 40]);
 //! let dout = dev.alloc("out", 4);
@@ -64,8 +67,8 @@ pub mod json;
 pub mod mem;
 pub mod timing;
 
-pub use config::DeviceConfig;
-pub use device::{Device, ExecMode};
+pub use config::{DeviceConfig, ExecEngine, ExecMode, SimFidelity};
+pub use device::Device;
 pub use error::SimError;
 pub use exec::grid::{Grid, LaunchArgs};
 pub use ir::builder::{Kernel, KernelBuilder};
@@ -76,8 +79,8 @@ pub use timing::report::{KernelStats, LaunchProfile, LaunchReport, ProfileReport
 
 /// Convenient imports for writing and launching kernels.
 pub mod prelude {
-    pub use crate::config::DeviceConfig;
-    pub use crate::device::{Device, ExecMode};
+    pub use crate::config::{DeviceConfig, ExecEngine, ExecMode, SimFidelity};
+    pub use crate::device::Device;
     pub use crate::error::SimError;
     pub use crate::exec::grid::{Grid, LaunchArgs};
     pub use crate::ir::builder::{Kernel, KernelBuilder};
@@ -85,5 +88,5 @@ pub mod prelude {
     pub use crate::mem::global::DevicePtr;
     pub use crate::mem::race::{RaceClass, RaceFinding, RaceReport, RaceSummary};
     pub use crate::mem::transfer::Interconnect;
-    pub use crate::timing::report::{LaunchProfile, LaunchReport, ProfileReport};
+    pub use crate::timing::report::{KernelStats, LaunchProfile, LaunchReport, ProfileReport};
 }

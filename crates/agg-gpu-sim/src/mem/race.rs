@@ -1,10 +1,10 @@
 //! Opt-in per-word data-race detection.
 //!
-//! When [`crate::DeviceConfig::race_detect`] is set, the interpreter logs
-//! every global and shared memory access (word index, kind, stored value,
-//! and a position in the happens-before order) and the launch machinery
-//! classifies conflicting accesses before returning the
-//! [`crate::LaunchReport`].
+//! When the device runs at [`crate::SimFidelity::TimedWithRaces`], the
+//! execution engine logs every global and shared memory access (word
+//! index, kind, stored value, and a position in the happens-before
+//! order) and the launch machinery classifies conflicting accesses
+//! before returning the [`crate::LaunchReport`].
 //!
 //! # Happens-before model
 //!
@@ -67,7 +67,7 @@ pub enum AccessKind {
 }
 
 /// One logged word access, with its position in the happens-before order.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AccessRecord {
     /// Buffer slot in the launch's argument list, or [`SHARED_SLOT`].
     pub(crate) buf: u16,

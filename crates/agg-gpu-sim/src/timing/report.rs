@@ -50,8 +50,8 @@ pub struct LaunchReport {
     pub occupancy: Occupancy,
     /// Aggregated statistics.
     pub stats: KernelStats,
-    /// Race analysis of this launch; `Some` only when
-    /// [`DeviceConfig::race_detect`] is enabled.
+    /// Race analysis of this launch; `Some` only under
+    /// [`crate::SimFidelity::TimedWithRaces`].
     pub races: Option<RaceReport>,
 }
 

@@ -69,7 +69,7 @@ mod tests {
         // reverse CSR over 4 nodes: in-edges of 0: [], 1: [0], 2: [0, 3], 3: []
         let rrow = [0u32, 0, 1, 3, 3];
         let rcol = [0u32, 0, 3];
-        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let mut dev = Device::try_new(DeviceConfig::tesla_c2070()).unwrap();
         let prr = dev.alloc_from_slice("rrow", &rrow);
         let prc = dev.alloc_from_slice("rcol", &rcol);
         // node 0 visited at level 0 and in the frontier
@@ -96,7 +96,7 @@ mod tests {
         let n_par = 64u32;
         let rrow = [0u32, 0, n_par];
         let rcol = vec![0u32; n_par as usize];
-        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let mut dev = Device::try_new(DeviceConfig::tesla_c2070()).unwrap();
         let prr = dev.alloc_from_slice("rrow", &rrow);
         let prc = dev.alloc_from_slice("rcol", &rcol);
         let value = dev.alloc_from_slice("value", &[0, u32::MAX]);
@@ -124,7 +124,7 @@ mod tests {
     fn does_not_touch_visited_nodes_or_use_atomics() {
         let rrow = [0u32, 1, 2];
         let rcol = [1u32, 0];
-        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let mut dev = Device::try_new(DeviceConfig::tesla_c2070()).unwrap();
         let prr = dev.alloc_from_slice("rrow", &rrow);
         let prc = dev.alloc_from_slice("rcol", &rcol);
         let value = dev.alloc_from_slice("value", &[0, 5]); // both visited

@@ -180,7 +180,7 @@ mod tests {
 
     #[test]
     fn scatter_min_improves_and_flags() {
-        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let mut dev = Device::try_new(DeviceConfig::tesla_c2070()).unwrap();
         let pairs = dev.alloc_from_slice("pairs", &[1, 5, 3, 40, 0, 2]);
         let value = dev.alloc_from_slice("value", &[10, 10, 10, 10]);
         let update = dev.alloc("update", 4);
@@ -197,7 +197,7 @@ mod tests {
 
     #[test]
     fn scatter_store_writes_verbatim() {
-        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let mut dev = Device::try_new(DeviceConfig::tesla_c2070()).unwrap();
         let pairs = dev.alloc_from_slice("pairs", &[2, 77, 0, 99]);
         let dst = dev.alloc("dst", 3);
         dev.launch(
@@ -211,7 +211,7 @@ mod tests {
 
     #[test]
     fn collect_pairs_emits_only_nonzero_words() {
-        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let mut dev = Device::try_new(DeviceConfig::tesla_c2070()).unwrap();
         let list = dev.alloc_from_slice("list", &[0, 2, 4]);
         let src = dev.alloc_from_slice("src", &[11, 0, 0, 0, 44]);
         let pairs = dev.alloc("pairs", 7);
@@ -233,7 +233,7 @@ mod tests {
     fn emit_ghost_drains_only_the_ghost_range() {
         // 4 owned nodes + 3 ghosts (local ids 4..7). Ghosts 4 and 6 are
         // updated; owned node 1 is updated too but must be left alone.
-        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let mut dev = Device::try_new(DeviceConfig::tesla_c2070()).unwrap();
         let update = dev.alloc_from_slice("update", &[0, 1, 0, 0, 1, 0, 1]);
         let value = dev.alloc_from_slice("value", &[9, 9, 9, 9, 30, 9, 50]);
         let pairs = dev.alloc("pairs", 7);
@@ -257,7 +257,7 @@ mod tests {
 
     #[test]
     fn shard_prep_resets_meta_and_pair_count() {
-        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let mut dev = Device::try_new(DeviceConfig::tesla_c2070()).unwrap();
         let meta = dev.alloc_from_slice("meta", &[3, 9, 4, 7]);
         let pairs = dev.alloc_from_slice("pairs", &[5, 1, 2]);
         dev.launch(
@@ -271,9 +271,92 @@ mod tests {
         assert_eq!(dev.debug_read(pairs).unwrap(), vec![0, 1, 2]);
     }
 
+    /// Runs `kernel` once on fresh devices under the interpreter and the
+    /// bytecode engine (both fully timed, race detector on) and demands
+    /// identical buffers, bit-identical modeled time, identical stats,
+    /// and an identical race summary.
+    fn assert_engines_agree(kernel: &Kernel, bufs: &[&[u32]], scalars: &[u32], grid: Grid) {
+        let mut outcomes = Vec::new();
+        for engine in [ExecEngine::Interpreter, ExecEngine::Bytecode] {
+            let cfg = DeviceConfig::tesla_c2070()
+                .with_engine(engine)
+                .with_fidelity(SimFidelity::TimedWithRaces);
+            let mut dev = Device::try_new(cfg).unwrap();
+            let ptrs: Vec<_> = bufs
+                .iter()
+                .enumerate()
+                .map(|(i, b)| dev.alloc_from_slice(format!("buf{i}"), b))
+                .collect();
+            let args = LaunchArgs::new()
+                .bufs(ptrs.clone())
+                .scalars(scalars.iter().copied());
+            let report = dev.launch(kernel, grid, &args).unwrap();
+            let contents: Vec<Vec<u32>> =
+                ptrs.iter().map(|&p| dev.debug_read(p).unwrap()).collect();
+            outcomes.push((
+                contents,
+                report.time_ns,
+                report.stats,
+                dev.race_summary().clone(),
+            ));
+        }
+        let (bc, interp) = (outcomes.pop().unwrap(), outcomes.pop().unwrap());
+        assert_eq!(interp.0, bc.0, "{}: buffer contents diverge", kernel.name);
+        assert_eq!(interp.1, bc.1, "{}: modeled time diverges", kernel.name);
+        assert_eq!(interp.2, bc.2, "{}: kernel stats diverge", kernel.name);
+        assert_eq!(interp.3, bc.3, "{}: race summary diverges", kernel.name);
+    }
+
+    /// Every exchange-protocol kernel, driven under both execution
+    /// engines with non-trivial inputs (contended emit slots, mixed
+    /// improving/non-improving pairs): the engines must agree exactly.
+    #[test]
+    fn exchange_kernels_are_engine_equivalent() {
+        assert_engines_agree(
+            &scatter_min(),
+            &[&[3, 5, 3, 40, 0, 2, 1, 7], &[10, 10, 10, 10, 10, 10], &[0; 6]],
+            &[3],
+            Grid::linear(3, 192),
+        );
+        assert_engines_agree(
+            &scatter_store(),
+            &[&[2, 77, 0, 99], &[0; 3]],
+            &[2],
+            Grid::linear(2, 192),
+        );
+        assert_engines_agree(
+            &shard_prep(),
+            &[&[3, 9, 4, 7], &[5, 1, 2]],
+            &[],
+            Grid::linear(5, 192),
+        );
+        let mut update = vec![0u32; 70];
+        let mut value = vec![9u32; 70];
+        for i in (40..70).step_by(2) {
+            update[i] = 1;
+            value[i] = 100 + i as u32;
+        }
+        let mut pairs = vec![0u32; 1 + 2 * 70];
+        assert_engines_agree(
+            &emit_ghost(),
+            &[&update, &value, &pairs],
+            &[40, 30],
+            Grid::linear(30, 192),
+        );
+        pairs.fill(0);
+        let list: Vec<u32> = (0..64).collect();
+        let src: Vec<u32> = (0..64).map(|i| i % 3).collect();
+        assert_engines_agree(
+            &collect_pairs(),
+            &[&list, &src, &pairs],
+            &[64],
+            Grid::linear(64, 192),
+        );
+    }
+
     #[test]
     fn empty_pair_sets_are_no_ops() {
-        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let mut dev = Device::try_new(DeviceConfig::tesla_c2070()).unwrap();
         let pairs = dev.alloc("pairs", 2);
         let value = dev.alloc_from_slice("value", &[9]);
         let update = dev.alloc("update", 1);

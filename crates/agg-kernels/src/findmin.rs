@@ -55,7 +55,7 @@ mod tests {
 
     #[test]
     fn bitmap_findmin_over_active_nodes_only() {
-        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let mut dev = Device::try_new(DeviceConfig::tesla_c2070()).unwrap();
         let bits = [0u32, 1, 0, 1, 1];
         let vals = [1u32, 50, 2, 40, 60];
         let ws = dev.alloc_from_slice("ws", &bits);
@@ -72,7 +72,7 @@ mod tests {
 
     #[test]
     fn queue_findmin_dereferences_node_ids() {
-        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let mut dev = Device::try_new(DeviceConfig::tesla_c2070()).unwrap();
         let queue = [4u32, 1];
         let vals = [9u32, 25, 9, 9, 13];
         let ws = dev.alloc_from_slice("q", &queue);
@@ -89,7 +89,7 @@ mod tests {
 
     #[test]
     fn combines_across_many_blocks() {
-        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let mut dev = Device::try_new(DeviceConfig::tesla_c2070()).unwrap();
         let n = 1000u32;
         let bits = vec![1u32; n as usize];
         let vals: Vec<u32> = (0..n).map(|i| 10_000 - i * 7).collect();
@@ -110,7 +110,7 @@ mod tests {
 
     #[test]
     fn empty_working_set_leaves_max() {
-        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let mut dev = Device::try_new(DeviceConfig::tesla_c2070()).unwrap();
         let ws = dev.alloc("ws", 4);
         let v = dev.alloc_filled("v", 4, 5);
         let out = dev.alloc_filled("out", 1, u32::MAX);

@@ -486,7 +486,7 @@ mod tests {
     #[test]
     fn upload_charges_transfers_and_keeps_contents() {
         let g = GraphBuilder::from_weighted_edges(3, &[(0, 1, 5), (1, 2, 7)]).unwrap();
-        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let mut dev = Device::try_new(DeviceConfig::tesla_c2070()).unwrap();
         let dg = DeviceGraph::upload(&mut dev, &g);
         assert_eq!(dg.n, 3);
         assert_eq!(dg.m, 2);
@@ -499,7 +499,7 @@ mod tests {
 
     #[test]
     fn state_initialization_marks_source() {
-        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let mut dev = Device::try_new(DeviceConfig::tesla_c2070()).unwrap();
         let st = AlgoState::new(&mut dev, 4, 2).unwrap();
         assert_eq!(dev.debug_read(st.value).unwrap(), vec![INF, INF, 0, INF]);
         assert_eq!(dev.debug_read(st.update).unwrap(), vec![0, 0, 1, 0]);
@@ -508,7 +508,7 @@ mod tests {
 
     #[test]
     fn reset_restores_fresh_state() {
-        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let mut dev = Device::try_new(DeviceConfig::tesla_c2070()).unwrap();
         let st = AlgoState::new(&mut dev, 4, 0).unwrap();
         dev.write_word(st.value, 3, 9).unwrap();
         dev.write_word(st.queue_len, 0, 7).unwrap();
@@ -520,7 +520,7 @@ mod tests {
 
     #[test]
     fn ws_buf_selects_representation() {
-        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let mut dev = Device::try_new(DeviceConfig::tesla_c2070()).unwrap();
         let st = AlgoState::new(&mut dev, 2, 0).unwrap();
         assert_eq!(st.ws_buf(WorkSet::Bitmap), st.bitmap);
         assert_eq!(st.ws_buf(WorkSet::Queue), st.queue);
@@ -528,7 +528,7 @@ mod tests {
 
     #[test]
     fn pool_reuses_released_states_instead_of_reallocating() {
-        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let mut dev = Device::try_new(DeviceConfig::tesla_c2070()).unwrap();
         let mut pool = StatePool::new(16);
         let a = pool.acquire(&mut dev).unwrap(); // miss: allocates
         let a_value = a.value;
@@ -550,7 +550,7 @@ mod tests {
 
     #[test]
     fn pool_warm_preallocates_without_counting_acquires() {
-        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let mut dev = Device::try_new(DeviceConfig::tesla_c2070()).unwrap();
         let mut pool = StatePool::new(8);
         pool.warm(&mut dev, 2).unwrap();
         assert_eq!(pool.available(), 2);

@@ -34,12 +34,46 @@ pub fn drive_cfg(
     v: Variant,
     cfg: DeviceConfig,
 ) -> Result<(Vec<u32>, RaceSummary), SimError> {
+    drive_cfg_full(algo, g, src, v, cfg).map(|o| (o.values, o.races))
+}
+
+/// Everything a [`drive_cfg_full`] run observed on the device: the value
+/// array plus the timing/statistics state the equivalence suite compares
+/// bit-for-bit across execution engines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriveOutcome {
+    /// Final per-node value array (levels for BFS, distances for SSSP).
+    pub values: Vec<u32>,
+    /// Accumulated race summary (empty unless the fidelity logs races).
+    pub races: RaceSummary,
+    /// Total modeled kernel time across every launch of the run.
+    pub kernel_ns: f64,
+    /// Cumulative kernel statistics across every launch of the run.
+    pub stats: KernelStats,
+    /// Number of kernel launches the run issued.
+    pub launches: u64,
+}
+
+/// [`drive_cfg`] returning the full [`DriveOutcome`] instrumentation.
+pub fn drive_cfg_full(
+    algo: Algo,
+    g: &CsrGraph,
+    src: NodeId,
+    v: Variant,
+    cfg: DeviceConfig,
+) -> Result<DriveOutcome, SimError> {
     let kernels = GpuKernels::build();
-    let mut dev = Device::new(cfg);
+    let mut dev = Device::try_new(cfg).unwrap();
     let dg = DeviceGraph::upload(&mut dev, g);
     let n = dg.n;
     if n == 0 {
-        return Ok((Vec::new(), dev.race_summary().clone()));
+        return Ok(DriveOutcome {
+            values: Vec::new(),
+            races: dev.race_summary().clone(),
+            kernel_ns: dev.kernel_ns(),
+            stats: dev.cumulative_stats(),
+            launches: dev.launch_count(),
+        });
     }
     let st = AlgoState::new(&mut dev, n, src)?;
     let block_threads = 32u32;
@@ -113,28 +147,35 @@ pub fn drive_cfg(
         }
     }
     let values = dev.read(st.value);
-    Ok((values, dev.race_summary().clone()))
+    Ok(DriveOutcome {
+        values,
+        races: dev.race_summary().clone(),
+        kernel_ns: dev.kernel_ns(),
+        stats: dev.cumulative_stats(),
+        launches: dev.launch_count(),
+    })
+}
+
+/// A small graph that still exercises contention: two blocks' worth
+/// of nodes, a hub, parallel edges after dedup-free build, a cycle.
+#[cfg(test)]
+fn contended_graph() -> CsrGraph {
+    use agg_graph::GraphBuilder;
+    let mut edges = Vec::new();
+    let n = 80u32;
+    for v in 1..n {
+        edges.push((0, v, 1)); // hub fan-out: racing updates
+    }
+    for v in 0..n {
+        edges.push((v, (v + 1) % n, 2)); // ring
+        edges.push(((v + 7) % n, v, 3)); // cross links -> shared targets
+    }
+    GraphBuilder::from_weighted_edges(n as usize, &edges).unwrap()
 }
 
 #[cfg(test)]
 mod racesuite {
     use super::*;
-    use agg_graph::GraphBuilder;
-
-    /// A small graph that still exercises contention: two blocks' worth
-    /// of nodes, a hub, parallel edges after dedup-free build, a cycle.
-    fn contended_graph() -> CsrGraph {
-        let mut edges = Vec::new();
-        let n = 80u32;
-        for v in 1..n {
-            edges.push((0, v, 1)); // hub fan-out: racing updates
-        }
-        for v in 0..n {
-            edges.push((v, (v + 1) % n, 2)); // ring
-            edges.push(((v + 7) % n, v, 3)); // cross links -> shared targets
-        }
-        GraphBuilder::from_weighted_edges(n as usize, &edges).unwrap()
-    }
 
     /// Every BFS and SSSP variant, end to end, under the race detector:
     /// the whole suite must be free of harmful races, and the benign
@@ -143,7 +184,7 @@ mod racesuite {
     #[test]
     fn full_variant_suite_is_race_free() {
         let g = contended_graph();
-        let cfg = DeviceConfig::tesla_c2070().with_race_detect(true);
+        let cfg = DeviceConfig::tesla_c2070().with_fidelity(SimFidelity::TimedWithRaces);
         for algo in [Algo::Bfs, Algo::Sssp] {
             for v in Variant::ALL {
                 let (_, races) = drive_cfg(algo, &g, 0, v, cfg.clone()).unwrap();
@@ -158,6 +199,106 @@ mod racesuite {
                     v.name(),
                     races.harmful
                 );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod equivalence {
+    //! Bytecode-vs-interpreter oracle suite: the bytecode engine must be
+    //! observationally indistinguishable from the recursive interpreter
+    //! it replaced — same values, bit-identical modeled time, identical
+    //! cumulative statistics, and an identical race summary — across the
+    //! whole static-variant matrix.
+
+    use super::*;
+
+    fn engine_cfg(engine: ExecEngine, fidelity: SimFidelity) -> DeviceConfig {
+        DeviceConfig::tesla_c2070()
+            .with_engine(engine)
+            .with_fidelity(fidelity)
+    }
+
+    /// The full matrix — every variant × both algorithms × both timed
+    /// fidelities — run end to end under each engine. The outcomes must
+    /// be equal as whole structs, which makes the modeled `kernel_ns`
+    /// comparison exact (f64 equality, no tolerance): the engines must
+    /// charge the same cycles in the same order.
+    #[test]
+    fn bytecode_is_bit_identical_to_interpreter_across_variant_matrix() {
+        let g = contended_graph();
+        for fidelity in [SimFidelity::Timed, SimFidelity::TimedWithRaces] {
+            for algo in [Algo::Bfs, Algo::Sssp] {
+                for v in Variant::ALL {
+                    let interp = drive_cfg_full(
+                        algo,
+                        &g,
+                        0,
+                        v,
+                        engine_cfg(ExecEngine::Interpreter, fidelity),
+                    )
+                    .unwrap();
+                    let bytecode = drive_cfg_full(
+                        algo,
+                        &g,
+                        0,
+                        v,
+                        engine_cfg(ExecEngine::Bytecode, fidelity),
+                    )
+                    .unwrap();
+                    assert!(
+                        interp == bytecode,
+                        "{algo:?}/{}/{fidelity:?}: engines diverge\n\
+                         interp:   kernel_ns={} launches={} stats={:?}\n\
+                         bytecode: kernel_ns={} launches={} stats={:?}",
+                        v.name(),
+                        interp.kernel_ns,
+                        interp.launches,
+                        interp.stats,
+                        bytecode.kernel_ns,
+                        bytecode.launches,
+                        bytecode.stats,
+                    );
+                    assert!(interp.kernel_ns > 0.0, "timed run charged no time");
+                }
+            }
+        }
+    }
+
+    /// Fast-functional fidelity must still produce the exact value
+    /// arrays of a timed run while charging zero kernel time.
+    #[test]
+    fn functional_fidelity_matches_timed_values_at_zero_cost() {
+        let g = contended_graph();
+        for algo in [Algo::Bfs, Algo::Sssp] {
+            for v in Variant::ALL {
+                let timed = drive_cfg_full(
+                    algo,
+                    &g,
+                    0,
+                    v,
+                    engine_cfg(ExecEngine::Bytecode, SimFidelity::Timed),
+                )
+                .unwrap();
+                let fast = drive_cfg_full(
+                    algo,
+                    &g,
+                    0,
+                    v,
+                    engine_cfg(ExecEngine::Bytecode, SimFidelity::Functional),
+                )
+                .unwrap();
+                assert_eq!(
+                    timed.values,
+                    fast.values,
+                    "{algo:?}/{}: functional values diverge",
+                    v.name()
+                );
+                assert_eq!(timed.launches, fast.launches);
+                assert_eq!(fast.kernel_ns, 0.0, "functional run charged kernel time");
+                assert_eq!(fast.stats, KernelStats::default());
+                assert_eq!(fast.races.launches_checked, 0);
             }
         }
     }

@@ -374,7 +374,7 @@ mod tests {
     }
 
     fn setup(update: &[u32]) -> (Device, DevicePtr, DevicePtr, DevicePtr, DevicePtr) {
-        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let mut dev = Device::try_new(DeviceConfig::tesla_c2070()).unwrap();
         let u = dev.alloc_from_slice("update", update);
         let ws = dev.alloc("ws", update.len().max(1));
         let len = dev.alloc("len", 1);
@@ -419,7 +419,7 @@ mod tests {
         // The deliberate racing stores of 1 into flag[0] must be
         // classified benign (same-value-store), not harmful.
         let update: Vec<u32> = vec![1; 384]; // 2 blocks of 192
-        let mut dev = Device::new(DeviceConfig::tesla_c2070().with_race_detect(true));
+        let mut dev = Device::try_new(DeviceConfig::tesla_c2070().with_fidelity(SimFidelity::TimedWithRaces)).unwrap();
         let u = dev.alloc_from_slice("update", &update);
         let ws = dev.alloc("ws", update.len());
         let flag = dev.alloc("flag", 1);
@@ -522,7 +522,7 @@ mod tests {
         use crate::exchange::{META_COUNT, META_MIN, META_QB, META_WORDS};
         // Actives: 0 (boundary), 2 (interior), 4 (boundary). Node 3 has a
         // stale bitmap bit from the previous superstep that must clear.
-        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let mut dev = Device::try_new(DeviceConfig::tesla_c2070()).unwrap();
         let update = dev.alloc_from_slice("update", &[1, 0, 1, 0, 1]);
         let mask = dev.alloc_from_slice("mask", &[1, 0, 0, 1, 1]);
         let bitmap = dev.alloc_from_slice("bitmap", &[0, 0, 0, 1, 0]);
@@ -575,7 +575,7 @@ mod tests {
     #[test]
     fn queue_split_partitions_actives_between_queues() {
         use crate::exchange::{META_MIN, META_QB, META_QLEN, META_WORDS};
-        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let mut dev = Device::try_new(DeviceConfig::tesla_c2070()).unwrap();
         let update = dev.alloc_from_slice("update", &[1, 1, 0, 1, 1]);
         let mask = dev.alloc_from_slice("mask", &[0, 1, 1, 0, 1]);
         let queue = dev.alloc("queue", 5);
@@ -614,7 +614,7 @@ mod tests {
         // threads) must still reset everything: the pre-fix per-thread
         // mapping silently skipped cells.
         for tpb in [1u32, 2, 32] {
-            let mut dev = Device::new(DeviceConfig::tesla_c2070());
+            let mut dev = Device::try_new(DeviceConfig::tesla_c2070()).unwrap();
             let len = dev.alloc_filled("len", 1, 42);
             let min_out = dev.alloc_filled("min", 1, 3);
             let flag = dev.alloc_filled("flag", 1, 1);
@@ -638,7 +638,7 @@ mod tests {
     fn degree_census_sums_active_outdegrees() {
         // row offsets for 4 nodes with degrees 2, 0, 3, 1
         let row = [0u32, 2, 2, 5, 6];
-        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let mut dev = Device::try_new(DeviceConfig::tesla_c2070()).unwrap();
         let rowp = dev.alloc_from_slice("row", &row);
         // bitmap: nodes 0 and 2 active -> degree sum 5
         let bm = dev.alloc_from_slice("bm", &[1, 0, 1, 0]);
@@ -668,7 +668,7 @@ mod tests {
         // 0x2_4000_0000 exceeds u32. The pre-fix single-cell accumulator
         // wrapped to 0x4000_0000; the (lo, hi) pair must hold it exactly.
         let row = [0u32, 0xC000_0000];
-        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let mut dev = Device::try_new(DeviceConfig::tesla_c2070()).unwrap();
         let rowp = dev.alloc_from_slice("row", &row);
         let q = dev.alloc_from_slice("q", &[0, 0, 0]);
         let deg_sum = dev.alloc("deg_sum", 2);
@@ -698,7 +698,7 @@ mod tests {
 
     #[test]
     fn count_bitmap_censuses_working_set() {
-        let mut dev = Device::new(DeviceConfig::tesla_c2070());
+        let mut dev = Device::try_new(DeviceConfig::tesla_c2070()).unwrap();
         let bits: Vec<u32> = (0..500).map(|i| (i % 7 == 0) as u32).collect();
         let expected = bits.iter().sum::<u32>();
         let bm = dev.alloc_from_slice("bm", &bits);

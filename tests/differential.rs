@@ -11,8 +11,10 @@ use agg::prelude::*;
 use agg_bench::differential::{case_graph, fuzz, FuzzConfig, GENERATORS};
 
 /// The headline sweep: 200 corpus graphs, every execution configuration,
-/// compared against the oracles with the race detector on. Deterministic
-/// in the seed, so a failure here is a failure every time.
+/// compared against the oracles. Runs at the harness default —
+/// fast-functional fidelity — so the race counters stay at zero here;
+/// `race_detect_sweep_engages_the_detector` covers the timed+races path.
+/// Deterministic in the seed, so a failure here is a failure every time.
 #[test]
 fn two_hundred_graph_corpus_matches_cpu_oracles() {
     let cfg = FuzzConfig::new(200, 0xA11CE);
@@ -34,9 +36,9 @@ fn two_hundred_graph_corpus_matches_cpu_oracles() {
     );
     assert_eq!(report.sharded_runs, 200 * 6, "sharded sweep incomplete");
     assert_eq!(report.batches, 25, "one shuffled batch every 8th case");
-    assert!(
-        report.race_launches_checked > 0,
-        "race detector never engaged"
+    assert_eq!(
+        report.race_launches_checked, 0,
+        "functional default must not pay for race logging"
     );
     // The corpus must have exercised every generator.
     let mut seen = [false; 6];
@@ -45,6 +47,27 @@ fn two_hundred_graph_corpus_matches_cpu_oracles() {
         seen[GENERATORS.iter().position(|&n| n == g.generator).unwrap()] = true;
     }
     assert!(seen.iter().all(|&s| s));
+}
+
+/// A smaller sweep with `race_detect` opted in: every launch runs fully
+/// timed under the race detector, and the detector must actually engage.
+#[test]
+fn race_detect_sweep_engages_the_detector() {
+    let mut cfg = FuzzConfig::new(12, 0xA11CE);
+    cfg.race_detect = true;
+    let report = fuzz(&cfg);
+    assert!(
+        report.is_clean(),
+        "{} divergence(s), {} harmful race word(s): {:?}",
+        report.divergences.len(),
+        report.race_harmful_words,
+        report.divergences
+    );
+    assert!(
+        report.race_launches_checked > 0,
+        "race detector never engaged"
+    );
+    assert_eq!(report.race_harmful_words, 0);
 }
 
 /// Bottom-up (direction-optimized) BFS on a graph that is explicitly
@@ -65,7 +88,7 @@ fn bottom_up_bfs_matches_oracle_on_disconnected_graph() {
     assert_eq!(expected[4], 4);
     assert!(expected[5] > 4 && expected[8] > 4, "sentinel expected");
 
-    let cfg = DeviceConfig::tesla_c2070().with_race_detect(true);
+    let cfg = DeviceConfig::tesla_c2070().with_fidelity(SimFidelity::TimedWithRaces);
     let mut gg = GpuGraph::with_device(&g, cfg).unwrap();
     gg.enable_bottom_up(&g);
     let opts = RunOptions::builder()

@@ -117,6 +117,33 @@ proptest! {
         prop_assert!(r.launches > 0);
     }
 
+    /// The bytecode engine must be observationally identical to the
+    /// legacy interpreter on random graphs: same values, same modeled
+    /// device clock (exact f64 equality — the engines must charge the
+    /// same cycles in the same order), same race summary, for all four
+    /// algorithms under the adaptive runtime at full timed fidelity.
+    #[test]
+    fn bytecode_engine_is_bit_identical_to_interpreter(g in arb_graph(35, 120), seed in 0u32..1000) {
+        use agg::prelude::{DeviceConfig, ExecEngine, SimFidelity};
+        let src = seed % g.node_count() as u32;
+        let mut outcomes = Vec::new();
+        for engine in [ExecEngine::Interpreter, ExecEngine::Bytecode] {
+            let cfg = DeviceConfig::tesla_c2070()
+                .with_engine(engine)
+                .with_fidelity(SimFidelity::TimedWithRaces);
+            let mut gg = GpuGraph::with_device(&g, cfg).unwrap();
+            let mut values = Vec::new();
+            for q in [Query::Bfs { src }, Query::Sssp { src }, Query::Cc, Query::pagerank()] {
+                values.push(gg.run(q, &RunOptions::default()).unwrap().values);
+            }
+            outcomes.push((values, gg.device().elapsed_ns(), gg.device().race_summary().clone()));
+        }
+        let (bc, interp) = (outcomes.pop().unwrap(), outcomes.pop().unwrap());
+        prop_assert_eq!(interp.0, bc.0, "values diverge between engines");
+        prop_assert_eq!(interp.1, bc.1, "modeled time diverges between engines");
+        prop_assert_eq!(interp.2, bc.2, "race summaries diverge between engines");
+    }
+
     #[test]
     fn telemetry_is_self_consistent(g in arb_graph(35, 120), seed in 0u32..1000) {
         let src = seed % g.node_count() as u32;
@@ -171,7 +198,7 @@ proptest! {
         let expected: Vec<u32> =
             (0..n).filter(|&i| bits[i as usize]).collect();
         for kernel in [&kernels.gen_queue, &kernels.gen_queue_scan] {
-            let mut dev = Device::new(DeviceConfig::tesla_c2070());
+            let mut dev = Device::try_new(DeviceConfig::tesla_c2070()).unwrap();
             let u = dev.alloc_from_slice("u", &update);
             let q = dev.alloc("q", n as usize);
             let len = dev.alloc("len", 1);
