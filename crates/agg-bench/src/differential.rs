@@ -49,6 +49,10 @@ pub struct FuzzConfig {
     /// detector and report its counters. Off by default: differential
     /// runs compare values, so they use the fast-functional fidelity.
     pub race_detect: bool,
+    /// Explicit fidelity override. When set, it wins over `race_detect`;
+    /// `repro simbench` uses this to run a timed-without-races leg (the
+    /// configuration paper-scale timed tables pay).
+    pub fidelity: Option<SimFidelity>,
     /// Maximum edge weight for the SSSP corpus.
     pub max_weight: u32,
     /// Run a shuffled Session batch every this many cases (0 = never).
@@ -73,11 +77,23 @@ impl FuzzConfig {
             cases,
             seed,
             race_detect: false,
+            fidelity: None,
             max_weight: 64,
             batch_period: 8,
             engine: ExecEngine::Bytecode,
             shard_counts: vec![2, 4],
         }
+    }
+
+    /// Fidelity every simulated device in the sweep runs at: the
+    /// explicit override if set, otherwise timed+races when
+    /// `race_detect` is on and fast-functional when it is off.
+    pub fn effective_fidelity(&self) -> SimFidelity {
+        self.fidelity.unwrap_or(if self.race_detect {
+            SimFidelity::TimedWithRaces
+        } else {
+            SimFidelity::Functional
+        })
     }
 }
 
@@ -402,14 +418,10 @@ impl FuzzReport {
 /// default they use the fast-functional fidelity (no timing model, no
 /// race bookkeeping). `--race-detect` opts back into the fully timed
 /// engine with per-launch race analysis.
-fn device_config(race_detect: bool, engine: ExecEngine) -> DeviceConfig {
+fn device_config(fidelity: SimFidelity, engine: ExecEngine) -> DeviceConfig {
     DeviceConfig::tesla_c2070()
         .with_engine(engine)
-        .with_fidelity(if race_detect {
-            SimFidelity::TimedWithRaces
-        } else {
-            SimFidelity::Functional
-        })
+        .with_fidelity(fidelity)
 }
 
 /// One GPU run of (`alg`, `exec`) on a fresh device; returns the value
@@ -419,11 +431,11 @@ fn gpu_values(
     src: NodeId,
     alg: Alg,
     exec: Exec,
-    race_detect: bool,
+    fidelity: SimFidelity,
     engine: ExecEngine,
     race: Option<&mut FuzzReport>,
 ) -> Result<Vec<u32>, CoreError> {
-    let mut gg = GpuGraph::with_device(g, device_config(race_detect, engine))?;
+    let mut gg = GpuGraph::with_device(g, device_config(fidelity, engine))?;
     if matches!(exec, Exec::BottomUp) {
         gg.enable_bottom_up(g);
     }
@@ -448,7 +460,7 @@ fn sharded_values(
     alg: Alg,
     shards: usize,
     strategy: agg_graph::PartitionStrategy,
-    race_detect: bool,
+    fidelity: SimFidelity,
     engine: ExecEngine,
     race: Option<&mut FuzzReport>,
 ) -> Result<Vec<u32>, CoreError> {
@@ -456,7 +468,7 @@ fn sharded_values(
         g,
         shards,
         strategy,
-        device_config(race_detect, engine),
+        device_config(fidelity, engine),
         Interconnect::pcie(),
     )?;
     let r = sg.run(alg.query(src), &RunOptions::default())?;
@@ -581,12 +593,12 @@ pub fn fuzz(cfg: &FuzzConfig) -> FuzzReport {
         for (alg, exec) in jobs {
             let expected = alg.oracle(&graph, src);
             report.runs += 1;
-            match gpu_values(&graph, src, alg, exec, cfg.race_detect, cfg.engine, Some(&mut report)) {
+            match gpu_values(&graph, src, alg, exec, cfg.effective_fidelity(), cfg.engine, Some(&mut report)) {
                 Ok(actual) if actual == expected => {}
                 Ok(actual) => {
                     let minimized = minimize(&graph, src, &mut |g, s| {
                         matches!(
-                            gpu_values(g, s, alg, exec, false, cfg.engine, None),
+                            gpu_values(g, s, alg, exec, SimFidelity::Functional, cfg.engine, None),
                             Ok(v) if v != alg.oracle(g, s)
                         )
                     });
@@ -639,7 +651,7 @@ pub fn fuzz(cfg: &FuzzConfig) -> FuzzReport {
                     alg,
                     k,
                     strategy,
-                    cfg.race_detect,
+                    cfg.effective_fidelity(),
                     cfg.engine,
                     Some(&mut report),
                 ) {
@@ -647,7 +659,7 @@ pub fn fuzz(cfg: &FuzzConfig) -> FuzzReport {
                     Ok(actual) => {
                         let minimized = minimize(&graph, src, &mut |g, s| {
                             matches!(
-                                sharded_values(g, s, alg, k, strategy, false, cfg.engine, None),
+                                sharded_values(g, s, alg, k, strategy, SimFidelity::Functional, cfg.engine, None),
                                 Ok(v) if v != alg.oracle(g, s)
                             )
                         });
@@ -716,7 +728,7 @@ fn run_shuffled_batch(
     for i in (1..queries.len()).rev() {
         queries.swap(i, rng.gen_range(0..=i));
     }
-    let outcome = Session::with_device(graph, device_config(cfg.race_detect, cfg.engine)).and_then(|mut s| {
+    let outcome = Session::with_device(graph, device_config(cfg.effective_fidelity(), cfg.engine)).and_then(|mut s| {
         let b = s.run_batch(&queries, &RunOptions::default())?;
         let races = s.device().race_summary().clone();
         Ok((b, races))

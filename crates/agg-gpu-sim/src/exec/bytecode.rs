@@ -56,7 +56,7 @@ use crate::error::SimError;
 use crate::ir::builder::Kernel;
 use crate::ir::expr::{apply_binop, apply_unop, Binop, Expr, Special, Unop};
 use crate::ir::stmt::{AtomicOp, BarrierOp, Stmt};
-use crate::mem::coalesce::transactions_for;
+use crate::mem::coalesce::{transactions_for_words, PatternCache};
 use crate::mem::global::Buffer;
 use crate::mem::race::{AccessKind, AccessRecord, SHARED_SLOT};
 use crate::mem::shared::bank_conflict_replays;
@@ -79,6 +79,21 @@ pub(crate) enum Op {
     /// enclosing statement list (jump to `end`); otherwise charge
     /// `1 + expr_ops` issue slots and bump the dynamic statement counter.
     Begin { expr_ops: u32, end: u32 },
+    /// Folded prologue of a straight-line run of statements whose active
+    /// mask provably cannot change mid-run (no control flow, no `Ret`):
+    /// one mask recompute and abort check, then the whole run's
+    /// compile-time issue-slot total `ops` charged at once, scaled by the
+    /// live mask population. Later statements in the run keep only an
+    /// [`Op::SeqTick`]. Totals are bit-identical to per-statement
+    /// [`Op::Begin`]s because every folded statement would have charged
+    /// under the same mask ([`CostStats`](crate::timing::cost::CostStats)
+    /// counters are order-independent sums, and traps discard the
+    /// launch's costs entirely).
+    BeginRun { ops: u32, end: u32 },
+    /// Later statement of a folded run: bump the dynamic statement
+    /// counter (race-log `seq` identity) — its cost is already charged by
+    /// the run's [`Op::BeginRun`].
+    SeqTick,
     /// [`Op::Begin`] for `While`: bumps the statement counter but leaves
     /// charging to [`Op::WhileHead`] (the interpreter charges the
     /// condition per iteration, not the statement itself).
@@ -119,11 +134,12 @@ pub(crate) enum Op {
     WhileTest { c: u16, exit: u32 },
     /// Back edge to [`Op::WhileHead`].
     WhileJump { head: u32 },
-    /// Global load with coalescing lookup.
-    LoadG { dst: u16, buf: u8, idx: u16 },
+    /// Global load with coalescing lookup. `site` indexes the per-launch
+    /// coalescing-pattern cache.
+    LoadG { dst: u16, buf: u8, idx: u16, site: u32 },
     /// Global-store bounds check + coalescing lookup (indices already
-    /// flattened; values follow).
-    StoreCheck { buf: u8, idx: u16 },
+    /// flattened; values follow). `site` as in [`Op::LoadG`].
+    StoreCheck { buf: u8, idx: u16, site: u32 },
     /// Global store (bounds already checked by [`Op::StoreCheck`]).
     StoreG { buf: u8, idx: u16, val: u16 },
     /// Atomic read-modify-write with serialization accounting. `cmp` and
@@ -182,6 +198,9 @@ pub(crate) struct Bytecode {
     prologue: Vec<LeafInit>,
     exprs: Vec<Expr>,
     num_vregs: u16,
+    /// Global-access sites (one per `LoadG`/`StoreCheck`), sizing the
+    /// per-launch coalescing-pattern cache.
+    num_sites: u32,
 }
 
 impl Bytecode {
@@ -214,6 +233,8 @@ struct Compiler {
     temp_base: u16,
     /// High-water mark of the vreg file.
     max_vregs: u16,
+    /// Next global-access site id.
+    sites: u32,
 }
 
 /// True if eagerly evaluating `e` could trap (`Div`/`Rem` anywhere in
@@ -303,6 +324,12 @@ impl Compiler {
             // Barrier values are evaluated lazily host-side.
             Stmt::Return | Stmt::SyncThreads | Stmt::Barrier { .. } => {}
         }
+    }
+
+    fn site(&mut self) -> u32 {
+        let s = self.sites;
+        self.sites += 1;
+        s
     }
 
     fn alloc_temp(&mut self, temp: &mut u16) -> u16 {
@@ -401,10 +428,12 @@ impl Compiler {
                     end: 0,
                 });
                 let idx = self.expr(index, &mut temp);
+                let site = self.site();
                 self.ops.push(Op::LoadG {
                     dst: dst.0,
                     buf: buf.0,
                     idx,
+                    site,
                 });
             }
             Stmt::Store { buf, index, value } => {
@@ -413,7 +442,12 @@ impl Compiler {
                     end: 0,
                 });
                 let idx = self.expr(index, &mut temp);
-                self.ops.push(Op::StoreCheck { buf: buf.0, idx });
+                let site = self.site();
+                self.ops.push(Op::StoreCheck {
+                    buf: buf.0,
+                    idx,
+                    site,
+                });
                 let val = self.expr(value, &mut temp);
                 self.ops.push(Op::StoreG {
                     buf: buf.0,
@@ -559,6 +593,66 @@ impl Compiler {
     }
 }
 
+/// Cost-folding peephole: rewrites each maximal straight-line run of
+/// two or more statements into one [`Op::BeginRun`] (charging the run's
+/// compile-time issue-slot total) followed by [`Op::SeqTick`]s at the
+/// later statement boundaries.
+///
+/// A run extends over consecutive [`Op::Begin`]s whose intervening ops
+/// are ALU/memory/`Sync` only: nothing in the run can change the active
+/// mask (`lmask` moves only at control-flow ops, `returned` only at
+/// `Ret`, and both end the run), so every folded statement would have
+/// charged under the run-entry mask. Ops are replaced 1:1 in place —
+/// jump targets never shift.
+fn fold_costs(ops: &mut [Op]) {
+    let mut i = 0;
+    while i < ops.len() {
+        if !matches!(ops[i], Op::Begin { .. }) {
+            i += 1;
+            continue;
+        }
+        let mut begins: Vec<usize> = Vec::new();
+        let mut total: u64 = 0;
+        let mut j = i;
+        while j < ops.len() {
+            match &ops[j] {
+                Op::Begin { expr_ops, .. } => {
+                    begins.push(j);
+                    total += 1 + *expr_ops as u64;
+                }
+                Op::Mov { .. }
+                | Op::Bin { .. }
+                | Op::Un { .. }
+                | Op::Blend { .. }
+                | Op::EvalTree { .. }
+                | Op::LoadG { .. }
+                | Op::StoreCheck { .. }
+                | Op::StoreG { .. }
+                | Op::AtomicApply { .. }
+                | Op::LoadS { .. }
+                | Op::StoreS { .. }
+                | Op::Sync => {}
+                _ => break,
+            }
+            j += 1;
+        }
+        if begins.len() > 1 {
+            let end = match ops[begins[0]] {
+                Op::Begin { end, .. } => end,
+                _ => unreachable!(),
+            };
+            ops[begins[0]] = Op::BeginRun {
+                ops: u32::try_from(total).expect("folded cost overflow"),
+                end,
+            };
+            for &b in &begins[1..] {
+                ops[b] = Op::SeqTick;
+            }
+        }
+        i = j.max(i + 1);
+    }
+}
+
 /// Compiles `kernel` to bytecode. Pure function of the kernel body —
 /// memoized on the kernel via [`Kernel::bytecode`].
 pub(crate) fn compile(kernel: &Kernel) -> Bytecode {
@@ -569,6 +663,7 @@ pub(crate) fn compile(kernel: &Kernel) -> Bytecode {
         num_regs: kernel.num_regs,
         temp_base: 0,
         max_vregs: 0,
+        sites: 0,
     };
     for s in &kernel.body {
         c.collect_leaves_stmt(s);
@@ -582,6 +677,7 @@ pub(crate) fn compile(kernel: &Kernel) -> Bytecode {
     for (segment, barrier) in kernel.phases() {
         c.ops = Vec::new();
         c.stmt_list(segment);
+        fold_costs(&mut c.ops);
         let barrier = barrier.map(|b| match b {
             Stmt::Barrier { op, value, dst } => BarrierCode {
                 op: *op,
@@ -609,6 +705,7 @@ pub(crate) fn compile(kernel: &Kernel) -> Bytecode {
         prologue,
         exprs: c.exprs,
         num_vregs: c.max_vregs,
+        num_sites: c.sites,
     }
 }
 
@@ -627,6 +724,10 @@ pub struct BcScratch {
     epochs: Vec<u32>,
     seqs: Vec<u32>,
     frames: Vec<Frame>,
+    /// Per-site coalescing-pattern memo, indexed by `Op::LoadG`/
+    /// `Op::StoreCheck` site id. Sound across the blocks of one launch
+    /// (same bytecode): `run_blocks` creates a fresh scratch per launch.
+    coalesce: Vec<PatternCache>,
 }
 
 /// Control-flow frame (per warp, reset per phase segment).
@@ -698,6 +799,13 @@ fn eval_expr(
 }
 
 /// Per-warp mutable view during op execution.
+///
+/// Costs accumulate in the by-value `acc` (register-friendly: no stores
+/// through `&mut BlockCost` on the hot path) and flush into `cost` once
+/// per [`WarpExec::exec`] call — i.e. at phase boundaries. `BlockCost`
+/// is a sum of order-independent counters, so batched flushing is
+/// bit-identical; a trapped launch discards its costs entirely, so the
+/// unflushed remainder on the error path is never observable.
 struct WarpExec<'a, 'g> {
     g: &'a GridCtx<'g>,
     bc: &'a Bytecode,
@@ -708,19 +816,31 @@ struct WarpExec<'a, 'g> {
     shared: &'a mut [u32],
     returned: &'a mut u32,
     cost: &'a mut BlockCost,
+    /// Batched charges, flushed to `cost` at the end of each phase.
+    acc: BlockCost,
     epoch: &'a mut u32,
     seq: &'a mut u32,
     log: Option<&'a mut Vec<AccessRecord>>,
     frames: &'a mut Vec<Frame>,
+    coalesce: &'a mut [PatternCache],
 }
 
 impl<'a, 'g> WarpExec<'a, 'g> {
     #[inline]
     fn charge(&mut self, expr_ops: u64, mask: u32) {
         let ops = 1 + expr_ops;
-        self.cost.issue_cycles += ops;
-        self.cost.stats.instructions += ops;
-        self.cost.stats.active_lane_instructions += ops * mask.count_ones() as u64;
+        self.acc.issue_cycles += ops;
+        self.acc.stats.instructions += ops;
+        self.acc.stats.active_lane_instructions += ops * mask.count_ones() as u64;
+    }
+
+    /// Charges a folded straight-line run: `ops` total issue slots, all
+    /// under one mask.
+    #[inline]
+    fn charge_run(&mut self, ops: u64, mask: u32) {
+        self.acc.issue_cycles += ops;
+        self.acc.stats.instructions += ops;
+        self.acc.stats.active_lane_instructions += ops * mask.count_ones() as u64;
     }
 
     #[inline]
@@ -766,15 +886,19 @@ impl<'a, 'g> WarpExec<'a, 'g> {
     }
 
     /// Bounds-checks the active lanes of a global access and (timed)
-    /// charges coalesced transactions.
+    /// charges coalesced transactions via the pattern classifier and the
+    /// site's pattern cache. All of a warp's addresses target one buffer,
+    /// so the word indices alone determine the segment count — no tagged
+    /// 64-bit addresses, and no sort for affine/monotone patterns.
     fn global_check<const TIMED: bool>(
         &mut self,
         buf: u8,
         idx: u16,
+        site: u32,
         mask: u32,
     ) -> Result<(), SimError> {
         let len = self.g.bufs[buf as usize].data.len();
-        let mut addrs = [0u64; 32];
+        let mut words = [0u32; 32];
         let mut n = 0usize;
         let mut m = mask;
         while m != 0 {
@@ -785,17 +909,20 @@ impl<'a, 'g> WarpExec<'a, 'g> {
                 return Err(self.oob(buf, i as u64));
             }
             if TIMED {
-                // Buffer id in the high bits keeps distinct buffers in
-                // distinct segments.
-                addrs[n] = ((buf as u64) << 40) | (i as u64 * 4);
+                words[n] = i;
                 n += 1;
             }
         }
         if TIMED {
-            let tx = transactions_for(&addrs[..n], self.g.cfg.transaction_bytes);
-            self.cost.stats.mem_transactions += tx as u64;
-            self.cost.stats.mem_bytes += tx as u64 * self.g.cfg.transaction_bytes as u64;
-            self.cost.issue_cycles += tx as u64 * self.g.cfg.mem_issue_cycles;
+            let tx = transactions_for_words(
+                &words[..n],
+                self.g.cfg.transaction_bytes,
+                mask,
+                self.coalesce.get_mut(site as usize),
+            );
+            self.acc.stats.mem_transactions += tx as u64;
+            self.acc.stats.mem_bytes += tx as u64 * self.g.cfg.transaction_bytes as u64;
+            self.acc.issue_cycles += tx as u64 * self.g.cfg.mem_issue_cycles;
         }
         Ok(())
     }
@@ -805,14 +932,15 @@ impl<'a, 'g> WarpExec<'a, 'g> {
         dst: u16,
         buf: u8,
         idx: u16,
+        site: u32,
         mask: u32,
     ) -> Result<(), SimError> {
         if TIMED {
-            self.cost.stats.loads += 1;
+            self.acc.stats.loads += 1;
         }
-        self.global_check::<TIMED>(buf, idx, mask)?;
+        self.global_check::<TIMED>(buf, idx, site, mask)?;
         if TIMED {
-            self.cost.stall_cycles += self.g.cfg.mem_latency_cycles;
+            self.acc.stall_cycles += self.g.cfg.mem_latency_cycles;
         }
         let b: &Buffer = self.g.bufs[buf as usize];
         let mut m = mask;
@@ -861,6 +989,8 @@ impl<'a, 'g> WarpExec<'a, 'g> {
         // lane order is our deterministic choice), and measure address
         // conflicts.
         let mut sorted_idx = [0u32; 32];
+        let mut monotone = true;
+        let mut groups_inline = 0u64;
         let mut n = 0usize;
         let mut m = mask;
         while m != 0 {
@@ -905,12 +1035,25 @@ impl<'a, 'g> WarpExec<'a, 'g> {
             if TIMED && self.log.is_some() {
                 self.log_access(buf as u16, i, AccessKind::Atomic, v);
             }
+            if TIMED {
+                if n == 0 {
+                    groups_inline = 1;
+                } else if i < sorted_idx[n - 1] {
+                    monotone = false;
+                } else if i != sorted_idx[n - 1] {
+                    groups_inline += 1;
+                }
+            }
             sorted_idx[n] = i;
             n += 1;
         }
         if TIMED {
-            sorted_idx[..n].sort_unstable();
-            let groups = {
+            // Distinct-address count: ascending index vectors (the common
+            // scatter shape) are counted inline; irregular ones sort.
+            let groups = if monotone {
+                groups_inline
+            } else {
+                sorted_idx[..n].sort_unstable();
                 let mut g = 0u64;
                 let mut prev = None;
                 for &i in &sorted_idx[..n] {
@@ -922,12 +1065,12 @@ impl<'a, 'g> WarpExec<'a, 'g> {
                 g
             };
             let conflicts = n as u64 - groups;
-            self.cost.stats.atomics += n as u64;
-            self.cost.stats.atomic_conflicts += conflicts;
-            self.cost.stats.mem_bytes += n as u64 * 4;
-            self.cost.issue_cycles += groups * self.g.cfg.atomic_issue_cycles
+            self.acc.stats.atomics += n as u64;
+            self.acc.stats.atomic_conflicts += conflicts;
+            self.acc.stats.mem_bytes += n as u64 * 4;
+            self.acc.issue_cycles += groups * self.g.cfg.atomic_issue_cycles
                 + conflicts * self.g.cfg.atomic_conflict_cycles;
-            self.cost.stall_cycles += self.g.cfg.mem_latency_cycles;
+            self.acc.stall_cycles += self.g.cfg.mem_latency_cycles;
         }
         Ok(())
     }
@@ -942,7 +1085,7 @@ impl<'a, 'g> WarpExec<'a, 'g> {
         mask: u32,
     ) -> Result<(), SimError> {
         if TIMED {
-            self.cost.stats.shared_accesses += 1;
+            self.acc.stats.shared_accesses += 1;
         }
         let len = self.shared.len();
         let mut words = [0u64; 32];
@@ -986,14 +1129,24 @@ impl<'a, 'g> WarpExec<'a, 'g> {
             }
         }
         if TIMED {
-            self.cost.stats.shared_replays += replays as u64;
-            self.cost.issue_cycles += replays as u64 * self.g.cfg.shared_conflict_cycles;
+            self.acc.stats.shared_replays += replays as u64;
+            self.acc.issue_cycles += replays as u64 * self.g.cfg.shared_conflict_cycles;
         }
         Ok(())
     }
 
-    /// Executes one phase segment's ops with `init_mask` active lanes.
+    /// Executes one phase segment's ops with `init_mask` active lanes,
+    /// then flushes the batched charges into the block cost.
     fn exec<const TIMED: bool>(&mut self, ops: &[Op], init_mask: u32) -> Result<(), SimError> {
+        self.exec_inner::<TIMED>(ops, init_mask)?;
+        if TIMED {
+            *self.cost += self.acc;
+            self.acc = BlockCost::default();
+        }
+        Ok(())
+    }
+
+    fn exec_inner<const TIMED: bool>(&mut self, ops: &[Op], init_mask: u32) -> Result<(), SimError> {
         self.frames.clear();
         let mut lmask = init_mask;
         let mut mask = init_mask;
@@ -1009,6 +1162,22 @@ impl<'a, 'g> WarpExec<'a, 'g> {
                     if TIMED {
                         *self.seq = self.seq.wrapping_add(1);
                         self.charge(*expr_ops as u64, mask);
+                    }
+                }
+                Op::BeginRun { ops, end } => {
+                    mask = lmask & !*self.returned;
+                    if mask == 0 {
+                        pc = *end as usize;
+                        continue;
+                    }
+                    if TIMED {
+                        *self.seq = self.seq.wrapping_add(1);
+                        self.charge_run(*ops as u64, mask);
+                    }
+                }
+                Op::SeqTick => {
+                    if TIMED {
+                        *self.seq = self.seq.wrapping_add(1);
                     }
                 }
                 Op::BeginW { end } => {
@@ -1090,7 +1259,7 @@ impl<'a, 'g> WarpExec<'a, 'g> {
                     }
                     let m_else = mask & !m_then;
                     if TIMED && m_then != 0 && m_else != 0 {
-                        self.cost.stats.divergent_branches += 1;
+                        self.acc.stats.divergent_branches += 1;
                     }
                     let enter_else = *has_else && m_else != 0;
                     if m_then != 0 {
@@ -1173,7 +1342,7 @@ impl<'a, 'g> WarpExec<'a, 'g> {
                     };
                     if TIMED && diverged {
                         // some lanes left while others loop on: divergence
-                        self.cost.stats.divergent_branches += 1;
+                        self.acc.stats.divergent_branches += 1;
                     }
                     if m == 0 {
                         match self.frames.pop() {
@@ -1189,14 +1358,19 @@ impl<'a, 'g> WarpExec<'a, 'g> {
                     pc = *head as usize;
                     continue;
                 }
-                Op::LoadG { dst, buf, idx } => {
-                    self.load_global::<TIMED>(*dst, *buf, *idx, mask)?;
+                Op::LoadG {
+                    dst,
+                    buf,
+                    idx,
+                    site,
+                } => {
+                    self.load_global::<TIMED>(*dst, *buf, *idx, *site, mask)?;
                 }
-                Op::StoreCheck { buf, idx } => {
+                Op::StoreCheck { buf, idx, site } => {
                     if TIMED {
-                        self.cost.stats.stores += 1;
+                        self.acc.stats.stores += 1;
                     }
-                    self.global_check::<TIMED>(*buf, *idx, mask)?;
+                    self.global_check::<TIMED>(*buf, *idx, *site, mask)?;
                 }
                 Op::StoreG { buf, idx, val } => {
                     self.store_global::<TIMED>(*buf, *idx, *val, mask);
@@ -1222,8 +1396,8 @@ impl<'a, 'g> WarpExec<'a, 'g> {
                 }
                 Op::Sync => {
                     if TIMED {
-                        self.cost.stats.syncs += 1;
-                        self.cost.issue_cycles += self.g.cfg.sync_cycles;
+                        self.acc.stats.syncs += 1;
+                        self.acc.issue_cycles += self.g.cfg.sync_cycles;
                         // Happens-before edge: everything this warp did
                         // before the sync is ordered before everything
                         // any warp does after it.
@@ -1298,6 +1472,11 @@ fn run_block_impl<const TIMED: bool>(
     scratch.epochs.resize(warps as usize, 0);
     scratch.seqs.clear();
     scratch.seqs.resize(warps as usize, 0);
+    // Pattern memos survive across the blocks of a launch (entries stay
+    // valid: one launch, one bytecode).
+    scratch
+        .coalesce
+        .resize(bc.num_sites as usize, PatternCache::default());
 
     let mut cost = BlockCost::default();
     for (pi, phase) in bc.phases.iter().enumerate() {
@@ -1326,10 +1505,12 @@ fn run_block_impl<const TIMED: bool>(
                 shared: &mut scratch.shared,
                 returned: &mut scratch.returned[w as usize],
                 cost: &mut cost,
+                acc: BlockCost::default(),
                 epoch: &mut scratch.epochs[w as usize],
                 seq: &mut scratch.seqs[w as usize],
                 log: log.as_deref_mut(),
                 frames: &mut scratch.frames,
+                coalesce: &mut scratch.coalesce,
             };
             ctx.exec::<TIMED>(&phase.ops, init_mask)?;
         }

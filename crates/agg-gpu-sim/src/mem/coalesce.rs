@@ -31,6 +31,148 @@ pub fn transactions_for(addresses: &[u64], segment_bytes: u32) -> u32 {
     count
 }
 
+/// One-entry memo of the last coalescing pattern seen at a bytecode
+/// memory site, keyed by (base alignment within the segment, lane
+/// stride, active mask). Hot graph kernels present the same affine
+/// pattern at a site for every warp of every block, so the key check
+/// replaces even the analytic transaction formula on repeats.
+///
+/// A `mask` of 0 marks an empty entry (a global access always has at
+/// least one active lane).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PatternCache {
+    off: u32,
+    stride: i32,
+    mask: u32,
+    tx: u32,
+}
+
+/// Counts the transactions for one warp's word indices into a single
+/// buffer, given in ascending-lane order — exactly
+/// [`transactions_for`] over the corresponding byte addresses, without
+/// materializing or sorting them for the patterns the paper's kernels
+/// actually emit:
+///
+/// * **affine** vectors (broadcast, stride-1, any constant lane stride,
+///   ascending or descending) resolve through `cache` or a closed-form
+///   segment count;
+/// * **monotone** non-affine vectors (sorted gathers) use the segment
+///   transitions counted inline in one pass;
+/// * anything else falls back to the exact sort-and-dedup path.
+///
+/// All word indices must target one buffer: segment identity then
+/// depends only on `word * 4 >> log2(segment_bytes)`, which is how the
+/// classifier avoids the 64-bit tagged addresses.
+pub(crate) fn transactions_for_words(
+    words: &[u32],
+    segment_bytes: u32,
+    mask: u32,
+    cache: Option<&mut PatternCache>,
+) -> u32 {
+    debug_assert!(segment_bytes.is_power_of_two());
+    debug_assert!(words.len() <= 32);
+    let n = words.len();
+    if n == 0 {
+        return 0;
+    }
+    if segment_bytes < 4 {
+        // Sub-word segments (never a real device config): exact path.
+        return transactions_exact(words, segment_bytes);
+    }
+    // Words per segment; segment id of a word is `w >> wshift`.
+    let wshift = segment_bytes.trailing_zeros() - 2;
+    if n == 1 {
+        return 1;
+    }
+
+    // One classification pass: monotonicity, constant lane stride, and
+    // (while monotone) the inline segment-transition count.
+    let stride = words[1] as i64 - words[0] as i64;
+    let mut affine = true;
+    let mut monotone = true;
+    let mut inline_tx = 1u32;
+    let mut prev = words[0];
+    for &w in &words[1..] {
+        affine &= w as i64 - prev as i64 == stride;
+        if w < prev {
+            monotone = false;
+        } else if monotone && (w >> wshift) != (prev >> wshift) {
+            inline_tx += 1;
+        }
+        prev = w;
+    }
+
+    if affine {
+        let seg_words = 1u32 << wshift;
+        let off = words[0] & (seg_words - 1);
+        let stride32 = stride as i32;
+        if let Some(c) = cache {
+            if c.mask == mask && c.off == off && c.stride == stride32 {
+                return c.tx;
+            }
+            let tx = affine_transactions(off, stride, n as u32, wshift);
+            *c = PatternCache {
+                off,
+                stride: stride32,
+                mask,
+                tx,
+            };
+            return tx;
+        }
+        return affine_transactions(off, stride, n as u32, wshift);
+    }
+    if monotone {
+        return inline_tx;
+    }
+    transactions_exact(words, segment_bytes)
+}
+
+/// Segment count of `n` words starting at in-segment offset `off` with
+/// constant stride `s` (closed form; exact for every affine vector).
+fn affine_transactions(off: u32, s: i64, n: u32, wshift: u32) -> u32 {
+    if s == 0 {
+        return 1; // broadcast
+    }
+    let seg_words = 1u64 << wshift;
+    let abs = s.unsigned_abs();
+    if abs >= seg_words {
+        // Every consecutive pair is at least a segment apart, so segment
+        // ids are strictly monotone: one transaction per lane.
+        return n;
+    }
+    // Gaps smaller than a segment never skip one: the count is
+    // last-segment − first-segment + 1, computed from the lowest word's
+    // in-segment offset. For descending strides the lowest word is the
+    // last lane's, at offset (off + (n−1)·s) mod seg.
+    let off_min = if s > 0 {
+        off as u64
+    } else {
+        (off as i64 + (n as i64 - 1) * s).rem_euclid(seg_words as i64) as u64
+    };
+    (((off_min + (n as u64 - 1) * abs) >> wshift) + 1) as u32
+}
+
+/// Exact fallback: sort the segment ids and count distinct.
+fn transactions_exact(words: &[u32], segment_bytes: u32) -> u32 {
+    let shift = segment_bytes.trailing_zeros();
+    let mut segs = [0u64; 32];
+    let n = words.len().min(32);
+    for (dst, &w) in segs.iter_mut().zip(words.iter()) {
+        *dst = (w as u64 * 4) >> shift;
+    }
+    let segs = &mut segs[..n];
+    segs.sort_unstable();
+    let mut count = 0u32;
+    let mut prev = None;
+    for &s in segs.iter() {
+        if Some(s) != prev {
+            count += 1;
+            prev = Some(s);
+        }
+    }
+    count
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -70,5 +212,162 @@ mod tests {
         let addrs: Vec<u64> = (0..32).map(|i| i * 4).collect();
         assert_eq!(transactions_for(&addrs, 32), 4);
         assert_eq!(transactions_for(&addrs, 64), 2);
+    }
+
+    /// The exact path over the same words as byte addresses — the oracle
+    /// every `transactions_for_words` answer is held to.
+    fn oracle(words: &[u32], segment_bytes: u32) -> u32 {
+        let addrs: Vec<u64> = words.iter().map(|&w| w as u64 * 4).collect();
+        transactions_for(&addrs, segment_bytes)
+    }
+
+    /// Runs the classifier three ways (no cache, cold cache, warm cache)
+    /// and checks every answer against the sort-and-dedup oracle.
+    fn check(words: &[u32], segment_bytes: u32, mask: u32) {
+        let want = oracle(words, segment_bytes);
+        assert_eq!(
+            transactions_for_words(words, segment_bytes, mask, None),
+            want,
+            "uncached: {words:?} @ {segment_bytes}B"
+        );
+        let mut cache = PatternCache::default();
+        for pass in 0..2 {
+            assert_eq!(
+                transactions_for_words(words, segment_bytes, mask, Some(&mut cache)),
+                want,
+                "cache pass {pass}: {words:?} @ {segment_bytes}B"
+            );
+        }
+    }
+
+    #[test]
+    fn analytic_matches_exact_on_stride_one() {
+        let words: Vec<u32> = (0..32).collect();
+        check(&words, 128, u32::MAX);
+    }
+
+    #[test]
+    fn analytic_matches_exact_on_broadcast() {
+        check(&[160; 32], 128, u32::MAX);
+        check(&[7; 5], 128, 0b11111);
+    }
+
+    #[test]
+    fn analytic_matches_exact_across_segment_boundaries() {
+        // Offset bases that straddle one or more 128 B boundaries.
+        for off in [1u32, 15, 16, 17, 31] {
+            let words: Vec<u32> = (off..off + 32).collect();
+            check(&words, 128, u32::MAX);
+        }
+    }
+
+    #[test]
+    fn analytic_matches_exact_on_constant_strides() {
+        // Ascending and descending, gap smaller and larger than a
+        // segment, from aligned and unaligned bases.
+        for base in [0u32, 3, 31, 64, 100] {
+            for stride in [1i64, 2, 3, 7, 16, 31, 32, 33, 100, -1, -2, -32, -100] {
+                for n in [2usize, 5, 17, 32] {
+                    let words: Vec<u32> = (0..n)
+                        .map(|i| (base as i64 + 1000 + i as i64 * stride) as u32)
+                        .collect();
+                    check(&words, 128, (1u32 << (n - 1)) | 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_and_scattered_fall_back_exactly() {
+        // Sorted gather (monotone, not affine).
+        check(&[0, 1, 1, 4, 9, 40, 41, 200], 128, 0xFF);
+        // Unsorted scatter (neither).
+        check(&[900, 3, 77, 4, 512, 513, 2, 2], 128, 0xFF);
+        check(&[5, 4, 3, 2, 1, 0, 1000], 128, 0x7F);
+    }
+
+    #[test]
+    fn partial_masks_reach_the_same_counts() {
+        // A partially-active warp presents fewer words; the count must
+        // still match the oracle over exactly those words.
+        let words: Vec<u32> = (0..11).map(|i| 64 + i * 2).collect();
+        check(&words, 128, 0b111_1111_1111);
+        check(&[123], 128, 1 << 31);
+    }
+
+    #[test]
+    fn cache_distinguishes_mask_offset_and_stride() {
+        // A warm entry must not answer for a *different* pattern: probe
+        // pairs that collide on two of the three key fields.
+        let mut cache = PatternCache::default();
+        let a: Vec<u32> = (0..32).collect(); // off 0, stride 1
+        let b: Vec<u32> = (0..32).map(|i| i * 2).collect(); // off 0, stride 2
+        let c: Vec<u32> = (1..33).collect(); // off 1, stride 1
+        for words in [&a, &b, &c, &a, &c] {
+            let want = oracle(words, 128);
+            assert_eq!(
+                transactions_for_words(words, 128, u32::MAX, Some(&mut cache)),
+                want,
+                "{words:?}"
+            );
+        }
+        // Same words, fewer lanes: the mask keys the entry.
+        let short = &a[..7];
+        assert_eq!(
+            transactions_for_words(short, 128, 0x7F, Some(&mut cache)),
+            oracle(short, 128)
+        );
+    }
+
+    #[test]
+    fn randomized_words_match_the_oracle() {
+        // Deterministic xorshift sweep over mixed pattern shapes and
+        // segment sizes, including the sub-word degenerate segments.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..500 {
+            let n = (rng() % 32 + 1) as usize;
+            let mut words = Vec::with_capacity(n);
+            match round % 4 {
+                0 => {
+                    // Affine with random base/stride.
+                    let base = (rng() % 10_000) as i64 + 5_000;
+                    let stride = (rng() % 201) as i64 - 100;
+                    words.extend((0..n).map(|i| (base + i as i64 * stride) as u32));
+                }
+                1 => {
+                    // Sorted gather.
+                    let mut w = (rng() % 1000) as u32;
+                    for _ in 0..n {
+                        w += (rng() % 50) as u32;
+                        words.push(w);
+                    }
+                }
+                _ => {
+                    // Fully random scatter.
+                    words.extend((0..n).map(|_| (rng() % 100_000) as u32));
+                }
+            }
+            let segment_bytes = [4u32, 32, 64, 128][(rng() % 4) as usize];
+            let mask = if n == 32 {
+                u32::MAX
+            } else {
+                (1u32 << n) - 1
+            };
+            check(&words, segment_bytes, mask);
+        }
+    }
+
+    #[test]
+    fn sub_word_segments_use_the_exact_path() {
+        // segment_bytes < 4 can't index by word; the byte-address
+        // fallback must still agree with the oracle.
+        check(&[0, 1, 2, 3], 2, 0b1111);
+        check(&[10, 10, 11], 1, 0b111);
     }
 }

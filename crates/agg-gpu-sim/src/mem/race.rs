@@ -274,6 +274,20 @@ impl RaceSummary {
     }
 }
 
+/// Above this many candidate pairs the concurrency helpers switch from
+/// the O(n·m) scan to a sort-and-merge pass. Typical per-word groups are
+/// a handful of accesses, so the scan path dominates in practice; the
+/// sorted path keeps hub words (thousands of writers) out of quadratic
+/// territory.
+const PAIRWISE_LIMIT: usize = 256;
+
+/// Two single-block positions are concurrent iff they share a barrier
+/// epoch and either cross warps or land on one dynamic instruction
+/// (same per-warp seq — two lanes of one store).
+fn concurrent_pair(a: &Pos, b: &Pos) -> bool {
+    a.epoch == b.epoch && (a.warp != b.warp || a.seq == b.seq)
+}
+
 /// True when some pair of positions, one from each slice, is concurrent.
 fn concurrent_between(a: &[Pos], b: &[Pos]) -> bool {
     if a.is_empty() || b.is_empty() {
@@ -285,27 +299,47 @@ fn concurrent_between(a: &[Pos], b: &[Pos]) -> bool {
     if a.iter().chain(b).any(|p| p.block != b0) {
         return true;
     }
-    // One block: group each side's warps by epoch.
-    let mut warps_a: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
-    for p in a {
-        warps_a.entry(p.epoch).or_default().push(p.warp);
+    if a.len().saturating_mul(b.len()) <= PAIRWISE_LIMIT {
+        return a
+            .iter()
+            .any(|pa| b.iter().any(|pb| concurrent_pair(pa, pb)));
     }
-    for p in b {
-        let Some(wa) = warps_a.get(&p.epoch) else {
-            continue;
-        };
-        if wa.iter().any(|&w| w != p.warp) {
-            return true;
+    // Large slices: merge both sides sorted by (epoch, warp, seq) and
+    // scan each epoch run once. Within an epoch that both sides reach,
+    // two distinct warps always yield a cross-slice concurrent pair;
+    // with a single warp the only concurrency is a seq shared by both
+    // sides (two lanes of one instruction split across the slices).
+    let mut merged: Vec<(Pos, bool)> = Vec::with_capacity(a.len() + b.len());
+    merged.extend(a.iter().map(|&p| (p, false)));
+    merged.extend(b.iter().map(|&p| (p, true)));
+    merged.sort_unstable_by_key(|&(p, _)| (p.epoch, p.warp, p.seq));
+    let mut i = 0;
+    while i < merged.len() {
+        let mut j = i;
+        while j < merged.len() && merged[j].0.epoch == merged[i].0.epoch {
+            j += 1;
         }
-        // Same warp, same epoch: program order covers distinct statements,
-        // but two lanes of one dynamic instruction (same seq) are
-        // unordered — e.g. one store whose lanes write distinct values to
-        // one word.
-        if a.iter()
-            .any(|q| q.epoch == p.epoch && q.warp == p.warp && q.seq == p.seq)
-        {
-            return true;
+        let run = &merged[i..j];
+        if run.iter().any(|&(_, s)| !s) && run.iter().any(|&(_, s)| s) {
+            if run.iter().any(|&(p, _)| p.warp != run[0].0.warp) {
+                return true;
+            }
+            let mut k = 0;
+            while k < run.len() {
+                let mut m = k;
+                let (mut in_a, mut in_b) = (false, false);
+                while m < run.len() && run[m].0.seq == run[k].0.seq {
+                    in_a |= !run[m].1;
+                    in_b |= run[m].1;
+                    m += 1;
+                }
+                if in_a && in_b {
+                    return true;
+                }
+                k = m;
+            }
         }
+        i = j;
     }
     false
 }
@@ -320,62 +354,43 @@ fn concurrent_within(keys: &[Pos]) -> bool {
     if keys.iter().any(|p| p.block != b0) {
         return true;
     }
-    // Same block: per epoch, two distinct warps are concurrent; within
-    // one warp, a repeated seq means two lanes of one instruction.
-    let mut per_epoch: BTreeMap<u32, (u32, bool)> = BTreeMap::new();
-    let mut seqs: BTreeMap<(u32, u32), Vec<u32>> = BTreeMap::new();
-    for p in keys {
-        match per_epoch.get_mut(&p.epoch) {
-            None => {
-                per_epoch.insert(p.epoch, (p.warp, false));
-            }
-            Some((w, multi)) => {
-                if *w != p.warp {
-                    *multi = true;
-                }
-            }
-        }
-        seqs.entry((p.epoch, p.warp)).or_default().push(p.seq);
+    if keys.len() * keys.len() <= PAIRWISE_LIMIT {
+        return keys
+            .iter()
+            .enumerate()
+            .any(|(i, pa)| keys[i + 1..].iter().any(|pb| concurrent_pair(pa, pb)));
     }
-    if per_epoch.values().any(|&(_, multi)| multi) {
-        return true;
-    }
-    for s in seqs.values_mut() {
-        s.sort_unstable();
-        if s.windows(2).any(|w| w[0] == w[1]) {
-            return true;
-        }
-    }
-    false
+    // Large slice: after sorting by (epoch, warp, seq), any concurrent
+    // pair implies a concurrent *adjacent* pair — two warps sharing an
+    // epoch meet at a warp boundary, and a repeated seq within one warp
+    // sorts adjacent.
+    let mut sorted = keys.to_vec();
+    sorted.sort_unstable_by_key(|p| (p.epoch, p.warp, p.seq));
+    sorted.windows(2).any(|w| concurrent_pair(&w[0], &w[1]))
 }
 
-/// Per-word access log split by kind.
-#[derive(Default)]
-struct WordLog {
-    reads: Vec<Pos>,
-    atomics: Vec<Pos>,
-    /// (value, position) of plain stores.
-    writes: Vec<(u32, Pos)>,
+/// Location key of a record: shared memory is per block, so the block
+/// index joins the key for shared accesses (0 for global: one address
+/// space — the same shared word in two blocks is two distinct locations).
+fn loc_key(r: &AccessRecord) -> (u16, u32, u32) {
+    let block_key = if r.buf == SHARED_SLOT { r.block } else { 0 };
+    (r.buf, block_key, r.word)
 }
 
 /// Classifies a launch's access log into a [`RaceReport`].
 ///
 /// `labels` are the buffer labels of the launch's argument list, indexed
 /// by buffer slot; shared memory reports as `"<shared>"`.
+///
+/// Sorts a copy of the log by location so every per-word group is a
+/// contiguous slice, then classifies each group with reused scratch
+/// buffers. (The previous per-record map insertions — three `Vec`s
+/// allocated per touched word plus per-word value maps — dominated
+/// `TimedWithRaces` wall time; the classification booleans are
+/// order-independent, so the sorted scan reports bit-identical results.)
 pub(crate) fn analyze(kernel: &str, labels: &[&str], records: &[AccessRecord]) -> RaceReport {
-    // Group by location. Shared memory is per block: the same shared word
-    // in two blocks is two distinct locations, so the block index joins
-    // the key for shared accesses (0 for global: one address space).
-    let mut words: BTreeMap<(u16, u32, u32), WordLog> = BTreeMap::new();
-    for r in records {
-        let block_key = if r.buf == SHARED_SLOT { r.block } else { 0 };
-        let log = words.entry((r.buf, block_key, r.word)).or_default();
-        match r.kind {
-            AccessKind::Read => log.reads.push(r.pos()),
-            AccessKind::Atomic => log.atomics.push(r.pos()),
-            AccessKind::Write => log.writes.push((r.value, r.pos())),
-        }
-    }
+    let mut sorted: Vec<AccessRecord> = records.to_vec();
+    sorted.sort_unstable_by_key(loc_key);
 
     // (class, buf) -> (exemplar word, distinct word count)
     let mut found: BTreeMap<(RaceClass, u16), (u32, u64)> = BTreeMap::new();
@@ -385,49 +400,78 @@ pub(crate) fn analyze(kernel: &str, labels: &[&str], records: &[AccessRecord]) -
         e.1 += 1;
     };
 
-    for (&(buf, _, word), log) in &words {
-        if log.writes.is_empty() {
-            continue; // reads and atomics never race with each other alone
-        }
-        let mut by_value: BTreeMap<u32, Vec<Pos>> = BTreeMap::new();
-        for &(v, p) in &log.writes {
-            by_value.entry(v).or_default().push(p);
-        }
-        let write_pos: Vec<Pos> = log.writes.iter().map(|&(_, p)| p).collect();
+    // Per-group scratch, reused across words.
+    let mut reads: Vec<Pos> = Vec::new();
+    let mut atomics: Vec<Pos> = Vec::new();
+    let mut writes: Vec<(u32, Pos)> = Vec::new();
+    let mut write_pos: Vec<Pos> = Vec::new();
+    let mut bounds: Vec<usize> = Vec::new();
 
-        // Store-vs-store.
-        if by_value.len() > 1 {
-            let groups: Vec<&Vec<Pos>> = by_value.values().collect();
-            let conflicting = groups
-                .iter()
-                .enumerate()
-                .any(|(i, ga)| groups[i + 1..].iter().any(|gb| concurrent_between(ga, gb)));
-            if conflicting {
+    let mut i = 0;
+    while i < sorted.len() {
+        let key = loc_key(&sorted[i]);
+        let (buf, _, word) = key;
+        reads.clear();
+        atomics.clear();
+        writes.clear();
+        let mut j = i;
+        while j < sorted.len() && loc_key(&sorted[j]) == key {
+            let r = &sorted[j];
+            match r.kind {
+                AccessKind::Read => reads.push(r.pos()),
+                AccessKind::Atomic => atomics.push(r.pos()),
+                AccessKind::Write => writes.push((r.value, r.pos())),
+            }
+            j += 1;
+        }
+        i = j;
+
+        if !writes.is_empty() {
+            // Group stores by value: sort, then record the start of each
+            // equal-value run. `write_pos` holds the positions in the
+            // same (value-grouped) order.
+            writes.sort_unstable_by_key(|&(v, _)| v);
+            write_pos.clear();
+            write_pos.extend(writes.iter().map(|&(_, p)| p));
+            bounds.clear();
+            for (k, w) in writes.iter().enumerate() {
+                if k == 0 || w.0 != writes[k - 1].0 {
+                    bounds.push(k);
+                }
+            }
+            bounds.push(writes.len());
+            let num_values = bounds.len() - 1;
+            let group = |g: usize| &write_pos[bounds[g]..bounds[g + 1]];
+
+            // Store-vs-store.
+            if num_values > 1
+                && (0..num_values).any(|ga| {
+                    (ga + 1..num_values).any(|gb| concurrent_between(group(ga), group(gb)))
+                })
+            {
                 note(RaceClass::ConflictingStores, buf, word);
             }
-        }
-        if by_value.values().any(|g| concurrent_within(g)) {
-            note(RaceClass::SameValueStore, buf, word);
-        }
+            if (0..num_values).any(|g| concurrent_within(group(g))) {
+                note(RaceClass::SameValueStore, buf, word);
+            }
 
-        // Read-vs-store.
-        if concurrent_between(&log.reads, &write_pos) {
-            if by_value.len() == 1 {
-                note(RaceClass::ReadVsUniformStore, buf, word);
-            } else {
-                note(RaceClass::ReadVsStore, buf, word);
+            // Read-vs-store.
+            if concurrent_between(&reads, &write_pos) {
+                if num_values == 1 {
+                    note(RaceClass::ReadVsUniformStore, buf, word);
+                } else {
+                    note(RaceClass::ReadVsStore, buf, word);
+                }
+            }
+
+            // Atomic-vs-store.
+            if concurrent_between(&atomics, &write_pos) {
+                note(RaceClass::AtomicVsStore, buf, word);
             }
         }
 
-        // Atomic-vs-store.
-        if concurrent_between(&log.atomics, &write_pos) {
-            note(RaceClass::AtomicVsStore, buf, word);
-        }
-    }
-
-    // Read-vs-atomic (no plain write needed).
-    for (&(buf, _, word), log) in &words {
-        if concurrent_between(&log.reads, &log.atomics) {
+        // Read-vs-atomic (no plain write needed).
+        if concurrent_between(&reads, &atomics) {
             note(RaceClass::ReadVsAtomic, buf, word);
         }
     }

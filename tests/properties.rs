@@ -117,31 +117,50 @@ proptest! {
         prop_assert!(r.launches > 0);
     }
 
-    /// The bytecode engine must be observationally identical to the
-    /// legacy interpreter on random graphs: same values, same modeled
-    /// device clock (exact f64 equality — the engines must charge the
-    /// same cycles in the same order), same race summary, for all four
-    /// algorithms under the adaptive runtime at full timed fidelity.
+    /// The bytecode engine's timed fast lane (folded cost blocks,
+    /// batched per-warp charging, pattern-cached coalescing) must be
+    /// observationally identical to the legacy interpreter — which folds
+    /// nothing, charges statement by statement, and counts transactions
+    /// by sorting tagged addresses — on random graphs: same values, same
+    /// modeled device clock (exact f64 equality — the engines must
+    /// charge the same cycles in the same order), same per-kernel launch
+    /// profiles (kernel_ns, issue/stall cycles, every CostStats counter
+    /// including coalescing transaction counts), same race summary, for
+    /// all four algorithms under the adaptive runtime at both timed
+    /// fidelities.
     #[test]
     fn bytecode_engine_is_bit_identical_to_interpreter(g in arb_graph(35, 120), seed in 0u32..1000) {
         use agg::prelude::{DeviceConfig, ExecEngine, SimFidelity};
         let src = seed % g.node_count() as u32;
-        let mut outcomes = Vec::new();
-        for engine in [ExecEngine::Interpreter, ExecEngine::Bytecode] {
-            let cfg = DeviceConfig::tesla_c2070()
-                .with_engine(engine)
-                .with_fidelity(SimFidelity::TimedWithRaces);
-            let mut gg = GpuGraph::with_device(&g, cfg).unwrap();
-            let mut values = Vec::new();
-            for q in [Query::Bfs { src }, Query::Sssp { src }, Query::Cc, Query::pagerank()] {
-                values.push(gg.run(q, &RunOptions::default()).unwrap().values);
+        for fidelity in [SimFidelity::Timed, SimFidelity::TimedWithRaces] {
+            let mut outcomes = Vec::new();
+            for engine in [ExecEngine::Interpreter, ExecEngine::Bytecode] {
+                let cfg = DeviceConfig::tesla_c2070()
+                    .with_engine(engine)
+                    .with_fidelity(fidelity);
+                let mut gg = GpuGraph::with_device(&g, cfg).unwrap();
+                let mut values = Vec::new();
+                for q in [Query::Bfs { src }, Query::Sssp { src }, Query::Cc, Query::pagerank()] {
+                    values.push(gg.run(q, &RunOptions::default()).unwrap().values);
+                }
+                let dev = gg.device();
+                outcomes.push((
+                    values,
+                    dev.elapsed_ns(),
+                    dev.kernel_ns(),
+                    dev.cumulative_stats(),
+                    dev.profile().clone(),
+                    dev.race_summary().clone(),
+                ));
             }
-            outcomes.push((values, gg.device().elapsed_ns(), gg.device().race_summary().clone()));
+            let (bc, interp) = (outcomes.pop().unwrap(), outcomes.pop().unwrap());
+            prop_assert_eq!(interp.0, bc.0, "values diverge ({:?})", fidelity);
+            prop_assert_eq!(interp.1, bc.1, "modeled time diverges ({:?})", fidelity);
+            prop_assert_eq!(interp.2, bc.2, "kernel_ns diverges ({:?})", fidelity);
+            prop_assert_eq!(interp.3, bc.3, "cost stats diverge ({:?})", fidelity);
+            prop_assert_eq!(interp.4, bc.4, "launch profiles diverge ({:?})", fidelity);
+            prop_assert_eq!(interp.5, bc.5, "race summaries diverge ({:?})", fidelity);
         }
-        let (bc, interp) = (outcomes.pop().unwrap(), outcomes.pop().unwrap());
-        prop_assert_eq!(interp.0, bc.0, "values diverge between engines");
-        prop_assert_eq!(interp.1, bc.1, "modeled time diverges between engines");
-        prop_assert_eq!(interp.2, bc.2, "race summaries diverge between engines");
     }
 
     #[test]
