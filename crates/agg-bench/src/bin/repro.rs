@@ -48,6 +48,15 @@
 //!                    every run checked bit-for-bit against the
 //!                    single-device result; --shards N caps the sweep,
 //!                    --json PATH writes the per-run report artifact)
+//!   serve            throughput serving: a deterministic open-loop
+//!                    Poisson trace (mixed algorithms over two hosted
+//!                    graphs) replayed through the agg-serve admission /
+//!                    micro-batch / epoch-cache pipeline in virtual time,
+//!                    cached vs uncached, with every cache hit verified
+//!                    bit-identical to uncached recomputation; writes
+//!                    BENCH_serve.json at the repository root
+//!                    (--queries N, --rate QPS; --json PATH writes the
+//!                    per-query latency artifact)
 //!   all              everything above (except telemetry and differential)
 //!
 //! telemetry flags (usable with any command; `telemetry` runs only these):
@@ -61,6 +70,11 @@
 //!   --cases N          corpus size for `differential` (default 256)
 //!   --race-detect      run every launch under the simulator's data-race
 //!                      detector and report its counters
+//!
+//! serve flags:
+//!   --queries N        query arrivals in the `serve` trace (default 600)
+//!   --rate QPS         offered load of the `serve` trace in queries per
+//!                      second of virtual time (default 2000)
 //!
 //! shard flags:
 //!   --shards N         largest device count in the `shard` sweep
@@ -101,6 +115,8 @@ struct Cli {
     shards: usize,
     datasets: Option<Vec<Dataset>>,
     partition: agg_graph::PartitionStrategy,
+    queries: usize,
+    rate_qps: f64,
 }
 
 fn die(msg: &str) -> ! {
@@ -122,6 +138,8 @@ fn parse_cli() -> Cli {
     let mut shards = 8usize;
     let mut datasets = None;
     let mut partition = agg_graph::PartitionStrategy::DegreeBalanced;
+    let mut queries = 600usize;
+    let mut rate_qps = 2000.0f64;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--scale" => {
@@ -192,6 +210,20 @@ fn parse_cli() -> Cli {
                     _ => die(&format!("unknown partition strategy '{v}'")),
                 };
             }
+            "--queries" => {
+                let v = args.next().unwrap_or_else(|| die("--queries needs a value"));
+                queries = v.parse().ok().filter(|&q| q >= 1).unwrap_or_else(|| {
+                    die(&format!("--queries needs a positive count, got '{v}'"))
+                });
+            }
+            "--rate" => {
+                let v = args.next().unwrap_or_else(|| die("--rate needs a value"));
+                rate_qps = v
+                    .parse()
+                    .ok()
+                    .filter(|&r: &f64| r.is_finite() && r > 0.0)
+                    .unwrap_or_else(|| die(&format!("--rate needs a positive qps, got '{v}'")));
+            }
             other => die(&format!("unknown flag '{other}'")),
         }
     }
@@ -208,6 +240,8 @@ fn parse_cli() -> Cli {
         shards,
         datasets,
         partition,
+        queries,
+        rate_qps,
     }
 }
 
@@ -245,6 +279,7 @@ fn main() {
         "differential" => differential(&cli),
         "simbench" => simbench(&cli),
         "shard" => shard(&cli),
+        "serve" => serve(&cli),
         "telemetry" => {} // the flag handling below does all the work
         "all" => {
             table1(&cli);
@@ -270,6 +305,7 @@ fn main() {
             ablation_bottomup(&cli);
             batch(&cli);
             shard(&cli);
+            serve(&cli);
             dump_kernels(&cli);
         }
         other => {
@@ -861,6 +897,214 @@ fn shard(cli: &Cli) {
         std::fs::write(path, doc.render_pretty()).expect("write --json file");
         println!("[json] {}", path.display());
     }
+}
+
+// ------------------------------------------------------------------ Serve
+
+/// The throughput-serving benchmark: one deterministic open-loop Poisson
+/// trace (mixed BFS/SSSP/CC/PageRank over two hosted graphs, periodic
+/// epoch bumps), replayed twice through the agg-serve admission →
+/// micro-batch → Session → cache pipeline in virtual time:
+///
+/// 1. **cached** — the production path, with every cache hit recomputed
+///    through the uncached path and compared bit-for-bit (`verify_hits`);
+/// 2. **uncached** — the same trace with the result cache disabled, the
+///    baseline that prices what memoization buys.
+///
+/// Latencies are virtual (arrivals from the trace, service times from the
+/// simulator's modeled nanoseconds), so p50/p99/queries-per-sec are exactly
+/// reproducible. Writes `BENCH_serve.json` at the repository root with
+/// both legs and a rolling cached-qps history; the CI `serve-smoke` job
+/// gates on zero shed and on the cache-identity flag.
+fn serve(cli: &Cli) {
+    banner("Serving: open-loop trace through admission / micro-batching / epoch cache");
+    let hosted: [(Dataset, &str); 2] = [(Dataset::Amazon, "amazon"), (Dataset::Google, "google")];
+    let build_hosts = || -> Vec<agg_serve::Hosted> {
+        hosted
+            .iter()
+            .enumerate()
+            .map(|(i, (dataset, name))| {
+                let graph = std::sync::Arc::new(dataset.generate_weighted(
+                    cli.scale,
+                    cli.seed + i as u64,
+                    64,
+                ));
+                agg_serve::Hosted::new(*name, graph, DeviceConfig::tesla_c2070())
+                    .expect("serve host")
+            })
+            .collect()
+    };
+    let trace = agg_serve::ArrivalTrace::generate(agg_serve::TraceConfig {
+        queries: cli.queries,
+        rate_qps: cli.rate_qps,
+        seed: cli.seed,
+        graphs: hosted.iter().map(|(_, n)| n.to_string()).collect(),
+        source_pool: 8,
+        // Two epoch bumps mid-trace: enough to price invalidation
+        // without turning the run into a cold-cache benchmark.
+        bump_every: (cli.queries / 3).max(1),
+    });
+    // The benchmark prices batching + caching, not admission: the queue
+    // holds the whole trace so neither leg sheds (overload behavior is
+    // covered by the agg-serve test suite).
+    let base = agg_serve::ReplayConfig {
+        queue_capacity: cli.queries,
+        max_batch: 8,
+        max_wait_ns: 200_000,
+        cache_hit_ns: 20_000,
+        verify_hits: false,
+        use_cache: true,
+    };
+    println!(
+        "trace: {} queries over {} graphs at {:.0} qps offered (seed {}), {} epoch bumps",
+        trace.query_count(),
+        hosted.len(),
+        cli.rate_qps,
+        cli.seed,
+        trace.arrivals.len() - trace.query_count(),
+    );
+    let legs: [(&str, agg_serve::ReplayConfig); 2] = [
+        (
+            "cached",
+            agg_serve::ReplayConfig {
+                verify_hits: true,
+                ..base.clone()
+            },
+        ),
+        (
+            "uncached",
+            agg_serve::ReplayConfig {
+                use_cache: false,
+                ..base
+            },
+        ),
+    ];
+    let header: Vec<String> = [
+        "leg", "served", "shed", "hits", "batches", "p50_ms", "p99_ms", "mean_ms", "qps",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut rows = Vec::new();
+    let mut reports = Vec::new();
+    for (name, config) in legs {
+        let t0 = Instant::now();
+        let outcome =
+            agg_serve::replay(&mut build_hosts(), &trace, &config).expect("serve replay");
+        let r = &outcome.report;
+        println!(
+            "  {name:<9} replayed in {:.1}s wall ({} cache hits verified bit-identical)",
+            t0.elapsed().as_secs_f64(),
+            r.verified_hits,
+        );
+        if !r.cache_identity_ok {
+            eprintln!("serve: leg '{name}' served cached values that differ from recomputation");
+            std::process::exit(1);
+        }
+        rows.push(vec![
+            name.to_string(),
+            r.served.to_string(),
+            r.shed.to_string(),
+            r.cache_hits.to_string(),
+            r.batches.to_string(),
+            format!("{:.3}", r.p50_latency_ns as f64 / 1e6),
+            format!("{:.3}", r.p99_latency_ns as f64 / 1e6),
+            format!("{:.3}", r.mean_latency_ns / 1e6),
+            format!("{:.0}", r.qps),
+        ]);
+        reports.push((name, outcome));
+    }
+    println!("{}", format_table(&header, &rows, |_| None));
+    let cached = &reports[0].1.report;
+    let uncached = &reports[1].1.report;
+    let p99_gain = uncached.p99_latency_ns as f64 / (cached.p99_latency_ns.max(1)) as f64;
+    let qps_gain = cached.qps / uncached.qps.max(1e-9);
+    println!(
+        "(virtual-time replay: latency = modeled batch makespans + queueing; the epoch cache\n\
+         \u{20}answers repeats in {:.0} us, cutting p99 {p99_gain:.1}x and lifting throughput {qps_gain:.2}x;\n\
+         \u{20}every hit above was recomputed uncached and matched bit-for-bit)",
+        base.cache_hit_ns as f64 / 1e3,
+    );
+    let path = write_csv(&cli.out, "serve", &header, &rows).unwrap();
+    println!("[csv] {}", path.display());
+
+    let mut history = prior_qps_history("BENCH_serve.json");
+    history.push(cached.qps);
+    let keep = history.len().saturating_sub(24);
+    let doc = Json::obj([
+        ("suite", "serve-replay".into()),
+        ("scale", format!("{:?}", cli.scale).into()),
+        ("seed", cli.seed.into()),
+        ("queries", trace.query_count().into()),
+        ("rate_qps", cli.rate_qps.into()),
+        (
+            "graphs",
+            Json::arr(hosted.iter().map(|(_, n)| Json::from(*n))),
+        ),
+        ("max_batch", base.max_batch.into()),
+        ("max_wait_ns", base.max_wait_ns.into()),
+        ("cache_hit_ns", base.cache_hit_ns.into()),
+        ("qps", cached.qps.into()),
+        ("p50_latency_ns", cached.p50_latency_ns.into()),
+        ("p99_latency_ns", cached.p99_latency_ns.into()),
+        ("cache_identity_ok", cached.cache_identity_ok.into()),
+        ("qps_gain_vs_uncached", qps_gain.into()),
+        ("cached", cached.to_json()),
+        ("uncached", uncached.to_json()),
+        (
+            "qps_history",
+            Json::arr(history[keep..].iter().map(|&s| s.into())),
+        ),
+    ]);
+    std::fs::write("BENCH_serve.json", doc.render_pretty()).expect("write BENCH_serve.json");
+    println!("[json] BENCH_serve.json");
+
+    if let Some(path) = &cli.json {
+        let legs_doc: Vec<Json> = reports
+            .iter()
+            .map(|(name, outcome)| {
+                Json::obj([
+                    ("leg", (*name).into()),
+                    ("report", outcome.report.to_json()),
+                    (
+                        "latencies_ns",
+                        Json::arr(outcome.records.iter().map(|r| match r.latency_ns {
+                            Some(ns) => ns.into(),
+                            None => Json::Null,
+                        })),
+                    ),
+                ])
+            })
+            .collect();
+        let doc = Json::obj([
+            ("scale", format!("{:?}", cli.scale).into()),
+            ("seed", cli.seed.into()),
+            ("legs", Json::Arr(legs_doc)),
+        ]);
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir).expect("create --json directory");
+        }
+        std::fs::write(path, doc.render_pretty()).expect("write --json file");
+        println!("[json] {}", path.display());
+    }
+}
+
+/// Pulls the rolling cached-qps history out of the previous
+/// `BENCH_serve.json` so each serve run appends a point instead of
+/// overwriting the trajectory. Parsed with the real JSON reader (unlike
+/// the older text-scanning `prior_speedup_timed_history`, which predates
+/// `Json::parse`); a missing or malformed file yields an empty history.
+fn prior_qps_history(path: &str) -> Vec<f64> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let Ok(doc) = Json::parse(&text) else {
+        return Vec::new();
+    };
+    doc.get("qps_history")
+        .and_then(Json::as_arr)
+        .map(|items| items.iter().filter_map(Json::as_f64).collect())
+        .unwrap_or_default()
 }
 
 fn banner(title: &str) {

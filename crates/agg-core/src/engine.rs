@@ -184,6 +184,30 @@ impl Query {
         }
     }
 
+    /// A canonical identity string for result caching: two queries share
+    /// a key iff they compute bit-identical values on the same graph
+    /// snapshot. Float parameters key by their exact bit pattern, so
+    /// near-equal PageRank configurations never alias.
+    ///
+    /// The key deliberately excludes [`RunOptions`]: final values are
+    /// bit-identical across strategies, variants, execution engines, and
+    /// shard counts (an invariant this workspace enforces in the
+    /// differential harness and property tests), so execution policy is
+    /// not part of a result's identity. `agg-serve` keys its epoch cache
+    /// with `(graph, epoch, cache_key)`.
+    pub fn cache_key(&self) -> String {
+        match self {
+            Query::Bfs { src } => format!("bfs:{src}"),
+            Query::Sssp { src } => format!("sssp:{src}"),
+            Query::Cc => "cc".to_string(),
+            Query::PageRank { config } => format!(
+                "pagerank:{:08x}:{:08x}",
+                config.damping.to_bits(),
+                config.epsilon.to_bits()
+            ),
+        }
+    }
+
     /// Short lowercase name of the queried algorithm.
     pub fn name(&self) -> &'static str {
         match self.algo() {
@@ -489,6 +513,26 @@ pub enum CoreError {
         /// Explanation of the unsupported combination.
         detail: String,
     },
+    /// The session or service was configured with values outside their
+    /// domain (e.g. a parallel session with zero workers), following the
+    /// `Device::try_new` / `SimError::InvalidConfig` convention: every
+    /// rejection is an `Err`, never a silent clamp.
+    InvalidConfig {
+        /// Explanation of the rejected configuration.
+        detail: String,
+    },
+    /// A worker thread panicked while executing a batch query. The batch
+    /// fails with this typed error instead of propagating the unwind, so
+    /// one poisoned query can never take down the process hosting the
+    /// session.
+    WorkerPanic {
+        /// The worker (thread index) that panicked.
+        worker: usize,
+        /// Submission index of the query that was executing.
+        query_index: usize,
+        /// The panic payload, when it was a string.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -503,6 +547,15 @@ impl fmt::Display for CoreError {
             }
             CoreError::InvalidQuery { detail } => write!(f, "invalid query: {detail}"),
             CoreError::Unsupported { detail } => write!(f, "unsupported combination: {detail}"),
+            CoreError::InvalidConfig { detail } => write!(f, "invalid configuration: {detail}"),
+            CoreError::WorkerPanic {
+                worker,
+                query_index,
+                detail,
+            } => write!(
+                f,
+                "worker {worker} panicked while executing query #{query_index}: {detail}"
+            ),
         }
     }
 }
@@ -2302,5 +2355,58 @@ mod tests {
             hybrid.total_ns,
             gpu.total_ns
         );
+    }
+
+    #[test]
+    fn cache_keys_are_canonical_and_collision_free() {
+        let queries = [
+            Query::Bfs { src: 0 },
+            Query::Bfs { src: 1 },
+            Query::Sssp { src: 0 },
+            Query::Sssp { src: 1 },
+            Query::Cc,
+            Query::pagerank(),
+            Query::PageRank {
+                config: PageRankConfig {
+                    damping: 0.85,
+                    epsilon: 1e-5,
+                },
+            },
+            Query::PageRank {
+                config: PageRankConfig {
+                    // One ULP away from the default damping: a distinct
+                    // computation, so a distinct key.
+                    damping: f32::from_bits(0.85f32.to_bits() + 1),
+                    epsilon: 1e-4,
+                },
+            },
+        ];
+        let keys: Vec<String> = queries.iter().map(Query::cache_key).collect();
+        for (i, a) in keys.iter().enumerate() {
+            for (j, b) in keys.iter().enumerate() {
+                assert_eq!(a == b, i == j, "{a} vs {b}");
+            }
+        }
+        // Keys are stable identities, not Debug output: same query, same
+        // key, every time.
+        assert_eq!(Query::Bfs { src: 7 }.cache_key(), "bfs:7");
+        assert_eq!(Query::pagerank().cache_key(), Query::pagerank().cache_key());
+    }
+
+    #[test]
+    fn typed_errors_render_their_context() {
+        let e = CoreError::InvalidConfig {
+            detail: "parallel session needs at least one worker".into(),
+        };
+        assert!(e.to_string().contains("invalid configuration"));
+        let e = CoreError::WorkerPanic {
+            worker: 2,
+            query_index: 5,
+            detail: "boom".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("worker 2"), "{msg}");
+        assert!(msg.contains("query #5"), "{msg}");
+        assert!(msg.contains("boom"), "{msg}");
     }
 }

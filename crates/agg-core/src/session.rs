@@ -99,8 +99,21 @@ impl Session {
     /// host threads ([`ExecMode::Parallel`]). Results are identical to
     /// sequential execution; worker devices are created lazily on the
     /// first parallel batch and reused afterwards.
+    ///
+    /// `workers` must be at least 1 — zero is rejected as
+    /// [`CoreError::InvalidConfig`] rather than silently clamped,
+    /// matching the `Device::try_new` convention. Worker counts larger
+    /// than a batch are fine: each batch caps its fan-out at its query
+    /// count.
     pub fn parallel(g: &CsrGraph, cfg: DeviceConfig, workers: usize) -> Result<Session, CoreError> {
-        Session::build(g, cfg, ExecMode::Parallel, workers.max(1))
+        if workers == 0 {
+            return Err(CoreError::InvalidConfig {
+                detail: "parallel session needs at least one worker (got 0); \
+                         use Session::with_device for sequential execution"
+                    .into(),
+            });
+        }
+        Session::build(g, cfg, ExecMode::Parallel, workers)
     }
 
     fn build(
@@ -283,10 +296,32 @@ impl Session {
                             let start_ns = w.dev.elapsed_ns();
                             let mut out = Vec::with_capacity(chunk.len());
                             for &i in chunk {
-                                let state = w.pool.acquire(&mut w.dev)?;
-                                let result =
-                                    run(&mut w.dev, kernels, &w.dg, &state, queries[i], opts);
-                                w.pool.release(state);
+                                // A panicking query must fail its batch as
+                                // a typed error, not unwind through the
+                                // scope and abort every sibling query (and,
+                                // in a long-lived service, the process).
+                                // The pool self-heals: an un-released state
+                                // is simply dropped and the next acquire
+                                // allocates a fresh one.
+                                let result = std::panic::catch_unwind(
+                                    std::panic::AssertUnwindSafe(|| {
+                                        #[cfg(test)]
+                                        tests::injected_panic_hook(&queries[i]);
+                                        let state = w.pool.acquire(&mut w.dev)?;
+                                        let result = run(
+                                            &mut w.dev, kernels, &w.dg, &state, queries[i], opts,
+                                        );
+                                        w.pool.release(state);
+                                        result
+                                    }),
+                                )
+                                .unwrap_or_else(|payload| {
+                                    Err(CoreError::WorkerPanic {
+                                        worker: widx,
+                                        query_index: i,
+                                        detail: panic_message(payload),
+                                    })
+                                });
                                 let report = result.map_err(|e| at_query(i, e))?;
                                 out.push(QueryReport {
                                     index: i,
@@ -302,7 +337,20 @@ impl Session {
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("worker thread must not panic"))
+                    .enumerate()
+                    .map(|(widx, h)| {
+                        // With the per-query catch above a worker thread
+                        // can only die on a panic outside the guarded
+                        // region (e.g. in the clock reads); surface even
+                        // that as the same typed error.
+                        h.join().unwrap_or_else(|payload| {
+                            Err(CoreError::WorkerPanic {
+                                worker: widx,
+                                query_index: usize::MAX,
+                                detail: panic_message(payload),
+                            })
+                        })
+                    })
                     .collect()
             });
         let mut slots: Vec<Option<QueryReport>> = queries.iter().map(|_| None).collect();
@@ -377,6 +425,19 @@ impl Session {
     /// The main device (for configuration inspection).
     pub fn device(&self) -> &Device {
         &self.dev
+    }
+}
+
+/// Extracts a human-readable message from a caught panic payload
+/// (`panic!` with a string literal or a formatted message; anything else
+/// reports its opacity).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -496,8 +557,18 @@ impl BatchReport {
     /// Modeled serving throughput of this batch: queries per second of
     /// modeled serving time — the critical path `makespan_ns`, which is
     /// `total_ns` when sequential and the slowest worker when parallel.
+    ///
+    /// **NaN-free contract** (serve-side throughput math depends on it):
+    /// the result is always finite and `>= 0.0`, never `NaN` or `inf`.
+    /// The degenerate cases are explicit — an empty batch has no
+    /// throughput (`0.0`), and a nonempty batch with a zero, negative, or
+    /// non-finite makespan (possible only for hand-built reports; real
+    /// runs always accumulate positive modeled time) also reports `0.0`
+    /// rather than dividing garbage into a benchmark artifact.
     pub fn queries_per_sec(&self) -> f64 {
-        if self.makespan_ns <= 0.0 {
+        let degenerate =
+            self.queries.is_empty() || !self.makespan_ns.is_finite() || self.makespan_ns <= 0.0;
+        if degenerate {
             return 0.0;
         }
         self.queries.len() as f64 / (self.makespan_ns / 1e9)
@@ -546,6 +617,21 @@ mod tests {
     use super::*;
     use crate::engine::PageRankConfig;
     use agg_graph::{traversal, Dataset, Scale};
+
+    /// A PageRank epsilon no real workload uses; parallel workers panic on
+    /// it (inside the per-query unwind guard), giving the worker-panic
+    /// regression test a deterministic trigger without any shared mutable
+    /// test state.
+    pub(super) const PANIC_EPSILON: f32 = 1.122_334_4e-33;
+
+    /// Test-only injection point called by the parallel worker loop.
+    pub(super) fn injected_panic_hook(query: &Query) {
+        if let Query::PageRank { config } = query {
+            if config.epsilon == PANIC_EPSILON {
+                panic!("injected test panic");
+            }
+        }
+    }
 
     fn mixed_batch() -> Vec<Query> {
         vec![
@@ -806,6 +892,81 @@ mod tests {
         assert!(batch.queries.is_empty());
         assert_eq!(batch.device_ns, 0.0);
         assert_eq!(batch.queries_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn parallel_session_with_zero_workers_is_a_typed_error() {
+        let g = Dataset::P2p.generate(Scale::Tiny, 92);
+        let err = match Session::parallel(&g, DeviceConfig::tesla_c2070(), 0) {
+            Err(e) => e,
+            Ok(_) => panic!("zero workers must not be silently clamped"),
+        };
+        let msg = err.to_string();
+        assert!(
+            matches!(err, CoreError::InvalidConfig { .. }),
+            "wrong variant: {msg}"
+        );
+        assert!(msg.contains("at least one worker"), "{msg}");
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_a_typed_error_not_a_process_abort() {
+        let g = Dataset::Amazon.generate_weighted(Scale::Tiny, 93, 64);
+        let mut session = Session::parallel(&g, DeviceConfig::tesla_c2070(), 2).unwrap();
+        let queries = vec![
+            Query::Bfs { src: 0 },
+            Query::Sssp { src: 1 },
+            Query::PageRank {
+                config: PageRankConfig {
+                    damping: 0.85,
+                    epsilon: PANIC_EPSILON,
+                },
+            },
+            Query::Bfs { src: 2 },
+        ];
+        let err = session
+            .run_batch(&queries, &RunOptions::default())
+            .expect_err("a panicking query must fail the batch, not the process");
+        match &err {
+            CoreError::WorkerPanic {
+                query_index,
+                detail,
+                ..
+            } => {
+                // The panicking query keeps its submission index through
+                // the scheduler's reordering.
+                assert_eq!(*query_index, 2, "{err}");
+                assert!(detail.contains("injected test panic"), "{err}");
+            }
+            other => panic!("expected WorkerPanic, got {other}"),
+        }
+        // The session survives: the same queries minus the poisoned one
+        // run to completion on the same workers.
+        let ok = session
+            .run_batch(
+                &[Query::Bfs { src: 0 }, Query::Sssp { src: 1 }],
+                &RunOptions::default(),
+            )
+            .expect("session stays usable after a contained panic");
+        assert_eq!(ok.queries[0].report.values, traversal::bfs_levels(&g, 0));
+    }
+
+    #[test]
+    fn queries_per_sec_is_nan_free_on_degenerate_batches() {
+        let g = Dataset::P2p.generate(Scale::Tiny, 94);
+        let mut session = Session::new(&g).unwrap();
+        let mut batch = session
+            .run_batch(&[Query::Bfs { src: 0 }], &RunOptions::default())
+            .unwrap();
+        assert!(batch.queries_per_sec() > 0.0);
+        // Hand-degenerate reports must stay finite and zero, never NaN —
+        // this is the contract BENCH_serve.json's throughput math leans on.
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            batch.makespan_ns = bad;
+            let qps = batch.queries_per_sec();
+            assert_eq!(qps, 0.0, "makespan {bad} must yield 0.0, got {qps}");
+            assert!(qps.is_finite());
+        }
     }
 
     #[test]

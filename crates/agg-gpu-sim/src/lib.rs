@@ -72,7 +72,7 @@ pub use device::Device;
 pub use error::SimError;
 pub use exec::grid::{Grid, LaunchArgs};
 pub use ir::builder::{Kernel, KernelBuilder};
-pub use json::Json;
+pub use json::{Json, JsonError};
 pub use mem::race::{RaceClass, RaceFinding, RaceReport, RaceSummary};
 pub use mem::transfer::Interconnect;
 pub use timing::report::{KernelStats, LaunchProfile, LaunchReport, ProfileReport};

@@ -1,0 +1,139 @@
+//! The epoch-keyed result cache.
+//!
+//! Results are memoized per `(graph name, graph epoch, query identity)`,
+//! where query identity is [`Query::cache_key`](agg_core::Query::cache_key)
+//! — deliberately **excluding** execution policy ([`agg_core::RunOptions`]),
+//! because the workspace invariant (enforced by the differential harness)
+//! is that values are bit-identical across strategies, variants, engines,
+//! and shard counts. Two clients asking for BFS from the same source get
+//! the same bits no matter how the scheduler chose to run it.
+//!
+//! The epoch is the invalidation hook: a graph's epoch is a monotonic
+//! counter owned by the server, and any future dynamic-update path bumps
+//! it after mutating the graph. [`ResultCache::invalidate_before`] then
+//! strands exactly that graph's older-epoch entries — other graphs'
+//! entries and current-epoch entries are untouched. Values are
+//! `Arc`-shared so a hit never copies the vector.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A memo of query results keyed by `(graph, epoch, query identity)`.
+///
+/// Not synchronized — the service thread owns it; the replay client owns
+/// its own copy. Wrap in a mutex only if a future design shares it.
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    entries: HashMap<(String, u64, String), Arc<Vec<u32>>>,
+    /// Lifetime hit count (lookups that found an entry).
+    pub hits: u64,
+    /// Lifetime miss count (lookups that found nothing).
+    pub misses: u64,
+    /// Lifetime count of entries removed by [`invalidate_before`](Self::invalidate_before).
+    pub invalidated: u64,
+}
+
+impl ResultCache {
+    /// An empty cache.
+    pub fn new() -> ResultCache {
+        ResultCache::default()
+    }
+
+    /// Looks up a result, counting the hit or miss.
+    pub fn get(&mut self, graph: &str, epoch: u64, key: &str) -> Option<Arc<Vec<u32>>> {
+        // HashMap<(String,..)> can't be probed with borrowed parts, and
+        // this is a service-path map of at most a few thousand entries —
+        // allocate the probe key rather than hand-rolling a borrowed
+        // tuple key.
+        let probe = (graph.to_string(), epoch, key.to_string());
+        match self.entries.get(&probe) {
+            Some(v) => {
+                self.hits += 1;
+                Some(Arc::clone(v))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Peeks without touching the hit/miss counters (used by identity
+    /// verification, which must not distort the reported hit rate).
+    pub fn peek(&self, graph: &str, epoch: u64, key: &str) -> Option<Arc<Vec<u32>>> {
+        let probe = (graph.to_string(), epoch, key.to_string());
+        self.entries.get(&probe).map(Arc::clone)
+    }
+
+    /// Stores a result.
+    pub fn insert(&mut self, graph: &str, epoch: u64, key: &str, values: Arc<Vec<u32>>) {
+        self.entries
+            .insert((graph.to_string(), epoch, key.to_string()), values);
+    }
+
+    /// Removes every entry for `graph` with an epoch **older than**
+    /// `epoch`, returning how many were stranded. Entries for other
+    /// graphs, and entries already at `epoch` or newer, are untouched.
+    pub fn invalidate_before(&mut self, graph: &str, epoch: u64) -> usize {
+        let before = self.entries.len();
+        self.entries
+            .retain(|(g, e, _), _| g != graph || *e >= epoch);
+        let removed = before - self.entries.len();
+        self.invalidated += removed as u64;
+        removed
+    }
+
+    /// Live entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vals(xs: &[u32]) -> Arc<Vec<u32>> {
+        Arc::new(xs.to_vec())
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted_and_values_are_shared() {
+        let mut cache = ResultCache::new();
+        assert!(cache.get("g", 0, "bfs:0").is_none());
+        cache.insert("g", 0, "bfs:0", vals(&[0, 1, 2]));
+        let v = cache.get("g", 0, "bfs:0").expect("hit");
+        assert_eq!(*v, vec![0, 1, 2]);
+        assert_eq!((cache.hits, cache.misses), (1, 1));
+        // peek doesn't move the counters
+        assert!(cache.peek("g", 0, "bfs:0").is_some());
+        assert_eq!((cache.hits, cache.misses), (1, 1));
+        // same query at a different epoch is a distinct entry
+        assert!(cache.get("g", 1, "bfs:0").is_none());
+        assert_eq!(cache.misses, 2);
+    }
+
+    #[test]
+    fn invalidation_strands_exactly_the_older_entries_of_one_graph() {
+        let mut cache = ResultCache::new();
+        cache.insert("a", 0, "bfs:0", vals(&[1]));
+        cache.insert("a", 0, "cc", vals(&[2]));
+        cache.insert("a", 1, "bfs:0", vals(&[3]));
+        cache.insert("b", 0, "bfs:0", vals(&[4]));
+        assert_eq!(cache.invalidate_before("a", 1), 2);
+        assert_eq!(cache.len(), 2);
+        // graph a's epoch-1 entry survives, graph b is untouched
+        assert!(cache.peek("a", 1, "bfs:0").is_some());
+        assert!(cache.peek("b", 0, "bfs:0").is_some());
+        assert!(cache.peek("a", 0, "bfs:0").is_none());
+        assert!(cache.peek("a", 0, "cc").is_none());
+        assert_eq!(cache.invalidated, 2);
+        // idempotent: a second sweep removes nothing
+        assert_eq!(cache.invalidate_before("a", 1), 0);
+    }
+}

@@ -1,0 +1,563 @@
+//! The framed wire protocol: length-prefixed JSON with typed
+//! request/response values.
+//!
+//! A frame is a 4-byte **big-endian** payload length followed by that
+//! many bytes of UTF-8 JSON. Frames are independent — a connection is a
+//! sequence of frames in each direction, and every request carries a
+//! caller-chosen `id` echoed on its response, so clients may pipeline.
+//! The JSON layer is the workspace's zero-dependency
+//! [`agg_gpu_sim::Json`] module (render on send, parse on
+//! receive); the frame length is capped at [`MAX_FRAME_LEN`] so a
+//! corrupt prefix cannot trigger an absurd allocation.
+//!
+//! Request documents (`"op"` selects the variant):
+//!
+//! ```json
+//! {"op":"query","id":7,"graph":"amazon","query":{"algo":"bfs","src":4}}
+//! {"op":"query","id":8,"graph":"web","query":{"algo":"pagerank","damping":0.85,"epsilon":0.0001}}
+//! {"op":"bump_epoch","id":9,"graph":"amazon"}
+//! {"op":"stats","id":10}
+//! ```
+//!
+//! Response documents (`"status"` selects the variant): `"ok"` carries
+//! the epoch the result was computed at, whether it was served from the
+//! cache, and the value vector; `"shed"` is the typed admission-control
+//! overload answer; `"error"` carries the engine/protocol rejection;
+//! `"epoch"` acknowledges a bump with the new epoch and the number of
+//! cache entries it stranded; `"stats"` carries a [`ServeStats`].
+
+use crate::ServeError;
+use agg_core::{PageRankConfig, Query};
+use agg_gpu_sim::Json;
+use std::io::{Read, Write};
+
+/// Upper bound on a frame payload, in bytes (64 MiB). Large enough for a
+/// multi-million-node value vector, small enough that a corrupt length
+/// prefix fails fast instead of attempting a huge allocation.
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    let len = u32::try_from(payload.len()).map_err(|_| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame too large")
+    })?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame; `Ok(None)` on a clean EOF at a frame
+/// boundary (the peer closed the connection between frames).
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds the {MAX_FRAME_LEN}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Run (or serve from cache) one typed query against a hosted graph.
+    Query {
+        /// Caller-chosen correlation id, echoed on the response.
+        id: u64,
+        /// Hosted graph name.
+        graph: String,
+        /// The typed query.
+        query: Query,
+    },
+    /// Bump a hosted graph's epoch — the invalidation hook a future
+    /// dynamic-update path calls after mutating the graph. Strands every
+    /// cache entry of older epochs for that graph.
+    BumpEpoch {
+        /// Caller-chosen correlation id.
+        id: u64,
+        /// Hosted graph name.
+        graph: String,
+    },
+    /// Read the server's lifetime counters.
+    Stats {
+        /// Caller-chosen correlation id.
+        id: u64,
+    },
+}
+
+impl Request {
+    /// The correlation id this request carries.
+    pub fn id(&self) -> u64 {
+        match self {
+            Request::Query { id, .. } | Request::BumpEpoch { id, .. } | Request::Stats { id } => {
+                *id
+            }
+        }
+    }
+
+    /// Encodes this request as a JSON document.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Request::Query { id, graph, query } => Json::obj([
+                ("op", "query".into()),
+                ("id", (*id).into()),
+                ("graph", graph.clone().into()),
+                ("query", query.to_json()),
+            ]),
+            Request::BumpEpoch { id, graph } => Json::obj([
+                ("op", "bump_epoch".into()),
+                ("id", (*id).into()),
+                ("graph", graph.clone().into()),
+            ]),
+            Request::Stats { id } => {
+                Json::obj([("op", "stats".into()), ("id", (*id).into())])
+            }
+        }
+    }
+
+    /// Decodes a request from a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Request, ServeError> {
+        let doc = parse_doc(payload)?;
+        let id = field_u64(&doc, "id")?;
+        match field_str(&doc, "op")? {
+            "query" => Ok(Request::Query {
+                id,
+                graph: field_str(&doc, "graph")?.to_string(),
+                query: query_from_json(
+                    doc.get("query")
+                        .ok_or_else(|| missing("query"))?,
+                )?,
+            }),
+            "bump_epoch" => Ok(Request::BumpEpoch {
+                id,
+                graph: field_str(&doc, "graph")?.to_string(),
+            }),
+            "stats" => Ok(Request::Stats { id }),
+            other => Err(ServeError::Protocol(format!("unknown op '{other}'"))),
+        }
+    }
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The query's result values.
+    Result {
+        /// Echo of the request id.
+        id: u64,
+        /// The graph epoch the result was computed at.
+        epoch: u64,
+        /// True when the values came from the result cache.
+        cached: bool,
+        /// Final per-node values (levels, distances, labels, or f32 rank
+        /// bit patterns — exactly [`agg_core::RunReport::values`]).
+        values: Vec<u32>,
+    },
+    /// Typed admission-control shed: the bounded queue was full. The
+    /// request was **not** executed; the client may retry later.
+    Overloaded {
+        /// Echo of the request id.
+        id: u64,
+        /// Pending queries when the request was refused.
+        queue_depth: usize,
+        /// The admission bound.
+        capacity: usize,
+    },
+    /// The request was rejected (malformed query, unknown graph, engine
+    /// error).
+    Error {
+        /// Echo of the request id.
+        id: u64,
+        /// What went wrong.
+        detail: String,
+    },
+    /// Acknowledges a [`Request::BumpEpoch`].
+    EpochBumped {
+        /// Echo of the request id.
+        id: u64,
+        /// The graph's new (monotonic) epoch.
+        epoch: u64,
+        /// Cache entries stranded by the bump.
+        invalidated: usize,
+    },
+    /// Lifetime counters.
+    Stats {
+        /// Echo of the request id.
+        id: u64,
+        /// The counters.
+        stats: ServeStats,
+    },
+}
+
+impl Response {
+    /// The correlation id this response echoes.
+    pub fn id(&self) -> u64 {
+        match self {
+            Response::Result { id, .. }
+            | Response::Overloaded { id, .. }
+            | Response::Error { id, .. }
+            | Response::EpochBumped { id, .. }
+            | Response::Stats { id, .. } => *id,
+        }
+    }
+
+    /// Encodes this response as a JSON document.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Response::Result {
+                id,
+                epoch,
+                cached,
+                values,
+            } => Json::obj([
+                ("status", "ok".into()),
+                ("id", (*id).into()),
+                ("epoch", (*epoch).into()),
+                ("cached", (*cached).into()),
+                ("values", Json::arr(values.iter().map(|&v| Json::from(v)))),
+            ]),
+            Response::Overloaded {
+                id,
+                queue_depth,
+                capacity,
+            } => Json::obj([
+                ("status", "shed".into()),
+                ("id", (*id).into()),
+                ("queue_depth", (*queue_depth).into()),
+                ("capacity", (*capacity).into()),
+            ]),
+            Response::Error { id, detail } => Json::obj([
+                ("status", "error".into()),
+                ("id", (*id).into()),
+                ("detail", detail.clone().into()),
+            ]),
+            Response::EpochBumped {
+                id,
+                epoch,
+                invalidated,
+            } => Json::obj([
+                ("status", "epoch".into()),
+                ("id", (*id).into()),
+                ("epoch", (*epoch).into()),
+                ("invalidated", (*invalidated).into()),
+            ]),
+            Response::Stats { id, stats } => Json::obj([
+                ("status", "stats".into()),
+                ("id", (*id).into()),
+                ("stats", stats.to_json()),
+            ]),
+        }
+    }
+
+    /// Decodes a response from a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Response, ServeError> {
+        let doc = parse_doc(payload)?;
+        let id = field_u64(&doc, "id")?;
+        match field_str(&doc, "status")? {
+            "ok" => {
+                let values = doc
+                    .get("values")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| missing("values"))?
+                    .iter()
+                    .map(|v| {
+                        v.as_u64()
+                            .and_then(|x| u32::try_from(x).ok())
+                            .ok_or_else(|| {
+                                ServeError::Protocol("non-u32 entry in values".into())
+                            })
+                    })
+                    .collect::<Result<Vec<u32>, ServeError>>()?;
+                Ok(Response::Result {
+                    id,
+                    epoch: field_u64(&doc, "epoch")?,
+                    cached: doc.get("cached").and_then(Json::as_bool).unwrap_or(false),
+                    values,
+                })
+            }
+            "shed" => Ok(Response::Overloaded {
+                id,
+                queue_depth: field_u64(&doc, "queue_depth")? as usize,
+                capacity: field_u64(&doc, "capacity")? as usize,
+            }),
+            "error" => Ok(Response::Error {
+                id,
+                detail: field_str(&doc, "detail")?.to_string(),
+            }),
+            "epoch" => Ok(Response::EpochBumped {
+                id,
+                epoch: field_u64(&doc, "epoch")?,
+                invalidated: field_u64(&doc, "invalidated")? as usize,
+            }),
+            "stats" => Ok(Response::Stats {
+                id,
+                stats: ServeStats::from_json(
+                    doc.get("stats").ok_or_else(|| missing("stats"))?,
+                )?,
+            }),
+            other => Err(ServeError::Protocol(format!("unknown status '{other}'"))),
+        }
+    }
+}
+
+/// Lifetime service counters, reported over the wire and by
+/// [`Server::shutdown`](crate::Server::shutdown).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests received (all ops).
+    pub received: u64,
+    /// Queries answered with values (cached or computed).
+    pub served: u64,
+    /// Queries refused by admission control.
+    pub shed: u64,
+    /// Queries answered from the result cache.
+    pub cache_hits: u64,
+    /// Queries that had to run on the engine.
+    pub cache_misses: u64,
+    /// `Session::run_batch` calls issued by the micro-batcher.
+    pub batches: u64,
+    /// Epoch bumps applied.
+    pub epoch_bumps: u64,
+    /// Requests answered with a typed error.
+    pub errors: u64,
+}
+
+impl ServeStats {
+    /// These counters as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("received", self.received.into()),
+            ("served", self.served.into()),
+            ("shed", self.shed.into()),
+            ("cache_hits", self.cache_hits.into()),
+            ("cache_misses", self.cache_misses.into()),
+            ("batches", self.batches.into()),
+            ("epoch_bumps", self.epoch_bumps.into()),
+            ("errors", self.errors.into()),
+        ])
+    }
+
+    /// Decodes counters from their JSON object.
+    pub fn from_json(doc: &Json) -> Result<ServeStats, ServeError> {
+        Ok(ServeStats {
+            received: field_u64(doc, "received")?,
+            served: field_u64(doc, "served")?,
+            shed: field_u64(doc, "shed")?,
+            cache_hits: field_u64(doc, "cache_hits")?,
+            cache_misses: field_u64(doc, "cache_misses")?,
+            batches: field_u64(doc, "batches")?,
+            epoch_bumps: field_u64(doc, "epoch_bumps")?,
+            errors: field_u64(doc, "errors")?,
+        })
+    }
+}
+
+/// Decodes the typed query object (`{"algo": ..., ...}` — the same shape
+/// [`Query::to_json`] emits for telemetry).
+pub fn query_from_json(doc: &Json) -> Result<Query, ServeError> {
+    let algo = field_str(doc, "algo")?;
+    match algo {
+        "bfs" => Ok(Query::Bfs {
+            src: field_u64(doc, "src")? as u32,
+        }),
+        "sssp" => Ok(Query::Sssp {
+            src: field_u64(doc, "src")? as u32,
+        }),
+        "cc" => Ok(Query::Cc),
+        "pagerank" => {
+            let damping = doc
+                .get("damping")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.85) as f32;
+            let epsilon = doc
+                .get("epsilon")
+                .and_then(Json::as_f64)
+                .unwrap_or(1e-4) as f32;
+            Ok(Query::PageRank {
+                config: PageRankConfig { damping, epsilon },
+            })
+        }
+        other => Err(ServeError::Protocol(format!("unknown algo '{other}'"))),
+    }
+}
+
+fn parse_doc(payload: &[u8]) -> Result<Json, ServeError> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| ServeError::Protocol("frame payload is not UTF-8".into()))?;
+    Json::parse(text).map_err(|e| ServeError::Protocol(e.to_string()))
+}
+
+fn missing(key: &str) -> ServeError {
+    ServeError::Protocol(format!("missing field '{key}'"))
+}
+
+fn field_u64(doc: &Json, key: &str) -> Result<u64, ServeError> {
+    doc.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| ServeError::Protocol(format!("missing/non-integer field '{key}'")))
+}
+
+fn field_str<'a>(doc: &'a Json, key: &str) -> Result<&'a str, ServeError> {
+    doc.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| missing(key))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: Request) {
+        let payload = req.to_json().render().into_bytes();
+        assert_eq!(Request::decode(&payload).unwrap(), req);
+    }
+
+    fn round_trip_response(resp: Response) {
+        let payload = resp.to_json().render().into_bytes();
+        assert_eq!(Response::decode(&payload).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_round_trip_through_the_wire_encoding() {
+        round_trip_request(Request::Query {
+            id: 1,
+            graph: "amazon".into(),
+            query: Query::Bfs { src: 17 },
+        });
+        round_trip_request(Request::Query {
+            id: 2,
+            graph: "web".into(),
+            query: Query::Sssp { src: 0 },
+        });
+        round_trip_request(Request::Query {
+            id: 3,
+            graph: "web".into(),
+            query: Query::Cc,
+        });
+        round_trip_request(Request::BumpEpoch {
+            id: 4,
+            graph: "amazon".into(),
+        });
+        round_trip_request(Request::Stats { id: 5 });
+    }
+
+    #[test]
+    fn pagerank_params_survive_the_wire_bit_exactly() {
+        // f32 -> f64 -> JSON decimal -> f64 -> f32 must be the identity
+        // (f64 holds every f32 exactly, and the renderer prints the
+        // shortest round-trippable decimal).
+        let query = Query::PageRank {
+            config: PageRankConfig {
+                damping: 0.85,
+                epsilon: 1.234_567_9e-5,
+            },
+        };
+        let req = Request::Query {
+            id: 9,
+            graph: "g".into(),
+            query,
+        };
+        let decoded = Request::decode(&req.to_json().render().into_bytes()).unwrap();
+        match decoded {
+            Request::Query {
+                query: Query::PageRank { config },
+                ..
+            } => {
+                assert_eq!(config.damping.to_bits(), 0.85f32.to_bits());
+                assert_eq!(config.epsilon.to_bits(), 1.234_567_9e-5f32.to_bits());
+            }
+            other => panic!("decoded to {other:?}"),
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_through_the_wire_encoding() {
+        round_trip_response(Response::Result {
+            id: 1,
+            epoch: 3,
+            cached: true,
+            values: vec![0, 1, u32::MAX, 7],
+        });
+        round_trip_response(Response::Overloaded {
+            id: 2,
+            queue_depth: 64,
+            capacity: 64,
+        });
+        round_trip_response(Response::Error {
+            id: 3,
+            detail: "invalid query: source 99 out of range".into(),
+        });
+        round_trip_response(Response::EpochBumped {
+            id: 4,
+            epoch: 5,
+            invalidated: 12,
+        });
+        round_trip_response(Response::Stats {
+            id: 5,
+            stats: ServeStats {
+                received: 10,
+                served: 8,
+                shed: 1,
+                cache_hits: 3,
+                cache_misses: 5,
+                batches: 2,
+                epoch_bumps: 1,
+                errors: 1,
+            },
+        });
+    }
+
+    #[test]
+    fn frames_round_trip_and_eof_is_clean() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, b"world!").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b"hello"[..]));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b""[..]));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b"world!"[..]));
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn truncated_and_oversized_frames_are_errors() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        // Truncate the payload mid-frame: an error, not a clean EOF.
+        let mut r = &buf[..buf.len() - 2];
+        assert!(read_frame(&mut r).is_err());
+        // A length prefix past the cap fails before allocating.
+        let huge = (MAX_FRAME_LEN as u32 + 1).to_be_bytes();
+        let mut r = &huge[..];
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn malformed_payloads_are_typed_protocol_errors() {
+        for bad in [
+            &b"not json"[..],
+            br#"{"op":"query","id":1}"#,
+            br#"{"op":"warp","id":1}"#,
+            br#"{"id":1}"#,
+            br#"{"op":"query","id":1,"graph":"g","query":{"algo":"dfs"}}"#,
+            b"\xff\xfe",
+        ] {
+            let err = Request::decode(bad).unwrap_err();
+            assert!(
+                matches!(err, ServeError::Protocol(_)),
+                "expected Protocol error for {bad:?}, got {err}"
+            );
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Deterministic open-loop arrival traces.
+//!
+//! A trace is what a load generator would send: a time-ordered sequence
+//! of [`Arrival`]s, each a typed query against one of the hosted graphs
+//! (or an epoch-bump event). Inter-arrival times are drawn from an
+//! exponential distribution (inverse-CDF over the seeded xoshiro stream),
+//! so the trace is a Poisson process at the configured rate — **open
+//! loop**: arrival times never depend on how fast the server answers, so
+//! a slow server builds queue depth instead of quietly throttling its own
+//! offered load. Everything is derived from [`TraceConfig::seed`], so the
+//! same config always produces byte-identical traces — the foundation of
+//! the reproducible `BENCH_serve.json` numbers and of the replay-twice
+//! determinism test.
+
+use agg_core::{PageRankConfig, Query};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// What arrives: a query for a graph, or an epoch bump (the stand-in for
+/// a dynamic graph update invalidating cached results).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A typed query against the named hosted graph.
+    Query {
+        /// Hosted graph name.
+        graph: String,
+        /// The query.
+        query: Query,
+    },
+    /// Bump the named graph's epoch.
+    BumpEpoch {
+        /// Hosted graph name.
+        graph: String,
+    },
+}
+
+/// One trace entry: an event and its arrival time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Arrival {
+    /// Arrival time in virtual nanoseconds from trace start.
+    pub at_ns: u64,
+    /// What arrived.
+    pub event: Event,
+}
+
+/// Parameters of a generated trace.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Number of query arrivals (epoch bumps are extra events).
+    pub queries: usize,
+    /// Offered load in queries per second of virtual time.
+    pub rate_qps: f64,
+    /// Seed for the arrival-time and query-mix streams.
+    pub seed: u64,
+    /// Hosted graph names to spread queries over (must be non-empty).
+    pub graphs: Vec<String>,
+    /// Traversal sources are drawn from `0..source_pool` — a small pool
+    /// (relative to `queries`) creates repeats, which is what gives the
+    /// cache something to do.
+    pub source_pool: u32,
+    /// Insert an epoch bump after every `bump_every` queries (0 = never).
+    pub bump_every: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> TraceConfig {
+        TraceConfig {
+            queries: 500,
+            rate_qps: 2000.0,
+            seed: 42,
+            graphs: vec!["g".to_string()],
+            source_pool: 8,
+            bump_every: 0,
+        }
+    }
+}
+
+/// A generated trace: arrivals sorted by time.
+#[derive(Debug, Clone)]
+pub struct ArrivalTrace {
+    /// The config that produced it.
+    pub config: TraceConfig,
+    /// Time-ordered arrivals.
+    pub arrivals: Vec<Arrival>,
+}
+
+impl ArrivalTrace {
+    /// Generates the trace for `config` deterministically.
+    ///
+    /// The algorithm mix is fixed at roughly 40% BFS, 30% SSSP, 15% CC,
+    /// 15% PageRank — traversals dominate (they are cheap and repetitive,
+    /// the cache's bread and butter), with enough whole-graph analytics
+    /// to exercise every kernel family. PageRank draws its ε from a tiny
+    /// pool so parameter-keyed caching sees repeats too.
+    pub fn generate(config: TraceConfig) -> ArrivalTrace {
+        assert!(!config.graphs.is_empty(), "trace needs at least one graph");
+        assert!(config.rate_qps > 0.0, "trace needs a positive rate");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mean_gap_ns = 1e9 / config.rate_qps;
+        let mut arrivals = Vec::with_capacity(config.queries + config.queries / 16);
+        let mut t_ns = 0.0f64;
+        for i in 0..config.queries {
+            // Inverse-CDF exponential: gap = -ln(1-u) * mean, u in [0,1).
+            let u: f64 = rng.gen();
+            t_ns += -(1.0 - u).ln() * mean_gap_ns;
+            let graph = config.graphs[rng.gen_range(0..config.graphs.len())].clone();
+            let pick: f64 = rng.gen();
+            let query = if pick < 0.40 {
+                Query::Bfs {
+                    src: rng.gen_range(0..config.source_pool.max(1)),
+                }
+            } else if pick < 0.70 {
+                Query::Sssp {
+                    src: rng.gen_range(0..config.source_pool.max(1)),
+                }
+            } else if pick < 0.85 {
+                Query::Cc
+            } else {
+                let epsilons = [1e-4f32, 5e-4, 1e-3];
+                Query::PageRank {
+                    config: PageRankConfig {
+                        damping: 0.85,
+                        epsilon: epsilons[rng.gen_range(0..epsilons.len())],
+                    },
+                }
+            };
+            arrivals.push(Arrival {
+                at_ns: t_ns as u64,
+                event: Event::Query { graph, query },
+            });
+            if config.bump_every > 0 && (i + 1) % config.bump_every == 0 && i + 1 < config.queries
+            {
+                let bump_graph =
+                    config.graphs[rng.gen_range(0..config.graphs.len())].clone();
+                arrivals.push(Arrival {
+                    at_ns: t_ns as u64 + 1,
+                    event: Event::BumpEpoch { graph: bump_graph },
+                });
+            }
+        }
+        ArrivalTrace { config, arrivals }
+    }
+
+    /// Query arrivals only (excluding epoch bumps).
+    pub fn query_count(&self) -> usize {
+        self.arrivals
+            .iter()
+            .filter(|a| matches!(a.event, Event::Query { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> TraceConfig {
+        TraceConfig {
+            queries: 200,
+            rate_qps: 1000.0,
+            seed: 7,
+            graphs: vec!["a".into(), "b".into()],
+            source_pool: 4,
+            bump_every: 50,
+        }
+    }
+
+    #[test]
+    fn traces_are_deterministic_and_time_ordered() {
+        let t1 = ArrivalTrace::generate(config());
+        let t2 = ArrivalTrace::generate(config());
+        assert_eq!(t1.arrivals, t2.arrivals);
+        assert!(t1
+            .arrivals
+            .windows(2)
+            .all(|w| w[0].at_ns <= w[1].at_ns));
+        assert_eq!(t1.query_count(), 200);
+        // 200 queries / bump_every 50 with no trailing bump = 3 bumps
+        assert_eq!(t1.arrivals.len() - t1.query_count(), 3);
+    }
+
+    #[test]
+    fn traces_mix_algorithms_graphs_and_repeat_sources() {
+        let t = ArrivalTrace::generate(config());
+        let mut bfs = 0;
+        let mut sssp = 0;
+        let mut cc = 0;
+        let mut pr = 0;
+        let mut graphs = std::collections::HashSet::new();
+        let mut keys = std::collections::HashSet::new();
+        for a in &t.arrivals {
+            if let Event::Query { graph, query } = &a.event {
+                graphs.insert(graph.clone());
+                keys.insert(query.cache_key());
+                match query {
+                    Query::Bfs { .. } => bfs += 1,
+                    Query::Sssp { .. } => sssp += 1,
+                    Query::Cc => cc += 1,
+                    Query::PageRank { .. } => pr += 1,
+                }
+            }
+        }
+        assert!(bfs > 0 && sssp > 0 && cc > 0 && pr > 0, "all four algorithms appear");
+        assert_eq!(graphs.len(), 2, "both graphs receive traffic");
+        // The source pool is tiny, so distinct query identities are far
+        // fewer than arrivals — repeats exist for the cache to hit.
+        assert!(keys.len() < t.query_count() / 2, "{} keys", keys.len());
+    }
+
+    #[test]
+    fn different_seeds_give_different_traces() {
+        let a = ArrivalTrace::generate(TraceConfig { seed: 1, ..config() });
+        let b = ArrivalTrace::generate(TraceConfig { seed: 2, ..config() });
+        assert_ne!(a.arrivals, b.arrivals);
+    }
+
+    #[test]
+    fn mean_interarrival_tracks_the_configured_rate() {
+        let t = ArrivalTrace::generate(TraceConfig {
+            queries: 2000,
+            bump_every: 0,
+            ..config()
+        });
+        let last = t.arrivals.last().expect("non-empty").at_ns as f64;
+        let observed_qps = 2000.0 / (last / 1e9);
+        // Poisson noise at n=2000 is ~2%; allow 15%.
+        assert!(
+            (observed_qps - 1000.0).abs() < 150.0,
+            "observed {observed_qps:.0} qps"
+        );
+    }
+}
