@@ -57,7 +57,17 @@
 //!                    BENCH_serve.json at the repository root
 //!                    (--queries N, --rate QPS; --json PATH writes the
 //!                    per-query latency artifact)
-//!   all              everything above (except telemetry and differential)
+//!   dynamic          dynamic graphs: the incremental-repair identity gate
+//!                    (random insert/delete batches over the fuzz corpus,
+//!                    CPU incremental oracle + GPU warm repair vs
+//!                    from-scratch recompute, ddmin on divergence) plus
+//!                    the recompute-vs-incremental crossover sweep;
+//!                    writes BENCH_dynamic.json at the repository root
+//!                    (--cases N caps the identity corpus; --json PATH
+//!                    writes the full artifact; exits nonzero on any
+//!                    divergence)
+//!   all              everything above (except telemetry, differential,
+//!                    and dynamic)
 //!
 //! telemetry flags (usable with any command; `telemetry` runs only these):
 //!   --trace-json PATH  write full run telemetry (per-iteration trace with
@@ -280,6 +290,7 @@ fn main() {
         "simbench" => simbench(&cli),
         "shard" => shard(&cli),
         "serve" => serve(&cli),
+        "dynamic" => dynamic(&cli),
         "telemetry" => {} // the flag handling below does all the work
         "all" => {
             table1(&cli);
@@ -903,8 +914,8 @@ fn shard(cli: &Cli) {
 
 /// The throughput-serving benchmark: one deterministic open-loop Poisson
 /// trace (mixed BFS/SSSP/CC/PageRank over two hosted graphs, periodic
-/// epoch bumps), replayed twice through the agg-serve admission →
-/// micro-batch → Session → cache pipeline in virtual time:
+/// dynamic update batches), replayed twice through the agg-serve
+/// admission → micro-batch → Session → cache pipeline in virtual time:
 ///
 /// 1. **cached** — the production path, with every cache hit recomputed
 ///    through the uncached path and compared bit-for-bit (`verify_hits`);
@@ -940,9 +951,11 @@ fn serve(cli: &Cli) {
         seed: cli.seed,
         graphs: hosted.iter().map(|(_, n)| n.to_string()).collect(),
         source_pool: 8,
-        // Two epoch bumps mid-trace: enough to price invalidation
-        // without turning the run into a cold-cache benchmark.
-        bump_every: (cli.queries / 3).max(1),
+        // Two dynamic update batches mid-trace: enough to price epoch
+        // invalidation and cache repair without turning the run into a
+        // cold-cache benchmark.
+        update_every: (cli.queries / 3).max(1),
+        update_size: 4,
     });
     // The benchmark prices batching + caching, not admission: the queue
     // holds the whole trace so neither leg sheds (overload behavior is
@@ -956,7 +969,7 @@ fn serve(cli: &Cli) {
         use_cache: true,
     };
     println!(
-        "trace: {} queries over {} graphs at {:.0} qps offered (seed {}), {} epoch bumps",
+        "trace: {} queries over {} graphs at {:.0} qps offered (seed {}), {} update batches",
         trace.query_count(),
         hosted.len(),
         cli.rate_qps,
@@ -1087,6 +1100,168 @@ fn serve(cli: &Cli) {
         std::fs::write(path, doc.render_pretty()).expect("write --json file");
         println!("[json] {}", path.display());
     }
+}
+
+// ----------------------------------------------------------------- Dynamic
+
+/// Dynamic graphs: the incremental-repair identity gate plus the
+/// recompute-vs-incremental crossover table (the dynamic analog of the
+/// paper's Figure 11 decision space). Two stages:
+///
+/// 1. **identity** — a bounded dynamic differential fuzz over the shared
+///    adversarial corpus: random insert/delete batches, every mutation
+///    checked four ways (cold GPU, CPU incremental oracle, unchanged
+///    plans, GPU warm repair) against the from-scratch CPU recompute,
+///    with ddmin over the update sequence on any divergence;
+/// 2. **crossover** — growing insert batches against the Amazon analog
+///    at `--scale`: modeled nanoseconds of warm repair vs cold recompute
+///    per repairable algorithm, and the first batch size at which repair
+///    stops winning (by the clock or by the planner's own fallback).
+///
+/// Writes `BENCH_dynamic.json` at the repository root (the CI
+/// `dynamic-smoke` job gates on `clean`, `identity_ok`, a non-empty
+/// crossover table, and incremental plans actually being exercised) and
+/// exits nonzero when any gate fails.
+fn dynamic(cli: &Cli) {
+    banner("Dynamic graphs: incremental repair identity + recompute-vs-incremental crossover");
+    let cases = cli.cases.min(match cli.scale {
+        Scale::Tiny => 12,
+        Scale::Small => 32,
+        Scale::Paper => 64,
+    });
+    let cfg = agg_bench::DynFuzzConfig::new(cases, cli.seed);
+    println!(
+        "identity: {} corpus graphs x {} update rounds of {} updates (seed {})",
+        cfg.cases, cfg.rounds, cfg.update_size, cfg.seed
+    );
+    let t0 = Instant::now();
+    let fuzz_report = agg_bench::dyn_fuzz(&cfg);
+    println!(
+        "  {} applied batches ({} no-ops), {} checks; plans: {} unchanged / {} incremental / \
+         {} recompute; {} warm runs, {} compactions — {} divergence(s) [{:.1}s]",
+        fuzz_report.rounds_applied,
+        fuzz_report.rounds_noop,
+        fuzz_report.checks,
+        fuzz_report.plans_unchanged,
+        fuzz_report.plans_incremental,
+        fuzz_report.plans_recompute,
+        fuzz_report.warm_runs,
+        fuzz_report.compactions,
+        fuzz_report.divergences.len(),
+        t0.elapsed().as_secs_f64(),
+    );
+    for d in &fuzz_report.divergences {
+        println!(
+            "  DIVERGED case {} round {} ({}, {} nodes / {} edges): {}/{} src {}{}",
+            d.case,
+            d.round,
+            d.generator,
+            d.nodes,
+            d.edges,
+            d.algo,
+            d.lane,
+            d.src,
+            d.error
+                .as_ref()
+                .map(|e| format!(" — error: {e}"))
+                .unwrap_or_default()
+        );
+        if !d.minimized_updates.is_empty() {
+            println!(
+                "    minimized to {} update(s): {:?}",
+                d.minimized_updates.len(),
+                d.minimized_updates
+            );
+        }
+    }
+
+    let graph = Dataset::Amazon.generate_weighted(cli.scale, cli.seed, 64);
+    let sizes = agg_bench::sweep_sizes(graph.edge_count());
+    println!(
+        "crossover: amazon at {:?} ({} nodes / {} edges), insert batches {:?}",
+        cli.scale,
+        graph.node_count(),
+        graph.edge_count(),
+        sizes
+    );
+    let xr = agg_bench::crossover(&graph, cli.seed, &sizes);
+    let header: Vec<String> = ["algo", "batch", "seeds", "plan", "fresh_ms", "warm_ms", "speedup"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let rows: Vec<Vec<String>> = xr
+        .rows
+        .iter()
+        .map(|p| {
+            vec![
+                p.algo.clone(),
+                p.batch_size.to_string(),
+                p.seeds.to_string(),
+                p.plan.clone(),
+                format!("{:.3}", p.fresh_ns / 1e6),
+                p.warm_ns
+                    .map(|w| format!("{:.3}", w / 1e6))
+                    .unwrap_or_else(|| "-".into()),
+                p.speedup()
+                    .map(|s| format!("{s:.2}x"))
+                    .unwrap_or_else(|| "-".into()),
+            ]
+        })
+        .collect();
+    println!("{}", format_table(&header, &rows, |_| None));
+    for (algo, at) in &xr.crossover_at {
+        match at {
+            Some(k) => println!(
+                "  {algo}: incremental repair stops winning at batch size {k}"
+            ),
+            None => println!("  {algo}: incremental repair won at every swept size"),
+        }
+    }
+    println!(
+        "(speedup = cold modeled time / warm modeled time on the updated graph; \"-\" = the\n\
+         \u{20}planner served unchanged or fell back to recompute; every warm result above was\n\
+         \u{20}verified bit-identical to the cold run before its time was recorded)"
+    );
+    let path = write_csv(&cli.out, "dynamic_crossover", &header, &rows).unwrap();
+    println!("[csv] {}", path.display());
+
+    let doc = Json::obj([
+        ("suite", "dynamic".into()),
+        ("scale", format!("{:?}", cli.scale).into()),
+        ("seed", cli.seed.into()),
+        ("identity", fuzz_report.to_json()),
+        ("crossover", xr.to_json()),
+    ]);
+    std::fs::write("BENCH_dynamic.json", doc.render_pretty()).expect("write BENCH_dynamic.json");
+    println!("[json] BENCH_dynamic.json");
+    if let Some(path) = &cli.json {
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir).expect("create --json directory");
+        }
+        std::fs::write(path, doc.render_pretty()).expect("write --json file");
+        println!("[json] {}", path.display());
+    }
+
+    let mut failed = Vec::new();
+    if !fuzz_report.is_clean() {
+        failed.push("identity fuzz found divergences");
+    }
+    if fuzz_report.plans_incremental == 0 {
+        failed.push("the corpus never exercised an incremental plan");
+    }
+    if !xr.identity_ok {
+        failed.push("a warm repair diverged from its cold recompute");
+    }
+    if xr.rows.is_empty() {
+        failed.push("the crossover sweep produced no rows");
+    }
+    if !failed.is_empty() {
+        for f in &failed {
+            eprintln!("dynamic: FAILED — {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("dynamic: clean");
 }
 
 /// Pulls the rolling cached-qps history out of the previous

@@ -496,7 +496,7 @@ fn sharded_values(
 }
 
 /// Positions where two value arrays differ (capped for reporting).
-fn mismatches(expected: &[u32], actual: &[u32]) -> Vec<usize> {
+pub(crate) fn mismatches(expected: &[u32], actual: &[u32]) -> Vec<usize> {
     if expected.len() != actual.len() {
         return vec![usize::MAX];
     }

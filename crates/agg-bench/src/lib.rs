@@ -5,11 +5,16 @@
 //! and figure of the paper) and the criterion benches.
 
 pub mod differential;
+pub mod dynamic;
 pub mod runner;
 pub mod tables;
 pub mod workloads;
 
 pub use differential::{fuzz, CaseGraph, Divergence, FuzzConfig, FuzzReport, Minimized};
+pub use dynamic::{
+    crossover, dyn_fuzz, sweep_sizes, CrossoverPoint, CrossoverReport, DynDivergence,
+    DynFuzzConfig, DynFuzzReport,
+};
 pub use runner::{cpu_baseline_ns, gpu_static_run, query_for, speedup_table, SpeedupTable};
 pub use tables::{format_table, write_csv};
 pub use workloads::{load, load_all, Workload, DEFAULT_SEED, MAX_WEIGHT};

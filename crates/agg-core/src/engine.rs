@@ -918,6 +918,101 @@ pub fn run(
     query: Query,
     options: &RunOptions,
 ) -> Result<RunReport, CoreError> {
+    run_inner(dev, kernels, dg, state, query, options, None)
+}
+
+/// A warm start for incremental repair: the previous fixpoint plus the
+/// net-inserted edges whose relaxation seeds the first working set.
+struct WarmSpec<'a> {
+    /// The value array of the previous fixpoint (length `n`).
+    values: &'a [u32],
+    /// Net-inserted `(src, dst, weight)` edges. Weights are remapped per
+    /// algorithm before upload (BFS → 1, CC → 0, SSSP → as given).
+    added: &'a [(u32, u32, u32)],
+}
+
+/// Runs one typed query *warm*: instead of resetting state for the
+/// query's source, the device starts from `warm_values` (the fixpoint of
+/// the pre-update graph, with any affecting deletions already ruled out
+/// by the caller) and seeds the working set by relaxing `added` — the
+/// update batch's net-inserted edges — via the repair kernel. Because
+/// BFS levels, SSSP distances, and CC labels are unique fixpoints of a
+/// monotone relaxation, the result is bit-identical to a from-scratch
+/// run on the updated graph (`dg` must already hold it).
+///
+/// Only unordered relaxation can re-improve finite values, so ordered
+/// static variants, `Hybrid`, and `DirectionOptimized` are rejected
+/// (`Adaptive` always selects unordered variants), as is PageRank.
+pub fn run_warm(
+    dev: &mut Device,
+    kernels: &GpuKernels,
+    dg: &DeviceGraph,
+    state: &AlgoState,
+    query: Query,
+    options: &RunOptions,
+    warm_values: &[u32],
+    added: &[(u32, u32, u32)],
+) -> Result<RunReport, CoreError> {
+    validate_query(query, options, dg)?;
+    if query.algo() == Algo::PageRank {
+        return Err(CoreError::Unsupported {
+            detail: "warm-start repair covers the monotone algorithms (BFS/SSSP/CC); \
+                     PageRank updates recompute"
+                .into(),
+        });
+    }
+    match options.strategy {
+        Strategy::Hybrid { .. } | Strategy::DirectionOptimized { .. } => {
+            return Err(CoreError::Unsupported {
+                detail: "warm-start repair supports Adaptive, Static (unordered), and \
+                         VirtualWarp strategies only"
+                    .into(),
+            });
+        }
+        Strategy::Static(v) if v.order == AlgoOrder::Ordered => {
+            return Err(CoreError::Unsupported {
+                detail: "warm-start repair needs unordered relaxation; ordered variants \
+                         never re-improve finite values"
+                    .into(),
+            });
+        }
+        _ => {}
+    }
+    if dg.n == 0 {
+        return Ok(empty_report());
+    }
+    if warm_values.len() != dg.n as usize {
+        return Err(CoreError::InvalidQuery {
+            detail: format!(
+                "warm value array has {} entries for a {}-node graph",
+                warm_values.len(),
+                dg.n
+            ),
+        });
+    }
+    run_inner(
+        dev,
+        kernels,
+        dg,
+        state,
+        query,
+        options,
+        Some(WarmSpec {
+            values: warm_values,
+            added,
+        }),
+    )
+}
+
+fn run_inner(
+    dev: &mut Device,
+    kernels: &GpuKernels,
+    dg: &DeviceGraph,
+    state: &AlgoState,
+    query: Query,
+    options: &RunOptions,
+    warm: Option<WarmSpec<'_>>,
+) -> Result<RunReport, CoreError> {
     validate_query(query, options, dg)?;
     if dg.n == 0 {
         return Ok(empty_report());
@@ -955,10 +1050,39 @@ pub fn run(
     let start_stats = dev.cumulative_stats();
     let start_profile = dev.profile().clone();
     let races_before = race_counts(dev);
-    match algo {
-        Algo::Cc => state.reset_cc(dev, n)?,
-        Algo::PageRank => state.reset_pagerank(dev, pagerank.damping)?,
-        _ => state.reset(dev, src)?,
+    match &warm {
+        Some(spec) => {
+            // Warm start: previous fixpoint in, working set seeded by
+            // relaxing the delta edge list (all charged to setup).
+            state.reset_warm(dev, spec.values)?;
+            if !spec.added.is_empty() {
+                let count = spec.added.len();
+                let esrc: Vec<u32> = spec.added.iter().map(|e| e.0).collect();
+                let edst: Vec<u32> = spec.added.iter().map(|e| e.1).collect();
+                let ew: Vec<u32> = spec
+                    .added
+                    .iter()
+                    .map(|e| match algo {
+                        Algo::Bfs => 1,
+                        Algo::Cc => 0,
+                        _ => e.2,
+                    })
+                    .collect();
+                let esrc = dev.alloc_from_slice("repair_esrc", &esrc);
+                let edst = dev.alloc_from_slice("repair_edst", &edst);
+                let ew = dev.alloc_from_slice("repair_ew", &ew);
+                dev.launch(
+                    &kernels.repair_relax,
+                    Grid::linear(count as u64, tuning.thread_block_threads),
+                    &state.repair_args(esrc, edst, ew, count as u32),
+                )?;
+            }
+        }
+        None => match algo {
+            Algo::Cc => state.reset_cc(dev, n)?,
+            Algo::PageRank => state.reset_pagerank(dev, pagerank.damping)?,
+            _ => state.reset(dev, src)?,
+        },
     }
     // Setup covers everything before the first iteration; the graph H2D
     // transfer (when charged to this run) belongs to it. Folding it in
@@ -987,10 +1111,11 @@ pub fn run(
         degree_census_launches: 0,
     };
 
-    let mut est_ws: u32 = if matches!(algo, Algo::Cc | Algo::PageRank) {
-        n
-    } else {
-        1
+    let mut est_ws: u32 = match &warm {
+        // A repair's first working set is at most one node per delta edge.
+        Some(spec) => (spec.added.len() as u32).clamp(1, n),
+        None if matches!(algo, Algo::Cc | Algo::PageRank) => n,
+        None => 1,
     };
     let mut est_avg_deg: f64 = dg.avg_outdegree;
     let mut prev_variant: Option<Variant> = None;

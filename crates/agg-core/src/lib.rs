@@ -34,8 +34,8 @@ pub use api::GpuGraph;
 pub use config::{AdaptiveConfig, DegreeMode};
 pub use decision::{decide, Region};
 pub use engine::{
-    run, Algo, CensusMode, CoreError, IterationRecord, PageRankConfig, Query, RunOptions,
-    RunOptionsBuilder, RunReport, Strategy,
+    run, run_warm, Algo, CensusMode, CoreError, IterationRecord, PageRankConfig, Query,
+    RunOptions, RunOptionsBuilder, RunReport, Strategy,
 };
 pub use metrics::Metrics;
 pub use session::{BatchReport, QueryReport, Session};

@@ -172,6 +172,55 @@ impl Session {
         result
     }
 
+    /// Replaces the session's resident graph with `g` (same device, fresh
+    /// upload and state pool). The batch-dynamic layer calls this after
+    /// applying an update batch so every subsequent run — warm or cold —
+    /// executes against the current CSR snapshot. Worker devices are
+    /// dropped and lazily recreated with the new graph; if the old graph
+    /// had its reverse uploaded (bottom-up / PageRank), the new one gets
+    /// it too.
+    pub fn reload_graph(&mut self, g: &CsrGraph) -> Result<(), CoreError> {
+        let had_reverse = self.dg.rrow.is_some();
+        self.dg = DeviceGraph::upload(&mut self.dev, g);
+        self.pool = StatePool::new(self.dg.n);
+        self.pool.warm(&mut self.dev, 1)?;
+        self.graph = g.clone();
+        self.workers.clear();
+        if had_reverse {
+            self.dg.upload_reverse(&mut self.dev, &self.graph);
+        }
+        Ok(())
+    }
+
+    /// Runs one query *warm* on the session's main device: starting from
+    /// `warm_values` (the pre-update fixpoint) and seeding the working
+    /// set from `added` (the update batch's net-inserted edges) instead
+    /// of resetting from the query's source. See [`crate::run_warm`] for
+    /// the soundness contract — the session's resident graph must already
+    /// be the updated one (via [`Session::reload_graph`]).
+    pub fn run_warm(
+        &mut self,
+        query: Query,
+        options: &RunOptions,
+        warm_values: &[u32],
+        added: &[(u32, u32, u32)],
+    ) -> Result<RunReport, CoreError> {
+        let state = self.pool.acquire(&mut self.dev)?;
+        let result = crate::engine::run_warm(
+            &mut self.dev,
+            &self.kernels,
+            &self.dg,
+            &state,
+            query,
+            options,
+            warm_values,
+            added,
+        );
+        self.pool.release(state);
+        self.queries_run += 1;
+        result
+    }
+
     /// Runs a batch of queries and returns per-query reports in
     /// submission order. The batch fails fast — before any execution — if
     /// any query is invalid. The graph H2D transfer is never re-charged

@@ -1,0 +1,194 @@
+//! Instrumented incremental repair — the CPU oracle for `agg-dynamic`.
+//!
+//! BFS levels, SSSP distances, and CC min-labels are each the *unique*
+//! fixpoint of a monotone relaxation over the graph, so repairing a stale
+//! value array by re-relaxing from a set of seed improvements converges to
+//! exactly the same array a from-scratch recompute would produce — bit
+//! identity is a theorem, not a tolerance. This module provides the
+//! worklist relaxation shared by all three algorithms, counting its work
+//! like every other baseline in this crate so the differential harness can
+//! compare modeled repair cost against recompute cost.
+//!
+//! The caller (the `agg-dynamic` crate) decides *what* to seed: on edge
+//! insertion a value can only decrease, so the seeds are the insertion
+//! endpoints whose tentative value improves; deletions that could raise a
+//! value fall back to recompute there.
+
+use crate::cost::{CpuCostModel, CpuCounters, CpuRun};
+use agg_graph::{CsrGraph, NodeId, INF};
+use std::collections::VecDeque;
+
+/// Which monotone relaxation is being repaired. Determines the candidate
+/// value an edge `(u, v, w)` proposes for `v` given `value[u]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RelaxKind {
+    /// BFS levels: `value[u] + 1`.
+    Bfs,
+    /// SSSP distances: `value[u] + w` (saturating).
+    Sssp,
+    /// CC min-labels: `value[u]` (labels flow along edge direction).
+    Cc,
+}
+
+impl RelaxKind {
+    /// The value edge `(u, v)` with weight `w` proposes for `v`.
+    #[inline]
+    pub fn candidate(self, value_u: u32, w: u32) -> u32 {
+        match self {
+            RelaxKind::Bfs => value_u.saturating_add(1),
+            RelaxKind::Sssp => value_u.saturating_add(w),
+            RelaxKind::Cc => value_u,
+        }
+    }
+}
+
+/// Worklist repair: starting from the stale `old` array, applies the seed
+/// improvements `(node, candidate)` and re-relaxes to the fixpoint over
+/// `g` (which must be the *updated* graph). Returns the repaired array —
+/// bit-identical to a from-scratch recompute — plus work counters.
+///
+/// Seeding every node with its initial value (`(src, 0)` over all-`INF`
+/// for BFS/SSSP; `(i, i)` for CC) makes this a full recompute, which the
+/// tests exploit.
+pub fn repair(
+    g: &CsrGraph,
+    kind: RelaxKind,
+    old: &[u32],
+    seeds: &[(NodeId, u32)],
+    model: &CpuCostModel,
+) -> CpuRun {
+    let n = g.node_count();
+    assert_eq!(old.len(), n, "stale value array must cover every node");
+    let mut value = old.to_vec();
+    let mut c = CpuCounters::default();
+    let mut q = VecDeque::new();
+    let mut queued = vec![false; n];
+    for &(node, cand) in seeds {
+        if cand < value[node as usize] {
+            value[node as usize] = cand;
+            if !queued[node as usize] {
+                queued[node as usize] = true;
+                q.push_back(node);
+                c.queue_ops += 1;
+            }
+        }
+    }
+    while let Some(u) = q.pop_front() {
+        c.queue_ops += 1;
+        queued[u as usize] = false;
+        c.nodes += 1;
+        let base = value[u as usize];
+        for (v, w) in g.weighted_neighbors(u) {
+            c.edges += 1;
+            let cand = kind.candidate(base, w);
+            if cand < value[v as usize] {
+                value[v as usize] = cand;
+                if !queued[v as usize] {
+                    queued[v as usize] = true;
+                    q.push_back(v);
+                    c.queue_ops += 1;
+                }
+            }
+        }
+    }
+    let time_ns = model.modeled_ns(&c);
+    CpuRun {
+        result: value,
+        counters: c,
+        time_ns,
+    }
+}
+
+/// Full recompute via [`repair`] seeded from scratch — the reference the
+/// incremental path is compared against. For [`RelaxKind::Cc`] the `src`
+/// argument is ignored (every node seeds its own label).
+pub fn recompute(g: &CsrGraph, kind: RelaxKind, src: NodeId, model: &CpuCostModel) -> CpuRun {
+    let n = g.node_count();
+    match kind {
+        RelaxKind::Bfs | RelaxKind::Sssp => {
+            let old = vec![INF; n];
+            let seeds = if n == 0 { vec![] } else { vec![(src, 0)] };
+            repair(g, kind, &old, &seeds, model)
+        }
+        RelaxKind::Cc => {
+            let old = vec![INF; n];
+            let seeds: Vec<(NodeId, u32)> = (0..n as u32).map(|i| (i, i)).collect();
+            repair(g, kind, &old, &seeds, model)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agg_graph::traversal;
+    use agg_graph::{Dataset, Scale};
+
+    #[test]
+    fn scratch_seeded_repair_matches_reference_bfs() {
+        let g = Dataset::Amazon.generate(Scale::Tiny, 3);
+        let run = recompute(&g, RelaxKind::Bfs, 0, &CpuCostModel::default());
+        assert_eq!(run.result, traversal::bfs_levels(&g, 0));
+    }
+
+    #[test]
+    fn scratch_seeded_repair_matches_reference_cc() {
+        let g = Dataset::P2p.generate(Scale::Tiny, 5);
+        let run = recompute(&g, RelaxKind::Cc, 0, &CpuCostModel::default());
+        assert_eq!(run.result, traversal::min_labels(&g));
+    }
+
+    #[test]
+    fn scratch_seeded_repair_matches_dijkstra() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let g = Dataset::P2p
+            .generate(Scale::Tiny, 7)
+            .with_random_weights(&mut rng, 16);
+        let run = recompute(&g, RelaxKind::Sssp, 0, &CpuCostModel::default());
+        let reference = crate::dijkstra(&g, 0, &CpuCostModel::default());
+        assert_eq!(run.result, reference.result);
+    }
+
+    #[test]
+    fn insert_repair_is_bit_identical_to_recompute() {
+        let g = Dataset::Amazon.generate(Scale::Tiny, 9);
+        let model = CpuCostModel::default();
+        let old = recompute(&g, RelaxKind::Bfs, 0, &model).result;
+        // Insert an edge from a reachable node to wherever node n-1 is.
+        let n = g.node_count() as u32;
+        let added = [(0u32, n - 1, 1u32)];
+        let updated = g.rebuilt_with(&added, &[]).unwrap();
+        let seeds: Vec<(u32, u32)> = added
+            .iter()
+            .filter(|&&(u, _, _)| old[u as usize] != INF)
+            .map(|&(u, v, w)| (v, RelaxKind::Bfs.candidate(old[u as usize], w)))
+            .collect();
+        let repaired = repair(&updated, RelaxKind::Bfs, &old, &seeds, &model);
+        let fresh = recompute(&updated, RelaxKind::Bfs, 0, &model);
+        assert_eq!(repaired.result, fresh.result);
+        // The repair touched far fewer edges than the recompute.
+        assert!(repaired.counters.edges <= fresh.counters.edges);
+    }
+
+    #[test]
+    fn noop_seeds_touch_nothing() {
+        let g = Dataset::Amazon.generate(Scale::Tiny, 2);
+        let model = CpuCostModel::default();
+        let old = recompute(&g, RelaxKind::Bfs, 0, &model).result;
+        // A seed no better than the current value is ignored outright.
+        let seeds = vec![(0u32, old[0])];
+        let run = repair(&g, RelaxKind::Bfs, &old, &seeds, &model);
+        assert_eq!(run.result, old);
+        assert_eq!(run.counters.nodes, 0);
+        assert_eq!(run.counters.edges, 0);
+    }
+
+    #[test]
+    fn empty_graph_repair() {
+        let g = CsrGraph::empty(0);
+        let run = repair(&g, RelaxKind::Cc, &[], &[], &CpuCostModel::default());
+        assert!(run.result.is_empty());
+        assert_eq!(run.time_ns, 0.0);
+    }
+}

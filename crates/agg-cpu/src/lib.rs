@@ -20,10 +20,12 @@ pub mod bfs;
 pub mod cc;
 pub mod cost;
 pub mod dijkstra;
+pub mod incremental;
 pub mod pagerank;
 
 pub use bfs::bfs;
 pub use cc::connected_components;
 pub use cost::{CpuCostModel, CpuCounters, CpuRun};
 pub use dijkstra::{bellman_ford, dijkstra};
+pub use incremental::{repair, recompute, RelaxKind};
 pub use pagerank::{pagerank_delta, pagerank_power, PageRankRun};

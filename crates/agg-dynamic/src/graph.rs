@@ -1,0 +1,459 @@
+//! The batch-dynamic graph: a base CSR plus per-epoch delta buffers,
+//! compacted back into CSR when the delta fraction crosses a threshold.
+//!
+//! Applying a batch computes its *net effect* against the pre-batch
+//! graph (an insert and delete of the same pair in one batch cancel), so
+//! downstream consumers — cache repair, the warm-start engine, the CPU
+//! oracle — see exactly the edges that changed. Reads go through
+//! [`DynamicGraph::snapshot`], a lazily built and cached merged CSR;
+//! compaction simply promotes that snapshot to the new base.
+
+use crate::update::{EdgeUpdate, UpdateBatch};
+use agg_graph::{CsrGraph, GraphError, NodeId};
+use std::collections::{HashMap, HashSet};
+
+/// When to fold the delta buffers back into the base CSR.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompactionPolicy {
+    /// Compact when `(pending inserts + removed base copies) /
+    /// base edge count` exceeds this fraction.
+    pub max_delta_fraction: f64,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        CompactionPolicy {
+            max_delta_fraction: 0.25,
+        }
+    }
+}
+
+/// Counters the dynamic layer keeps about itself.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DynStats {
+    /// Batches that mutated the graph (and bumped the epoch).
+    pub applied_batches: u64,
+    /// Batches that were no-ops (empty, or net-zero effect).
+    pub noop_batches: u64,
+    /// Net edge copies inserted across all applied batches.
+    pub inserted_edges: u64,
+    /// Net edge copies removed across all applied batches.
+    pub removed_edges: u64,
+    /// Times the delta buffers were folded into a new base CSR.
+    pub compactions: u64,
+    /// Merged-CSR snapshot builds (cache misses on [`DynamicGraph::snapshot`]).
+    pub snapshot_builds: u64,
+}
+
+/// What applying a batch did. `added` / `removed` are the batch's net
+/// effect against the pre-batch graph — `removed` carries the weights
+/// the removed copies had, which the repair planner's affecting-delete
+/// checks need.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApplyOutcome {
+    /// The epoch after application (unchanged for no-op batches).
+    pub epoch: u64,
+    /// Whether the graph changed (and the epoch advanced).
+    pub bumped: bool,
+    /// Whether this application triggered a compaction.
+    pub compacted: bool,
+    /// Net-inserted `(src, dst, weight)` copies.
+    pub added: Vec<(NodeId, NodeId, u32)>,
+    /// Net-removed `(src, dst, weight)` copies.
+    pub removed: Vec<(NodeId, NodeId, u32)>,
+}
+
+impl ApplyOutcome {
+    /// Total net edge copies touched.
+    pub fn delta_edges(&self) -> usize {
+        self.added.len() + self.removed.len()
+    }
+}
+
+/// A mutable multigraph over an immutable CSR base (see module docs).
+#[derive(Debug, Clone)]
+pub struct DynamicGraph {
+    base: CsrGraph,
+    /// Pending inserted copies, in insertion order.
+    inserts: Vec<(NodeId, NodeId, u32)>,
+    /// Base pairs whose every copy is deleted.
+    deleted_pairs: HashSet<(NodeId, NodeId)>,
+    /// Number of base edge copies covered by `deleted_pairs`.
+    removed_base_copies: usize,
+    /// Lazily built base pair → copy count index (first delete builds it).
+    base_pair_counts: Option<HashMap<(NodeId, NodeId), u32>>,
+    epoch: u64,
+    policy: CompactionPolicy,
+    snapshot: Option<CsrGraph>,
+    stats: DynStats,
+}
+
+impl DynamicGraph {
+    /// Wraps a CSR base with the default compaction policy.
+    pub fn new(base: CsrGraph) -> DynamicGraph {
+        DynamicGraph::with_policy(base, CompactionPolicy::default())
+    }
+
+    /// Wraps a CSR base with an explicit compaction policy.
+    pub fn with_policy(base: CsrGraph, policy: CompactionPolicy) -> DynamicGraph {
+        DynamicGraph {
+            base,
+            inserts: Vec::new(),
+            deleted_pairs: HashSet::new(),
+            removed_base_copies: 0,
+            base_pair_counts: None,
+            epoch: 0,
+            policy,
+            snapshot: None,
+            stats: DynStats::default(),
+        }
+    }
+
+    /// Number of nodes (fixed for the graph's lifetime).
+    pub fn node_count(&self) -> usize {
+        self.base.node_count()
+    }
+
+    /// Current logical edge-copy count.
+    pub fn edge_count(&self) -> usize {
+        self.base.edge_count() - self.removed_base_copies + self.inserts.len()
+    }
+
+    /// Whether edges carry weights.
+    pub fn is_weighted(&self) -> bool {
+        self.base.is_weighted()
+    }
+
+    /// Monotonic mutation epoch: bumped once per applied (non-no-op)
+    /// batch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Pending delta size relative to the base CSR.
+    pub fn delta_fraction(&self) -> f64 {
+        (self.inserts.len() + self.removed_base_copies) as f64
+            / (self.base.edge_count().max(1)) as f64
+    }
+
+    /// The layer's own counters.
+    pub fn stats(&self) -> DynStats {
+        self.stats
+    }
+
+    fn base_pair_count(&mut self, pair: (NodeId, NodeId)) -> u32 {
+        let index = self.base_pair_counts.get_or_insert_with(|| {
+            let mut m: HashMap<(NodeId, NodeId), u32> = HashMap::new();
+            for (src, dst, _) in self.base.edges() {
+                *m.entry((src, dst)).or_insert(0) += 1;
+            }
+            m
+        });
+        index.get(&pair).copied().unwrap_or(0)
+    }
+
+    /// Whether the pre-batch logical graph holds at least one copy of
+    /// `pair`.
+    fn logical_has_pair(&mut self, pair: (NodeId, NodeId)) -> bool {
+        if self.inserts.iter().any(|e| (e.0, e.1) == pair) {
+            return true;
+        }
+        !self.deleted_pairs.contains(&pair) && self.base_pair_count(pair) > 0
+    }
+
+    /// Applies a batch with sequential semantics and returns its net
+    /// effect. Endpoints are validated up front: an out-of-range node
+    /// fails the whole batch with no partial application. An empty batch
+    /// — or one whose net effect is empty, like deleting an absent edge —
+    /// is a typed no-op: no epoch bump, no snapshot invalidation, no
+    /// compaction.
+    pub fn apply(&mut self, batch: &UpdateBatch) -> Result<ApplyOutcome, GraphError> {
+        let n = self.node_count() as u64;
+        for u in &batch.updates {
+            let (src, dst) = u.endpoints();
+            for node in [src, dst] {
+                if node as u64 >= n {
+                    return Err(GraphError::NodeOutOfRange {
+                        node: node as u64,
+                        node_count: n,
+                    });
+                }
+            }
+        }
+        if batch.is_empty() {
+            self.stats.noop_batches += 1;
+            return Ok(self.noop_outcome());
+        }
+
+        // Net effect against the pre-batch graph: inserts accumulate,
+        // a delete cancels this batch's earlier inserts of the pair and
+        // marks the pair's pre-batch copies (if any) for removal.
+        let weighted = self.is_weighted();
+        let mut batch_added: Vec<(NodeId, NodeId, u32)> = Vec::new();
+        let mut pairs_to_remove: Vec<(NodeId, NodeId)> = Vec::new();
+        let mut pair_removed: HashSet<(NodeId, NodeId)> = HashSet::new();
+        for u in &batch.updates {
+            match *u {
+                EdgeUpdate::Insert { src, dst, weight } => {
+                    batch_added.push((src, dst, if weighted { weight } else { 1 }));
+                }
+                EdgeUpdate::Delete { src, dst } => {
+                    batch_added.retain(|e| (e.0, e.1) != (src, dst));
+                    if !pair_removed.contains(&(src, dst)) && self.logical_has_pair((src, dst)) {
+                        pair_removed.insert((src, dst));
+                        pairs_to_remove.push((src, dst));
+                    }
+                }
+            }
+        }
+        let mut removed: Vec<(NodeId, NodeId, u32)> = Vec::new();
+        for &(src, dst) in &pairs_to_remove {
+            if !self.deleted_pairs.contains(&(src, dst)) {
+                for (v, w) in self.base.weighted_neighbors(src) {
+                    if v == dst {
+                        removed.push((src, dst, w));
+                    }
+                }
+            }
+            removed.extend(
+                self.inserts
+                    .iter()
+                    .filter(|e| (e.0, e.1) == (src, dst))
+                    .copied(),
+            );
+        }
+        if batch_added.is_empty() && removed.is_empty() {
+            self.stats.noop_batches += 1;
+            return Ok(self.noop_outcome());
+        }
+
+        // Mutate: removals first so re-inserted pairs survive.
+        for &(src, dst) in &pairs_to_remove {
+            self.inserts.retain(|e| (e.0, e.1) != (src, dst));
+            if !self.deleted_pairs.contains(&(src, dst)) {
+                let copies = self.base_pair_count((src, dst));
+                if copies > 0 {
+                    self.removed_base_copies += copies as usize;
+                    self.deleted_pairs.insert((src, dst));
+                }
+            }
+        }
+        self.inserts.extend(batch_added.iter().copied());
+        self.epoch += 1;
+        self.snapshot = None;
+        self.stats.applied_batches += 1;
+        self.stats.inserted_edges += batch_added.len() as u64;
+        self.stats.removed_edges += removed.len() as u64;
+
+        let compacted = self.delta_fraction() > self.policy.max_delta_fraction;
+        if compacted {
+            self.compact()?;
+        }
+        Ok(ApplyOutcome {
+            epoch: self.epoch,
+            bumped: true,
+            compacted,
+            added: batch_added,
+            removed,
+        })
+    }
+
+    fn noop_outcome(&self) -> ApplyOutcome {
+        ApplyOutcome {
+            epoch: self.epoch,
+            bumped: false,
+            compacted: false,
+            added: Vec::new(),
+            removed: Vec::new(),
+        }
+    }
+
+    /// Folds the delta buffers into a new base CSR immediately,
+    /// regardless of the policy threshold.
+    pub fn compact(&mut self) -> Result<(), GraphError> {
+        let merged = self.build_merged()?;
+        self.base = merged.clone();
+        self.snapshot = Some(merged);
+        self.inserts.clear();
+        self.deleted_pairs.clear();
+        self.removed_base_copies = 0;
+        self.base_pair_counts = None;
+        self.stats.compactions += 1;
+        Ok(())
+    }
+
+    fn build_merged(&mut self) -> Result<CsrGraph, GraphError> {
+        self.stats.snapshot_builds += 1;
+        let mut dead: Vec<(NodeId, NodeId)> = self.deleted_pairs.iter().copied().collect();
+        dead.sort_unstable();
+        self.base.rebuilt_with(&self.inserts, &dead)
+    }
+
+    /// The current graph as a merged CSR, built lazily and cached until
+    /// the next mutation. This is what gets (re)uploaded to the device
+    /// and what the CPU oracle reads.
+    pub fn snapshot(&mut self) -> Result<&CsrGraph, GraphError> {
+        if self.snapshot.is_none() {
+            let merged = self.build_merged()?;
+            self.snapshot = Some(merged);
+        }
+        Ok(self.snapshot.as_ref().expect("just built"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> CsrGraph {
+        // 0 -> {1, 2}, 1 -> {3}, 2 -> {3}, 3 -> {}
+        CsrGraph::from_raw(vec![0, 2, 3, 4, 4], vec![1, 2, 3, 3], None).unwrap()
+    }
+
+    fn sorted_edges(g: &CsrGraph) -> Vec<(u32, u32, u32)> {
+        let mut e: Vec<_> = g.edges().collect();
+        e.sort_unstable();
+        e
+    }
+
+    #[test]
+    fn empty_batch_is_a_typed_noop() {
+        let mut dg = DynamicGraph::new(diamond());
+        // Prime the snapshot cache so we can observe it surviving.
+        let before = dg.snapshot().unwrap().clone();
+        let builds_before = dg.stats().snapshot_builds;
+        let out = dg.apply(&UpdateBatch::new()).unwrap();
+        assert!(!out.bumped);
+        assert!(!out.compacted);
+        assert_eq!(out.epoch, 0);
+        assert_eq!(dg.epoch(), 0);
+        assert_eq!(dg.stats().noop_batches, 1);
+        assert_eq!(dg.stats().compactions, 0);
+        // Snapshot cache untouched: same build count, same contents.
+        assert_eq!(dg.stats().snapshot_builds, builds_before);
+        assert_eq!(dg.snapshot().unwrap(), &before);
+    }
+
+    #[test]
+    fn net_zero_batch_is_a_noop() {
+        let mut dg = DynamicGraph::new(diamond());
+        let mut b = UpdateBatch::new();
+        b.insert(3, 0, 1).delete(3, 0).delete(1, 0); // (1,0) doesn't exist
+        let out = dg.apply(&b).unwrap();
+        assert!(!out.bumped);
+        assert_eq!(dg.epoch(), 0);
+        assert_eq!(dg.edge_count(), 4);
+    }
+
+    #[test]
+    fn insert_then_delete_sequential_semantics() {
+        let mut dg = DynamicGraph::new(diamond());
+        // Delete an existing pair, re-insert it, then insert a new one.
+        let mut b = UpdateBatch::new();
+        b.delete(0, 1).insert(0, 1, 1).insert(3, 0, 1);
+        let out = dg.apply(&b).unwrap();
+        assert!(out.bumped);
+        assert_eq!(out.epoch, 1);
+        assert_eq!(out.removed, vec![(0, 1, 1)]);
+        let mut added = out.added.clone();
+        added.sort_unstable();
+        assert_eq!(added, vec![(0, 1, 1), (3, 0, 1)]);
+        assert_eq!(dg.edge_count(), 5);
+        let snap = dg.snapshot().unwrap();
+        assert_eq!(
+            sorted_edges(snap),
+            vec![(0, 1, 1), (0, 2, 1), (1, 3, 1), (2, 3, 1), (3, 0, 1)]
+        );
+    }
+
+    #[test]
+    fn delete_removes_all_parallel_copies() {
+        let mut dg = DynamicGraph::new(diamond());
+        let mut b = UpdateBatch::new();
+        b.insert(0, 1, 1).insert(0, 1, 1);
+        dg.apply(&b).unwrap();
+        assert_eq!(dg.edge_count(), 6);
+        let mut b = UpdateBatch::new();
+        b.delete(0, 1);
+        let out = dg.apply(&b).unwrap();
+        // One base copy + two pending-insert copies all removed.
+        assert_eq!(out.removed.len(), 3);
+        assert_eq!(dg.edge_count(), 3);
+        assert!(dg.snapshot().unwrap().edges().all(|(s, d, _)| (s, d) != (0, 1)));
+    }
+
+    #[test]
+    fn out_of_range_endpoint_fails_whole_batch() {
+        let mut dg = DynamicGraph::new(diamond());
+        let mut b = UpdateBatch::new();
+        b.insert(0, 3, 1).insert(0, 99, 1);
+        assert!(matches!(
+            dg.apply(&b),
+            Err(GraphError::NodeOutOfRange { node: 99, .. })
+        ));
+        // Nothing applied.
+        assert_eq!(dg.epoch(), 0);
+        assert_eq!(dg.edge_count(), 4);
+    }
+
+    #[test]
+    fn compaction_promotes_snapshot_and_clears_deltas() {
+        let mut dg =
+            DynamicGraph::with_policy(diamond(), CompactionPolicy { max_delta_fraction: 0.5 });
+        let mut b = UpdateBatch::new();
+        b.insert(3, 0, 1).insert(3, 1, 1).insert(3, 2, 1);
+        let out = dg.apply(&b).unwrap();
+        assert!(out.compacted);
+        assert_eq!(dg.stats().compactions, 1);
+        assert_eq!(dg.delta_fraction(), 0.0);
+        assert_eq!(dg.edge_count(), 7);
+        // Post-compaction snapshot still reflects every edge.
+        assert_eq!(dg.snapshot().unwrap().edge_count(), 7);
+    }
+
+    #[test]
+    fn weighted_deltas_keep_weights() {
+        let base = diamond().with_weights(vec![5, 6, 7, 8]).unwrap();
+        let mut dg = DynamicGraph::new(base);
+        let mut b = UpdateBatch::new();
+        b.insert(3, 0, 9).delete(1, 3);
+        let out = dg.apply(&b).unwrap();
+        assert_eq!(out.removed, vec![(1, 3, 7)]);
+        assert_eq!(out.added, vec![(3, 0, 9)]);
+        let snap = dg.snapshot().unwrap();
+        assert_eq!(
+            sorted_edges(snap),
+            vec![(0, 1, 5), (0, 2, 6), (2, 3, 8), (3, 0, 9)]
+        );
+    }
+
+    #[test]
+    fn snapshot_matches_reference_multiset_over_random_batches() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let base = diamond();
+        let mut dg =
+            DynamicGraph::with_policy(base.clone(), CompactionPolicy { max_delta_fraction: 0.3 });
+        // Reference: a plain edge multiset with the same semantics.
+        let mut reference: Vec<(u32, u32, u32)> = base.edges().collect();
+        let mut ledger: Vec<(u32, u32)> = Vec::new();
+        for _ in 0..40 {
+            let batch =
+                crate::update::random_batch(&mut rng, 4, 3, false, &mut ledger);
+            for u in &batch.updates {
+                match *u {
+                    EdgeUpdate::Insert { src, dst, .. } => reference.push((src, dst, 1)),
+                    EdgeUpdate::Delete { src, dst } => {
+                        reference.retain(|e| (e.0, e.1) != (src, dst))
+                    }
+                }
+            }
+            dg.apply(&batch).unwrap();
+            let mut expect = reference.clone();
+            expect.sort_unstable();
+            assert_eq!(sorted_edges(dg.snapshot().unwrap()), expect);
+            assert_eq!(dg.edge_count(), reference.len());
+        }
+        assert!(dg.stats().compactions > 0, "threshold should have tripped");
+    }
+}

@@ -1,0 +1,174 @@
+#![warn(missing_docs)]
+
+//! Batch-dynamic graphs over the adaptive runtime (DESIGN.md §5j).
+//!
+//! Everything below this crate is static-CSR; everything above it wants
+//! graphs that mutate under load. [`DynamicGraph`] bridges the two: an
+//! immutable CSR base plus per-epoch delta buffers (inserted edge copies
+//! and deleted pairs), an amortized compaction policy that folds deltas
+//! back into CSR when their fraction crosses a threshold, and a cached
+//! merged snapshot for readers.
+//!
+//! The incremental layer exploits that BFS levels, SSSP distances, and
+//! CC min-labels are *unique fixpoints* of monotone relaxations:
+//!
+//! * [`plan_repair`] decides, per stale result, between serving it
+//!   [`RepairPlan::Unchanged`], warm [`RepairPlan::Incremental`] repair
+//!   from seed improvements, or [`RepairPlan::Recompute`] — the dynamic
+//!   analog of the paper's Figure-11 decision point;
+//! * the GPU executes incremental plans via
+//!   [`Session::run_warm`](agg_core::Session::run_warm) (previous
+//!   fixpoint in, delta edges relaxed on-device by the repair kernel);
+//! * [`cpu_apply_plan`] is the instrumented CPU oracle the differential
+//!   harness verifies every update against — bit-identical to a
+//!   from-scratch recompute, by construction;
+//! * [`minimize_updates`] ddmin-shrinks any diverging update sequence.
+//!
+//! The serving layer (`agg-serve`) owns the epoch/cache contract: each
+//! applied batch bumps the hosted graph's epoch, strands exactly the
+//! stale cache entries, and repairs or drops them per plan.
+
+pub mod graph;
+pub mod minimize;
+pub mod plan;
+pub mod update;
+
+pub use graph::{ApplyOutcome, CompactionPolicy, DynStats, DynamicGraph};
+pub use minimize::minimize_updates;
+pub use plan::{cpu_apply_plan, plan_repair, RecomputeReason, RepairKind, RepairPlan};
+pub use update::{random_batch, EdgeUpdate, UpdateBatch};
+
+#[cfg(test)]
+mod gpu_tests {
+    use super::*;
+    use agg_core::{Query, RunOptions, Session};
+    use agg_cpu::CpuCostModel;
+    use agg_graph::{Dataset, Scale};
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    /// A multi-chain graph: 40 disjoint directed chains of 50 nodes.
+    /// BFS/SSSP from node 0 reach only chain 0 and CC labels are the
+    /// chain heads, so random cross-chain inserts produce real seed
+    /// improvements — every plan arm gets exercised.
+    fn chains() -> agg_graph::CsrGraph {
+        let (chains, len) = (40u32, 50u32);
+        let mut edges = Vec::new();
+        for c in 0..chains {
+            for i in 0..len - 1 {
+                let u = c * len + i;
+                edges.push((u, u + 1, 1 + (u % 7)));
+            }
+        }
+        agg_graph::GraphBuilder::from_weighted_edges((chains * len) as usize, &edges).unwrap()
+    }
+
+    /// Warm GPU repair after random insert/delete batches is
+    /// bit-identical to a from-scratch run on the updated graph, for
+    /// every repairable algorithm.
+    #[test]
+    fn warm_gpu_repair_matches_recompute() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4242);
+        let base = chains();
+        let n = base.node_count() as u32;
+        let queries = [Query::Bfs { src: 0 }, Query::Sssp { src: 0 }, Query::Cc];
+        let opts = RunOptions::default();
+        let model = CpuCostModel::default();
+        let mut dg = DynamicGraph::new(base);
+        let mut session = Session::new(dg.snapshot().unwrap()).unwrap();
+        let mut ledger = Vec::new();
+        let mut incremental_seen = 0;
+        for round in 0..6 {
+            let old: Vec<Vec<u32>> = queries
+                .iter()
+                .map(|q| session.run(*q, &opts).unwrap().values)
+                .collect();
+            let mut batch = random_batch(&mut rng, n, 2 + round, true, &mut ledger);
+            // One targeted insert from the reachable chain keeps BFS/SSSP
+            // seeds flowing even when the random endpoints miss it.
+            let (src, dst) = (rng.gen_range(0..50), rng.gen_range(0..n));
+            batch.insert(src, dst, 1 + rng.gen_range(0u32..7));
+            ledger.push((src, dst));
+            let out = dg.apply(&batch).unwrap();
+            if !out.bumped {
+                continue;
+            }
+            let snap = dg.snapshot().unwrap().clone();
+            session.reload_graph(&snap).unwrap();
+            for (q, old) in queries.iter().zip(&old) {
+                let kind = RepairKind::from_query(q).unwrap();
+                let plan = plan_repair(
+                    kind,
+                    old,
+                    &out.added,
+                    &out.removed,
+                    snap.node_count(),
+                    snap.edge_count(),
+                    snap.edge_count() as f64 / snap.node_count().max(1) as f64,
+                );
+                let fresh = session.run(*q, &opts).unwrap().values;
+                // CPU oracle agrees with the fresh run for every plan.
+                let oracle =
+                    cpu_apply_plan(&snap, kind, old, &plan, q.source(), &model);
+                assert_eq!(oracle, fresh, "CPU oracle diverged ({kind:?})");
+                // And the GPU warm path agrees whenever the plan says
+                // the old values are still a sound starting point.
+                match &plan {
+                    RepairPlan::Unchanged => assert_eq!(old, &fresh),
+                    RepairPlan::Incremental { .. } => {
+                        incremental_seen += 1;
+                        let warm =
+                            session.run_warm(*q, &opts, old, &out.added).unwrap().values;
+                        assert_eq!(warm, fresh, "GPU warm repair diverged ({kind:?})");
+                    }
+                    RepairPlan::Recompute { .. } => {}
+                }
+            }
+        }
+        assert!(incremental_seen > 0, "corpus never exercised a warm repair");
+    }
+
+    /// A warm run with no delta edges terminates immediately and returns
+    /// the warm values untouched.
+    #[test]
+    fn warm_run_with_no_deltas_is_identity() {
+        let g = Dataset::P2p.generate(Scale::Tiny, 8);
+        let mut session = Session::new(&g).unwrap();
+        let opts = RunOptions::default();
+        let old = session.run(Query::Bfs { src: 0 }, &opts).unwrap().values;
+        let rep = session
+            .run_warm(Query::Bfs { src: 0 }, &opts, &old, &[])
+            .unwrap();
+        assert_eq!(rep.values, old);
+        assert_eq!(rep.iterations, 0);
+    }
+
+    /// Warm-start rejects configurations that cannot re-improve finite
+    /// values.
+    #[test]
+    fn warm_run_rejects_unsound_strategies() {
+        use agg_core::Strategy;
+        let g = Dataset::P2p.generate(Scale::Tiny, 8);
+        let mut session = Session::new(&g).unwrap();
+        let opts = RunOptions::default();
+        let old = vec![0; g.node_count()];
+        let ordered = {
+            use agg_kernels::{AlgoOrder, Mapping, Variant, WorkSet};
+            Variant::new(AlgoOrder::Ordered, Mapping::Thread, WorkSet::Bitmap)
+        };
+        let mut o = opts;
+        o.strategy = Strategy::Static(ordered);
+        assert!(session
+            .run_warm(Query::Bfs { src: 0 }, &o, &old, &[])
+            .is_err());
+        let mut o = opts;
+        o.strategy = Strategy::Hybrid { gpu_threshold: 64 };
+        assert!(session
+            .run_warm(Query::Bfs { src: 0 }, &o, &old, &[])
+            .is_err());
+        // Wrong warm array length is a typed error too.
+        assert!(session
+            .run_warm(Query::Bfs { src: 0 }, &opts, &old[1..], &[])
+            .is_err());
+    }
+}

@@ -1,0 +1,96 @@
+//! ddmin over update batches: shrink a divergence-inducing update
+//! sequence to a locally minimal one, mirroring the graph-level ddmin in
+//! the differential harness.
+
+use crate::update::EdgeUpdate;
+
+/// Minimizes `updates` with respect to `fails` (which must return `true`
+/// on the full input: "this batch still reproduces the divergence").
+/// Returns a subsequence — order preserved, since batches have
+/// sequential semantics — that still fails but from which no chunk at
+/// any granularity can be dropped. Classic Zeller ddmin.
+pub fn minimize_updates(
+    updates: &[EdgeUpdate],
+    mut fails: impl FnMut(&[EdgeUpdate]) -> bool,
+) -> Vec<EdgeUpdate> {
+    let mut current: Vec<EdgeUpdate> = updates.to_vec();
+    debug_assert!(fails(&current), "minimizer needs a failing input");
+    let mut granularity = 2usize;
+    while current.len() >= 2 {
+        let chunk = current.len().div_ceil(granularity);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            // The complement: everything except [start, end).
+            let candidate: Vec<EdgeUpdate> = current[..start]
+                .iter()
+                .chain(current[end..].iter())
+                .copied()
+                .collect();
+            if !candidate.is_empty() && fails(&candidate) {
+                current = candidate;
+                granularity = granularity.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if chunk <= 1 {
+                break;
+            }
+            granularity = (granularity * 2).min(current.len());
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ins(src: u32, dst: u32) -> EdgeUpdate {
+        EdgeUpdate::Insert {
+            src,
+            dst,
+            weight: 1,
+        }
+    }
+
+    #[test]
+    fn reduces_to_the_single_culprit() {
+        let updates: Vec<EdgeUpdate> = (0..16).map(|i| ins(i, i + 1)).collect();
+        let culprit = ins(7, 8);
+        let min = minimize_updates(&updates, |c| c.contains(&culprit));
+        assert_eq!(min, vec![culprit]);
+    }
+
+    #[test]
+    fn keeps_interacting_pairs() {
+        let updates: Vec<EdgeUpdate> = (0..12).map(|i| ins(i, i + 1)).collect();
+        let (a, b) = (ins(2, 3), ins(9, 10));
+        let min = minimize_updates(&updates, |c| c.contains(&a) && c.contains(&b));
+        assert_eq!(min, vec![a, b]);
+    }
+
+    #[test]
+    fn preserves_order() {
+        let updates = vec![ins(0, 1), ins(1, 2), ins(2, 3)];
+        let min = minimize_updates(&updates, |c| c.len() >= 2);
+        assert_eq!(min.len(), 2);
+        // Still a subsequence of the original order.
+        let pos: Vec<usize> = min
+            .iter()
+            .map(|u| updates.iter().position(|x| x == u).unwrap())
+            .collect();
+        assert!(pos.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn single_update_is_already_minimal() {
+        let updates = vec![ins(0, 1)];
+        let min = minimize_updates(&updates, |_| true);
+        assert_eq!(min, updates);
+    }
+}

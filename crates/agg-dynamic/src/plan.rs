@@ -1,0 +1,302 @@
+//! The repair-vs-recompute decision point — the dynamic analog of the
+//! paper's Figure 11 strategy selection.
+//!
+//! BFS levels, SSSP distances, and CC min-labels are unique fixpoints of
+//! a monotone (only-decreasing) relaxation, which yields a sound and
+//! *bit-exact* repair discipline:
+//!
+//! * **Inserted** edges can only lower values. Relaxing each net-inserted
+//!   edge against the old fixpoint seeds the improved endpoints; warm
+//!   relaxation from those seeds converges to exactly the new fixpoint.
+//! * **Deleted** edges can only raise values, and only if some old value
+//!   *depended* on them. A conservative per-edge check against the old
+//!   values — was this edge tight? — detects that: any affecting delete
+//!   forces recompute, every non-affecting delete is skipped (for CC this
+//!   is the component-membership check: deleting an edge whose endpoints
+//!   already carried different labels cannot change any label).
+//! * No seeds and no affecting deletes means the old fixpoint is already
+//!   the new one: serve it **unchanged**.
+//!
+//! When a repair is sound, a cost estimate decides whether it is *worth
+//! it* — small seed sets repair in a handful of near-empty iterations,
+//! while a batch that touches half the graph might as well recompute.
+
+use agg_core::Query;
+use agg_cpu::{CpuCostModel, RelaxKind};
+use agg_graph::{CsrGraph, NodeId, INF};
+use std::collections::HashMap;
+
+/// Repair work amplification: a seeded node's improvement cascades to a
+/// multiple of its out-neighborhood before settling. Used only by the
+/// cost estimate, never by correctness.
+const REPAIR_AMPLIFICATION: f64 = 4.0;
+
+/// The algorithms the incremental path covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairKind {
+    /// BFS levels from a hot source.
+    Bfs,
+    /// SSSP distances from a hot source.
+    Sssp,
+    /// Connected-component min-labels.
+    Cc,
+}
+
+impl RepairKind {
+    /// The repairable kind behind a query, if any (PageRank recomputes).
+    pub fn from_query(q: &Query) -> Option<RepairKind> {
+        match q {
+            Query::Bfs { .. } => Some(RepairKind::Bfs),
+            Query::Sssp { .. } => Some(RepairKind::Sssp),
+            Query::Cc => Some(RepairKind::Cc),
+            _ => None,
+        }
+    }
+
+    /// The CPU oracle's relaxation for this kind.
+    pub fn relax(self) -> RelaxKind {
+        match self {
+            RepairKind::Bfs => RelaxKind::Bfs,
+            RepairKind::Sssp => RelaxKind::Sssp,
+            RepairKind::Cc => RelaxKind::Cc,
+        }
+    }
+
+    /// The weight an edge contributes to this kind's relaxation.
+    #[inline]
+    fn edge_weight(self, w: u32) -> u32 {
+        match self {
+            RepairKind::Bfs => 1,
+            RepairKind::Sssp => w,
+            RepairKind::Cc => 0,
+        }
+    }
+}
+
+/// Why a plan fell back to recompute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecomputeReason {
+    /// A deleted edge was tight in the old fixpoint — some value may rise.
+    AffectingDelete,
+    /// Repair is sound but estimated dearer than recomputing.
+    CostAboveRecompute,
+}
+
+/// The decision for one `(query, update batch)` pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RepairPlan {
+    /// The old fixpoint is still exact — serve it as-is.
+    Unchanged,
+    /// Warm repair from `seeds` (`(node, candidate value)`, deduplicated
+    /// to the minimum candidate per node).
+    Incremental {
+        /// Seed improvements to relax from.
+        seeds: Vec<(NodeId, u32)>,
+    },
+    /// Run from scratch on the updated graph.
+    Recompute {
+        /// Why repair was rejected.
+        reason: RecomputeReason,
+    },
+}
+
+/// Plans the repair of `old` — the fixpoint of `kind` on the pre-update
+/// graph — after a batch whose net effect was `added` / `removed`
+/// (see [`crate::ApplyOutcome`]). `n` / `m` / `avg_out_degree` describe
+/// the *updated* graph and feed the cost estimate.
+pub fn plan_repair(
+    kind: RepairKind,
+    old: &[u32],
+    added: &[(NodeId, NodeId, u32)],
+    removed: &[(NodeId, NodeId, u32)],
+    n: usize,
+    m: usize,
+    avg_out_degree: f64,
+) -> RepairPlan {
+    debug_assert_eq!(old.len(), n);
+    for &(u, v, w) in removed {
+        let (du, dv) = (old[u as usize], old[v as usize]);
+        let affecting = match kind {
+            // Was the edge tight — did it support v's old value?
+            RepairKind::Bfs => du != INF && dv == du.saturating_add(1),
+            RepairKind::Sssp => du != INF && dv == du.saturating_add(w),
+            // Component-membership check: an inter-component delete (or
+            // one between unreached nodes with distinct labels) is free.
+            RepairKind::Cc => du != INF && du == dv,
+        };
+        if affecting {
+            return RepairPlan::Recompute {
+                reason: RecomputeReason::AffectingDelete,
+            };
+        }
+    }
+    let mut best: HashMap<NodeId, u32> = HashMap::new();
+    for &(u, v, w) in added {
+        let du = old[u as usize];
+        if du == INF {
+            continue;
+        }
+        let cand = du.saturating_add(kind.edge_weight(w));
+        if cand < old[v as usize] {
+            let slot = best.entry(v).or_insert(u32::MAX);
+            *slot = (*slot).min(cand);
+        }
+    }
+    if best.is_empty() {
+        return RepairPlan::Unchanged;
+    }
+    let mut seeds: Vec<(NodeId, u32)> = best.into_iter().collect();
+    seeds.sort_unstable();
+    let est_repair = seeds.len() as f64 * (1.0 + avg_out_degree) * REPAIR_AMPLIFICATION;
+    let est_recompute = (n + m) as f64;
+    if est_repair >= est_recompute {
+        return RepairPlan::Recompute {
+            reason: RecomputeReason::CostAboveRecompute,
+        };
+    }
+    RepairPlan::Incremental { seeds }
+}
+
+/// Executes a plan on the CPU oracle: the updated graph `g`, the stale
+/// `old` array, and the query's source (ignored for CC). Returns the
+/// exact new fixpoint — this is what every incremental result is
+/// verified bit-identical against.
+pub fn cpu_apply_plan(
+    g: &CsrGraph,
+    kind: RepairKind,
+    old: &[u32],
+    plan: &RepairPlan,
+    src: NodeId,
+    model: &CpuCostModel,
+) -> Vec<u32> {
+    match plan {
+        RepairPlan::Unchanged => old.to_vec(),
+        RepairPlan::Incremental { seeds } => {
+            agg_cpu::repair(g, kind.relax(), old, seeds, model).result
+        }
+        RepairPlan::Recompute { .. } => agg_cpu::recompute(g, kind.relax(), src, model).result,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agg_cpu::recompute;
+
+    fn path() -> CsrGraph {
+        // 0 -> 1 -> 2 -> 3 (a directed path), node 4 isolated.
+        CsrGraph::from_raw(vec![0, 1, 2, 3, 3, 3], vec![1, 2, 3], None).unwrap()
+    }
+
+    fn model() -> CpuCostModel {
+        CpuCostModel::default()
+    }
+
+    fn bfs_fix(g: &CsrGraph) -> Vec<u32> {
+        recompute(g, RelaxKind::Bfs, 0, &model()).result
+    }
+
+    #[test]
+    fn insert_that_improves_seeds_incrementally() {
+        let g = path();
+        let old = bfs_fix(&g);
+        // 0 -> 3 shortcuts node 3 from level 3 to 1.
+        let plan = plan_repair(RepairKind::Bfs, &old, &[(0, 3, 1)], &[], 5, 4, 0.8);
+        assert_eq!(
+            plan,
+            RepairPlan::Incremental {
+                seeds: vec![(3, 1)]
+            }
+        );
+        let updated = g.rebuilt_with(&[(0, 3, 1)], &[]).unwrap();
+        let repaired = cpu_apply_plan(&updated, RepairKind::Bfs, &old, &plan, 0, &model());
+        assert_eq!(repaired, bfs_fix(&updated));
+    }
+
+    #[test]
+    fn insert_that_cannot_improve_is_unchanged() {
+        let g = path();
+        let old = bfs_fix(&g);
+        // 3 -> 1 goes "backwards": level 3 + 1 > level 1. And an edge
+        // from the unreached node 4 seeds nothing.
+        let plan = plan_repair(RepairKind::Bfs, &old, &[(3, 1, 1), (4, 0, 1)], &[], 5, 5, 1.0);
+        assert_eq!(plan, RepairPlan::Unchanged);
+    }
+
+    #[test]
+    fn tight_delete_forces_recompute_loose_delete_does_not() {
+        let g = path();
+        let old = bfs_fix(&g);
+        // (1, 2) is tight: level 2 == level 1 + 1.
+        let plan = plan_repair(RepairKind::Bfs, &old, &[], &[(1, 2, 1)], 5, 2, 0.4);
+        assert_eq!(
+            plan,
+            RepairPlan::Recompute {
+                reason: RecomputeReason::AffectingDelete
+            }
+        );
+        // A parallel shortcut makes the long way loose: with 0 -> 2
+        // present, deleting it is still tight, but deleting (4, x)-style
+        // absent support is covered by the Unchanged test; here check a
+        // loose edge: add 0 -> 2 to the graph, fixpoint gives 2 level 1,
+        // so (1, 2) is no longer tight.
+        let g2 = g.rebuilt_with(&[(0, 2, 1)], &[]).unwrap();
+        let old2 = bfs_fix(&g2);
+        let plan2 = plan_repair(RepairKind::Bfs, &old2, &[], &[(1, 2, 1)], 5, 3, 0.6);
+        assert_eq!(plan2, RepairPlan::Unchanged);
+    }
+
+    #[test]
+    fn cc_membership_check_skips_inter_component_deletes() {
+        // Two components: {0, 1} and {2, 3}; labels [0, 0, 2, 2].
+        let g = CsrGraph::from_raw(vec![0, 1, 1, 2, 2], vec![1, 3], None).unwrap();
+        let old = recompute(&g, RelaxKind::Cc, 0, &model()).result;
+        assert_eq!(old, vec![0, 0, 2, 2]);
+        // Deleting an intra-component edge is affecting...
+        let plan = plan_repair(RepairKind::Cc, &old, &[], &[(0, 1, 1)], 4, 1, 0.25);
+        assert!(matches!(plan, RepairPlan::Recompute { .. }));
+        // ...while inserting then deleting across components is not: a
+        // removed (1, 2) edge never existed in the fixpoint support.
+        let plan = plan_repair(RepairKind::Cc, &old, &[], &[(1, 2, 1)], 4, 1, 0.25);
+        assert_eq!(plan, RepairPlan::Unchanged);
+    }
+
+    #[test]
+    fn huge_seed_sets_fall_back_to_recompute() {
+        // Tiny graph, low degree: a seed set of 3 at amplification 4
+        // already exceeds n + m.
+        let g = path();
+        let old = bfs_fix(&g);
+        let added = [(0, 2, 1), (0, 3, 1), (1, 3, 1)];
+        let plan = plan_repair(RepairKind::Bfs, &old, &added, &[], 5, 7, 20.0);
+        assert_eq!(
+            plan,
+            RepairPlan::Recompute {
+                reason: RecomputeReason::CostAboveRecompute
+            }
+        );
+    }
+
+    #[test]
+    fn seeds_deduplicate_to_minimum_candidate() {
+        let g = path();
+        let old = bfs_fix(&g);
+        // Two inserts both target 3: from 2 (cand 3... not better) and
+        // from 0 (cand 1) and from 1 (cand 2) — keep the minimum.
+        let plan = plan_repair(
+            RepairKind::Bfs,
+            &old,
+            &[(1, 3, 1), (0, 3, 1)],
+            &[],
+            5,
+            5,
+            0.8,
+        );
+        assert_eq!(
+            plan,
+            RepairPlan::Incremental {
+                seeds: vec![(3, 1)]
+            }
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! The typed update vocabulary: single edge mutations and the batches
+//! the service applies between micro-batch flushes.
+
+use agg_graph::NodeId;
+
+/// One edge mutation. Graphs are multigraphs: inserting an existing
+/// `(src, dst)` pair adds a parallel copy, and deleting a pair removes
+/// *all* its current copies (deleting a pair that does not exist is a
+/// no-op). The node set is fixed — endpoints must be in range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeUpdate {
+    /// Insert a directed edge. `weight` is ignored on unweighted graphs.
+    Insert {
+        /// Source endpoint.
+        src: NodeId,
+        /// Destination endpoint.
+        dst: NodeId,
+        /// Edge weight (SSSP); ignored when the graph is unweighted.
+        weight: u32,
+    },
+    /// Delete every current copy of the directed edge `(src, dst)`.
+    Delete {
+        /// Source endpoint.
+        src: NodeId,
+        /// Destination endpoint.
+        dst: NodeId,
+    },
+}
+
+impl EdgeUpdate {
+    /// The endpoints this update touches.
+    pub fn endpoints(&self) -> (NodeId, NodeId) {
+        match *self {
+            EdgeUpdate::Insert { src, dst, .. } | EdgeUpdate::Delete { src, dst } => (src, dst),
+        }
+    }
+}
+
+/// An ordered batch of edge updates, applied atomically with sequential
+/// semantics (a delete sees the inserts that precede it in the batch).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UpdateBatch {
+    /// The updates, in application order.
+    pub updates: Vec<EdgeUpdate>,
+}
+
+impl UpdateBatch {
+    /// An empty batch (applying it is a typed no-op).
+    pub fn new() -> UpdateBatch {
+        UpdateBatch::default()
+    }
+
+    /// Builds a batch from a list of updates.
+    pub fn from_updates(updates: Vec<EdgeUpdate>) -> UpdateBatch {
+        UpdateBatch { updates }
+    }
+
+    /// Appends an insert.
+    pub fn insert(&mut self, src: NodeId, dst: NodeId, weight: u32) -> &mut Self {
+        self.updates.push(EdgeUpdate::Insert { src, dst, weight });
+        self
+    }
+
+    /// Appends a delete.
+    pub fn delete(&mut self, src: NodeId, dst: NodeId) -> &mut Self {
+        self.updates.push(EdgeUpdate::Delete { src, dst });
+        self
+    }
+
+    /// Number of updates in the batch.
+    pub fn len(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// Whether the batch carries no updates.
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty()
+    }
+}
+
+/// Draws a deterministic random batch of `size` updates against an
+/// `n`-node graph: ~70% inserts (endpoints uniform, weights `1..=16`
+/// when `weighted`), ~30% deletes of a previously inserted edge drawn
+/// from `ledger` (falling back to an insert when the ledger is empty).
+/// The ledger accumulates inserted pairs across calls so deletes target
+/// edges that actually exist — the shape trace generation, property
+/// tests, and the fuzz harness all share.
+pub fn random_batch<R: rand::Rng>(
+    rng: &mut R,
+    n: NodeId,
+    size: usize,
+    weighted: bool,
+    ledger: &mut Vec<(NodeId, NodeId)>,
+) -> UpdateBatch {
+    let mut batch = UpdateBatch::new();
+    if n == 0 {
+        return batch;
+    }
+    for _ in 0..size {
+        let delete = !ledger.is_empty() && rng.gen_range(0..10) < 3;
+        if delete {
+            let at = rng.gen_range(0..ledger.len());
+            let (src, dst) = ledger.swap_remove(at);
+            batch.delete(src, dst);
+        } else {
+            let src = rng.gen_range(0..n);
+            let dst = rng.gen_range(0..n);
+            let weight = if weighted { rng.gen_range(1..=16) } else { 1 };
+            batch.insert(src, dst, weight);
+            ledger.push((src, dst));
+        }
+    }
+    batch
+}

@@ -243,6 +243,74 @@ impl CsrGraph {
         fwd == bwd
     }
 
+    /// Builds a new CSR graph from this one with a batch of edge deltas
+    /// folded in: every copy of each `(src, dst)` pair in `removed` is
+    /// dropped, then the `added` triples are appended. This is the
+    /// compaction/snapshot primitive behind the `agg-dynamic` delta layer.
+    ///
+    /// Edge order is deterministic: each row keeps its surviving base
+    /// edges in base order, followed by that row's added edges in the
+    /// order given. Weights are kept iff the base graph is weighted (the
+    /// weight component of `added` is ignored on unweighted graphs).
+    /// Removing a pair that does not exist is a no-op; endpoints out of
+    /// range are rejected.
+    pub fn rebuilt_with(
+        &self,
+        added: &[(NodeId, NodeId, u32)],
+        removed: &[(NodeId, NodeId)],
+    ) -> Result<CsrGraph, GraphError> {
+        let n = self.node_count() as u64;
+        for &(src, dst, _) in added {
+            for node in [src, dst] {
+                if node as u64 >= n {
+                    return Err(GraphError::NodeOutOfRange {
+                        node: node as u64,
+                        node_count: n,
+                    });
+                }
+            }
+        }
+        let dead: std::collections::HashSet<(u32, u32)> = removed.iter().copied().collect();
+
+        let n = self.node_count();
+        let mut degree = vec![0u32; n];
+        for (src, dst, _) in self.edges() {
+            if !dead.contains(&(src, dst)) {
+                degree[src as usize] += 1;
+            }
+        }
+        for &(src, _, _) in added {
+            degree[src as usize] += 1;
+        }
+        let mut offsets = vec![0u32; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + degree[v];
+        }
+        let m = *offsets.last().unwrap() as usize;
+        let mut cols = vec![0u32; m];
+        let mut weights = self.weights.as_ref().map(|_| vec![0u32; m]);
+        let mut cursor = offsets[..n].to_vec();
+        let mut place = |src: u32, dst: u32, w: u32, weights: &mut Option<Vec<u32>>| {
+            let slot = cursor[src as usize] as usize;
+            cursor[src as usize] += 1;
+            cols[slot] = dst;
+            if let Some(ws) = weights.as_mut() {
+                ws[slot] = w;
+            }
+        };
+        // Each row's cursor sees its base survivors before any of its
+        // additions, giving the documented per-row order.
+        for (src, dst, w) in self.edges() {
+            if !dead.contains(&(src, dst)) {
+                place(src, dst, w, &mut weights);
+            }
+        }
+        for &(src, dst, w) in added {
+            place(src, dst, w, &mut weights);
+        }
+        CsrGraph::from_raw(offsets, cols, weights)
+    }
+
     /// Total bytes of the device-resident representation (node vector +
     /// edge vector + optional weights). Used for transfer-time modeling.
     pub fn device_bytes(&self) -> usize {
@@ -384,6 +452,39 @@ mod tests {
         assert_eq!(g.edge_count(), 0);
         assert_eq!(g.out_degree(4), 0);
         assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn rebuilt_with_removes_all_copies_and_appends_in_order() {
+        // Node 0 has a parallel pair 0->2; removing (0, 2) drops both.
+        let g = CsrGraph::from_raw(vec![0, 3, 4, 4], vec![1, 2, 2, 0], None).unwrap();
+        let out = g.rebuilt_with(&[(2, 1, 9), (0, 2, 9)], &[(0, 2)]).unwrap();
+        let e: Vec<_> = out.edges().collect();
+        // Row 0: survivor (0,1) then the re-added (0,2); row 2 gains (2,1).
+        assert_eq!(e, vec![(0, 1, 1), (0, 2, 1), (1, 0, 1), (2, 1, 1)]);
+        assert!(!out.is_weighted());
+    }
+
+    #[test]
+    fn rebuilt_with_keeps_weights_on_weighted_graphs() {
+        let g = figure7_like()
+            .with_weights(vec![10, 20, 30, 40, 50])
+            .unwrap();
+        let out = g.rebuilt_with(&[(3, 0, 7)], &[(1, 2)]).unwrap();
+        let e: Vec<_> = out.edges().collect();
+        assert_eq!(e, vec![(0, 1, 10), (0, 2, 20), (2, 0, 40), (2, 3, 50), (3, 0, 7)]);
+    }
+
+    #[test]
+    fn rebuilt_with_rejects_out_of_range_endpoints_and_ignores_missing_removals() {
+        let g = figure7_like();
+        assert!(matches!(
+            g.rebuilt_with(&[(0, 9, 1)], &[]),
+            Err(GraphError::NodeOutOfRange { node: 9, .. })
+        ));
+        // Removing a pair that isn't there leaves the graph unchanged.
+        let same = g.rebuilt_with(&[], &[(3, 0)]).unwrap();
+        assert_eq!(same, g);
     }
 
     #[test]

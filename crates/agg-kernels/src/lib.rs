@@ -29,6 +29,7 @@ pub mod cc;
 pub mod exchange;
 pub mod findmin;
 pub mod pagerank;
+pub mod repair;
 pub mod sssp;
 pub mod state;
 #[cfg(test)]
@@ -112,6 +113,8 @@ pub struct GpuKernels {
     /// Pair emission over a precomputed node list (sharded PageRank
     /// boundary sources).
     pub collect_pairs: Kernel,
+    /// Warm-start delta-edge relaxation (batch-dynamic repair).
+    pub repair_relax: Kernel,
 }
 
 impl GpuKernels {
@@ -149,6 +152,7 @@ impl GpuKernels {
             scatter_min: exchange::scatter_min(),
             scatter_store: exchange::scatter_store(),
             collect_pairs: exchange::collect_pairs(),
+            repair_relax: repair::relax_edge_list(),
         }
     }
 
@@ -228,8 +232,9 @@ mod tests {
             &k.scatter_min,
             &k.scatter_store,
             &k.collect_pairs,
+            &k.repair_relax,
         ]);
-        assert_eq!(all.len(), 8 + 8 + 4 + 4 + 24);
+        assert_eq!(all.len(), 8 + 8 + 4 + 4 + 25);
         for kernel in all {
             let src = kernel.to_pseudo_code();
             assert!(

@@ -1,0 +1,47 @@
+//! Warm-start repair kernel for batch-dynamic updates (`agg-dynamic`).
+//!
+//! An incremental run does not restart from `src`: the device keeps the
+//! previous fixpoint in the value array and only needs the *delta* edges
+//! seeded into it. [`relax_edge_list`] relaxes an explicit `(src, dst,
+//! weight)` edge list — the batch's net insertions — against the warm
+//! value array with `atomicMin`, flagging improved destinations in the
+//! update vector. The standard per-iteration pipeline (workset-gen →
+//! computation) then propagates the improvements to the new fixpoint.
+//!
+//! One kernel covers all three monotone algorithms because the host picks
+//! the weight array: BFS uploads all-ones, CC all-zeros (a min-label
+//! flows unchanged), SSSP the real edge weights. Sources whose value is
+//! still `INF` are skipped — `INF + w` must not wrap into a spuriously
+//! small candidate.
+
+use agg_gpu_sim::ir::expr::Expr;
+use agg_gpu_sim::{Kernel, KernelBuilder};
+
+/// Relaxes an explicit edge list into a warm value array. Buffers
+/// `[esrc, edst, eweight, value, update]`, scalar `count` (edges). One
+/// thread per delta edge; parallel duplicates are safe under `atomicMin`.
+pub fn relax_edge_list() -> Kernel {
+    let mut k = KernelBuilder::new("repair_relax_edge_list");
+    let esrc = k.buf_param();
+    let edst = k.buf_param();
+    let eweight = k.buf_param();
+    let value = k.buf_param();
+    let update = k.buf_param();
+    let count = k.scalar_param();
+    let tid = k.let_(k.global_thread_id());
+    k.if_(Expr::Reg(tid).ge(count), |k| k.ret());
+    let u = k.load(esrc, tid);
+    let u = k.let_(u);
+    let du = k.load(value, u);
+    let du = k.let_(du);
+    k.if_(Expr::Reg(du).eq(u32::MAX), |k| k.ret());
+    let v = k.load(edst, tid);
+    let v = k.let_(v);
+    let w = k.load(eweight, tid);
+    let cand = k.let_(Expr::Reg(du).sat_add(w));
+    let old = k.atomic_min(value, Expr::Reg(v), Expr::Reg(cand));
+    k.if_(Expr::Reg(cand).lt(old), |k| {
+        k.store(update, v, 1u32);
+    });
+    k.build().expect("statically valid")
+}

@@ -343,6 +343,34 @@ impl AlgoState {
             .scalars([n])
     }
 
+    /// Warm-start reset for incremental repair: loads a previous fixpoint
+    /// into the value array (H2D, charged) and clears every working-set
+    /// structure. No source is seeded — the repair kernel seeds the
+    /// update vector from the delta edge list instead.
+    pub fn reset_warm(&self, dev: &mut Device, warm: &[u32]) -> Result<(), SimError> {
+        dev.write(self.value, warm)?;
+        dev.fill(self.update, 0)?;
+        dev.fill(self.bitmap, 0)?;
+        dev.write_word(self.queue_len, 0, 0)?;
+        dev.write_word(self.flag, 0, 0)?;
+        dev.write_word(self.min_out, 0, u32::MAX)?;
+        Ok(())
+    }
+
+    /// Arguments for the warm-start repair kernel: buffers
+    /// `[esrc, edst, eweight, value, update]`, scalar `count`.
+    pub fn repair_args(
+        &self,
+        esrc: DevicePtr,
+        edst: DevicePtr,
+        eweight: DevicePtr,
+        count: u32,
+    ) -> LaunchArgs {
+        LaunchArgs::new()
+            .bufs([esrc, edst, eweight, self.value, self.update])
+            .scalars([count])
+    }
+
     /// Arguments for the per-iteration `prep` kernel.
     pub fn prep_args(&self) -> LaunchArgs {
         LaunchArgs::new().bufs([

@@ -20,19 +20,24 @@
 //!   [`agg_gpu_sim::Json`] module, which both renders and parses),
 //!   with typed [`Request`] / [`Response`] values on either side.
 //! - [`cache`] — results memoized per `(graph, epoch, query identity)`
-//!   using [`Query::cache_key`](agg_core::Query::cache_key); a graph's
-//!   monotonic epoch is the invalidation hook for future dynamic
-//!   updates, and bumping it strands exactly that graph's older entries.
+//!   using [`Query::cache_key`](agg_core::Query::cache_key), bounded by
+//!   a byte budget with LRU eviction; a graph's monotonic epoch is the
+//!   invalidation hook, and the dynamic-update path bumps it to strand
+//!   (or repair) exactly that graph's older entries.
 //! - [`server`] — the live threaded service: an acceptor + per-connection
 //!   reader/writer threads around one service thread that owns every
-//!   hosted graph (`Arc`-shared immutable CSR), admission-controls with a
-//!   bounded queue (overflow is answered with a typed
-//!   [`Response::Overloaded`], never dropped), and micro-batches misses
-//!   into `Session::run_batch`.
+//!   hosted graph (a batch-dynamic [`agg_dynamic::DynamicGraph`] behind
+//!   an `Arc`-shared CSR snapshot), admission-controls with a bounded
+//!   queue (overflow is answered with a typed [`Response::Overloaded`],
+//!   never dropped), micro-batches misses into `Session::run_batch`, and
+//!   applies [`Request::Update`] batches between flushes — bumping the
+//!   epoch and settling stale cache entries per their
+//!   [`agg_dynamic::RepairPlan`] (carry unchanged, warm-repair on the
+//!   engine, or drop).
 //! - [`trace`] — deterministic open-loop arrival traces: Poisson-process
 //!   inter-arrivals (inverse-CDF exponential over the seeded xoshiro
 //!   stream), a mixed algorithm distribution over several hosted graphs,
-//!   and optional epoch-bump events.
+//!   and periodic dynamic edge-update batches.
 //! - [`mod@replay`] — the replay client: drives a trace through the same
 //!   admission → batch → Session → cache pipeline in **virtual time**
 //!   (arrivals from the trace, service times from the simulator's modeled
@@ -50,10 +55,10 @@ pub mod replay;
 pub mod server;
 pub mod trace;
 
-pub use cache::ResultCache;
+pub use cache::{ResultCache, DEFAULT_CACHE_BUDGET};
 pub use protocol::{read_frame, write_frame, Request, Response, ServeStats};
 pub use replay::{replay, ReplayConfig, ReplayOutcome, ReplayReport};
-pub use server::{Hosted, ServeConfig, ServeClient, Server};
+pub use server::{Hosted, ServeConfig, ServeClient, Server, UpdateApplied};
 pub use trace::{Arrival, ArrivalTrace, Event, TraceConfig};
 
 use std::fmt;

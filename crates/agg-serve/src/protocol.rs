@@ -15,8 +15,9 @@
 //! ```json
 //! {"op":"query","id":7,"graph":"amazon","query":{"algo":"bfs","src":4}}
 //! {"op":"query","id":8,"graph":"web","query":{"algo":"pagerank","damping":0.85,"epsilon":0.0001}}
-//! {"op":"bump_epoch","id":9,"graph":"amazon"}
-//! {"op":"stats","id":10}
+//! {"op":"update","id":9,"graph":"amazon","updates":[{"op":"insert","src":3,"dst":9,"w":2},{"op":"delete","src":0,"dst":4}]}
+//! {"op":"bump_epoch","id":10,"graph":"amazon"}
+//! {"op":"stats","id":11}
 //! ```
 //!
 //! Response documents (`"status"` selects the variant): `"ok"` carries
@@ -24,10 +25,13 @@
 //! cache, and the value vector; `"shed"` is the typed admission-control
 //! overload answer; `"error"` carries the engine/protocol rejection;
 //! `"epoch"` acknowledges a bump with the new epoch and the number of
-//! cache entries it stranded; `"stats"` carries a [`ServeStats`].
+//! cache entries it stranded; `"updated"` acknowledges a dynamic update
+//! batch with the new epoch and what happened to the stale cache
+//! entries; `"stats"` carries a [`ServeStats`].
 
 use crate::ServeError;
 use agg_core::{PageRankConfig, Query};
+use agg_dynamic::{EdgeUpdate, UpdateBatch};
 use agg_gpu_sim::Json;
 use std::io::{Read, Write};
 
@@ -79,9 +83,21 @@ pub enum Request {
         /// The typed query.
         query: Query,
     },
-    /// Bump a hosted graph's epoch — the invalidation hook a future
-    /// dynamic-update path calls after mutating the graph. Strands every
-    /// cache entry of older epochs for that graph.
+    /// Apply a batch of edge inserts/deletes to a hosted graph. The
+    /// service applies the batch between micro-batch flushes, bumps the
+    /// graph's epoch (unless the batch nets to nothing), and repairs or
+    /// strands exactly the stale cache entries.
+    Update {
+        /// Caller-chosen correlation id.
+        id: u64,
+        /// Hosted graph name.
+        graph: String,
+        /// The edge updates, in application order.
+        updates: UpdateBatch,
+    },
+    /// Bump a hosted graph's epoch without mutating it — the blunt
+    /// invalidation hook. Strands every cache entry of older epochs for
+    /// that graph.
     BumpEpoch {
         /// Caller-chosen correlation id.
         id: u64,
@@ -99,9 +115,10 @@ impl Request {
     /// The correlation id this request carries.
     pub fn id(&self) -> u64 {
         match self {
-            Request::Query { id, .. } | Request::BumpEpoch { id, .. } | Request::Stats { id } => {
-                *id
-            }
+            Request::Query { id, .. }
+            | Request::Update { id, .. }
+            | Request::BumpEpoch { id, .. }
+            | Request::Stats { id } => *id,
         }
     }
 
@@ -113,6 +130,15 @@ impl Request {
                 ("id", (*id).into()),
                 ("graph", graph.clone().into()),
                 ("query", query.to_json()),
+            ]),
+            Request::Update { id, graph, updates } => Json::obj([
+                ("op", "update".into()),
+                ("id", (*id).into()),
+                ("graph", graph.clone().into()),
+                (
+                    "updates",
+                    Json::arr(updates.updates.iter().map(update_to_json)),
+                ),
             ]),
             Request::BumpEpoch { id, graph } => Json::obj([
                 ("op", "bump_epoch".into()),
@@ -138,6 +164,21 @@ impl Request {
                         .ok_or_else(|| missing("query"))?,
                 )?,
             }),
+            "update" => {
+                let items = doc
+                    .get("updates")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| missing("updates"))?;
+                let updates = items
+                    .iter()
+                    .map(update_from_json)
+                    .collect::<Result<Vec<EdgeUpdate>, ServeError>>()?;
+                Ok(Request::Update {
+                    id,
+                    graph: field_str(&doc, "graph")?.to_string(),
+                    updates: UpdateBatch::from_updates(updates),
+                })
+            }
             "bump_epoch" => Ok(Request::BumpEpoch {
                 id,
                 graph: field_str(&doc, "graph")?.to_string(),
@@ -190,6 +231,24 @@ pub enum Response {
         /// Cache entries stranded by the bump.
         invalidated: usize,
     },
+    /// Acknowledges a [`Request::Update`].
+    Updated {
+        /// Echo of the request id.
+        id: u64,
+        /// The graph's epoch after the batch (unchanged for a no-op).
+        epoch: u64,
+        /// True when the batch had a net effect and bumped the epoch. A
+        /// no-op batch (empty, or inserts cancelled by deletes) leaves
+        /// the graph, the epoch, and the cache untouched.
+        bumped: bool,
+        /// Updates in the batch as received (before net-effect folding).
+        applied: usize,
+        /// Stale cache entries carried to the new epoch — either proven
+        /// unchanged or warm-repaired on the engine.
+        repaired: usize,
+        /// Stale cache entries dropped (recompute was the better plan).
+        invalidated: usize,
+    },
     /// Lifetime counters.
     Stats {
         /// Echo of the request id.
@@ -207,6 +266,7 @@ impl Response {
             | Response::Overloaded { id, .. }
             | Response::Error { id, .. }
             | Response::EpochBumped { id, .. }
+            | Response::Updated { id, .. }
             | Response::Stats { id, .. } => *id,
         }
     }
@@ -249,6 +309,22 @@ impl Response {
                 ("status", "epoch".into()),
                 ("id", (*id).into()),
                 ("epoch", (*epoch).into()),
+                ("invalidated", (*invalidated).into()),
+            ]),
+            Response::Updated {
+                id,
+                epoch,
+                bumped,
+                applied,
+                repaired,
+                invalidated,
+            } => Json::obj([
+                ("status", "updated".into()),
+                ("id", (*id).into()),
+                ("epoch", (*epoch).into()),
+                ("bumped", (*bumped).into()),
+                ("applied", (*applied).into()),
+                ("repaired", (*repaired).into()),
                 ("invalidated", (*invalidated).into()),
             ]),
             Response::Stats { id, stats } => Json::obj([
@@ -299,6 +375,14 @@ impl Response {
                 epoch: field_u64(&doc, "epoch")?,
                 invalidated: field_u64(&doc, "invalidated")? as usize,
             }),
+            "updated" => Ok(Response::Updated {
+                id,
+                epoch: field_u64(&doc, "epoch")?,
+                bumped: doc.get("bumped").and_then(Json::as_bool).unwrap_or(false),
+                applied: field_u64(&doc, "applied")? as usize,
+                repaired: field_u64(&doc, "repaired")? as usize,
+                invalidated: field_u64(&doc, "invalidated")? as usize,
+            }),
             "stats" => Ok(Response::Stats {
                 id,
                 stats: ServeStats::from_json(
@@ -326,8 +410,15 @@ pub struct ServeStats {
     pub cache_misses: u64,
     /// `Session::run_batch` calls issued by the micro-batcher.
     pub batches: u64,
-    /// Epoch bumps applied.
+    /// Epoch bumps applied (explicit bumps and effective update batches).
     pub epoch_bumps: u64,
+    /// Update batches received (including no-ops).
+    pub updates: u64,
+    /// Stale cache entries repaired across epochs (unchanged-carry or
+    /// warm engine repair) instead of being dropped.
+    pub repaired: u64,
+    /// Cache entries evicted by the result cache's byte budget.
+    pub cache_evicted: u64,
     /// Requests answered with a typed error.
     pub errors: u64,
 }
@@ -343,6 +434,9 @@ impl ServeStats {
             ("cache_misses", self.cache_misses.into()),
             ("batches", self.batches.into()),
             ("epoch_bumps", self.epoch_bumps.into()),
+            ("updates", self.updates.into()),
+            ("repaired", self.repaired.into()),
+            ("cache_evicted", self.cache_evicted.into()),
             ("errors", self.errors.into()),
         ])
     }
@@ -357,8 +451,46 @@ impl ServeStats {
             cache_misses: field_u64(doc, "cache_misses")?,
             batches: field_u64(doc, "batches")?,
             epoch_bumps: field_u64(doc, "epoch_bumps")?,
+            updates: field_u64(doc, "updates")?,
+            repaired: field_u64(doc, "repaired")?,
+            cache_evicted: field_u64(doc, "cache_evicted")?,
             errors: field_u64(doc, "errors")?,
         })
+    }
+}
+
+/// Encodes one edge update as its wire object.
+fn update_to_json(u: &EdgeUpdate) -> Json {
+    match u {
+        EdgeUpdate::Insert { src, dst, weight } => Json::obj([
+            ("op", "insert".into()),
+            ("src", (*src).into()),
+            ("dst", (*dst).into()),
+            ("w", (*weight).into()),
+        ]),
+        EdgeUpdate::Delete { src, dst } => Json::obj([
+            ("op", "delete".into()),
+            ("src", (*src).into()),
+            ("dst", (*dst).into()),
+        ]),
+    }
+}
+
+/// Decodes one edge update from its wire object. A missing `w` on an
+/// insert defaults to weight 1 (the unweighted-graph convention).
+fn update_from_json(doc: &Json) -> Result<EdgeUpdate, ServeError> {
+    let src = field_u64(doc, "src")? as u32;
+    let dst = field_u64(doc, "dst")? as u32;
+    match field_str(doc, "op")? {
+        "insert" => Ok(EdgeUpdate::Insert {
+            src,
+            dst,
+            weight: doc.get("w").and_then(Json::as_u64).unwrap_or(1) as u32,
+        }),
+        "delete" => Ok(EdgeUpdate::Delete { src, dst }),
+        other => Err(ServeError::Protocol(format!(
+            "unknown update op '{other}'"
+        ))),
     }
 }
 
@@ -449,6 +581,44 @@ mod tests {
             graph: "amazon".into(),
         });
         round_trip_request(Request::Stats { id: 5 });
+        let mut updates = UpdateBatch::new();
+        updates.insert(3, 9, 2).delete(0, 4).insert(7, 7, 1);
+        round_trip_request(Request::Update {
+            id: 6,
+            graph: "amazon".into(),
+            updates,
+        });
+        // An empty batch is legal on the wire; the server treats it as a
+        // typed no-op.
+        round_trip_request(Request::Update {
+            id: 7,
+            graph: "amazon".into(),
+            updates: UpdateBatch::new(),
+        });
+    }
+
+    #[test]
+    fn insert_weight_defaults_to_one_on_the_wire() {
+        let payload = br#"{"op":"update","id":1,"graph":"g","updates":[{"op":"insert","src":2,"dst":5}]}"#;
+        match Request::decode(payload).unwrap() {
+            Request::Update { updates, .. } => {
+                assert_eq!(
+                    updates.updates,
+                    vec![EdgeUpdate::Insert {
+                        src: 2,
+                        dst: 5,
+                        weight: 1
+                    }]
+                );
+            }
+            other => panic!("decoded to {other:?}"),
+        }
+        // An unknown update op is a typed protocol error.
+        let bad = br#"{"op":"update","id":1,"graph":"g","updates":[{"op":"toggle","src":2,"dst":5}]}"#;
+        assert!(matches!(
+            Request::decode(bad),
+            Err(ServeError::Protocol(_))
+        ));
     }
 
     #[test]
@@ -502,6 +672,22 @@ mod tests {
             epoch: 5,
             invalidated: 12,
         });
+        round_trip_response(Response::Updated {
+            id: 6,
+            epoch: 9,
+            bumped: true,
+            applied: 5,
+            repaired: 3,
+            invalidated: 1,
+        });
+        round_trip_response(Response::Updated {
+            id: 7,
+            epoch: 9,
+            bumped: false,
+            applied: 0,
+            repaired: 0,
+            invalidated: 0,
+        });
         round_trip_response(Response::Stats {
             id: 5,
             stats: ServeStats {
@@ -512,6 +698,9 @@ mod tests {
                 cache_misses: 5,
                 batches: 2,
                 epoch_bumps: 1,
+                updates: 4,
+                repaired: 2,
+                cache_evicted: 6,
                 errors: 1,
             },
         });

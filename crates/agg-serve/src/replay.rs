@@ -107,10 +107,17 @@ pub struct ReplayReport {
     pub cache_misses: usize,
     /// `Session::run_batch` calls issued.
     pub batches: usize,
-    /// Epoch-bump events applied.
+    /// Epoch bumps applied (bare bump events plus effective update
+    /// batches).
     pub epoch_bumps: usize,
-    /// Cache entries stranded by those bumps.
+    /// Cache entries stranded (dropped without repair) by bumps and
+    /// updates.
     pub invalidated: usize,
+    /// Dynamic update events applied (including no-op batches).
+    pub updates: usize,
+    /// Stale cache entries carried across update epochs — proven
+    /// unchanged or warm-repaired — instead of being dropped.
+    pub repaired: usize,
     /// Median served latency, virtual ns.
     pub p50_latency_ns: u64,
     /// 99th-percentile served latency, virtual ns.
@@ -140,6 +147,8 @@ impl ReplayReport {
             ("batches", self.batches.into()),
             ("epoch_bumps", self.epoch_bumps.into()),
             ("invalidated", self.invalidated.into()),
+            ("updates", self.updates.into()),
+            ("repaired", self.repaired.into()),
             ("p50_latency_ns", self.p50_latency_ns.into()),
             ("p99_latency_ns", self.p99_latency_ns.into()),
             ("mean_latency_ns", self.mean_latency_ns.into()),
@@ -189,7 +198,9 @@ pub fn replay(
         .collect();
     for arrival in &trace.arrivals {
         let name = match &arrival.event {
-            Event::Query { graph, .. } | Event::BumpEpoch { graph } => graph,
+            Event::Query { graph, .. }
+            | Event::Update { graph, .. }
+            | Event::BumpEpoch { graph } => graph,
         };
         if !host_index.contains_key(name) {
             return Err(ServeError::UnknownGraph(name.clone()));
@@ -204,6 +215,8 @@ pub fn replay(
     let mut batches = 0usize;
     let mut epoch_bumps = 0usize;
     let mut invalidated = 0usize;
+    let mut updates = 0usize;
+    let mut repaired = 0usize;
     let mut verified_hits = 0usize;
     let mut cache_identity_ok = true;
     let mut last_answer_ns: u64 = 0;
@@ -315,6 +328,19 @@ pub fn replay(
                 invalidated += host.bump_epoch(&mut cache);
                 epoch_bumps += 1;
             }
+            Event::Update { graph, batch } => {
+                // Applied between flushes, like the live service thread.
+                // Repair work is treated as off-critical-path maintenance
+                // and not charged to the virtual clock.
+                let host = &mut hosts[host_index[graph]];
+                let a = host.apply_update(batch, &mut cache, &options)?;
+                updates += 1;
+                if a.bumped {
+                    epoch_bumps += 1;
+                }
+                repaired += a.repaired;
+                invalidated += a.invalidated;
+            }
             Event::Query { graph, query } => {
                 let record = records.len();
                 records.push(QueryRecord {
@@ -410,6 +436,8 @@ pub fn replay(
         batches,
         epoch_bumps,
         invalidated,
+        updates,
+        repaired,
         p50_latency_ns: pct(50.0),
         p99_latency_ns: pct(99.0),
         mean_latency_ns: mean,
@@ -446,14 +474,15 @@ mod tests {
         ]
     }
 
-    fn trace(queries: usize, bump_every: usize) -> ArrivalTrace {
+    fn trace(queries: usize, update_every: usize) -> ArrivalTrace {
         ArrivalTrace::generate(TraceConfig {
             queries,
             rate_qps: 5000.0,
             seed: 11,
             graphs: vec!["amazon".into(), "google".into()],
             source_pool: 6,
-            bump_every,
+            update_every,
+            update_size: 4,
         })
     }
 
@@ -494,18 +523,46 @@ mod tests {
     }
 
     #[test]
-    fn epoch_bumps_invalidate_exactly_the_stale_entries() {
+    fn updates_bump_epochs_and_settle_exactly_the_stale_entries() {
         let mut hosts = hosts();
         let t = trace(200, 40);
         let outcome = replay(&mut hosts, &t, &ReplayConfig::default()).expect("replay");
+        // 200 queries / update_every 40 with no trailing event = 4.
+        assert_eq!(outcome.report.updates, 4);
         assert!(outcome.report.epoch_bumps > 0);
         assert!(
-            outcome.report.invalidated > 0,
-            "bumps over a warm cache must strand entries"
+            outcome.report.repaired + outcome.report.invalidated > 0,
+            "updates over a warm cache must settle stale entries"
         );
-        // Epochs only move forward, and ended where the bumps put them.
+        // Epochs only move forward, and ended where the effective
+        // batches put them (no-op batches bump neither counter).
         let total: u64 = hosts.iter().map(|h| h.epoch).sum();
         assert_eq!(total as usize, outcome.report.epoch_bumps);
+    }
+
+    #[test]
+    fn served_values_track_the_mutating_topology() {
+        // With updates in the trace, a replay with hit-verification on
+        // must still find every cached answer bit-identical to an
+        // uncached recomputation *at the epoch it was served* — repair
+        // carries entries across epochs only when that holds.
+        let mut hosts = hosts();
+        let t = trace(200, 25);
+        let outcome = replay(
+            &mut hosts,
+            &t,
+            &ReplayConfig {
+                verify_hits: true,
+                ..ReplayConfig::default()
+            },
+        )
+        .expect("replay");
+        assert!(outcome.report.updates > 0);
+        assert!(outcome.report.cache_hits > 0);
+        assert!(
+            outcome.report.cache_identity_ok,
+            "cached values diverged from recomputation under dynamic updates"
+        );
     }
 
     #[test]

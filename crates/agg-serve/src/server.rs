@@ -26,6 +26,7 @@ use crate::cache::ResultCache;
 use crate::protocol::{read_frame, write_frame, Request, Response, ServeStats};
 use crate::ServeError;
 use agg_core::{CoreError, Query, RunOptions, Session};
+use agg_dynamic::{plan_repair, DynStats, DynamicGraph, RepairKind, RepairPlan, UpdateBatch};
 use agg_gpu_sim::DeviceConfig;
 use agg_graph::CsrGraph;
 use std::collections::HashMap;
@@ -37,16 +38,37 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// A graph resident in the service: the `Arc`-shared immutable CSR, the
-/// [`Session`] that answers queries against it, and its monotonic epoch.
+/// A graph resident in the service: the `Arc`-shared current snapshot,
+/// the batch-dynamic graph behind it, the [`Session`] that answers
+/// queries against it, and its monotonic epoch.
 pub struct Hosted {
     /// Name clients address the graph by.
     pub name: String,
-    /// The immutable topology (shared with whoever built it).
+    /// The current immutable snapshot (swapped on dynamic updates).
     pub graph: Arc<CsrGraph>,
-    /// Current epoch; bumped by the invalidation hook.
+    /// Current epoch; bumped by the invalidation hook and by every
+    /// effective update batch.
     pub epoch: u64,
+    dynamic: DynamicGraph,
     session: Session,
+}
+
+/// What [`Hosted::apply_update`] did with one update batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpdateApplied {
+    /// The epoch after the batch (unchanged when `bumped` is false).
+    pub epoch: u64,
+    /// True when the batch had a net effect. A no-op batch (empty, or
+    /// inserts cancelled by this batch's own deletes) leaves the graph,
+    /// the epoch, and the cache untouched.
+    pub bumped: bool,
+    /// Updates in the batch as received.
+    pub applied: usize,
+    /// Stale cache entries carried to the new epoch (proven unchanged or
+    /// warm-repaired on the engine).
+    pub repaired: usize,
+    /// Stale cache entries dropped instead.
+    pub invalidated: usize,
 }
 
 /// What [`Hosted::serve_batch`] produced for one flush of queries.
@@ -74,6 +96,7 @@ impl Hosted {
         let session = Session::with_device(&graph, device)?;
         Ok(Hosted {
             name: name.into(),
+            dynamic: DynamicGraph::new((*graph).clone()),
             graph,
             epoch: 0,
             session,
@@ -81,11 +104,98 @@ impl Hosted {
     }
 
     /// Bumps the epoch and strands this graph's stale cache entries,
-    /// returning the count removed. This is the invalidation hook a
-    /// dynamic-update path calls after mutating the graph.
+    /// returning the count removed — the blunt invalidation hook
+    /// (no repair; [`apply_update`](Self::apply_update) is the surgical
+    /// path).
     pub fn bump_epoch(&mut self, cache: &mut ResultCache) -> usize {
         self.epoch += 1;
         cache.invalidate_before(&self.name, self.epoch)
+    }
+
+    /// Applies one batch of edge updates: mutate the dynamic graph, and —
+    /// if the batch had a net effect — reload the session on the new
+    /// snapshot, bump the epoch, then settle every stale cache entry per
+    /// its [`RepairPlan`]: carry it forward unchanged, warm-repair it on
+    /// the engine, or drop it (the next query recomputes). A no-op batch
+    /// touches nothing: no epoch bump, no invalidation, no compaction.
+    pub fn apply_update(
+        &mut self,
+        batch: &UpdateBatch,
+        cache: &mut ResultCache,
+        options: &RunOptions,
+    ) -> Result<UpdateApplied, ServeError> {
+        let applied = batch.len();
+        let out = self
+            .dynamic
+            .apply(batch)
+            .map_err(|e| ServeError::Protocol(format!("invalid update batch: {e}")))?;
+        if !out.bumped {
+            return Ok(UpdateApplied {
+                epoch: self.epoch,
+                bumped: false,
+                applied,
+                repaired: 0,
+                invalidated: 0,
+            });
+        }
+        let snapshot = self
+            .dynamic
+            .snapshot()
+            .map_err(|e| ServeError::Protocol(format!("snapshot failed: {e}")))?
+            .clone();
+        self.session.reload_graph(&snapshot)?;
+        self.graph = Arc::new(snapshot);
+        self.epoch += 1;
+        let n = self.graph.node_count();
+        let m = self.graph.edge_count();
+        let avg_out_degree = m as f64 / n.max(1) as f64;
+        let mut repaired = 0usize;
+        for (key, old) in cache.stale_entries(&self.name, self.epoch) {
+            // PageRank (and anything unparseable) has no repair path —
+            // leave it for the sweep below.
+            let Some(query) = query_from_cache_key(&key) else {
+                continue;
+            };
+            let Some(kind) = RepairKind::from_query(&query) else {
+                continue;
+            };
+            if old.len() != n {
+                continue;
+            }
+            match plan_repair(kind, &old, &out.added, &out.removed, n, m, avg_out_degree) {
+                RepairPlan::Unchanged => {
+                    cache.insert(&self.name, self.epoch, &key, old);
+                    repaired += 1;
+                }
+                RepairPlan::Incremental { .. } => {
+                    // A warm-start rejection (e.g. a pinned ordered
+                    // strategy) just drops the entry; never fail the
+                    // update over a cache repair.
+                    if let Ok(rep) = self.session.run_warm(query, options, &old, &out.added) {
+                        cache.insert(&self.name, self.epoch, &key, Arc::new(rep.values));
+                        repaired += 1;
+                    }
+                }
+                RepairPlan::Recompute { .. } => {}
+            }
+        }
+        // The sweep removes every old-epoch entry — including the
+        // originals of repaired ones (their carried copy lives at the new
+        // epoch) — so the dropped-without-repair count is the difference.
+        let swept = cache.invalidate_before(&self.name, self.epoch);
+        Ok(UpdateApplied {
+            epoch: self.epoch,
+            bumped: true,
+            applied,
+            repaired,
+            invalidated: swept - repaired,
+        })
+    }
+
+    /// The dynamic layer's lifetime counters (applied/no-op batches,
+    /// inserted/removed edges, compactions).
+    pub fn dynamic_stats(&self) -> DynStats {
+        self.dynamic.stats()
     }
 
     /// Answers one flush of queries against this graph: serves what the
@@ -158,6 +268,22 @@ impl Hosted {
     }
 }
 
+/// Inverts [`Query::cache_key`] for the repairable algorithms. PageRank
+/// keys return `None` — rank vectors have no monotone repair, so their
+/// stale entries are always dropped.
+fn query_from_cache_key(key: &str) -> Option<Query> {
+    if key == "cc" {
+        return Some(Query::Cc);
+    }
+    if let Some(src) = key.strip_prefix("bfs:") {
+        return src.parse().ok().map(|src| Query::Bfs { src });
+    }
+    if let Some(src) = key.strip_prefix("sssp:") {
+        return src.parse().ok().map(|src| Query::Sssp { src });
+    }
+    None
+}
+
 /// Service tuning.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -194,6 +320,9 @@ struct StatsCells {
     cache_misses: AtomicU64,
     batches: AtomicU64,
     epoch_bumps: AtomicU64,
+    updates: AtomicU64,
+    repaired: AtomicU64,
+    cache_evicted: AtomicU64,
     errors: AtomicU64,
 }
 
@@ -207,6 +336,9 @@ impl StatsCells {
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             epoch_bumps: self.epoch_bumps.load(Ordering::Relaxed),
+            updates: self.updates.load(Ordering::Relaxed),
+            repaired: self.repaired.load(Ordering::Relaxed),
+            cache_evicted: self.cache_evicted.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
         }
     }
@@ -227,6 +359,12 @@ enum Work {
     Bump {
         id: u64,
         graph: String,
+        reply: Reply,
+    },
+    Update {
+        id: u64,
+        graph: String,
+        updates: UpdateBatch,
         reply: Reply,
     },
     Stats {
@@ -378,6 +516,12 @@ fn reader_loop(stream: TcpStream, tx: &SyncSender<Work>, capacity: usize, stats:
                 graph,
                 reply: Arc::clone(&reply),
             },
+            Request::Update { id, graph, updates } => Work::Update {
+                id,
+                graph,
+                updates,
+                reply: Arc::clone(&reply),
+            },
             Request::Stats { id } => Work::Stats {
                 id,
                 reply: Arc::clone(&reply),
@@ -478,6 +622,48 @@ fn handle_control(
             };
             let _ = send_response(&reply, &resp);
         }
+        Work::Update {
+            id,
+            graph,
+            updates,
+            reply,
+        } => {
+            stats.updates.fetch_add(1, Ordering::Relaxed);
+            let resp = match hosts.get_mut(&graph) {
+                Some(h) => match h.apply_update(&updates, cache, &RunOptions::default()) {
+                    Ok(a) => {
+                        if a.bumped {
+                            stats.epoch_bumps.fetch_add(1, Ordering::Relaxed);
+                        }
+                        stats.repaired.fetch_add(a.repaired as u64, Ordering::Relaxed);
+                        Response::Updated {
+                            id,
+                            epoch: a.epoch,
+                            bumped: a.bumped,
+                            applied: a.applied,
+                            repaired: a.repaired,
+                            invalidated: a.invalidated,
+                        }
+                    }
+                    Err(e) => {
+                        stats.errors.fetch_add(1, Ordering::Relaxed);
+                        Response::Error {
+                            id,
+                            detail: e.to_string(),
+                        }
+                    }
+                },
+                None => {
+                    stats.errors.fetch_add(1, Ordering::Relaxed);
+                    Response::Error {
+                        id,
+                        detail: ServeError::UnknownGraph(graph).to_string(),
+                    }
+                }
+            };
+            stats.cache_evicted.store(cache.evicted, Ordering::Relaxed);
+            let _ = send_response(&reply, &resp);
+        }
         Work::Stats { id, reply } => {
             let resp = Response::Stats {
                 id,
@@ -557,6 +743,7 @@ fn flush_batch(
             }
         }
     }
+    stats.cache_evicted.store(cache.evicted, Ordering::Relaxed);
 }
 
 /// A small synchronous client: one connection, correlation ids handled
@@ -600,6 +787,20 @@ impl ServeClient {
         self.request(&Request::BumpEpoch {
             id,
             graph: graph.to_string(),
+        })
+    }
+
+    /// Applies a batch of edge updates to `graph` on the server.
+    pub fn update(
+        &mut self,
+        graph: &str,
+        updates: UpdateBatch,
+    ) -> Result<Response, ServeError> {
+        let id = self.fresh_id();
+        self.request(&Request::Update {
+            id,
+            graph: graph.to_string(),
+            updates,
         })
     }
 
@@ -735,6 +936,98 @@ mod tests {
         }
         let stats = server.shutdown();
         assert_eq!(stats.epoch_bumps, 1);
+    }
+
+    #[test]
+    fn live_updates_repair_the_cache_and_serve_the_updated_graph() {
+        let config = ServeConfig::default();
+        let server = Server::start(hosts(&config.device), config.clone()).expect("start");
+        let mut client = ServeClient::connect(server.addr()).expect("connect");
+        // Warm the cache: two repairable entries plus a PageRank entry
+        // (which has no repair path and must be dropped by the update).
+        let bfs = Query::Bfs { src: 3 };
+        client.query("a", bfs).expect("warm bfs");
+        client.query("a", Query::Cc).expect("warm cc");
+        client.query("a", Query::pagerank()).expect("warm pagerank");
+        // One inserted edge: an effective batch.
+        let mut batch = UpdateBatch::new();
+        batch.insert(3, 70, 1);
+        match client.update("a", batch).expect("update") {
+            Response::Updated {
+                epoch,
+                bumped,
+                applied,
+                repaired,
+                invalidated,
+                ..
+            } => {
+                assert!(bumped, "a real insert must bump the epoch");
+                assert_eq!(epoch, 1);
+                assert_eq!(applied, 1);
+                // Every warmed entry was settled one way or the other;
+                // the PageRank entry is always in the dropped set.
+                assert_eq!(repaired + invalidated, 3);
+                assert!(invalidated >= 1, "pagerank entry must be dropped");
+            }
+            other => panic!("expected an update ack, got {other:?}"),
+        }
+        // Served values now match a from-scratch session on the updated
+        // topology — whether the cache repaired them or they recompute.
+        let updated = graph(1).rebuilt_with(&[(3, 70, 1)], &[]).expect("rebuild");
+        let mut reference =
+            Session::with_device(&updated, config.device.clone()).expect("session");
+        for query in [bfs, Query::Cc] {
+            let expect = reference
+                .run(query, &RunOptions::default())
+                .expect("direct run")
+                .values;
+            match client.query("a", query).expect("requery") {
+                Response::Result { epoch, values, .. } => {
+                    assert_eq!(epoch, 1);
+                    assert_eq!(values, expect, "served {query:?} diverges after update");
+                }
+                other => panic!("expected a result, got {other:?}"),
+            }
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.updates, 1);
+        assert_eq!(stats.epoch_bumps, 1);
+    }
+
+    #[test]
+    fn empty_update_batch_is_a_typed_noop_over_the_wire() {
+        let config = ServeConfig::default();
+        let server = Server::start(hosts(&config.device), config).expect("start");
+        let mut client = ServeClient::connect(server.addr()).expect("connect");
+        client.query("a", Query::Cc).expect("warm");
+        match client.update("a", UpdateBatch::new()).expect("noop") {
+            Response::Updated {
+                epoch,
+                bumped,
+                applied,
+                repaired,
+                invalidated,
+                ..
+            } => {
+                assert_eq!(
+                    (epoch, bumped, applied, repaired, invalidated),
+                    (0, false, 0, 0, 0),
+                    "an empty batch must touch nothing"
+                );
+            }
+            other => panic!("expected an update ack, got {other:?}"),
+        }
+        // The warmed entry still serves as a hit at the untouched epoch.
+        match client.query("a", Query::Cc).expect("requery") {
+            Response::Result { epoch, cached, .. } => {
+                assert_eq!(epoch, 0);
+                assert!(cached, "no-op update must not invalidate the cache");
+            }
+            other => panic!("expected a result, got {other:?}"),
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.updates, 1);
+        assert_eq!(stats.epoch_bumps, 0, "no-op batches never bump");
     }
 
     #[test]

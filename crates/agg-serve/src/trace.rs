@@ -1,23 +1,26 @@
 //! Deterministic open-loop arrival traces.
 //!
 //! A trace is what a load generator would send: a time-ordered sequence
-//! of [`Arrival`]s, each a typed query against one of the hosted graphs
-//! (or an epoch-bump event). Inter-arrival times are drawn from an
-//! exponential distribution (inverse-CDF over the seeded xoshiro stream),
-//! so the trace is a Poisson process at the configured rate — **open
-//! loop**: arrival times never depend on how fast the server answers, so
-//! a slow server builds queue depth instead of quietly throttling its own
-//! offered load. Everything is derived from [`TraceConfig::seed`], so the
-//! same config always produces byte-identical traces — the foundation of
-//! the reproducible `BENCH_serve.json` numbers and of the replay-twice
-//! determinism test.
+//! of [`Arrival`]s, each a typed query against one of the hosted graphs,
+//! a dynamic edge-update batch, or a bare epoch bump. Inter-arrival
+//! times are drawn from an exponential distribution (inverse-CDF over
+//! the seeded xoshiro stream), so the trace is a Poisson process at the
+//! configured rate — **open loop**: arrival times never depend on how
+//! fast the server answers, so a slow server builds queue depth instead
+//! of quietly throttling its own offered load. Everything is derived
+//! from [`TraceConfig::seed`], so the same config always produces
+//! byte-identical traces — the foundation of the reproducible
+//! `BENCH_serve.json` numbers and of the replay-twice determinism test.
 
 use agg_core::{PageRankConfig, Query};
+use agg_dynamic::{random_batch, UpdateBatch};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
 
-/// What arrives: a query for a graph, or an epoch bump (the stand-in for
-/// a dynamic graph update invalidating cached results).
+/// What arrives: a query for a graph, a dynamic edge-update batch, or a
+/// bare epoch bump (updates are what generated traces carry; the bump
+/// remains for hand-built traces and the blunt invalidation path).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Event {
     /// A typed query against the named hosted graph.
@@ -27,7 +30,15 @@ pub enum Event {
         /// The query.
         query: Query,
     },
-    /// Bump the named graph's epoch.
+    /// Apply a batch of edge updates to the named graph (the dynamic
+    /// path: mutate, bump the epoch, repair or strand cached results).
+    Update {
+        /// Hosted graph name.
+        graph: String,
+        /// The edge updates, in application order.
+        batch: UpdateBatch,
+    },
+    /// Bump the named graph's epoch without mutating it.
     BumpEpoch {
         /// Hosted graph name.
         graph: String,
@@ -56,10 +67,14 @@ pub struct TraceConfig {
     pub graphs: Vec<String>,
     /// Traversal sources are drawn from `0..source_pool` — a small pool
     /// (relative to `queries`) creates repeats, which is what gives the
-    /// cache something to do.
+    /// cache something to do. Update endpoints are drawn from the same
+    /// pool, so wherever the queries are valid the updates are too.
     pub source_pool: u32,
-    /// Insert an epoch bump after every `bump_every` queries (0 = never).
-    pub bump_every: usize,
+    /// Insert a dynamic edge-update batch after every `update_every`
+    /// queries (0 = never) — the events that used to be bare epoch bumps.
+    pub update_every: usize,
+    /// Edge updates per generated batch.
+    pub update_size: usize,
 }
 
 impl Default for TraceConfig {
@@ -70,7 +85,8 @@ impl Default for TraceConfig {
             seed: 42,
             graphs: vec!["g".to_string()],
             source_pool: 8,
-            bump_every: 0,
+            update_every: 0,
+            update_size: 4,
         }
     }
 }
@@ -99,6 +115,9 @@ impl ArrivalTrace {
         let mean_gap_ns = 1e9 / config.rate_qps;
         let mut arrivals = Vec::with_capacity(config.queries + config.queries / 16);
         let mut t_ns = 0.0f64;
+        // Per-graph ledgers of inserted pairs, so generated deletes
+        // target edges the trace itself added to that graph.
+        let mut ledgers: HashMap<String, Vec<(u32, u32)>> = HashMap::new();
         for i in 0..config.queries {
             // Inverse-CDF exponential: gap = -ln(1-u) * mean, u in [0,1).
             let u: f64 = rng.gen();
@@ -128,13 +147,25 @@ impl ArrivalTrace {
                 at_ns: t_ns as u64,
                 event: Event::Query { graph, query },
             });
-            if config.bump_every > 0 && (i + 1) % config.bump_every == 0 && i + 1 < config.queries
+            if config.update_every > 0
+                && (i + 1) % config.update_every == 0
+                && i + 1 < config.queries
             {
-                let bump_graph =
-                    config.graphs[rng.gen_range(0..config.graphs.len())].clone();
+                let target = config.graphs[rng.gen_range(0..config.graphs.len())].clone();
+                let ledger = ledgers.entry(target.clone()).or_default();
+                let batch = random_batch(
+                    &mut rng,
+                    config.source_pool.max(1),
+                    config.update_size,
+                    true,
+                    ledger,
+                );
                 arrivals.push(Arrival {
                     at_ns: t_ns as u64 + 1,
-                    event: Event::BumpEpoch { graph: bump_graph },
+                    event: Event::Update {
+                        graph: target,
+                        batch,
+                    },
                 });
             }
         }
@@ -161,7 +192,8 @@ mod tests {
             seed: 7,
             graphs: vec!["a".into(), "b".into()],
             source_pool: 4,
-            bump_every: 50,
+            update_every: 50,
+            update_size: 4,
         }
     }
 
@@ -175,8 +207,40 @@ mod tests {
             .windows(2)
             .all(|w| w[0].at_ns <= w[1].at_ns));
         assert_eq!(t1.query_count(), 200);
-        // 200 queries / bump_every 50 with no trailing bump = 3 bumps
+        // 200 queries / update_every 50 with no trailing event = 3 updates
         assert_eq!(t1.arrivals.len() - t1.query_count(), 3);
+    }
+
+    #[test]
+    fn generated_updates_are_valid_and_deletes_target_inserted_pairs() {
+        use agg_dynamic::EdgeUpdate;
+        let t = ArrivalTrace::generate(config());
+        let mut inserted: std::collections::HashMap<String, std::collections::HashSet<(u32, u32)>> =
+            std::collections::HashMap::new();
+        let mut updates = 0usize;
+        for a in &t.arrivals {
+            if let Event::Update { graph, batch } = &a.event {
+                updates += 1;
+                assert_eq!(batch.len(), 4, "batches honor update_size");
+                let seen = inserted.entry(graph.clone()).or_default();
+                for u in &batch.updates {
+                    let (src, dst) = u.endpoints();
+                    assert!(src < 4 && dst < 4, "endpoints stay in the source pool");
+                    match u {
+                        EdgeUpdate::Insert { .. } => {
+                            seen.insert((src, dst));
+                        }
+                        EdgeUpdate::Delete { .. } => {
+                            assert!(
+                                seen.contains(&(src, dst)),
+                                "deletes only target trace-inserted pairs"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(updates, 3);
     }
 
     #[test]
@@ -218,7 +282,7 @@ mod tests {
     fn mean_interarrival_tracks_the_configured_rate() {
         let t = ArrivalTrace::generate(TraceConfig {
             queries: 2000,
-            bump_every: 0,
+            update_every: 0,
             ..config()
         });
         let last = t.arrivals.last().expect("non-empty").at_ns as f64;

@@ -1,0 +1,160 @@
+//! Workspace-level dynamic-graph property suite: the acceptance gate for
+//! the batch-dynamic layer. Randomized insert/delete batches — across
+//! update sizes and via proptest-generated graphs — must leave every
+//! incremental result (the CPU repair oracle and the GPU warm-start
+//! path) bit-identical to a from-scratch recompute on the updated
+//! graph; any divergence is ddmin-shrunk to a minimal update sequence
+//! by the harness before it is reported.
+
+use agg::prelude::{CsrGraph, GraphBuilder, Query, RunOptions};
+use agg_bench::dynamic::{dyn_fuzz, DynFuzzConfig};
+use agg_core::Session;
+use agg_cpu::CpuCostModel;
+use agg_dynamic::{
+    cpu_apply_plan, plan_repair, random_batch, DynamicGraph, RepairKind, RepairPlan,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn query_for(kind: RepairKind, src: u32) -> Query {
+    match kind {
+        RepairKind::Bfs => Query::Bfs { src },
+        RepairKind::Sssp => Query::Sssp { src },
+        RepairKind::Cc => Query::Cc,
+    }
+}
+
+/// The headline sweep: the dynamic differential harness (cold GPU, CPU
+/// incremental oracle, unchanged plans, GPU warm repair — all against
+/// the from-scratch CPU recompute) over the shared adversarial corpus,
+/// at every update-batch size from singletons to batches larger than
+/// many corpus graphs. Deterministic in the seeds, and the sweep as a
+/// whole must exercise all three plan arms.
+#[test]
+fn randomized_update_batches_are_bit_identical_across_sizes() {
+    let (mut unchanged, mut incremental, mut recompute) = (0u64, 0u64, 0u64);
+    let mut warm_runs = 0u64;
+    for (update_size, seed) in [(1usize, 11u64), (2, 22), (4, 33), (8, 44), (16, 55)] {
+        let cfg = DynFuzzConfig {
+            cases: 6,
+            rounds: 3,
+            update_size,
+            seed,
+        };
+        let r = dyn_fuzz(&cfg);
+        assert!(
+            r.is_clean(),
+            "update_size {update_size}: {} divergence(s): {:?}",
+            r.divergences.len(),
+            r.divergences
+        );
+        assert!(r.rounds_applied > 0, "update_size {update_size}: no batch applied");
+        assert!(r.checks > 0);
+        unchanged += r.plans_unchanged;
+        incremental += r.plans_incremental;
+        recompute += r.plans_recompute;
+        warm_runs += r.warm_runs;
+    }
+    assert!(
+        unchanged > 0 && incremental > 0 && recompute > 0,
+        "plan arms not all exercised: {unchanged} unchanged / {incremental} incremental / \
+         {recompute} recompute"
+    );
+    assert_eq!(warm_runs, incremental, "every incremental plan gets a GPU warm run");
+}
+
+/// The divergence artifact must round-trip the counters CI greps for.
+#[test]
+fn dynamic_report_artifact_has_ci_keys() {
+    let r = dyn_fuzz(&DynFuzzConfig::new(3, 5));
+    let s = r.to_json().render();
+    for key in [
+        "\"cases\":3",
+        "\"clean\":true",
+        "\"divergences\":[]",
+        "\"rounds_applied\":",
+        "\"plans_incremental\":",
+        "\"warm_runs\":",
+        "\"compactions\":",
+    ] {
+        assert!(s.contains(key), "missing {key} in {s}");
+    }
+}
+
+/// Strategy: a random weighted digraph as (node count, edge triples).
+fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = CsrGraph> {
+    (2usize..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32, 1u32..16), 0..max_m)
+            .prop_map(move |edges| GraphBuilder::from_weighted_edges(n, &edges).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, .. ProptestConfig::default() })]
+
+    /// Three rounds of random mutations on a proptest-generated graph:
+    /// for every repairable algorithm, the CPU oracle executing the
+    /// planner's decision — and the GPU warm-start path whenever the
+    /// plan is incremental — must land exactly on the from-scratch
+    /// fixpoint of the updated graph.
+    #[test]
+    fn incremental_results_match_recompute_on_random_mutations(
+        g in arb_graph(30, 90),
+        seed in 0u64..1000,
+    ) {
+        let n = g.node_count() as u32;
+        let src = (seed % n as u64) as u32;
+        let model = CpuCostModel::default();
+        let opts = RunOptions::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Pre-seeding the delete ledger with the base edges lets the
+        // stream remove original edges, not only its own inserts.
+        let mut ledger: Vec<(u32, u32)> = g.edges().map(|(s, d, _)| (s, d)).collect();
+        let mut dg = DynamicGraph::new(g);
+        let mut session = Session::new(dg.snapshot().unwrap()).unwrap();
+        let kinds = [RepairKind::Bfs, RepairKind::Sssp, RepairKind::Cc];
+        for _round in 0..3 {
+            let old: Vec<Vec<u32>> = kinds
+                .iter()
+                .map(|&k| session.run(query_for(k, src), &opts).unwrap().values)
+                .collect();
+            let batch = random_batch(&mut rng, n, 5, true, &mut ledger);
+            let out = dg.apply(&batch).unwrap();
+            if !out.bumped {
+                continue;
+            }
+            let snap = dg.snapshot().unwrap().clone();
+            session.reload_graph(&snap).unwrap();
+            let (sn, sm) = (snap.node_count(), snap.edge_count());
+            for (&kind, old) in kinds.iter().zip(&old) {
+                let expected =
+                    agg_cpu::recompute(&snap, kind.relax(), src, &model).result;
+                let plan = plan_repair(
+                    kind,
+                    old,
+                    &out.added,
+                    &out.removed,
+                    sn,
+                    sm,
+                    sm as f64 / sn.max(1) as f64,
+                );
+                let oracle = cpu_apply_plan(&snap, kind, old, &plan, src, &model);
+                prop_assert_eq!(
+                    &oracle, &expected,
+                    "CPU oracle diverged ({:?}, plan {:?})", kind, plan
+                );
+                if matches!(plan, RepairPlan::Unchanged) {
+                    prop_assert_eq!(old, &expected, "unchanged plan was not exact ({:?})", kind);
+                }
+                if matches!(plan, RepairPlan::Incremental { .. }) {
+                    let warm = session
+                        .run_warm(query_for(kind, src), &opts, old, &out.added)
+                        .unwrap()
+                        .values;
+                    prop_assert_eq!(&warm, &expected, "GPU warm repair diverged ({:?})", kind);
+                }
+            }
+        }
+    }
+}
